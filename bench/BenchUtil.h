@@ -1,0 +1,68 @@
+//===- BenchUtil.h - Shared helpers for the benchmark harness ---*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for the experiment binaries in bench/: compile-or-die, and a
+/// tiny expectation facility so each bench can verify the paper's expected
+/// *shape* (who wins, what appears, what is pruned) and report PASS/FAIL
+/// alongside the regenerated table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_BENCH_BENCHUTIL_H
+#define GADT_BENCH_BENCHUTIL_H
+
+#include "pascal/Frontend.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace gadt {
+namespace bench {
+
+/// Parses and checks, aborting the bench on failure.
+inline std::unique_ptr<pascal::Program> compileOrDie(std::string_view Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = pascal::parseAndCheck(Src, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "bench: failed to compile subject:\n%s",
+                 Diags.str().c_str());
+    std::exit(2);
+  }
+  return Prog;
+}
+
+/// Collects expectation outcomes for the final verdict line.
+class Expectations {
+public:
+  void expect(bool Condition, const std::string &What) {
+    ++Total;
+    if (Condition) {
+      ++Passed;
+      return;
+    }
+    std::printf("  EXPECTATION FAILED: %s\n", What.c_str());
+  }
+
+  /// Prints "paper-shape checks: N/N passed" and returns the exit code.
+  int finish(const char *BenchName) {
+    std::printf("\n[%s] paper-shape checks: %u/%u passed\n", BenchName,
+                Passed, Total);
+    return Passed == Total ? 0 : 1;
+  }
+
+private:
+  unsigned Total = 0;
+  unsigned Passed = 0;
+};
+
+} // namespace bench
+} // namespace gadt
+
+#endif // GADT_BENCH_BENCHUTIL_H

@@ -1,0 +1,81 @@
+//===- ablation_memoization.cpp - Answer reuse ablation (X6) --------------===//
+//
+// Experiment X6: Shapiro's debugger "acquires knowledge about the expected
+// behavior of the debugged program and uses this knowledge to localize
+// errors" — once a unit execution has been judged, identical executions
+// need no new question. Recursive programs with overlapping subcomputations
+// (the classic naive Fibonacci) make the effect dramatic; this bench
+// debugs a buggy Fibonacci with judgement memoization on and off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/GADT.h"
+#include "core/ReferenceOracle.h"
+
+#include <string>
+
+using namespace gadt;
+using namespace gadt::core;
+
+namespace {
+
+std::string fibProgram(unsigned N, bool Buggy) {
+  // The bug fires only for the outermost call (n = N): all the
+  // exponentially repeated subcalls behave correctly, so the debugger must
+  // clear every one of them before reaching the culprit.
+  std::string S = "program f; var r: integer;";
+  S += "function fib(n: integer): integer;"
+       "begin if n <= 1 then fib := n";
+  if (Buggy)
+    S += " else if n = " + std::to_string(N) +
+         " then fib := fib(n - 1) + fib(n - 2) + 1";
+  S += " else fib := fib(n - 1) + fib(n - 2); end;";
+  S += "begin r := fib(" + std::to_string(N) + "); writeln(r); end.";
+  return S;
+}
+
+} // namespace
+
+int main() {
+  bench::Expectations E;
+  std::printf("X6: judgement memoization on naive Fibonacci (bug in the "
+              "combination step)\n\n");
+  std::printf("%6s %8s %14s %14s %10s\n", "n", "units", "queries(off)",
+              "queries(on)", "memo-hits");
+
+  for (unsigned N : {6u, 8u, 10u, 12u}) {
+    auto Buggy = bench::compileOrDie(fibProgram(N, true));
+    auto Fixed = bench::compileOrDie(fibProgram(N, false));
+
+    unsigned Queries[2] = {0, 0}, Hits = 0, Units = 0;
+    for (int Memo = 0; Memo <= 1; ++Memo) {
+      DiagnosticsEngine Diags;
+      GADTOptions Opts;
+      // Bottom-up shows the full effect: it would otherwise judge every
+      // duplicated subcall.
+      Opts.Debugger.Strategy = SearchStrategy::BottomUp;
+      Opts.Debugger.Slicing = SliceMode::None;
+      Opts.Debugger.MemoizeJudgements = Memo == 1;
+      GADTSession Session(*Buggy, Opts, Diags);
+      if (!Session.valid())
+        return 2;
+      IntendedProgramOracle User(*Fixed);
+      BugReport R = Session.debug(User);
+      E.expect(R.Found && R.UnitName == "fib", "bug localized in fib");
+      Queries[Memo] = Session.stats().userQueries();
+      if (Memo) {
+        Hits = Session.stats().MemoHits;
+        Units = Session.tree()->size();
+      }
+    }
+    std::printf("%6u %8u %14u %14u %10u\n", N, Units, Queries[0],
+                Queries[1], Hits);
+    E.expect(Queries[1] < Queries[0],
+             "memoization reduces queries at n=" + std::to_string(N));
+    E.expect(Queries[1] <= N + 2,
+             "with memoization the dialogue is linear in n");
+  }
+  return E.finish("ablation_memoization");
+}

@@ -1,0 +1,77 @@
+//===- ablation_strategies.cpp - Search-strategy ablation (X2) ------------===//
+//
+// Experiment X2 (DESIGN.md): the paper notes that "generally it doesn't
+// matter which traversal method is used" for correctness — all strategies
+// localize the same unit — but their interaction costs differ widely. We
+// compare top-down, divide-and-query and the exhaustive bottom-up baseline
+// over a corpus of random buggy programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/GADT.h"
+#include "core/ReferenceOracle.h"
+#include "interp/Interpreter.h"
+#include "workload/Synthetic.h"
+
+using namespace gadt;
+using namespace gadt::core;
+
+int main() {
+  bench::Expectations E;
+  std::printf("X2: strategy ablation over random buggy programs "
+              "(user queries; all strategies must localize the planted "
+              "bug)\n\n");
+  std::printf("%8s %8s %10s %14s %10s\n", "seed", "units", "top-down",
+              "divide+query", "bottom-up");
+
+  unsigned SumTD = 0, SumDQ = 0, SumBU = 0, Subjects = 0;
+  for (uint32_t Seed = 1; Seed <= 40 && Subjects < 12; ++Seed) {
+    workload::SyntheticOptions Opts;
+    Opts.Seed = Seed * 7919 + 3;
+    Opts.NumRoutines = 4 + Seed % 4;
+    workload::ProgramPair Pair = workload::randomProgram(Opts);
+    auto Buggy = bench::compileOrDie(Pair.Buggy);
+    auto Fixed = bench::compileOrDie(Pair.Fixed);
+    {
+      // Only debuggable when the bug manifests.
+      interp::Interpreter IB(*Buggy), IF(*Fixed);
+      if (IB.run().Output == IF.run().Output)
+        continue;
+    }
+    ++Subjects;
+
+    unsigned Queries[3] = {0, 0, 0};
+    unsigned Units = 0;
+    int Index = 0;
+    for (SearchStrategy Strategy :
+         {SearchStrategy::TopDown, SearchStrategy::DivideAndQuery,
+          SearchStrategy::BottomUp}) {
+      DiagnosticsEngine Diags;
+      GADTOptions GOpts;
+      GOpts.Debugger.Strategy = Strategy;
+      GOpts.Debugger.Slicing = SliceMode::None;
+      GADTSession Session(*Buggy, GOpts, Diags);
+      if (!Session.valid())
+        return 2;
+      IntendedProgramOracle User(*Fixed);
+      BugReport R = Session.debug(User);
+      E.expect(R.Found && R.UnitName == Pair.BuggyRoutine,
+               "seed " + std::to_string(Seed) + ": strategy " +
+                   std::to_string(Index) + " localizes " +
+                   Pair.BuggyRoutine);
+      Queries[Index++] = Session.stats().userQueries();
+      Units = Session.tree()->size();
+    }
+    SumTD += Queries[0];
+    SumDQ += Queries[1];
+    SumBU += Queries[2];
+    std::printf("%8u %8u %10u %14u %10u\n", Opts.Seed, Units, Queries[0],
+                Queries[1], Queries[2]);
+  }
+  std::printf("\n%8s %8s %10u %14u %10u   (totals over %u subjects)\n", "",
+              "", SumTD, SumDQ, SumBU, Subjects);
+  E.expect(Subjects >= 8, "enough manifesting seeds in the corpus");
+  return E.finish("ablation_strategies");
+}

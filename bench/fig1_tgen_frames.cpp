@@ -1,0 +1,71 @@
+//===- fig1_tgen_frames.cpp - Reproduce paper Figure 1 --------------------===//
+//
+// Experiment F1 (DESIGN.md): regenerate the test frames and scripts of the
+// arrsum category-partition specification. The paper states that script_1
+// contains exactly the frames (more, mixed, large) and (more, mixed,
+// average), and that SINGLE choices generate one frame each.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "tgen/FrameGen.h"
+#include "tgen/SpecParser.h"
+#include "workload/ArrsumFixture.h"
+
+#include <set>
+
+using namespace gadt;
+using namespace gadt::tgen;
+
+int main() {
+  bench::Expectations E;
+  DiagnosticsEngine Diags;
+  auto Spec = parseSpec(workload::ArrsumSpec, Diags);
+  if (!Spec) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+
+  FrameSet Frames = generateFrames(*Spec);
+  std::printf("Figure 1: T-GEN frame generation for 'test arrsum'\n\n");
+  std::printf("%-30s %-10s %s\n", "frame", "result", "markers");
+  for (size_t I = 0; I != Frames.Frames.size(); ++I) {
+    const TestFrame &F = Frames.Frames[I];
+    std::string Markers;
+    if (F.IsSingle)
+      Markers += "single ";
+    if (F.IsError)
+      Markers += "error";
+    std::printf("%-30s %-10s %s\n", F.str().c_str(),
+                Frames.ResultOf[I].c_str(), Markers.c_str());
+  }
+  std::printf("\nscripts:\n");
+  for (const auto &[Name, Indices] : Frames.Scripts) {
+    std::printf("  %-10s:", Name.c_str());
+    for (size_t I : Indices)
+      std::printf(" %s", Frames.Frames[I].str().c_str());
+    std::printf("\n");
+  }
+
+  // Paper-shape checks.
+  const std::vector<size_t> *S1 = Frames.framesOfScript("script_1");
+  E.expect(S1 != nullptr, "script_1 exists");
+  if (S1) {
+    std::set<std::string> Codes;
+    for (size_t I : *S1)
+      Codes.insert(Frames.Frames[I].encode());
+    E.expect(Codes ==
+                 std::set<std::string>{"more.mixed.large",
+                                       "more.mixed.average"},
+             "script_1 = {(more,mixed,large), (more,mixed,average)} "
+             "as printed in the paper");
+  }
+  unsigned Singles = 0;
+  for (const TestFrame &F : Frames.Frames)
+    Singles += F.IsSingle;
+  E.expect(Singles == 2,
+           "one frame per SINGLE choice (zero and one)");
+  E.expect(Frames.Frames.size() == 8, "8 frames in total");
+  return E.finish("fig1_tgen_frames");
+}

@@ -1,0 +1,58 @@
+//===- fig2_slice.cpp - Reproduce paper Figure 2 --------------------------===//
+//
+// Experiment F2 (DESIGN.md): slice the example program p on variable mul
+// at the last line and print the reduced program. The paper's Figure 2(b)
+// keeps read(x,y), mul := 0, the predicate and mul := x*y, and drops
+// everything about sum and z.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "analysis/SDG.h"
+#include "pascal/PrettyPrinter.h"
+#include "slicing/ProgramProjection.h"
+#include "slicing/StaticSlicer.h"
+#include "workload/PaperPrograms.h"
+
+using namespace gadt;
+using namespace gadt::slicing;
+
+int main() {
+  bench::Expectations E;
+  auto Prog = bench::compileOrDie(workload::Figure2);
+
+  analysis::SDG G(*Prog);
+  StaticSlice Slice = sliceOnProgramVar(G, *Prog, "mul");
+  DiagnosticsEngine Diags;
+  auto Projected = projectSlice(*Prog, Slice, Diags);
+  if (!Projected) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 2;
+  }
+
+  std::string Before = pascal::printProgram(*Prog);
+  std::string After = pascal::printProgram(*Projected);
+  std::printf("Figure 2(a): the original program\n%s\n", Before.c_str());
+  std::printf("Figure 2(b): the slice on mul at the last line\n%s\n",
+              After.c_str());
+  std::printf("SDG: %zu vertices, %u edges (%u summary); slice covers %zu "
+              "vertices\n",
+              G.nodes().size(), G.numEdges(), G.numSummaryEdges(),
+              Slice.size());
+
+  E.expect(After.find("read(x, y)") != std::string::npos,
+           "read(x, y) is kept");
+  E.expect(After.find("mul := 0") != std::string::npos, "mul := 0 is kept");
+  E.expect(After.find("if x <= 1") != std::string::npos,
+           "the predicate is kept");
+  E.expect(After.find("mul := x * y") != std::string::npos,
+           "mul := x * y is kept");
+  E.expect(After.find("sum") == std::string::npos,
+           "everything about sum is sliced away");
+  E.expect(After.find("z") == std::string::npos ||
+               After.find("z:") == std::string::npos,
+           "z and read(z) are sliced away");
+  E.expect(After.size() < Before.size(), "the slice is smaller");
+  return E.finish("fig2_slice");
+}

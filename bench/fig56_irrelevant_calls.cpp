@@ -1,0 +1,64 @@
+//===- fig56_irrelevant_calls.cpp - Reproduce paper Figures 5/6 -----------===//
+//
+// Experiment F5/F6 (DESIGN.md): the paper's motivating example for
+// slicing — procedure p calls p1..pn-1, none of which matter for its
+// output y, then pn which does. "Procedures p1, p2,..., pn-1 which execute
+// before pn are not involved with the computation of y, but still the
+// algorithmic debugger asks about the behavior of all of them." Slicing
+// must remove those queries; the table shows query counts with and without
+// it as n grows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/GADT.h"
+#include "core/ReferenceOracle.h"
+#include "workload/Synthetic.h"
+
+using namespace gadt;
+using namespace gadt::core;
+
+int main() {
+  bench::Expectations E;
+  std::printf("Figures 5/6: queries on a procedure with n-1 irrelevant "
+              "calls before the relevant one\n\n");
+  std::printf("%6s %18s %18s\n", "n", "pure AD queries",
+              "with slicing");
+
+  unsigned LastPure = 0, LastSliced = 0;
+  for (unsigned N : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    workload::ProgramPair Pair = workload::wideIrrelevantProgram(N);
+    auto Buggy = bench::compileOrDie(Pair.Buggy);
+    auto Fixed = bench::compileOrDie(Pair.Fixed);
+
+    unsigned Queries[2] = {0, 0};
+    for (int WithSlicing = 0; WithSlicing <= 1; ++WithSlicing) {
+      DiagnosticsEngine Diags;
+      GADTOptions Opts;
+      Opts.Debugger.Slicing =
+          WithSlicing ? SliceMode::Static : SliceMode::None;
+      GADTSession Session(*Buggy, Opts, Diags);
+      if (!Session.valid())
+        return 2;
+      IntendedProgramOracle User(*Fixed);
+      BugReport R = Session.debug(User);
+      if (!R.Found || R.UnitName != "target")
+        return 2;
+      Queries[WithSlicing] = Session.stats().userQueries();
+    }
+    std::printf("%6u %18u %18u\n", N, Queries[0], Queries[1]);
+    LastPure = Queries[0];
+    LastSliced = Queries[1];
+
+    E.expect(Queries[0] >= N,
+             "pure AD asks about every irrelevant call (n=" +
+                 std::to_string(N) + ")");
+    E.expect(Queries[1] <= 3,
+             "slicing removes all irrelevant queries (n=" +
+                 std::to_string(N) + ")");
+  }
+  E.expect(LastSliced * 10 < LastPure,
+           "at n=64 slicing saves more than 10x of the dialogue");
+  return E.finish("fig56_irrelevant_calls");
+}

@@ -1,0 +1,56 @@
+//===- fig7_exectree.cpp - Reproduce paper Figures 4 and 7 ----------------===//
+//
+// Experiment F4/F7 (DESIGN.md): execute the Figure 4 program and print its
+// execution tree, which must match the paper's Figure 7 node for node
+// (with a root node added for the Main program).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "trace/ExecTreeBuilder.h"
+#include "workload/PaperPrograms.h"
+
+using namespace gadt;
+
+static const char *const ExpectedTree =
+    R"(main(Out isok: false)
+  sqrtest(In ary: [1, 2], In n: 2, Out isok: false)
+    arrsum(In a: [1, 2], In n: 2, Out b: 3)
+    computs(In y: 3, Out r1: 12, Out r2: 9)
+      comput1(In y: 3, Out r1: 12)
+        partialsums(In y: 3, Out s1: 6, Out s2: 6)
+          sum1(In y: 3, Out s1: 6)
+            increment(In y: 3)=4
+          sum2(In y: 3, Out s2: 6)
+            decrement(In y: 3)=4
+        add(In s1: 6, In s2: 6, Out r1: 12)
+      comput2(In y: 3, Out r2: 9)
+        square(In y: 3, Out r2: 9)
+    test(In r1: 12, In r2: 9, Out isok: false)
+)";
+
+int main() {
+  bench::Expectations E;
+  auto Prog = bench::compileOrDie(workload::Figure4Buggy);
+  interp::ExecResult Res;
+  auto Tree = trace::buildExecTree(*Prog, {}, {}, &Res);
+  if (!Res.Ok) {
+    std::fprintf(stderr, "execution failed: %s\n", Res.Error.Message.c_str());
+    return 2;
+  }
+
+  std::printf("Figure 7: execution tree of the Figure 4 program\n\n%s\n",
+              Tree->str().c_str());
+  std::printf("nodes: %u, interpreter steps: %llu\n", Tree->size(),
+              static_cast<unsigned long long>(Res.Steps));
+
+  E.expect(Tree->str() == ExpectedTree,
+           "the tree matches the paper's Figure 7 exactly");
+  E.expect(Tree->size() == 14, "13 unit executions plus the Main root");
+  E.expect(!Res.FinalGlobals.empty() &&
+               Res.FinalGlobals[0].Name == "isok" &&
+               !Res.FinalGlobals[0].V.asBool(),
+           "the program computes isok = false (the observable symptom)");
+  return E.finish("fig7_exectree");
+}

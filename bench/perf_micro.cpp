@@ -1,0 +1,165 @@
+//===- perf_micro.cpp - Microbenchmarks (X4) ------------------------------===//
+//
+// Experiment X4 (DESIGN.md): google-benchmark timings of the pipeline
+// stages — front-end, tracing (with and without dependence tracking),
+// transformation, SDG construction, slice queries, frame generation — on
+// the paper's programs and growing synthetic subjects. These quantify the
+// engineering costs the paper discusses qualitatively (Section 9: trace
+// size and transformation overheads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SDG.h"
+#include "interp/Interpreter.h"
+#include "pascal/Frontend.h"
+#include "slicing/StaticSlicer.h"
+#include "tgen/FrameGen.h"
+#include "tgen/SpecParser.h"
+#include "trace/ExecTreeBuilder.h"
+#include "transform/Transform.h"
+#include "workload/ArrsumFixture.h"
+#include "workload/PaperPrograms.h"
+#include "workload/Synthetic.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gadt;
+
+namespace {
+
+std::unique_ptr<pascal::Program> compileOrDie(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = pascal::parseAndCheck(Src, Diags);
+  if (!Prog)
+    std::abort();
+  return Prog;
+}
+
+void BM_ParseAndCheckFigure4(benchmark::State &State) {
+  std::string Src = workload::Figure4Buggy;
+  for (auto _ : State) {
+    DiagnosticsEngine Diags;
+    auto Prog = pascal::parseAndCheck(Src, Diags);
+    benchmark::DoNotOptimize(Prog);
+  }
+}
+BENCHMARK(BM_ParseAndCheckFigure4);
+
+void BM_ParseAndCheckChain(benchmark::State &State) {
+  std::string Src = workload::chainProgram(
+                        static_cast<unsigned>(State.range(0)), 1)
+                        .Fixed;
+  for (auto _ : State) {
+    DiagnosticsEngine Diags;
+    auto Prog = pascal::parseAndCheck(Src, Diags);
+    benchmark::DoNotOptimize(Prog);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ParseAndCheckChain)->Range(8, 256)->Complexity();
+
+void BM_TraceFigure4(benchmark::State &State) {
+  auto Prog = compileOrDie(workload::Figure4Buggy);
+  for (auto _ : State) {
+    auto Tree = trace::buildExecTree(*Prog, {}, {});
+    benchmark::DoNotOptimize(Tree);
+  }
+}
+BENCHMARK(BM_TraceFigure4);
+
+void BM_TraceFigure4WithDeps(benchmark::State &State) {
+  auto Prog = compileOrDie(workload::Figure4Buggy);
+  interp::InterpOptions Opts;
+  Opts.TrackDeps = true;
+  for (auto _ : State) {
+    auto Tree = trace::buildExecTree(*Prog, Opts, {});
+    benchmark::DoNotOptimize(Tree);
+  }
+}
+BENCHMARK(BM_TraceFigure4WithDeps);
+
+void BM_InterpretChain(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::chainProgram(static_cast<unsigned>(State.range(0)), 1)
+          .Fixed);
+  for (auto _ : State) {
+    interp::Interpreter I(*Prog);
+    auto R = I.run();
+    benchmark::DoNotOptimize(R);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_InterpretChain)->Range(8, 256)->Complexity();
+
+void BM_TransformGotoProgram(benchmark::State &State) {
+  auto Prog = compileOrDie(workload::Section6GlobalGoto);
+  for (auto _ : State) {
+    DiagnosticsEngine Diags;
+    auto R = transform::transformProgram(*Prog, Diags);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_TransformGotoProgram);
+
+void BM_BuildSDGFigure4(benchmark::State &State) {
+  auto Prog = compileOrDie(workload::Figure4Buggy);
+  for (auto _ : State) {
+    analysis::SDG G(*Prog);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+}
+BENCHMARK(BM_BuildSDGFigure4);
+
+void BM_BuildSDGChain(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::chainProgram(static_cast<unsigned>(State.range(0)), 1)
+          .Fixed);
+  for (auto _ : State) {
+    analysis::SDG G(*Prog);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_BuildSDGChain)->Range(8, 128)->Complexity();
+
+void BM_StaticSliceQuery(benchmark::State &State) {
+  auto Prog = compileOrDie(workload::Figure4Buggy);
+  analysis::SDG G(*Prog);
+  const pascal::RoutineDecl *Computs =
+      Prog->getMain()->findNested("computs");
+  for (auto _ : State) {
+    auto Slice = slicing::sliceOnRoutineOutput(G, Computs, "r1");
+    benchmark::DoNotOptimize(Slice.size());
+  }
+}
+BENCHMARK(BM_StaticSliceQuery);
+
+void BM_GenerateArrsumFrames(benchmark::State &State) {
+  DiagnosticsEngine Diags;
+  auto Spec = tgen::parseSpec(workload::ArrsumSpec, Diags);
+  if (!Spec)
+    std::abort();
+  for (auto _ : State) {
+    auto Frames = tgen::generateFrames(*Spec);
+    benchmark::DoNotOptimize(Frames.Frames.size());
+  }
+}
+BENCHMARK(BM_GenerateArrsumFrames);
+
+void BM_RunArrsumTestSuite(benchmark::State &State) {
+  DiagnosticsEngine Diags;
+  auto Spec = tgen::parseSpec(workload::ArrsumSpec, Diags);
+  auto Prog = compileOrDie(workload::Figure4Fixed);
+  auto Frames = tgen::generateFrames(*Spec);
+  for (auto _ : State) {
+    auto DB = tgen::runTestSuite(*Prog, *Spec, Frames,
+                                 workload::instantiateArrsumFrame,
+                                 workload::checkArrsumOutcome);
+    benchmark::DoNotOptimize(DB.passCount());
+  }
+}
+BENCHMARK(BM_RunArrsumTestSuite);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===- scaling_queries.cpp - Interaction scaling with program size --------===//
+//
+// Experiment X1 (DESIGN.md): quantify the paper's headline claim ("these
+// improvements together makes it more feasible to debug larger programs")
+// by measuring user-interaction counts as the subject grows, for call
+// chains (bug at the end — worst case for top-down) and call trees (bug in
+// the rightmost leaf). Expected shape: top-down grows linearly,
+// divide-and-query logarithmically, and slicing tracks the relevant path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/GADT.h"
+#include "core/ReferenceOracle.h"
+#include "workload/Synthetic.h"
+
+using namespace gadt;
+using namespace gadt::core;
+
+namespace {
+
+unsigned measure(const workload::ProgramPair &Pair, SearchStrategy Strategy,
+                 SliceMode Slicing, const std::string &ExpectUnit,
+                 bench::Expectations &E) {
+  auto Buggy = bench::compileOrDie(Pair.Buggy);
+  auto Fixed = bench::compileOrDie(Pair.Fixed);
+  DiagnosticsEngine Diags;
+  GADTOptions Opts;
+  Opts.Debugger.Strategy = Strategy;
+  Opts.Debugger.Slicing = Slicing;
+  GADTSession Session(*Buggy, Opts, Diags);
+  if (!Session.valid())
+    std::exit(2);
+  IntendedProgramOracle User(*Fixed);
+  BugReport R = Session.debug(User);
+  E.expect(R.Found && R.UnitName == ExpectUnit,
+           "bug localized in " + ExpectUnit);
+  return Session.stats().userQueries();
+}
+
+} // namespace
+
+int main() {
+  bench::Expectations E;
+
+  std::printf("X1a: call chain p1 -> ... -> pN, bug in pN\n\n");
+  std::printf("%6s %10s %14s %12s\n", "N", "top-down", "divide+query",
+              "td+slicing");
+  unsigned ChainTD64 = 0, ChainDQ64 = 0;
+  for (unsigned N : {4u, 8u, 16u, 32u, 64u}) {
+    workload::ProgramPair Pair = workload::chainProgram(N, N);
+    unsigned TD = measure(Pair, SearchStrategy::TopDown, SliceMode::None,
+                          Pair.BuggyRoutine, E);
+    unsigned DQ = measure(Pair, SearchStrategy::DivideAndQuery,
+                          SliceMode::None, Pair.BuggyRoutine, E);
+    unsigned TDS = measure(Pair, SearchStrategy::TopDown, SliceMode::Static,
+                           Pair.BuggyRoutine, E);
+    std::printf("%6u %10u %14u %12u\n", N, TD, DQ, TDS);
+    if (N == 64) {
+      ChainTD64 = TD;
+      ChainDQ64 = DQ;
+    }
+  }
+  E.expect(ChainTD64 >= 64, "top-down grows linearly on chains");
+  E.expect(ChainDQ64 <= 16, "divide-and-query stays logarithmic on chains");
+
+  std::printf("\nX1b: complete binary call tree of depth D, bug in the "
+              "rightmost leaf\n\n");
+  std::printf("%6s %8s %10s %14s %12s\n", "depth", "units", "top-down",
+              "divide+query", "td+slicing");
+  for (unsigned D : {2u, 3u, 4u, 5u, 6u}) {
+    workload::ProgramPair Pair = workload::treeProgram(D);
+    unsigned Units = (1u << D) - 1;
+    unsigned TD = measure(Pair, SearchStrategy::TopDown, SliceMode::None,
+                          Pair.BuggyRoutine, E);
+    unsigned DQ = measure(Pair, SearchStrategy::DivideAndQuery,
+                          SliceMode::None, Pair.BuggyRoutine, E);
+    unsigned TDS = measure(Pair, SearchStrategy::TopDown, SliceMode::Static,
+                           Pair.BuggyRoutine, E);
+    std::printf("%6u %8u %10u %14u %12u\n", D, Units, TD, DQ, TDS);
+    E.expect(TD <= 2 * D + 2,
+             "top-down on trees is proportional to depth*fanout");
+  }
+
+  std::printf("\nX1c: chain of length 32, bug position varies\n\n");
+  std::printf("%10s %10s %14s\n", "bug-at", "top-down", "divide+query");
+  for (unsigned K : {1u, 8u, 16u, 24u, 32u}) {
+    workload::ProgramPair Pair = workload::chainProgram(32, K);
+    unsigned TD = measure(Pair, SearchStrategy::TopDown, SliceMode::None,
+                          Pair.BuggyRoutine, E);
+    unsigned DQ = measure(Pair, SearchStrategy::DivideAndQuery,
+                          SliceMode::None, Pair.BuggyRoutine, E);
+    std::printf("%10u %10u %14u\n", K, TD, DQ);
+  }
+  return E.finish("scaling_queries");
+}

@@ -1,0 +1,56 @@
+//===- transform_demo.cpp - The transformation catalogue (Section 6) ------===//
+//
+// Prints before/after source for the paper's three transformation
+// examples: conversion of globals to parameters, breaking of global gotos
+// into exit conditions, and rewriting of gotos that leave while loops.
+//
+//   $ ./transform_demo
+//
+//===----------------------------------------------------------------------===//
+
+#include "pascal/Frontend.h"
+#include "pascal/PrettyPrinter.h"
+#include "support/StringUtils.h"
+#include "transform/Transform.h"
+#include "workload/PaperPrograms.h"
+
+#include <cstdio>
+
+using namespace gadt;
+
+static int showTransformation(const char *Title, const char *Source) {
+  DiagnosticsEngine Diags;
+  auto Prog = pascal::parseAndCheck(Source, Diags);
+  if (!Prog) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  transform::TransformResult R = transform::transformProgram(*Prog, Diags);
+  if (!R.Transformed) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  std::string Before = pascal::printProgram(*Prog);
+  std::string After = pascal::printProgram(*R.Transformed);
+  std::printf("================ %s ================\n", Title);
+  std::printf("--- original (%u lines) ---\n%s\n", countCodeLines(Before),
+              Before.c_str());
+  std::printf("--- transformed (%u lines) ---\n%s\n",
+              countCodeLines(After), After.c_str());
+  std::printf("--- actions ---\n");
+  for (const std::string &Line : R.Stats.Log)
+    std::printf("  %s\n", Line.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int main() {
+  int Rc = 0;
+  Rc |= showTransformation("globals to parameters",
+                           workload::Section6Globals);
+  Rc |= showTransformation("breaking global gotos",
+                           workload::Section6GlobalGoto);
+  Rc |= showTransformation("goto out of a while loop",
+                           workload::Section6LoopGoto);
+  return Rc;
+}

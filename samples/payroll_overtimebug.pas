@@ -1,0 +1,89 @@
+
+program payroll;
+const
+  maxemp = 20;
+  stdhours = 40;
+type
+  intarray = array[1..20] of integer;
+var
+  hours, rates: intarray;
+  nemp, totalnet, totaltax, highest: integer;
+
+function overtimepay(h, rate: integer): integer;
+begin
+  if h > stdhours then
+    overtimepay := ((h - stdhours) * rate * 2) div 1
+  else
+    overtimepay := 0;
+end;
+
+function grosspay(h, rate: integer): integer;
+var
+  base: integer;
+begin
+  if h > stdhours then
+    base := stdhours * rate
+  else
+    base := h * rate;
+  grosspay := base + overtimepay(h, rate);
+end;
+
+function taxfor(gross: integer): integer;
+var
+  t: integer;
+begin
+  t := 0;
+  if gross > 500 then begin
+    if gross > 2000 then
+      t := ((2000 - 500) * 20) div 100 +
+           ((gross - 2000) * 40) div 100
+    else
+      t := ((gross - 500) * 20) div 100;
+  end;
+  taxfor := t;
+end;
+
+function netpay(h, rate: integer): integer;
+var
+  g: integer;
+begin
+  g := grosspay(h, rate);
+  netpay := g - taxfor(g);
+end;
+
+procedure processall(n: integer; var totnet, tottax: integer);
+var
+  i, g: integer;
+begin
+  totnet := 0;
+  tottax := 0;
+  for i := 1 to n do begin
+    g := grosspay(hours[i], rates[i]);
+    tottax := tottax + taxfor(g);
+    totnet := totnet + netpay(hours[i], rates[i]);
+  end;
+end;
+
+procedure findhighest(n: integer; var best: integer);
+var
+  i, np: integer;
+begin
+  best := 0;
+  for i := 1 to n do begin
+    np := netpay(hours[i], rates[i]);
+    if np > best then
+      best := np;
+  end;
+end;
+
+begin
+  nemp := 5;
+  hours[1] := 38;  rates[1] := 12;
+  hours[2] := 45;  rates[2] := 30;
+  hours[3] := 40;  rates[3] := 55;
+  hours[4] := 52;  rates[4] := 18;
+  hours[5] := 20;  rates[5] := 90;
+  processall(nemp, totalnet, totaltax);
+  findhighest(nemp, highest);
+  writeln(totalnet, ' ', totaltax, ' ', highest);
+end.

@@ -1,0 +1,34 @@
+
+program gg;
+label 8;
+var
+  a, b: integer;
+
+procedure p(v: integer; var r: integer);
+label 9;
+
+  procedure q(u: integer; var s: integer);
+  begin
+    s := u + 1;
+    if u > 10 then
+      goto 9;
+    s := s * 2;
+  end;
+
+begin
+  r := 0;
+  q(v, r);
+  r := r + 100;
+  9:
+  r := r + 1;
+  if v > 100 then
+    goto 8;
+  r := r + 1000;
+end;
+
+begin
+  a := 20;
+  p(a, b);
+  8:
+  writeln(b);
+end.

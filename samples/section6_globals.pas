@@ -1,0 +1,16 @@
+
+program g;
+var
+  x, z, w: integer;
+
+procedure p(var y: integer);
+begin
+  y := x + 1;
+  z := y - x;
+end;
+
+begin
+  x := 10;
+  p(w);
+  writeln(z);
+end.

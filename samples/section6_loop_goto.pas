@@ -1,0 +1,29 @@
+
+program lg;
+var
+  n, acc: integer;
+
+procedure scan(limit: integer; var total: integer);
+label 9;
+var
+  i: integer;
+begin
+  total := 0;
+  i := 0;
+  while i < limit do begin
+    i := i + 1;
+    total := total + i;
+    if total > 50 then
+      goto 9;
+    total := total + 1;
+  end;
+  total := total + 500;
+  9:
+  total := total + 7;
+end;
+
+begin
+  n := 100;
+  scan(n, acc);
+  writeln(acc);
+end.

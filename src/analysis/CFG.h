@@ -1,0 +1,135 @@
+//===- CFG.h - Per-routine control-flow graphs ------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Control-flow graphs over the Pascal subset, the substrate for reaching
+/// definitions and control-dependence computation. One node per atomic
+/// statement or branch predicate, plus Entry/Exit and formal-in/out
+/// boundary nodes that model parameter and global-variable flow across the
+/// routine interface (these become the formal vertices of the system
+/// dependence graph).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_CFG_H
+#define GADT_ANALYSIS_CFG_H
+
+#include "analysis/DefUse.h"
+#include "analysis/SideEffects.h"
+#include "pascal/AST.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+/// One CFG vertex.
+class CFGNode {
+public:
+  enum class Kind : uint8_t {
+    Entry,
+    Exit,
+    FormalIn,  ///< Defines one parameter or referenced global at entry.
+    FormalOut, ///< Uses one reference parameter / modified global / result
+               ///< at exit.
+    Statement, ///< An atomic statement.
+    Predicate, ///< The condition of an if/while/repeat or a for header.
+  };
+
+  Kind getKind() const { return K; }
+  unsigned getId() const { return Id; }
+  const pascal::Stmt *getStmt() const { return S; }
+  /// The variable of a FormalIn/FormalOut node (null for the function
+  /// result formal-out, see isResultFormal).
+  const pascal::VarDecl *getFormalVar() const { return FormalVar; }
+  bool isResultFormal() const {
+    return K == Kind::FormalOut && ResultFormal;
+  }
+
+  const std::vector<CFGNode *> &succs() const { return Succs; }
+  const std::vector<CFGNode *> &preds() const { return Preds; }
+
+  /// Direct variable accesses + calls of this node (empty for Entry/Exit).
+  const StmtAccess &access() const { return Access; }
+
+  /// Human-readable label for dumps and tests.
+  std::string label() const;
+
+private:
+  friend class CFG;
+  CFGNode(Kind K, unsigned Id) : K(K), Id(Id) {}
+
+  Kind K;
+  unsigned Id;
+  const pascal::Stmt *S = nullptr;
+  const pascal::VarDecl *FormalVar = nullptr;
+  bool ResultFormal = false;
+  std::vector<CFGNode *> Succs;
+  std::vector<CFGNode *> Preds;
+  StmtAccess Access;
+};
+
+/// The control-flow graph of one routine.
+class CFG {
+public:
+  /// Builds the CFG of \p R. \p Effects supplies callee summaries used to
+  /// attribute call-mediated defs/uses, and \p R's own GREF/GMOD determine
+  /// the formal-in/out boundary nodes. For the root (program) routine every
+  /// global becomes a formal-out, so slicing criteria "variable v at end of
+  /// program" have a vertex to anchor to.
+  CFG(const pascal::RoutineDecl *R, const SideEffectAnalysis &Effects);
+
+  const pascal::RoutineDecl *routine() const { return R; }
+  CFGNode *entry() const { return Entry; }
+  CFGNode *exit() const { return Exit; }
+  const std::vector<std::unique_ptr<CFGNode>> &nodes() const { return Nodes; }
+
+  const std::vector<CFGNode *> &formalIns() const { return FormalIns; }
+  const std::vector<CFGNode *> &formalOuts() const { return FormalOuts; }
+
+  /// The node created for the atomic part of \p S; null when \p S has none
+  /// (compound/labeled).
+  CFGNode *nodeFor(const pascal::Stmt *S) const;
+
+  /// The formal-out node for variable \p V (parameter or global); null when
+  /// absent.
+  CFGNode *formalOutFor(const pascal::VarDecl *V) const;
+  /// The formal-out node of the function result; null for procedures.
+  CFGNode *resultFormalOut() const;
+  /// The formal-in node for variable \p V; null when absent.
+  CFGNode *formalInFor(const pascal::VarDecl *V) const;
+
+  /// Renders "id: label -> succ-ids" lines for tests and debugging.
+  std::string str() const;
+
+private:
+  CFGNode *newNode(CFGNode::Kind K);
+  /// Builds the subgraph for \p S; control flows from \p Preds into it.
+  /// Returns the dangling exits of the subgraph.
+  std::vector<CFGNode *> buildStmt(const pascal::Stmt *S,
+                                   std::vector<CFGNode *> Preds);
+  void connect(const std::vector<CFGNode *> &From, CFGNode *To);
+  void addEdge(CFGNode *From, CFGNode *To);
+
+  const pascal::RoutineDecl *R;
+  const SideEffectAnalysis &Effects;
+  std::vector<std::unique_ptr<CFGNode>> Nodes;
+  CFGNode *Entry = nullptr;
+  CFGNode *Exit = nullptr;
+  std::vector<CFGNode *> FormalIns;
+  std::vector<CFGNode *> FormalOuts;
+  std::map<const pascal::Stmt *, CFGNode *> StmtNodes;
+  std::map<int, CFGNode *> LabelTargets;
+  std::vector<std::pair<CFGNode *, const pascal::GotoStmt *>> PendingGotos;
+};
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_CFG_H

@@ -1,0 +1,134 @@
+//===- CallGraph.cpp - Whole-program call graph ---------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+const std::vector<ExprPtr> &CallSite::args() const {
+  if (CallStmt)
+    return CallStmt->getArgs();
+  return CallExpr->getArgs();
+}
+
+namespace {
+
+void collectCallsInExpr(const RoutineDecl *Caller, const Stmt *AtStmt,
+                        const Expr *E, std::vector<CallSite> &Out) {
+  if (!E)
+    return;
+  forEachExprIn(const_cast<Expr *>(E), [&](Expr *Sub) {
+    if (auto *CE = dyn_cast<CallExpr>(Sub)) {
+      CallSite CS;
+      CS.Caller = Caller;
+      CS.Callee = CE->getCallee();
+      CS.AtStmt = AtStmt;
+      CS.CallExpr = CE;
+      Out.push_back(CS);
+    }
+  });
+}
+
+} // namespace
+
+std::vector<CallSite>
+gadt::analysis::collectCallsInStmt(const RoutineDecl *Caller, const Stmt *S) {
+  std::vector<CallSite> Out;
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *AS = cast<AssignStmt>(S);
+    collectCallsInExpr(Caller, S, AS->getTarget(), Out);
+    collectCallsInExpr(Caller, S, AS->getValue(), Out);
+    break;
+  }
+  case Stmt::Kind::If:
+    collectCallsInExpr(Caller, S, cast<IfStmt>(S)->getCond(), Out);
+    break;
+  case Stmt::Kind::While:
+    collectCallsInExpr(Caller, S, cast<WhileStmt>(S)->getCond(), Out);
+    break;
+  case Stmt::Kind::Repeat:
+    collectCallsInExpr(Caller, S, cast<RepeatStmt>(S)->getCond(), Out);
+    break;
+  case Stmt::Kind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    collectCallsInExpr(Caller, S, FS->getFrom(), Out);
+    collectCallsInExpr(Caller, S, FS->getTo(), Out);
+    break;
+  }
+  case Stmt::Kind::ProcCall: {
+    const auto *PC = cast<ProcCallStmt>(S);
+    CallSite CS;
+    CS.Caller = Caller;
+    CS.Callee = PC->getCallee();
+    CS.AtStmt = S;
+    CS.CallStmt = PC;
+    Out.push_back(CS);
+    for (const ExprPtr &Arg : PC->getArgs())
+      collectCallsInExpr(Caller, S, Arg.get(), Out);
+    break;
+  }
+  case Stmt::Kind::Read:
+    for (const ExprPtr &T : cast<ReadStmt>(S)->getTargets())
+      if (const auto *IE = dyn_cast<IndexExpr>(T.get()))
+        collectCallsInExpr(Caller, S, IE->getIndex(), Out);
+    break;
+  case Stmt::Kind::Write:
+    for (const ExprPtr &A : cast<WriteStmt>(S)->getArgs())
+      collectCallsInExpr(Caller, S, A.get(), Out);
+    break;
+  case Stmt::Kind::Compound:
+  case Stmt::Kind::Goto:
+  case Stmt::Kind::Labeled:
+  case Stmt::Kind::Empty:
+    break;
+  }
+  return Out;
+}
+
+CallGraph::CallGraph(const Program &P) {
+  forEachRoutine(P.getMain(), [this](RoutineDecl *R) {
+    Routines.push_back(R);
+    std::vector<CallSite> &Sites = SitesByCaller[R];
+    if (!R->getBody())
+      return;
+    forEachStmt(R->getBody(), [&](Stmt *S) {
+      std::vector<CallSite> InStmt = collectCallsInStmt(R, S);
+      Sites.insert(Sites.end(), InStmt.begin(), InStmt.end());
+    });
+  });
+  for (const RoutineDecl *R : Routines) {
+    const auto &RS = SitesByCaller[R];
+    Sites.insert(Sites.end(), RS.begin(), RS.end());
+  }
+}
+
+const std::vector<CallSite> &
+CallGraph::callSitesIn(const RoutineDecl *R) const {
+  auto It = SitesByCaller.find(R);
+  return It == SitesByCaller.end() ? Empty : It->second;
+}
+
+std::vector<const RoutineDecl *> CallGraph::bottomUpOrder() const {
+  std::vector<const RoutineDecl *> Order;
+  std::set<const RoutineDecl *> Visited;
+  // Iterative postorder DFS over the call graph.
+  std::function<void(const RoutineDecl *)> Visit =
+      [&](const RoutineDecl *R) {
+        if (!Visited.insert(R).second)
+          return;
+        for (const CallSite &CS : callSitesIn(R))
+          if (CS.Callee)
+            Visit(CS.Callee);
+        Order.push_back(R);
+      };
+  for (const RoutineDecl *R : Routines)
+    Visit(R);
+  return Order;
+}

@@ -1,0 +1,73 @@
+//===- CallGraph.h - Whole-program call graph -------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The call graph underlying side-effect analysis and the system dependence
+/// graph. Call sites include both statement-position procedure calls and
+/// expression-position function calls.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_CALLGRAPH_H
+#define GADT_ANALYSIS_CALLGRAPH_H
+
+#include "pascal/AST.h"
+
+#include <map>
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+/// One syntactic call: the calling routine, the enclosing statement, and
+/// either the ProcCallStmt or the CallExpr.
+struct CallSite {
+  const pascal::RoutineDecl *Caller = nullptr;
+  const pascal::RoutineDecl *Callee = nullptr;
+  /// The statement the call occurs in (the ProcCallStmt itself, or the
+  /// statement containing the CallExpr).
+  const pascal::Stmt *AtStmt = nullptr;
+  const pascal::ProcCallStmt *CallStmt = nullptr; // statement calls
+  const pascal::CallExpr *CallExpr = nullptr;     // expression calls
+
+  /// The argument expressions, regardless of call form.
+  const std::vector<pascal::ExprPtr> &args() const;
+};
+
+/// Whole-program call graph, built once per (possibly transformed) program.
+class CallGraph {
+public:
+  explicit CallGraph(const pascal::Program &P);
+
+  const std::vector<CallSite> &callSitesIn(const pascal::RoutineDecl *R) const;
+  const std::vector<CallSite> &allCallSites() const { return Sites; }
+
+  /// All routines, preorder over the routine tree (root first).
+  const std::vector<const pascal::RoutineDecl *> &routines() const {
+    return Routines;
+  }
+
+  /// Routines in reverse topological order of the call graph (callees
+  /// before callers); recursive cycles are broken arbitrarily, which is
+  /// sound for the fixpoint computations layered on top.
+  std::vector<const pascal::RoutineDecl *> bottomUpOrder() const;
+
+private:
+  std::vector<const pascal::RoutineDecl *> Routines;
+  std::vector<CallSite> Sites;
+  std::map<const pascal::RoutineDecl *, std::vector<CallSite>> SitesByCaller;
+  std::vector<CallSite> Empty;
+};
+
+/// Collects every call (statement or expression position) inside statement
+/// \p S of routine \p Caller.
+std::vector<CallSite> collectCallsInStmt(const pascal::RoutineDecl *Caller,
+                                         const pascal::Stmt *S);
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,87 @@
+//===- ControlDep.cpp - Postdominators and control dependence -------------===//
+
+#include "analysis/ControlDep.h"
+
+#include <algorithm>
+
+using namespace gadt;
+using namespace gadt::analysis;
+
+ControlDependence::ControlDependence(const CFG &G) {
+  // Iterative postdominator computation: PostDom(Exit) = {Exit};
+  // PostDom(n) = {n} ∪ ⋂ PostDom(succ). Nodes start at "all nodes".
+  std::set<const CFGNode *> All;
+  for (const auto &N : G.nodes())
+    All.insert(N.get());
+  for (const auto &N : G.nodes())
+    PostDom[N.get()] = N.get() == G.exit()
+                           ? std::set<const CFGNode *>{G.exit()}
+                           : All;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &NPtr : G.nodes()) {
+      const CFGNode *N = NPtr.get();
+      if (N == G.exit())
+        continue;
+      std::set<const CFGNode *> NewSet;
+      bool First = true;
+      for (const CFGNode *S : N->succs()) {
+        if (First) {
+          NewSet = PostDom[S];
+          First = false;
+          continue;
+        }
+        std::set<const CFGNode *> Inter;
+        std::set_intersection(NewSet.begin(), NewSet.end(),
+                              PostDom[S].begin(), PostDom[S].end(),
+                              std::inserter(Inter, Inter.begin()));
+        NewSet = std::move(Inter);
+      }
+      if (First)
+        NewSet.clear(); // no successors: cannot reach exit
+      NewSet.insert(N);
+      if (NewSet != PostDom[N]) {
+        PostDom[N] = std::move(NewSet);
+        Changed = true;
+      }
+    }
+  }
+
+  // Ferrante-Ottenstein-Warren: for each edge A->B where B does not
+  // postdominate A, every node in PostDom(B) \ PostDom(A) is control
+  // dependent on A.
+  std::map<const CFGNode *, std::set<const CFGNode *>> CD;
+  for (const auto &APtr : G.nodes()) {
+    const CFGNode *A = APtr.get();
+    if (A->succs().size() < 2)
+      continue;
+    for (const CFGNode *B : A->succs()) {
+      if (PostDom[A].count(B))
+        continue; // B postdominates A: taking this edge decides nothing
+      for (const CFGNode *X : PostDom[B])
+        if (!PostDom[A].count(X))
+          CD[X].insert(A);
+    }
+  }
+  for (const auto &NPtr : G.nodes()) {
+    const CFGNode *N = NPtr.get();
+    auto It = CD.find(N);
+    if (It != CD.end())
+      Controllers[N].assign(It->second.begin(), It->second.end());
+    else if (N != G.entry())
+      Controllers[N] = {G.entry()};
+  }
+}
+
+const std::vector<const CFGNode *> &
+ControlDependence::controllersOf(const CFGNode *N) const {
+  auto It = Controllers.find(N);
+  return It == Controllers.end() ? Empty : It->second;
+}
+
+bool ControlDependence::postDominates(const CFGNode *A,
+                                      const CFGNode *B) const {
+  auto It = PostDom.find(B);
+  return It != PostDom.end() && It->second.count(A) != 0;
+}

@@ -1,0 +1,48 @@
+//===- ControlDep.h - Postdominators and control dependence -----*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Postdominator sets and Ferrante-Ottenstein-Warren control dependence
+/// over a routine CFG: node X is control dependent on branch node A when
+/// some edge out of A always leads to X while another may avoid it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_CONTROLDEP_H
+#define GADT_ANALYSIS_CONTROLDEP_H
+
+#include "analysis/CFG.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+/// Control-dependence relation for one CFG.
+class ControlDependence {
+public:
+  explicit ControlDependence(const CFG &G);
+
+  /// Branch nodes that \p N is control dependent on. Nodes with no
+  /// controlling branch depend on the routine entry (returned as the CFG
+  /// entry node).
+  const std::vector<const CFGNode *> &controllersOf(const CFGNode *N) const;
+
+  /// True when \p A postdominates \p B (reflexive).
+  bool postDominates(const CFGNode *A, const CFGNode *B) const;
+
+private:
+  std::map<const CFGNode *, std::set<const CFGNode *>> PostDom;
+  std::map<const CFGNode *, std::vector<const CFGNode *>> Controllers;
+  std::vector<const CFGNode *> Empty;
+};
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_CONTROLDEP_H

@@ -1,0 +1,140 @@
+//===- Dataflow.cpp - Reaching definitions --------------------------------===//
+
+#include "analysis/Dataflow.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+static void addUnique(std::vector<const VarDecl *> &Vec, const VarDecl *V) {
+  if (V && std::find(Vec.begin(), Vec.end(), V) == Vec.end())
+    Vec.push_back(V);
+}
+
+std::vector<const VarDecl *>
+gadt::analysis::effectiveDefs(const CFGNode *N,
+                              const SideEffectAnalysis &SEA) {
+  std::vector<const VarDecl *> Out = N->access().Defs;
+  for (const CallSite &CS : N->access().Calls) {
+    if (!CS.Callee)
+      continue;
+    const RoutineEffects &E = SEA.effects(CS.Callee);
+    const auto &Params = CS.Callee->getParams();
+    const auto &Args = CS.args();
+    for (size_t I = 0, Sz = std::min(Params.size(), Args.size()); I != Sz;
+         ++I)
+      if (Params[I]->isReference() && E.ModParams.count(I))
+        addUnique(Out, varArgDecl(Args[I].get()));
+    for (const VarDecl *G : E.GMod)
+      addUnique(Out, G);
+  }
+  return Out;
+}
+
+std::vector<const VarDecl *>
+gadt::analysis::effectiveUses(const CFGNode *N,
+                              const SideEffectAnalysis &SEA) {
+  std::vector<const VarDecl *> Out = N->access().Uses;
+  for (const CallSite &CS : N->access().Calls) {
+    if (!CS.Callee)
+      continue;
+    const RoutineEffects &E = SEA.effects(CS.Callee);
+    const auto &Params = CS.Callee->getParams();
+    const auto &Args = CS.args();
+    for (size_t I = 0, Sz = std::min(Params.size(), Args.size()); I != Sz;
+         ++I)
+      if (Params[I]->isReference() && E.RefParams.count(I))
+        addUnique(Out, varArgDecl(Args[I].get()));
+    for (const VarDecl *G : E.GRef)
+      addUnique(Out, G);
+  }
+  return Out;
+}
+
+namespace {
+
+/// True when the write of \p N to \p V always replaces the whole value, so
+/// earlier definitions are killed. Array-element writes and call-mediated
+/// writes are weak (may-writes).
+bool stronglyDefines(const CFGNode *N, const VarDecl *V) {
+  const Stmt *S = N->getStmt();
+  switch (N->getKind()) {
+  case CFGNode::Kind::FormalIn:
+    return N->getFormalVar() == V;
+  case CFGNode::Kind::Statement:
+    if (const auto *AS = dyn_cast_or_null<AssignStmt>(S)) {
+      const auto *VR = dyn_cast<VarRefExpr>(AS->getTarget());
+      return VR && VR->getDecl() == V;
+    }
+    if (const auto *RS = dyn_cast_or_null<ReadStmt>(S)) {
+      for (const ExprPtr &T : RS->getTargets())
+        if (const auto *VR = dyn_cast<VarRefExpr>(T.get()))
+          if (VR->getDecl() == V)
+            return true;
+      return false;
+    }
+    return false;
+  case CFGNode::Kind::Predicate:
+    if (const auto *FS = dyn_cast_or_null<ForStmt>(S))
+      return cast<VarRefExpr>(FS->getLoopVar())->getDecl() == V;
+    return false;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+ReachingDefs::ReachingDefs(const CFG &G, const SideEffectAnalysis &SEA) {
+  // Precompute gen sets and kill predicates.
+  std::map<const CFGNode *, std::set<Def>> Gen;
+  std::map<const CFGNode *, std::vector<const VarDecl *>> Strong;
+  for (const auto &N : G.nodes()) {
+    for (const VarDecl *V : effectiveDefs(N.get(), SEA)) {
+      Gen[N.get()].insert({V, N.get()});
+      if (stronglyDefines(N.get(), V))
+        Strong[N.get()].push_back(V);
+    }
+  }
+
+  // Worklist iteration.
+  std::deque<const CFGNode *> Work;
+  for (const auto &N : G.nodes())
+    Work.push_back(N.get());
+  std::map<const CFGNode *, std::set<Def>> Out;
+  while (!Work.empty()) {
+    const CFGNode *N = Work.front();
+    Work.pop_front();
+    std::set<Def> NewIn;
+    for (const CFGNode *P : N->preds())
+      NewIn.insert(Out[P].begin(), Out[P].end());
+    std::set<Def> NewOut = NewIn;
+    for (const VarDecl *V : Strong[N])
+      for (auto It = NewOut.begin(); It != NewOut.end();)
+        It = It->first == V ? NewOut.erase(It) : std::next(It);
+    NewOut.insert(Gen[N].begin(), Gen[N].end());
+    bool Changed = NewIn != In[N] || NewOut != Out[N];
+    In[N] = std::move(NewIn);
+    Out[N] = std::move(NewOut);
+    if (Changed)
+      for (const CFGNode *S : N->succs())
+        Work.push_back(S);
+  }
+}
+
+std::vector<const CFGNode *>
+ReachingDefs::reachingIn(const CFGNode *N, const VarDecl *V) const {
+  std::vector<const CFGNode *> Result;
+  auto It = In.find(N);
+  if (It == In.end())
+    return Result;
+  for (const Def &D : It->second)
+    if (D.first == V)
+      Result.push_back(D.second);
+  return Result;
+}

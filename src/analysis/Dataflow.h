@@ -1,0 +1,53 @@
+//===- Dataflow.h - Reaching definitions ------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic reaching-definitions dataflow over the CFG, with call-mediated
+/// effects resolved through the side-effect analysis. Feeds the flow
+/// (data-dependence) edges of the dependence graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_DATAFLOW_H
+#define GADT_ANALYSIS_DATAFLOW_H
+
+#include "analysis/CFG.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+/// Variables possibly written by \p N, including writes performed by
+/// callees through var parameters and global side effects.
+std::vector<const pascal::VarDecl *>
+effectiveDefs(const CFGNode *N, const SideEffectAnalysis &SEA);
+
+/// Variables possibly read by \p N, including reads performed by callees.
+std::vector<const pascal::VarDecl *>
+effectiveUses(const CFGNode *N, const SideEffectAnalysis &SEA);
+
+/// Reaching definitions for one routine's CFG. A "definition" is a pair
+/// (variable, CFG node that may write it).
+class ReachingDefs {
+public:
+  ReachingDefs(const CFG &G, const SideEffectAnalysis &SEA);
+
+  /// Definitions of \p V reaching the *entry* of \p N.
+  std::vector<const CFGNode *> reachingIn(const CFGNode *N,
+                                          const pascal::VarDecl *V) const;
+
+private:
+  using Def = std::pair<const pascal::VarDecl *, const CFGNode *>;
+  std::map<const CFGNode *, std::set<Def>> In;
+};
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,139 @@
+//===- DefUse.cpp - Per-statement variable accesses -----------------------===//
+
+#include "analysis/DefUse.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+bool StmtAccess::uses(const VarDecl *V) const {
+  return std::find(Uses.begin(), Uses.end(), V) != Uses.end();
+}
+
+bool StmtAccess::defs(const VarDecl *V) const {
+  return std::find(Defs.begin(), Defs.end(), V) != Defs.end();
+}
+
+const VarDecl *gadt::analysis::varArgDecl(const Expr *Arg) {
+  if (const auto *VR = dyn_cast<VarRefExpr>(Arg))
+    return VR->getDecl();
+  return nullptr;
+}
+
+namespace {
+
+/// Collects accesses with an exclusion set of VarRefExprs that must not be
+/// counted as plain uses (assignment targets, var arguments).
+class AccessCollector {
+public:
+  AccessCollector(const RoutineDecl *R, const Stmt *S) : S(S) {
+    Result.Calls = collectCallsInStmt(R, S);
+    for (const CallSite &CS : Result.Calls) {
+      if (!CS.Callee)
+        continue;
+      const auto &Params = CS.Callee->getParams();
+      const auto &Args = CS.args();
+      for (size_t I = 0, N = std::min(Params.size(), Args.size()); I != N;
+           ++I)
+        if (Params[I]->isReference())
+          Excluded.insert(Args[I].get());
+    }
+  }
+
+  void addUse(const VarDecl *V) {
+    if (V && !Result.uses(V))
+      Result.Uses.push_back(V);
+  }
+
+  void addDef(const VarDecl *V) {
+    if (V && !Result.defs(V))
+      Result.Defs.push_back(V);
+  }
+
+  /// Adds all non-excluded variable reads inside \p E.
+  void useExpr(const Expr *E) {
+    if (!E)
+      return;
+    forEachExprIn(const_cast<Expr *>(E), [this](Expr *Sub) {
+      if (auto *VR = dyn_cast<VarRefExpr>(Sub))
+        if (!Excluded.count(VR))
+          addUse(VR->getDecl());
+    });
+  }
+
+  /// Handles an lvalue that is written: plain variables are pure defs;
+  /// array elements both read and write the array and read the index.
+  void defLValue(const Expr *Target) {
+    if (const auto *VR = dyn_cast<VarRefExpr>(Target)) {
+      addDef(VR->getDecl());
+      return;
+    }
+    const auto *IE = cast<IndexExpr>(Target);
+    const auto *Base = cast<VarRefExpr>(IE->getBase());
+    addDef(Base->getDecl());
+    addUse(Base->getDecl()); // partial update preserves other elements
+    useExpr(IE->getIndex());
+  }
+
+  StmtAccess take() { return std::move(Result); }
+
+  const Stmt *S;
+
+private:
+  StmtAccess Result;
+  std::set<const Expr *> Excluded;
+};
+
+} // namespace
+
+StmtAccess gadt::analysis::computeStmtAccess(const RoutineDecl *R,
+                                             const Stmt *S) {
+  AccessCollector C(R, S);
+  switch (S->getKind()) {
+  case Stmt::Kind::Assign: {
+    const auto *AS = cast<AssignStmt>(S);
+    C.defLValue(AS->getTarget());
+    C.useExpr(AS->getValue());
+    break;
+  }
+  case Stmt::Kind::If:
+    C.useExpr(cast<IfStmt>(S)->getCond());
+    break;
+  case Stmt::Kind::While:
+    C.useExpr(cast<WhileStmt>(S)->getCond());
+    break;
+  case Stmt::Kind::Repeat:
+    C.useExpr(cast<RepeatStmt>(S)->getCond());
+    break;
+  case Stmt::Kind::For: {
+    const auto *FS = cast<ForStmt>(S);
+    C.defLValue(FS->getLoopVar());
+    C.useExpr(FS->getFrom());
+    C.useExpr(FS->getTo());
+    break;
+  }
+  case Stmt::Kind::ProcCall:
+    for (const ExprPtr &Arg : cast<ProcCallStmt>(S)->getArgs())
+      C.useExpr(Arg.get());
+    break;
+  case Stmt::Kind::Read:
+    for (const ExprPtr &T : cast<ReadStmt>(S)->getTargets())
+      C.defLValue(T.get());
+    break;
+  case Stmt::Kind::Write:
+    for (const ExprPtr &A : cast<WriteStmt>(S)->getArgs())
+      C.useExpr(A.get());
+    break;
+  case Stmt::Kind::Compound:
+  case Stmt::Kind::Goto:
+  case Stmt::Kind::Labeled:
+  case Stmt::Kind::Empty:
+    break;
+  }
+  return C.take();
+}

@@ -1,0 +1,56 @@
+//===- DefUse.h - Per-statement variable accesses ---------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Syntactic def/use extraction for the *atomic part* of a statement (the
+/// condition of an if, the header of a for, the whole of an assignment...),
+/// separating direct variable accesses from call-mediated ones. Shared by
+/// side-effect analysis, reaching definitions, and the dependence graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_DEFUSE_H
+#define GADT_ANALYSIS_DEFUSE_H
+
+#include "analysis/CallGraph.h"
+#include "pascal/AST.h"
+
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+/// Direct accesses of one atomic statement, plus the calls it makes (whose
+/// effects depend on the callee and are resolved by interprocedural
+/// analysis).
+struct StmtAccess {
+  /// Variables read directly (including value arguments of calls and array
+  /// bases of element writes).
+  std::vector<const pascal::VarDecl *> Uses;
+  /// Variables written directly (assignment targets, read() targets).
+  std::vector<const pascal::VarDecl *> Defs;
+  /// Calls made by the statement; var-argument and global effects flow
+  /// through these.
+  std::vector<CallSite> Calls;
+
+  bool uses(const pascal::VarDecl *V) const;
+  bool defs(const pascal::VarDecl *V) const;
+};
+
+/// Computes the accesses of the atomic part of \p S within routine \p R.
+/// Compound/labeled statements yield empty accesses (their children are
+/// separate CFG nodes); goto and empty statements access nothing.
+StmtAccess computeStmtAccess(const pascal::RoutineDecl *R,
+                             const pascal::Stmt *S);
+
+/// The variable referenced by a var/out argument expression (Sema
+/// guarantees var arguments are plain variable references).
+const pascal::VarDecl *varArgDecl(const pascal::Expr *Arg);
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_DEFUSE_H

@@ -1,0 +1,559 @@
+//===- SDG.cpp - System dependence graph ----------------------------------===//
+
+#include "analysis/SDG.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+//===----------------------------------------------------------------------===//
+// SDGCallRecord
+//===----------------------------------------------------------------------===//
+
+SDGNode *SDGCallRecord::actualInForArg(int Index) const {
+  for (SDGNode *N : ActualIns)
+    if (N->getArgIndex() == Index)
+      return N;
+  return nullptr;
+}
+
+SDGNode *SDGCallRecord::actualInForGlobal(const VarDecl *G) const {
+  for (SDGNode *N : ActualIns)
+    if (N->getArgIndex() < 0 && N->getVar() == G)
+      return N;
+  return nullptr;
+}
+
+SDGNode *SDGCallRecord::actualOutForArg(int Index) const {
+  for (SDGNode *N : ActualOuts)
+    if (N->getArgIndex() == Index)
+      return N;
+  return nullptr;
+}
+
+SDGNode *SDGCallRecord::actualOutForGlobal(const VarDecl *G) const {
+  for (SDGNode *N : ActualOuts)
+    if (N->getArgIndex() < 0 && !N->isResult() && N->getVar() == G)
+      return N;
+  return nullptr;
+}
+
+SDGNode *SDGCallRecord::actualOutForResult() const {
+  for (SDGNode *N : ActualOuts)
+    if (N->isResult())
+      return N;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// SDGNode
+//===----------------------------------------------------------------------===//
+
+std::string SDGNode::label() const {
+  auto VarName = [this]() {
+    return Var ? Var->getName() : std::string("<result>");
+  };
+  switch (K) {
+  case Kind::Entry:
+    return "entry " + Routine->getName();
+  case Kind::FormalIn:
+    return "formal-in " + VarName() + " @" + Routine->getName();
+  case Kind::FormalOut:
+    return "formal-out " + VarName() + " @" + Routine->getName();
+  case Kind::Stmt:
+    return "stmt@" + S->getLoc().str() + " in " + Routine->getName();
+  case Kind::Predicate:
+    return "pred@" + S->getLoc().str() + " in " + Routine->getName();
+  case Kind::ActualIn:
+    return "actual-in " +
+           (ArgIndex >= 0 ? "#" + std::to_string(ArgIndex) : VarName()) +
+           " @call " + Call->Site.Callee->getName();
+  case Kind::ActualOut:
+    return "actual-out " +
+           (Result ? std::string("<result>")
+                   : ArgIndex >= 0 ? "#" + std::to_string(ArgIndex)
+                                   : VarName()) +
+           " @call " + Call->Site.Callee->getName();
+  }
+  return "?";
+}
+
+//===----------------------------------------------------------------------===//
+// SDG construction
+//===----------------------------------------------------------------------===//
+
+SDG::~SDG() = default;
+
+SDGNode *SDG::newNode(SDGNode::Kind K, const RoutineDecl *R) {
+  Nodes.emplace_back(new SDGNode(K, static_cast<unsigned>(Nodes.size())));
+  Nodes.back()->Routine = R;
+  return Nodes.back().get();
+}
+
+bool SDG::hasEdge(const SDGNode *From, const SDGNode *To,
+                  SDGEdgeKind K) const {
+  for (const SDGNode::Edge &E : From->outs())
+    if (E.N == To && E.K == K)
+      return true;
+  return false;
+}
+
+void SDG::addEdge(SDGNode *From, SDGNode *To, SDGEdgeKind K) {
+  assert(From && To);
+  if (hasEdge(From, To, K))
+    return;
+  From->Out.push_back({To, K});
+  To->In.push_back({From, K});
+  ++NumEdges;
+  if (K == SDGEdgeKind::Summary)
+    ++NumSummary;
+}
+
+SDG::SDG(const Program &P)
+    : CG(std::make_unique<CallGraph>(P)),
+      SEA(std::make_unique<SideEffectAnalysis>(P, *CG)) {
+  for (const RoutineDecl *R : CG->routines())
+    CFGs[R] = std::make_unique<CFG>(R, *SEA);
+  for (const RoutineDecl *R : CG->routines())
+    buildRoutine(R);
+  buildCallLinkage();
+  computeSummaryEdges();
+}
+
+static int paramIndexIn(const RoutineDecl *R, const VarDecl *V) {
+  const auto &Params = R->getParams();
+  for (unsigned I = 0, N = Params.size(); I != N; ++I)
+    if (Params[I].get() == V)
+      return static_cast<int>(I);
+  return -1;
+}
+
+void SDG::buildRoutine(const RoutineDecl *R) {
+  CFG &G = *CFGs[R];
+  ControlDependence CD(G);
+  ReachingDefs RD(G, *SEA);
+
+  // --- Vertices mirroring CFG nodes.
+  for (const auto &NPtr : G.nodes()) {
+    const CFGNode *N = NPtr.get();
+    switch (N->getKind()) {
+    case CFGNode::Kind::Entry: {
+      SDGNode *E = newNode(SDGNode::Kind::Entry, R);
+      Entries[R] = E;
+      CfgToSdg[N] = E;
+      break;
+    }
+    case CFGNode::Kind::Exit:
+      break;
+    case CFGNode::Kind::FormalIn: {
+      SDGNode *F = newNode(SDGNode::Kind::FormalIn, R);
+      F->Var = N->getFormalVar();
+      F->ArgIndex = paramIndexIn(R, F->Var);
+      CfgToSdg[N] = F;
+      break;
+    }
+    case CFGNode::Kind::FormalOut: {
+      SDGNode *F = newNode(SDGNode::Kind::FormalOut, R);
+      F->Var = N->getFormalVar();
+      F->Result = N->isResultFormal();
+      F->ArgIndex = F->Var ? paramIndexIn(R, F->Var) : -1;
+      CfgToSdg[N] = F;
+      break;
+    }
+    case CFGNode::Kind::Statement:
+    case CFGNode::Kind::Predicate: {
+      SDGNode *X = newNode(N->getKind() == CFGNode::Kind::Predicate
+                               ? SDGNode::Kind::Predicate
+                               : SDGNode::Kind::Stmt,
+                           R);
+      X->S = N->getStmt();
+      CfgToSdg[N] = X;
+      StmtNodes[N->getStmt()] = X;
+      break;
+    }
+    }
+  }
+
+  // --- Actual vertices per call site.
+  std::map<const Stmt *, std::vector<SDGCallRecord *>> CallsByStmt;
+  for (const CallSite &CS : CG->callSitesIn(R)) {
+    if (!CS.Callee)
+      continue;
+    auto Rec = std::make_unique<SDGCallRecord>();
+    Rec->Site = CS;
+    Rec->CallVertex = StmtNodes[CS.AtStmt];
+    assert(Rec->CallVertex && "call site statement has no vertex");
+    const RoutineEffects &E = SEA->effects(CS.Callee);
+    const auto &Params = CS.Callee->getParams();
+    const auto &Args = CS.args();
+    for (size_t I = 0, N = std::min(Params.size(), Args.size()); I != N;
+         ++I) {
+      SDGNode *AI = newNode(SDGNode::Kind::ActualIn, R);
+      AI->S = CS.AtStmt;
+      AI->ArgIndex = static_cast<int>(I);
+      AI->Call = Rec.get();
+      if (Params[I]->isReference())
+        AI->Var = varArgDecl(Args[I].get());
+      Rec->ActualIns.push_back(AI);
+      addEdge(Rec->CallVertex, AI, SDGEdgeKind::Control);
+      if (Params[I]->isReference()) {
+        SDGNode *AO = newNode(SDGNode::Kind::ActualOut, R);
+        AO->S = CS.AtStmt;
+        AO->ArgIndex = static_cast<int>(I);
+        AO->Var = varArgDecl(Args[I].get());
+        AO->Call = Rec.get();
+        Rec->ActualOuts.push_back(AO);
+        addEdge(Rec->CallVertex, AO, SDGEdgeKind::Control);
+      }
+    }
+    for (const VarDecl *Gl : E.GRef) {
+      SDGNode *AI = newNode(SDGNode::Kind::ActualIn, R);
+      AI->S = CS.AtStmt;
+      AI->Var = Gl;
+      AI->Call = Rec.get();
+      Rec->ActualIns.push_back(AI);
+      addEdge(Rec->CallVertex, AI, SDGEdgeKind::Control);
+    }
+    for (const VarDecl *Gl : E.GMod) {
+      SDGNode *AO = newNode(SDGNode::Kind::ActualOut, R);
+      AO->S = CS.AtStmt;
+      AO->Var = Gl;
+      AO->Call = Rec.get();
+      Rec->ActualOuts.push_back(AO);
+      addEdge(Rec->CallVertex, AO, SDGEdgeKind::Control);
+    }
+    if (CS.Callee->isFunction() && CS.CallExpr) {
+      SDGNode *AO = newNode(SDGNode::Kind::ActualOut, R);
+      AO->S = CS.AtStmt;
+      AO->Result = true;
+      AO->Call = Rec.get();
+      Rec->ActualOuts.push_back(AO);
+      addEdge(Rec->CallVertex, AO, SDGEdgeKind::Control);
+    }
+    CallsByStmt[CS.AtStmt].push_back(Rec.get());
+    Calls.push_back(std::move(Rec));
+  }
+
+  // --- Control-dependence edges.
+  for (const auto &NPtr : G.nodes()) {
+    const CFGNode *N = NPtr.get();
+    SDGNode *X = CfgToSdg.count(N) ? CfgToSdg[N] : nullptr;
+    if (!X || X->getKind() == SDGNode::Kind::Entry)
+      continue;
+    for (const CFGNode *C : CD.controllersOf(N)) {
+      auto It = CfgToSdg.find(C);
+      if (It != CfgToSdg.end())
+        addEdge(It->second, X, SDGEdgeKind::Control);
+    }
+  }
+
+  // --- Flow-dependence edges.
+  auto addUseEdges = [&](SDGNode *UseNode, const VarDecl *V,
+                         const CFGNode *Anchor) {
+    for (const CFGNode *D : RD.reachingIn(Anchor, V))
+      for (SDGNode *DefV : defVerticesAt(D, V))
+        addEdge(DefV, UseNode, SDGEdgeKind::Flow);
+  };
+
+  for (const auto &NPtr : G.nodes()) {
+    const CFGNode *N = NPtr.get();
+    auto It = CfgToSdg.find(N);
+    if (It == CfgToSdg.end())
+      continue;
+    SDGNode *X = It->second;
+    if (X->getKind() == SDGNode::Kind::Entry)
+      continue;
+    for (const VarDecl *V : N->access().Uses)
+      addUseEdges(X, V, N);
+  }
+
+  // Actual-in uses and result flow.
+  for (const auto &RecPtr : Calls) {
+    SDGCallRecord *Rec = RecPtr.get();
+    if (Rec->Site.Caller != R)
+      continue;
+    const CFGNode *Anchor = G.nodeFor(Rec->Site.AtStmt);
+    assert(Anchor && "call site has no CFG node");
+    const auto &Args = Rec->Site.args();
+    for (SDGNode *AI : Rec->ActualIns) {
+      if (AI->getArgIndex() >= 0 && !AI->getVar()) {
+        // Value argument: uses every variable in the argument expression.
+        forEachExprIn(const_cast<Expr *>(
+                          Args[static_cast<size_t>(AI->getArgIndex())].get()),
+                      [&](Expr *Sub) {
+                        if (auto *VR = dyn_cast<VarRefExpr>(Sub))
+                          addUseEdges(AI, VR->getDecl(), Anchor);
+                      });
+      } else if (AI->getVar()) {
+        addUseEdges(AI, AI->getVar(), Anchor);
+      }
+    }
+    // A function call's result flows into the innermost consumer: another
+    // call's argument when nested, otherwise the site's statement vertex.
+    if (SDGNode *ResultAO = Rec->actualOutForResult()) {
+      SDGNode *Consumer = Rec->CallVertex;
+      for (const auto &OtherPtr : Calls) {
+        SDGCallRecord *Other = OtherPtr.get();
+        if (Other == Rec || Other->Site.AtStmt != Rec->Site.AtStmt)
+          continue;
+        const auto &OtherArgs = Other->Site.args();
+        for (size_t I = 0; I != OtherArgs.size(); ++I) {
+          bool Contains = false;
+          forEachExprIn(const_cast<Expr *>(OtherArgs[I].get()),
+                        [&](Expr *Sub) {
+                          if (Sub == Rec->Site.CallExpr)
+                            Contains = true;
+                        });
+          if (Contains) {
+            if (SDGNode *AI = Other->actualInForArg(static_cast<int>(I)))
+              Consumer = AI;
+          }
+        }
+      }
+      addEdge(ResultAO, Consumer, SDGEdgeKind::Flow);
+    }
+  }
+}
+
+std::vector<SDGNode *> SDG::defVerticesAt(const CFGNode *D,
+                                          const VarDecl *V) const {
+  std::vector<SDGNode *> Out;
+  auto It = CfgToSdg.find(D);
+  if (It == CfgToSdg.end())
+    return Out;
+  SDGNode *X = It->second;
+  if (X->getKind() == SDGNode::Kind::FormalIn) {
+    Out.push_back(X);
+    return Out;
+  }
+  if (D->access().defs(V))
+    Out.push_back(X);
+  // Call-mediated definitions surface at actual-out vertices.
+  for (const auto &RecPtr : Calls) {
+    const SDGCallRecord *Rec = RecPtr.get();
+    if (Rec->Site.AtStmt != D->getStmt())
+      continue;
+    for (SDGNode *AO : Rec->ActualOuts)
+      if (!AO->isResult() && AO->getVar() == V)
+        Out.push_back(AO);
+  }
+  return Out;
+}
+
+void SDG::buildCallLinkage() {
+  for (const auto &RecPtr : Calls) {
+    SDGCallRecord *Rec = RecPtr.get();
+    const RoutineDecl *Callee = Rec->Site.Callee;
+    CFG &CalleeCFG = *CFGs.at(Callee);
+    addEdge(Rec->CallVertex, Entries.at(Callee), SDGEdgeKind::Call);
+
+    const auto &Params = Callee->getParams();
+    for (SDGNode *AI : Rec->ActualIns) {
+      const CFGNode *FI = nullptr;
+      if (AI->getArgIndex() >= 0)
+        FI = CalleeCFG.formalInFor(
+            Params[static_cast<size_t>(AI->getArgIndex())].get());
+      else
+        FI = CalleeCFG.formalInFor(AI->getVar());
+      if (FI)
+        addEdge(AI, CfgToSdg.at(FI), SDGEdgeKind::ParamIn);
+    }
+    for (SDGNode *AO : Rec->ActualOuts) {
+      const CFGNode *FO = nullptr;
+      if (AO->isResult())
+        FO = CalleeCFG.resultFormalOut();
+      else if (AO->getArgIndex() >= 0)
+        FO = CalleeCFG.formalOutFor(
+            Params[static_cast<size_t>(AO->getArgIndex())].get());
+      else
+        FO = CalleeCFG.formalOutFor(AO->getVar());
+      if (FO)
+        addEdge(CfgToSdg.at(FO), AO, SDGEdgeKind::ParamOut);
+    }
+  }
+}
+
+void SDG::computeSummaryEdges() {
+  // Worklist of "path edges" (n, fo): vertex n reaches formal-out fo along
+  // a realizable same-level path within fo's routine.
+  using Pair = std::pair<SDGNode *, SDGNode *>;
+  std::set<Pair> PathEdges;
+  std::deque<Pair> Work;
+  std::map<SDGNode *, std::vector<SDGNode *>> FosReachedFrom;
+  std::map<const RoutineDecl *, std::vector<SDGCallRecord *>> CallsTo;
+  for (const auto &RecPtr : Calls)
+    CallsTo[RecPtr->Site.Callee].push_back(RecPtr.get());
+
+  auto addPair = [&](SDGNode *N, SDGNode *Fo) {
+    if (PathEdges.insert({N, Fo}).second) {
+      Work.push_back({N, Fo});
+      FosReachedFrom[N].push_back(Fo);
+    }
+  };
+
+  for (const auto &NPtr : Nodes)
+    if (NPtr->getKind() == SDGNode::Kind::FormalOut)
+      addPair(NPtr.get(), NPtr.get());
+
+  while (!Work.empty()) {
+    auto [N, Fo] = Work.front();
+    Work.pop_front();
+
+    if (N->getKind() == SDGNode::Kind::FormalIn) {
+      // A same-level path fi ->* fo induces summary edges ai -> ao at every
+      // call to this routine.
+      for (SDGCallRecord *Rec : CallsTo[N->getRoutine()]) {
+        SDGNode *AI = N->getArgIndex() >= 0
+                          ? Rec->actualInForArg(N->getArgIndex())
+                          : Rec->actualInForGlobal(N->getVar());
+        SDGNode *AO = Fo->isResult() ? Rec->actualOutForResult()
+                      : Fo->getArgIndex() >= 0
+                          ? Rec->actualOutForArg(Fo->getArgIndex())
+                          : Rec->actualOutForGlobal(Fo->getVar());
+        if (!AI || !AO || hasEdge(AI, AO, SDGEdgeKind::Summary))
+          continue;
+        addEdge(AI, AO, SDGEdgeKind::Summary);
+        // The new edge extends any path already known to leave AO.
+        for (SDGNode *Fo2 : FosReachedFrom[AO])
+          addPair(AI, Fo2);
+      }
+    }
+
+    for (const SDGNode::Edge &E : N->ins()) {
+      if (E.K != SDGEdgeKind::Control && E.K != SDGEdgeKind::Flow &&
+          E.K != SDGEdgeKind::Summary)
+        continue;
+      if (E.N->getRoutine() == Fo->getRoutine())
+        addPair(E.N, Fo);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Lookup and rendering
+//===----------------------------------------------------------------------===//
+
+SDGNode *SDG::entryOf(const RoutineDecl *R) const {
+  auto It = Entries.find(R);
+  return It == Entries.end() ? nullptr : It->second;
+}
+
+SDGNode *SDG::stmtNode(const Stmt *S) const {
+  auto It = StmtNodes.find(S);
+  return It == StmtNodes.end() ? nullptr : It->second;
+}
+
+SDGNode *SDG::formalOut(const RoutineDecl *R, const std::string &Name) const {
+  for (const auto &N : Nodes)
+    if (N->getKind() == SDGNode::Kind::FormalOut && N->getRoutine() == R &&
+        N->getVar() && N->getVar()->getName() == Name)
+      return N.get();
+  return nullptr;
+}
+
+SDGNode *SDG::formalOutResult(const RoutineDecl *R) const {
+  for (const auto &N : Nodes)
+    if (N->getKind() == SDGNode::Kind::FormalOut && N->getRoutine() == R &&
+        N->isResult())
+      return N.get();
+  return nullptr;
+}
+
+SDGNode *SDG::formalIn(const RoutineDecl *R, const std::string &Name) const {
+  for (const auto &N : Nodes)
+    if (N->getKind() == SDGNode::Kind::FormalIn && N->getRoutine() == R &&
+        N->getVar() && N->getVar()->getName() == Name)
+      return N.get();
+  return nullptr;
+}
+
+std::string SDG::str() const {
+  std::string Out;
+  for (const auto &N : Nodes) {
+    Out += std::to_string(N->getId()) + ": " + N->label() + "\n";
+    for (const SDGNode::Edge &E : N->outs()) {
+      const char *K = "";
+      switch (E.K) {
+      case SDGEdgeKind::Control:
+        K = "ctrl";
+        break;
+      case SDGEdgeKind::Flow:
+        K = "flow";
+        break;
+      case SDGEdgeKind::Call:
+        K = "call";
+        break;
+      case SDGEdgeKind::ParamIn:
+        K = "pin";
+        break;
+      case SDGEdgeKind::ParamOut:
+        K = "pout";
+        break;
+      case SDGEdgeKind::Summary:
+        K = "sum";
+        break;
+      }
+      Out += "  -" + std::string(K) + "-> " + std::to_string(E.N->getId()) +
+             "\n";
+    }
+  }
+  return Out;
+}
+
+static std::string escapeDotLabel(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string SDG::dot() const {
+  std::string Out = "digraph sdg {\n  node [shape=box, "
+                    "fontname=\"monospace\", fontsize=10];\n";
+  // Cluster vertices per routine.
+  std::map<const RoutineDecl *, std::vector<const SDGNode *>> ByRoutine;
+  for (const auto &N : Nodes)
+    ByRoutine[N->getRoutine()].push_back(N.get());
+  unsigned Cluster = 0;
+  for (const auto &[R, Members] : ByRoutine) {
+    Out += "  subgraph cluster_" + std::to_string(Cluster++) + " {\n";
+    Out += "    label=\"" + escapeDotLabel(R->qualifiedName()) + "\";\n";
+    for (const SDGNode *N : Members)
+      Out += "    v" + std::to_string(N->getId()) + " [label=\"" +
+             escapeDotLabel(N->label()) + "\"];\n";
+    Out += "  }\n";
+  }
+  for (const auto &N : Nodes)
+    for (const SDGNode::Edge &E : N->outs()) {
+      Out += "  v" + std::to_string(N->getId()) + " -> v" +
+             std::to_string(E.N->getId());
+      switch (E.K) {
+      case SDGEdgeKind::Control:
+        break;
+      case SDGEdgeKind::Flow:
+        Out += " [style=dashed]";
+        break;
+      case SDGEdgeKind::Call:
+      case SDGEdgeKind::ParamIn:
+      case SDGEdgeKind::ParamOut:
+        Out += " [style=bold, color=blue]";
+        break;
+      case SDGEdgeKind::Summary:
+        Out += " [style=dotted, color=red]";
+        break;
+      }
+      Out += ";\n";
+    }
+  Out += "}\n";
+  return Out;
+}

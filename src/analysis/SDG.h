@@ -1,0 +1,189 @@
+//===- SDG.h - System dependence graph (Horwitz-Reps-Binkley) ---*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The system dependence graph of Horwitz, Reps and Binkley ("Interprocedural
+/// Slicing using Dependence Graphs", TOPLAS 1990) — the interprocedural
+/// slicing machinery the paper builds on (it cites [Horwitz, et al-88]).
+///
+/// Per routine: an entry vertex, formal-in/out vertices for parameters and
+/// for the globals in GREF/GMOD (globals are modeled as additional
+/// parameters, exactly the paper's globals-to-parameters view), statement
+/// and predicate vertices with control- and flow-dependence edges. Per call
+/// site: actual-in/out vertices linked to the callee's formals, plus
+/// *summary edges* (actual-in -> actual-out) computed with the standard
+/// worklist algorithm, which make the two-phase slicer context-sensitive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_SDG_H
+#define GADT_ANALYSIS_SDG_H
+
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "analysis/ControlDep.h"
+#include "analysis/Dataflow.h"
+#include "analysis/SideEffects.h"
+#include "pascal/AST.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+class SDG;
+struct SDGCallRecord;
+
+/// Dependence edge kinds.
+enum class SDGEdgeKind : uint8_t {
+  Control,  ///< control dependence (or call-vertex membership for actuals)
+  Flow,     ///< data (flow) dependence
+  Call,     ///< call vertex -> callee entry
+  ParamIn,  ///< actual-in -> formal-in
+  ParamOut, ///< formal-out -> actual-out
+  Summary,  ///< actual-in -> actual-out (transitive callee dependence)
+};
+
+/// One SDG vertex.
+class SDGNode {
+public:
+  enum class Kind : uint8_t {
+    Entry,
+    FormalIn,
+    FormalOut,
+    Stmt,      ///< atomic statement (also serves as the call vertex)
+    Predicate,
+    ActualIn,
+    ActualOut,
+  };
+
+  struct Edge {
+    SDGNode *N;
+    SDGEdgeKind K;
+  };
+
+  Kind getKind() const { return K; }
+  unsigned getId() const { return Id; }
+  const pascal::RoutineDecl *getRoutine() const { return Routine; }
+  /// The source statement this vertex belongs to: the statement itself for
+  /// Stmt/Predicate, the call-site statement for actuals, null for entry
+  /// and formal vertices.
+  const pascal::Stmt *getStmt() const { return S; }
+  /// Formal/actual variable (null for result vertices and non-var nodes).
+  const pascal::VarDecl *getVar() const { return Var; }
+  /// Parameter position for param-actuals/formals; -1 for globals/result.
+  int getArgIndex() const { return ArgIndex; }
+  bool isResult() const { return Result; }
+  const SDGCallRecord *getCall() const { return Call; }
+
+  const std::vector<Edge> &outs() const { return Out; }
+  const std::vector<Edge> &ins() const { return In; }
+
+  /// Human-readable label for dumps and tests.
+  std::string label() const;
+
+private:
+  friend class SDG;
+  SDGNode(Kind K, unsigned Id) : K(K), Id(Id) {}
+
+  Kind K;
+  unsigned Id;
+  const pascal::RoutineDecl *Routine = nullptr;
+  const pascal::Stmt *S = nullptr;
+  const pascal::VarDecl *Var = nullptr;
+  int ArgIndex = -1;
+  bool Result = false;
+  const SDGCallRecord *Call = nullptr;
+  std::vector<Edge> Out;
+  std::vector<Edge> In;
+};
+
+/// Book-keeping for one call site's actual vertices.
+struct SDGCallRecord {
+  CallSite Site;
+  SDGNode *CallVertex = nullptr; // the Stmt/Predicate vertex of the site
+  std::vector<SDGNode *> ActualIns;
+  std::vector<SDGNode *> ActualOuts;
+
+  SDGNode *actualInForArg(int Index) const;
+  SDGNode *actualInForGlobal(const pascal::VarDecl *G) const;
+  SDGNode *actualOutForArg(int Index) const;
+  SDGNode *actualOutForGlobal(const pascal::VarDecl *G) const;
+  SDGNode *actualOutForResult() const;
+};
+
+/// The whole-program dependence graph.
+class SDG {
+public:
+  explicit SDG(const pascal::Program &P);
+  ~SDG();
+
+  SDG(const SDG &) = delete;
+  SDG &operator=(const SDG &) = delete;
+
+  const std::vector<std::unique_ptr<SDGNode>> &nodes() const { return Nodes; }
+  const std::vector<std::unique_ptr<SDGCallRecord>> &calls() const {
+    return Calls;
+  }
+
+  SDGNode *entryOf(const pascal::RoutineDecl *R) const;
+  /// The vertex of the atomic part of \p S; null for compound/labeled.
+  SDGNode *stmtNode(const pascal::Stmt *S) const;
+  /// Formal-out vertex of variable \p Name (parameter or global) of \p R.
+  SDGNode *formalOut(const pascal::RoutineDecl *R,
+                     const std::string &Name) const;
+  /// Formal-out vertex of the function result of \p R.
+  SDGNode *formalOutResult(const pascal::RoutineDecl *R) const;
+  /// Formal-in vertex of variable \p Name of \p R.
+  SDGNode *formalIn(const pascal::RoutineDecl *R,
+                    const std::string &Name) const;
+
+  const CallGraph &callGraph() const { return *CG; }
+  const SideEffectAnalysis &sideEffects() const { return *SEA; }
+
+  unsigned numEdges() const { return NumEdges; }
+  unsigned numSummaryEdges() const { return NumSummary; }
+
+  /// Renders all vertices and edges, for debugging.
+  std::string str() const;
+
+  /// Renders the graph in Graphviz DOT syntax: vertices clustered per
+  /// routine, edge styles per dependence kind (control solid, flow dashed,
+  /// interprocedural bold, summary dotted).
+  std::string dot() const;
+
+private:
+  SDGNode *newNode(SDGNode::Kind K, const pascal::RoutineDecl *R);
+  void addEdge(SDGNode *From, SDGNode *To, SDGEdgeKind K);
+  bool hasEdge(const SDGNode *From, const SDGNode *To, SDGEdgeKind K) const;
+  void buildRoutine(const pascal::RoutineDecl *R);
+  void buildCallLinkage();
+  void computeSummaryEdges();
+
+  /// Vertices that *define* variable \p V at CFG node \p D (the statement
+  /// vertex for direct defs, actual-out vertices for call-mediated defs).
+  std::vector<SDGNode *> defVerticesAt(const CFGNode *D,
+                                       const pascal::VarDecl *V) const;
+
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<SideEffectAnalysis> SEA;
+  std::vector<std::unique_ptr<SDGNode>> Nodes;
+  std::vector<std::unique_ptr<SDGCallRecord>> Calls;
+  std::map<const pascal::RoutineDecl *, std::unique_ptr<CFG>> CFGs;
+  std::map<const pascal::RoutineDecl *, SDGNode *> Entries;
+  std::map<const pascal::Stmt *, SDGNode *> StmtNodes;
+  std::map<const CFGNode *, SDGNode *> CfgToSdg;
+  unsigned NumEdges = 0;
+  unsigned NumSummary = 0;
+};
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_SDG_H

@@ -1,0 +1,153 @@
+//===- SideEffects.cpp - Banning-style side-effect analysis ---------------===//
+
+#include "analysis/SideEffects.h"
+
+#include "analysis/DefUse.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+bool RoutineEffects::refsGlobal(const VarDecl *V) const {
+  return std::find(GRef.begin(), GRef.end(), V) != GRef.end();
+}
+
+bool RoutineEffects::modsGlobal(const VarDecl *V) const {
+  return std::find(GMod.begin(), GMod.end(), V) != GMod.end();
+}
+
+namespace {
+
+/// Full access sets (any variable, local or not) per routine during the
+/// fixpoint.
+struct WorkSets {
+  std::set<const VarDecl *> Refs;
+  std::set<const VarDecl *> Mods;
+};
+
+unsigned paramIndexOf(const RoutineDecl *R, const VarDecl *V) {
+  const auto &Params = R->getParams();
+  for (unsigned I = 0, N = Params.size(); I != N; ++I)
+    if (Params[I].get() == V)
+      return I;
+  return ~0u;
+}
+
+/// Orders variables deterministically: by name, then by owner's qualified
+/// name (distinct variables never compare equal in practice).
+bool varLess(const VarDecl *A, const VarDecl *B) {
+  if (A->getName() != B->getName())
+    return A->getName() < B->getName();
+  std::string AO = A->getOwner() ? A->getOwner()->qualifiedName() : "";
+  std::string BO = B->getOwner() ? B->getOwner()->qualifiedName() : "";
+  if (AO != BO)
+    return AO < BO;
+  return A < B;
+}
+
+} // namespace
+
+SideEffectAnalysis::SideEffectAnalysis(const Program &P, const CallGraph &CG) {
+  // Gather the direct (call-independent) accesses of every routine once.
+  std::map<const RoutineDecl *, WorkSets> Direct;
+  std::map<const RoutineDecl *, std::vector<CallSite>> Calls;
+  for (const RoutineDecl *R : CG.routines()) {
+    WorkSets &W = Direct[R];
+    Calls[R] = CG.callSitesIn(R);
+    if (!R->getBody())
+      continue;
+    forEachStmt(const_cast<CompoundStmt *>(R->getBody()), [&](Stmt *S) {
+      StmtAccess A = computeStmtAccess(R, S);
+      W.Refs.insert(A.Uses.begin(), A.Uses.end());
+      W.Mods.insert(A.Defs.begin(), A.Defs.end());
+    });
+  }
+
+  // Fixpoint over the call graph. Bottom-up order converges in one pass for
+  // non-recursive programs; recursion just needs extra rounds.
+  std::map<const RoutineDecl *, WorkSets> Full = Direct;
+  std::vector<const RoutineDecl *> Order = CG.bottomUpOrder();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const RoutineDecl *R : Order) {
+      WorkSets &W = Full[R];
+      size_t Before = W.Refs.size() + W.Mods.size();
+      for (const CallSite &CS : Calls[R]) {
+        if (!CS.Callee)
+          continue;
+        const WorkSets &CalleeW = Full[CS.Callee];
+        // Effects on variables non-local to the callee propagate as-is
+        // (whether they are local to R or still non-local is resolved when
+        // the final sets are assembled below).
+        for (const VarDecl *V : CalleeW.Refs)
+          if (V->getOwner() != CS.Callee)
+            W.Refs.insert(V);
+        for (const VarDecl *V : CalleeW.Mods)
+          if (V->getOwner() != CS.Callee)
+            W.Mods.insert(V);
+        // Effects funneled through the callee's parameters hit the
+        // corresponding argument variables.
+        const auto &Params = CS.Callee->getParams();
+        const auto &Args = CS.args();
+        for (size_t I = 0, N = std::min(Params.size(), Args.size()); I != N;
+             ++I) {
+          const VarDecl *Param = Params[I].get();
+          if (!Param->isReference())
+            continue;
+          const VarDecl *ArgVar = varArgDecl(Args[I].get());
+          if (!ArgVar)
+            continue;
+          if (CalleeW.Refs.count(Param))
+            W.Refs.insert(ArgVar);
+          if (CalleeW.Mods.count(Param))
+            W.Mods.insert(ArgVar);
+        }
+      }
+      if (W.Refs.size() + W.Mods.size() != Before)
+        Changed = true;
+    }
+  }
+
+  // Split the full sets into the published form.
+  for (const RoutineDecl *R : CG.routines()) {
+    RoutineEffects &E = Effects[R];
+    const WorkSets &W = Full[R];
+    for (const VarDecl *V : W.Refs) {
+      unsigned ParamIdx = paramIndexOf(R, V);
+      if (ParamIdx != ~0u)
+        E.RefParams.insert(ParamIdx);
+      else if (V->getOwner() != R)
+        E.GRef.push_back(V);
+    }
+    for (const VarDecl *V : W.Mods) {
+      unsigned ParamIdx = paramIndexOf(R, V);
+      if (ParamIdx != ~0u)
+        E.ModParams.insert(ParamIdx);
+      else if (V->getOwner() != R)
+        E.GMod.push_back(V);
+    }
+    std::sort(E.GRef.begin(), E.GRef.end(), varLess);
+    std::sort(E.GMod.begin(), E.GMod.end(), varLess);
+  }
+}
+
+const RoutineEffects &
+SideEffectAnalysis::effects(const RoutineDecl *R) const {
+  auto It = Effects.find(R);
+  assert(It != Effects.end() && "routine not analyzed");
+  return It->second;
+}
+
+bool SideEffectAnalysis::programIsSideEffectFree() const {
+  for (const auto &[R, E] : Effects) {
+    if (R->isProgram())
+      continue; // accesses from the main block are not side effects
+    if (!E.GRef.empty() || !E.GMod.empty())
+      return false;
+  }
+  return true;
+}

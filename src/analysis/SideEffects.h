@@ -1,0 +1,69 @@
+//===- SideEffects.h - Banning-style side-effect analysis -------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural side-effect analysis in the spirit of Banning
+/// [Banning-78/79], which the paper cites as the definition of "side
+/// effects": for every routine, the sets of non-local variables it may
+/// reference (GREF) and modify (GMOD), directly or through calls (including
+/// effects funneled through var parameters), plus which of its own
+/// parameters it may read and write.
+///
+/// The transformation phase uses GREF/GMOD to convert global accesses into
+/// in/out parameters; the system dependence graph uses them to build
+/// formal-in/out and actual-in/out vertices for globals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_ANALYSIS_SIDEEFFECTS_H
+#define GADT_ANALYSIS_SIDEEFFECTS_H
+
+#include "analysis/CallGraph.h"
+#include "pascal/AST.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace gadt {
+namespace analysis {
+
+/// Per-routine effect sets. Variable sets are ordered by declaration name
+/// (then owner nesting depth) so every consumer iterates deterministically.
+struct RoutineEffects {
+  /// Non-local variables possibly read before being written (conservative:
+  /// any read counts).
+  std::vector<const pascal::VarDecl *> GRef;
+  /// Non-local variables possibly written.
+  std::vector<const pascal::VarDecl *> GMod;
+  /// Own parameters possibly read / possibly written (indices into the
+  /// routine's parameter list).
+  std::set<unsigned> RefParams;
+  std::set<unsigned> ModParams;
+
+  bool refsGlobal(const pascal::VarDecl *V) const;
+  bool modsGlobal(const pascal::VarDecl *V) const;
+};
+
+/// Whole-program side-effect information.
+class SideEffectAnalysis {
+public:
+  SideEffectAnalysis(const pascal::Program &P, const CallGraph &CG);
+
+  const RoutineEffects &effects(const pascal::RoutineDecl *R) const;
+
+  /// True when no routine in the program has global side effects — the
+  /// postcondition of the paper's transformation phase.
+  bool programIsSideEffectFree() const;
+
+private:
+  std::map<const pascal::RoutineDecl *, RoutineEffects> Effects;
+};
+
+} // namespace analysis
+} // namespace gadt
+
+#endif // GADT_ANALYSIS_SIDEEFFECTS_H

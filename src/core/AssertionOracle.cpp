@@ -1,0 +1,59 @@
+//===- AssertionOracle.cpp - Assertion-based oracle -----------------------===//
+
+#include "core/AssertionOracle.h"
+
+#include "tgen/ConstEval.h"
+#include "tgen/SpecParser.h"
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::trace;
+
+struct AssertionOracle::Entry {
+  pascal::ExprPtr Expr;
+  Strength S;
+  std::string Text;
+};
+
+bool AssertionOracle::addAssertion(const std::string &UnitName,
+                                   const std::string &ExprText, Strength S,
+                                   DiagnosticsEngine &Diags) {
+  pascal::ExprPtr E = tgen::parseClassifierExpr(ExprText, Diags);
+  if (!E)
+    return false;
+  auto Ent = std::make_shared<Entry>();
+  Ent->Expr = std::move(E);
+  Ent->S = S;
+  Ent->Text = ExprText;
+  ByUnit[UnitName].push_back(std::move(Ent));
+  ++Count;
+  return true;
+}
+
+Judgement AssertionOracle::judge(const ExecNode &N) {
+  auto It = ByUnit.find(N.getName());
+  if (It == ByUnit.end())
+    return Judgement::dontKnow();
+
+  // Environment: inputs by name (also under in_<name>), then outputs by
+  // name (shadowing inputs of the same name, e.g. var parameters).
+  tgen::ValueEnv Env;
+  for (const interp::Binding &B : N.getInputs()) {
+    Env[B.Name] = B.V;
+    Env["in_" + B.Name] = B.V;
+  }
+  for (const interp::Binding &B : N.getOutputs())
+    Env[B.Name] = B.V;
+
+  for (const auto &Ent : It->second) {
+    auto Holds = tgen::evalPredicate(Ent->Expr.get(), Env);
+    if (!Holds)
+      continue; // undefined over these bindings: no conclusion
+    if (Ent->S == Strength::Specification)
+      return *Holds ? Judgement::correct("assertion")
+                    : Judgement::incorrect("assertion");
+    if (!*Holds)
+      return Judgement::incorrect("assertion");
+  }
+  return Judgement::dontKnow();
+}

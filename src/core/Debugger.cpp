@@ -1,0 +1,313 @@
+//===- Debugger.cpp - The algorithmic debugger ----------------------------===//
+
+#include "core/Debugger.h"
+
+#include "slicing/DynamicSlicer.h"
+#include "slicing/StaticSlicer.h"
+#include "slicing/TreePruner.h"
+
+#include <algorithm>
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::trace;
+
+std::string DialogueEntry::str() const {
+  std::string Out = Query + "? ";
+  switch (A) {
+  case Answer::Correct:
+    Out += "yes";
+    break;
+  case Answer::Incorrect:
+    Out += "no";
+    if (!WrongOutput.empty())
+      Out += ", error on output " + WrongOutput;
+    break;
+  case Answer::DontKnow:
+    Out += "(no answer)";
+    break;
+  }
+  if (FromMemo)
+    Out += "  [remembered]";
+  else if (!Source.empty() && Source != "user")
+    Out += "  [answered by " + Source + "]";
+  return Out;
+}
+
+std::string SessionStats::transcript() const {
+  std::string Out;
+  for (const DialogueEntry &E : Dialogue) {
+    Out += E.str();
+    Out += '\n';
+  }
+  return Out;
+}
+
+AlgorithmicDebugger::AlgorithmicDebugger(ExecTree &Tree, Oracle &O,
+                                         DebuggerOptions Opts)
+    : Tree(Tree), O(O), Opts(Opts) {
+  Tree.forEachNode([this](ExecNode *N) { Active.insert(N->getId()); });
+}
+
+Judgement AlgorithmicDebugger::ask(const ExecNode &N) {
+  // Identical unit behaviour needs only one verdict: key the memo by the
+  // full dialogue signature (name, inputs, outputs).
+  std::string Key = N.signature();
+  if (Opts.MemoizeJudgements) {
+    auto It = Memo.find(Key);
+    if (It != Memo.end()) {
+      ++Stats.MemoHits;
+      Stats.Dialogue.push_back({Key, It->second.A, It->second.WrongOutput,
+                                It->second.Source, /*FromMemo=*/true});
+      return It->second;
+    }
+  }
+  ++Stats.Judgements;
+  Judgement J = O.judge(N);
+  if (J.A == Answer::DontKnow)
+    ++Stats.Unanswered;
+  else
+    ++Stats.AnswersBySource[J.Source.empty() ? "unknown" : J.Source];
+  Stats.Dialogue.push_back(
+      {Key, J.A, J.WrongOutput, J.Source, /*FromMemo=*/false});
+  if (J.A == Answer::Incorrect && !J.WrongOutput.empty())
+    WrongOutputOf[&N] = J.WrongOutput;
+  if (Opts.MemoizeJudgements && J.A != Answer::DontKnow)
+    Memo.emplace(std::move(Key), J);
+  return J;
+}
+
+unsigned
+AlgorithmicDebugger::activeSubtreeSize(const ExecNode *N) const {
+  if (!Active.count(N->getId()))
+    return 0;
+  unsigned Count = 1;
+  for (const auto &C : N->getChildren())
+    Count += activeSubtreeSize(C.get());
+  return Count;
+}
+
+void AlgorithmicDebugger::applySliceIfPossible(
+    const ExecNode &N, const std::string &WrongOutput) {
+  std::set<uint32_t> Kept;
+  switch (Opts.Slicing) {
+  case SliceMode::None:
+    return;
+  case SliceMode::Static: {
+    if (!Sdg || !N.getRoutine())
+      return;
+    slicing::StaticSlice Slice =
+        slicing::sliceOnRoutineOutput(*Sdg, N.getRoutine(), WrongOutput);
+    if (Slice.size() == 0)
+      return; // no formal-out vertex for this output
+    Kept = slicing::pruneByStaticSlice(&N, Slice);
+    break;
+  }
+  case SliceMode::Dynamic: {
+    if (!N.findOutput(WrongOutput))
+      return;
+    Kept = slicing::dynamicSlice(&N, WrongOutput);
+    break;
+  }
+  }
+
+  unsigned Before = activeSubtreeSize(&N);
+  // Restrict the active set within N's subtree to the kept ids; nodes
+  // outside N's subtree are unaffected (the search is inside N now anyway).
+  std::vector<const ExecNode *> Stack = {&N};
+  while (!Stack.empty()) {
+    const ExecNode *Cur = Stack.back();
+    Stack.pop_back();
+    if (!Kept.count(Cur->getId()))
+      Active.erase(Cur->getId());
+    for (const auto &C : Cur->getChildren())
+      Stack.push_back(C.get());
+  }
+  Active.insert(N.getId()); // the sliced node itself stays suspect
+  unsigned After = activeSubtreeSize(&N);
+  ++Stats.SlicingActivations;
+  Stats.NodesPruned += Before - After;
+}
+
+BugReport AlgorithmicDebugger::bugAt(const ExecNode *N) const {
+  BugReport R;
+  R.Found = true;
+  R.Node = N;
+  R.UnitName = N->getName();
+  const char *Kind = "procedure";
+  if (N->getRoutine()) {
+    R.Loc = N->getRoutine()->getLoc();
+    Kind = N->getRoutine()->isFunction() ? "function" : "procedure";
+  } else if (N->getLoopStmt()) {
+    R.Loc = N->getLoopStmt()->getLoc();
+    Kind = "loop";
+  }
+  R.Message = "an error is localized inside the body of " +
+              std::string(Kind) + " " + N->getName();
+  auto It = WrongOutputOf.find(N);
+  if (It != WrongOutputOf.end())
+    R.WrongOutput = It->second;
+
+  // Narrow further: the statements of the unit's own body that can affect
+  // the wrong output (or any output when none was singled out).
+  if (Sdg && N->getRoutine()) {
+    const pascal::RoutineDecl *Routine = N->getRoutine();
+    std::set<const pascal::Stmt *> InSlice;
+    auto Collect = [&](const std::string &Output) {
+      slicing::StaticSlice Slice =
+          slicing::sliceOnRoutineOutput(*Sdg, Routine, Output);
+      InSlice.insert(Slice.stmts().begin(), Slice.stmts().end());
+    };
+    if (!R.WrongOutput.empty())
+      Collect(R.WrongOutput);
+    else
+      for (const interp::Binding &Out : N->getOutputs())
+        Collect(Out.Name);
+    if (!InSlice.empty() && Routine->getBody())
+      pascal::forEachStmt(
+          const_cast<pascal::CompoundStmt *>(Routine->getBody()),
+          [&](pascal::Stmt *S) {
+            if (InSlice.count(S))
+              R.CandidateStmts.push_back(S);
+          });
+  }
+  return R;
+}
+
+BugReport AlgorithmicDebugger::run() {
+  ExecNode *Root = Tree.getRoot();
+  if (!Root) {
+    BugReport R;
+    R.Message = "empty execution tree";
+    return R;
+  }
+  if (!Opts.AssumeRootIncorrect) {
+    Judgement J = ask(*Root);
+    if (J.A != Answer::Incorrect) {
+      BugReport R;
+      R.Message = "no incorrect behaviour observed at the root";
+      return R;
+    }
+    if (!J.WrongOutput.empty())
+      applySliceIfPossible(*Root, J.WrongOutput);
+  }
+  switch (Opts.Strategy) {
+  case SearchStrategy::TopDown:
+    return runTopDown(Root, /*HeaviestFirst=*/false);
+  case SearchStrategy::TopDownHeaviest:
+    return runTopDown(Root, /*HeaviestFirst=*/true);
+  case SearchStrategy::DivideAndQuery:
+    return runDivideAndQuery(Root);
+  case SearchStrategy::BottomUp:
+    return runBottomUp(Root);
+  }
+  return BugReport();
+}
+
+BugReport AlgorithmicDebugger::runTopDown(const ExecNode *Root,
+                                          bool HeaviestFirst) {
+  const ExecNode *Suspect = Root;
+  for (;;) {
+    std::vector<const ExecNode *> Order;
+    for (const auto &C : Suspect->getChildren())
+      if (Active.count(C->getId()))
+        Order.push_back(C.get());
+    if (HeaviestFirst)
+      std::stable_sort(Order.begin(), Order.end(),
+                       [this](const ExecNode *A, const ExecNode *B) {
+                         return activeSubtreeSize(A) > activeSubtreeSize(B);
+                       });
+
+    const ExecNode *Next = nullptr;
+    for (const ExecNode *C : Order) {
+      Judgement J = ask(*C);
+      if (J.A != Answer::Incorrect)
+        continue; // correct, or unanswerable: search elsewhere
+      if (!J.WrongOutput.empty())
+        applySliceIfPossible(*C, J.WrongOutput);
+      Next = C;
+      break;
+    }
+    if (!Next)
+      return bugAt(Suspect);
+    Suspect = Next;
+  }
+}
+
+BugReport AlgorithmicDebugger::runDivideAndQuery(const ExecNode *Root) {
+  const ExecNode *Suspect = Root;
+  for (;;) {
+    // Gather the active proper descendants of the suspect.
+    std::vector<const ExecNode *> Candidates;
+    std::vector<const ExecNode *> Stack;
+    for (const auto &C : Suspect->getChildren())
+      Stack.push_back(C.get());
+    while (!Stack.empty()) {
+      const ExecNode *N = Stack.back();
+      Stack.pop_back();
+      if (!Active.count(N->getId()))
+        continue;
+      Candidates.push_back(N);
+      for (const auto &C : N->getChildren())
+        Stack.push_back(C.get());
+    }
+    if (Candidates.empty())
+      return bugAt(Suspect);
+
+    // Shapiro's heuristic: query the node whose subtree weight is closest
+    // to half the suspect's weight.
+    unsigned Total = static_cast<unsigned>(Candidates.size());
+    const ExecNode *Pick = nullptr;
+    long BestDist = -1;
+    for (const ExecNode *N : Candidates) {
+      long W = activeSubtreeSize(N);
+      long Dist = std::abs(2 * W - static_cast<long>(Total));
+      if (!Pick || Dist < BestDist) {
+        Pick = N;
+        BestDist = Dist;
+      }
+    }
+
+    Judgement J = ask(*Pick);
+    if (J.A == Answer::Incorrect) {
+      if (!J.WrongOutput.empty())
+        applySliceIfPossible(*Pick, J.WrongOutput);
+      Suspect = Pick;
+      continue;
+    }
+    // Correct (or unanswerable): discard the whole subtree.
+    std::vector<const ExecNode *> Prune = {Pick};
+    while (!Prune.empty()) {
+      const ExecNode *N = Prune.back();
+      Prune.pop_back();
+      Active.erase(N->getId());
+      for (const auto &C : N->getChildren())
+        Prune.push_back(C.get());
+    }
+  }
+}
+
+BugReport AlgorithmicDebugger::runBottomUp(const ExecNode *Root) {
+  // Exhaustive postorder baseline: children are judged before parents, so
+  // the first incorrect node has all-correct children and is the bug.
+  const ExecNode *Found = nullptr;
+  std::function<bool(const ExecNode *)> Visit =
+      [&](const ExecNode *N) -> bool {
+    if (!Active.count(N->getId()))
+      return false;
+    for (const auto &C : N->getChildren())
+      if (Visit(C.get()))
+        return true;
+    if (N == Root)
+      return false; // the root is assumed incorrect, not queried
+    Judgement J = ask(*N);
+    if (J.A == Answer::Incorrect) {
+      Found = N;
+      return true;
+    }
+    return false;
+  };
+  if (Visit(Root) && Found)
+    return bugAt(Found);
+  return bugAt(Root);
+}

@@ -1,0 +1,160 @@
+//===- Debugger.h - The algorithmic debugger --------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bug-localization search over the execution tree (paper Sections 3,
+/// 5.3, 7): traverse the tree asking the oracle about unit executions until
+/// a unit is found whose own behaviour is wrong while all the units it
+/// invoked behaved correctly — the bug is then inside that unit's body.
+///
+/// When an answer pinpoints one incorrect output variable, the slicing
+/// subsystem prunes the execution tree to the units that can affect that
+/// variable (statically via the system dependence graph, or dynamically via
+/// the dependences gathered while tracing), and the search continues on the
+/// pruned tree ("a smaller and smaller set of procedures").
+///
+/// Three search strategies are provided: the paper's top-down traversal,
+/// Shapiro's divide-and-query, and an exhaustive bottom-up baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_CORE_DEBUGGER_H
+#define GADT_CORE_DEBUGGER_H
+
+#include "analysis/SDG.h"
+#include "core/Oracle.h"
+#include "trace/ExecTree.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace gadt {
+namespace core {
+
+/// How the execution tree is searched.
+enum class SearchStrategy : uint8_t {
+  TopDown,         ///< the paper's left-to-right descent
+  TopDownHeaviest, ///< descend into larger subtrees first
+  DivideAndQuery,  ///< Shapiro's weight-halving strategy
+  BottomUp,        ///< exhaustive postorder baseline
+};
+
+/// How error indications on specific outputs are exploited.
+enum class SliceMode : uint8_t { None, Static, Dynamic };
+
+struct DebuggerOptions {
+  SearchStrategy Strategy = SearchStrategy::TopDown;
+  SliceMode Slicing = SliceMode::Static;
+  /// The user invoked the debugger after observing a symptom, so the root
+  /// is known to misbehave and is not queried (paper Section 3).
+  bool AssumeRootIncorrect = true;
+  /// Remember answers: two executions of the same unit with the same
+  /// inputs and outputs behave identically, so they are asked only once
+  /// (Shapiro: the debugger "acquires knowledge about the expected
+  /// behavior ... and uses this knowledge to localize errors").
+  bool MemoizeJudgements = true;
+};
+
+/// Where the search ended.
+struct BugReport {
+  bool Found = false;
+  const trace::ExecNode *Node = nullptr;
+  std::string UnitName;
+  SourceLoc Loc;
+  std::string Message;
+  /// The output variable flagged as wrong when the buggy unit was judged
+  /// (empty when the answer was a plain "no").
+  std::string WrongOutput;
+  /// Statements of the buggy unit's own body that can affect the wrong
+  /// output (intersection of the static slice with the unit body) — the
+  /// places to inspect first. Empty without an SDG or wrong-output report.
+  std::vector<const pascal::Stmt *> CandidateStmts;
+};
+
+/// One exchange of the debugging dialogue, in the order it happened.
+struct DialogueEntry {
+  std::string Query;       ///< node signature, paper notation
+  Answer A = Answer::DontKnow;
+  std::string WrongOutput; ///< set when the answer singled out an output
+  std::string Source;      ///< "user", "assertion", "test-db", ...
+  bool FromMemo = false;   ///< answered from an earlier identical query
+
+  /// Renders the exchange in the paper's Section 8 style:
+  /// "computs(In y: 3, ...)? no, error on output r1".
+  std::string str() const;
+};
+
+/// Interaction accounting — the paper's figure of merit.
+struct SessionStats {
+  /// Total judgements requested from the oracle (by any source).
+  unsigned Judgements = 0;
+  /// Judgements per answering source ("user", "assertion", "test-db").
+  std::map<std::string, unsigned> AnswersBySource;
+  /// Queries nobody could answer (treated as "correct", conservatively).
+  unsigned Unanswered = 0;
+  /// Queries answered from the memo of earlier identical queries.
+  unsigned MemoHits = 0;
+  unsigned SlicingActivations = 0;
+  /// Execution-tree nodes removed from the search by slicing.
+  unsigned NodesPruned = 0;
+  /// The full dialogue, in order (memo hits included, marked as such).
+  std::vector<DialogueEntry> Dialogue;
+
+  /// Renders the whole session as the paper prints it.
+  std::string transcript() const;
+
+  unsigned userQueries() const {
+    auto It = AnswersBySource.find("user");
+    return It == AnswersBySource.end() ? 0 : It->second;
+  }
+};
+
+/// One debugging search over one execution tree.
+class AlgorithmicDebugger {
+public:
+  /// \p Tree and \p UserOracle must outlive the debugger.
+  AlgorithmicDebugger(trace::ExecTree &Tree, Oracle &O,
+                      DebuggerOptions Opts = DebuggerOptions());
+
+  /// Supplies the dependence graph required by SliceMode::Static (the graph
+  /// must describe the program the tree was traced from).
+  void setSDG(const analysis::SDG *G) { Sdg = G; }
+
+  /// Runs the search to completion.
+  BugReport run();
+
+  const SessionStats &stats() const { return Stats; }
+
+  /// The ids still searchable after all slicing prunes (for inspection).
+  const std::set<uint32_t> &activeIds() const { return Active; }
+
+private:
+  Judgement ask(const trace::ExecNode &N);
+  void applySliceIfPossible(const trace::ExecNode &N,
+                            const std::string &WrongOutput);
+  unsigned activeSubtreeSize(const trace::ExecNode *N) const;
+  BugReport bugAt(const trace::ExecNode *N) const;
+
+  BugReport runTopDown(const trace::ExecNode *Root, bool HeaviestFirst);
+  BugReport runDivideAndQuery(const trace::ExecNode *Root);
+  BugReport runBottomUp(const trace::ExecNode *Root);
+
+  trace::ExecTree &Tree;
+  Oracle &O;
+  DebuggerOptions Opts;
+  const analysis::SDG *Sdg = nullptr;
+  std::set<uint32_t> Active;
+  std::map<std::string, Judgement> Memo; ///< keyed by node signature
+  /// Wrong-output variable recorded per judged-incorrect node.
+  std::map<const trace::ExecNode *, std::string> WrongOutputOf;
+  SessionStats Stats;
+};
+
+} // namespace core
+} // namespace gadt
+
+#endif // GADT_CORE_DEBUGGER_H

@@ -1,0 +1,69 @@
+//===- GADT.cpp - Generalized Algorithmic Debugging and Testing -----------===//
+
+#include "core/GADT.h"
+
+#include "trace/ExecTreeBuilder.h"
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::interp;
+using namespace gadt::pascal;
+
+GADTSession::GADTSession(const Program &Subject, GADTOptions Opts,
+                         DiagnosticsEngine &Diags)
+    : Opts(Opts) {
+  if (Opts.Transform) {
+    transform::TransformResult R = transform::transformProgram(Subject, Diags);
+    if (!R.Transformed)
+      return;
+    TransformedStorage = std::move(R.Transformed);
+    TransformInfo = std::move(R.Stats);
+    Prepared = TransformedStorage.get();
+  } else {
+    Prepared = &Subject;
+  }
+  if (Opts.Debugger.Slicing == SliceMode::Static)
+    Sdg = std::make_unique<analysis::SDG>(*Prepared);
+}
+
+GADTSession::~GADTSession() = default;
+
+void GADTSession::addTestDatabase(
+    std::shared_ptr<const tgen::TestSpec> Spec,
+    std::shared_ptr<const tgen::TestReportDB> DB) {
+  TestOracleImpl.addDatabase(std::move(Spec), std::move(DB));
+}
+
+BugReport GADTSession::debug(Oracle &UserOracle, std::vector<int64_t> Input) {
+  BugReport Failure;
+  if (!valid()) {
+    Failure.Message = "session preparation failed";
+    return Failure;
+  }
+
+  // Tracing phase.
+  InterpOptions IOpts;
+  IOpts.TraceLoops = Opts.TraceLoops;
+  IOpts.TraceIterations = Opts.TraceIterations;
+  IOpts.TrackDeps = Opts.Debugger.Slicing == SliceMode::Dynamic;
+  LastTree = trace::buildExecTree(*Prepared, IOpts, std::move(Input),
+                                  &LastRun);
+  if (!LastRun.Ok) {
+    Failure.Message = "subject program failed: " + LastRun.Error.Message +
+                      " at " + LastRun.Error.Loc.str();
+    return Failure;
+  }
+
+  // Debugging phase: assertions, then the test database, then the user.
+  OracleChain Chain;
+  Chain.append(&Assertions);
+  Chain.append(&TestOracleImpl);
+  Chain.append(&UserOracle);
+
+  AlgorithmicDebugger Debugger(*LastTree, Chain, Opts.Debugger);
+  if (Sdg)
+    Debugger.setSDG(Sdg.get());
+  BugReport Report = Debugger.run();
+  LastStats = Debugger.stats();
+  return Report;
+}

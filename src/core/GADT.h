@@ -1,0 +1,108 @@
+//===- GADT.h - Generalized Algorithmic Debugging and Testing ---*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level GADT system (paper Figure 3): transformation phase,
+/// tracing phase, and debugging phase with its three components — pure
+/// algorithmic debugging, test-case lookup, and program slicing. This is
+/// the public API a user of the library drives:
+///
+/// \code
+///   DiagnosticsEngine Diags;
+///   auto Prog = pascal::parseAndCheck(Source, Diags);
+///   core::GADTSession Session(*Prog, {}, Diags);
+///   Session.addTestDatabase(Spec, ReportDB);       // optional
+///   Session.assertions().addAssertion(...);        // optional
+///   core::IntendedProgramOracle User(*FixedProg);  // or InteractiveOracle
+///   core::BugReport Bug = Session.debug(User, /*Input=*/{});
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_CORE_GADT_H
+#define GADT_CORE_GADT_H
+
+#include "analysis/SDG.h"
+#include "core/AssertionOracle.h"
+#include "core/Debugger.h"
+#include "core/Oracle.h"
+#include "core/TestOracle.h"
+#include "interp/Interpreter.h"
+#include "pascal/AST.h"
+#include "tgen/ReportDB.h"
+#include "transform/Transform.h"
+
+#include <memory>
+
+namespace gadt {
+namespace core {
+
+struct GADTOptions {
+  /// Run the transformation phase first (paper Section 5.1). Programs that
+  /// are already side-effect free pass through unchanged.
+  bool Transform = true;
+  /// Trace local loops (and optionally iterations) as debugging units.
+  bool TraceLoops = false;
+  bool TraceIterations = false;
+  DebuggerOptions Debugger;
+};
+
+/// One debugging session over one subject program. The session owns the
+/// transformed program, the dependence graph, and the most recent execution
+/// tree; it can be re-run on different inputs and with different oracles.
+class GADTSession {
+public:
+  /// Prepares the session (transformation + dependence graph). On failure
+  /// \c valid() is false and \p Diags explains why. \p Subject must outlive
+  /// the session.
+  GADTSession(const pascal::Program &Subject, GADTOptions Opts,
+              DiagnosticsEngine &Diags);
+  ~GADTSession();
+
+  bool valid() const { return Prepared != nullptr; }
+
+  /// The program actually being debugged (transformed when enabled).
+  const pascal::Program &subject() const { return *Prepared; }
+  const transform::TransformStats &transformStats() const {
+    return TransformInfo;
+  }
+
+  /// Registers a test database for the test-lookup component.
+  void addTestDatabase(std::shared_ptr<const tgen::TestSpec> Spec,
+                       std::shared_ptr<const tgen::TestReportDB> DB);
+  /// The assertion store consulted before the test database and the user.
+  AssertionOracle &assertions() { return Assertions; }
+
+  /// Runs the full pipeline: trace the subject on \p Input, then search for
+  /// the bug, consulting assertions, then the test database, then
+  /// \p UserOracle. Returns an unsuccessful report (with Message) when
+  /// execution of the subject failed outright.
+  BugReport debug(Oracle &UserOracle, std::vector<int64_t> Input = {});
+
+  /// Statistics of the most recent debug() run.
+  const SessionStats &stats() const { return LastStats; }
+  /// The execution tree of the most recent debug() run (null before any).
+  const trace::ExecTree *tree() const { return LastTree.get(); }
+  /// The outcome of the most recent traced execution.
+  const interp::ExecResult &lastRun() const { return LastRun; }
+
+private:
+  GADTOptions Opts;
+  std::unique_ptr<pascal::Program> TransformedStorage;
+  const pascal::Program *Prepared = nullptr;
+  transform::TransformStats TransformInfo;
+  std::unique_ptr<analysis::SDG> Sdg;
+  AssertionOracle Assertions;
+  TestDatabaseOracle TestOracleImpl;
+  std::unique_ptr<trace::ExecTree> LastTree;
+  interp::ExecResult LastRun;
+  SessionStats LastStats;
+};
+
+} // namespace core
+} // namespace gadt
+
+#endif // GADT_CORE_GADT_H

@@ -1,0 +1,29 @@
+//===- InteractiveOracle.cpp - Stream-based user dialogue ------------------===//
+
+#include "core/InteractiveOracle.h"
+
+#include "support/StringUtils.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace gadt;
+using namespace gadt::core;
+
+Judgement InteractiveOracle::judge(const trace::ExecNode &N) {
+  Out << N.signature() << "? ";
+  Out.flush();
+  std::string Line;
+  if (!std::getline(In, Line))
+    return Judgement::dontKnow();
+
+  std::istringstream Words(toLower(Line));
+  std::string First, Second;
+  Words >> First >> Second;
+  if (First == "y" || First == "yes")
+    return Judgement::correct("user");
+  if (First == "n" || First == "no")
+    return Judgement::incorrect("user", Second);
+  return Judgement::dontKnow();
+}

@@ -1,0 +1,46 @@
+//===- InteractiveOracle.h - Stream-based user dialogue ---------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interactive oracle: presents each query in the paper's dialogue
+/// notation ("computs(In y: 3, Out r1: 12, Out r2: 9)?") and reads the
+/// user's verdict. Accepted answers:
+///
+///   y | yes          — the unit behaved as intended
+///   n | no           — it did not
+///   n <output>       — it did not, and <output> is a wrong output variable
+///                      (activates slicing, paper Section 7)
+///   d | dontknow     — no verdict
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_CORE_INTERACTIVEORACLE_H
+#define GADT_CORE_INTERACTIVEORACLE_H
+
+#include "core/Oracle.h"
+
+#include <iosfwd>
+
+namespace gadt {
+namespace core {
+
+/// Reads answers from a stream (stdin in the CLI example; a string stream
+/// in tests).
+class InteractiveOracle : public Oracle {
+public:
+  InteractiveOracle(std::istream &In, std::ostream &Out) : In(In), Out(Out) {}
+
+  Judgement judge(const trace::ExecNode &N) override;
+
+private:
+  std::istream &In;
+  std::ostream &Out;
+};
+
+} // namespace core
+} // namespace gadt
+
+#endif // GADT_CORE_INTERACTIVEORACLE_H

@@ -1,0 +1,1138 @@
+//===- Interpreter.cpp - Tracing Pascal interpreter -----------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/Casting.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace gadt;
+using namespace gadt::interp;
+using namespace gadt::pascal;
+
+TraceListener::~TraceListener() = default;
+
+Value gadt::interp::defaultValue(const Type *Ty) {
+  if (!Ty)
+    return Value();
+  switch (Ty->getKind()) {
+  case Type::Kind::Integer:
+    return Value::makeInt(0);
+  case Type::Kind::Boolean:
+    return Value::makeBool(false);
+  case Type::Kind::String:
+    return Value::makeStr("");
+  case Type::Kind::Array: {
+    ArrayVal A;
+    A.Lo = Ty->getLowerBound();
+    A.Hi = Ty->getUpperBound();
+    A.Elems.assign(static_cast<size_t>(A.size()), 0);
+    return Value::makeArray(std::move(A));
+  }
+  }
+  return Value();
+}
+
+namespace {
+
+/// A storage location. Var parameters alias cells across activations, so
+/// cells are shared_ptr-owned and identified by a serial number that orders
+/// them by creation time (used to decide locality relative to a unit).
+struct Cell {
+  Value V;
+  uint64_t Serial = 0;
+  std::string Name;
+};
+using CellPtr = std::shared_ptr<Cell>;
+
+/// One routine activation.
+struct Activation {
+  const RoutineDecl *R = nullptr;
+  Activation *StaticLink = nullptr;
+  std::unordered_map<const VarDecl *, CellPtr> Cells;
+  /// Stack of *merged* control-dependence sets; back() is the set of deps
+  /// governing any store performed right now.
+  std::vector<DepSet> CtrlStack;
+
+  const DepSet *activeCtrlDeps() const {
+    return CtrlStack.empty() ? nullptr : &CtrlStack.back();
+  }
+};
+
+/// Dynamic input/output observation for one executing unit.
+struct UnitFrame {
+  uint32_t NodeId = 0;
+  UnitKind Kind = UnitKind::Call;
+  /// Cells created at or after this serial are local to the unit.
+  uint64_t Watermark = 0;
+  Activation *Act = nullptr;
+  std::vector<std::pair<CellPtr, Value>> FirstReads;
+  std::vector<CellPtr> Writes;
+  std::unordered_set<Cell *> ReadSeen;
+  std::unordered_set<Cell *> WriteSeen;
+};
+
+} // namespace
+
+struct Interpreter::Impl {
+  const Program &Prog;
+  InterpOptions Opts;
+  TraceListener *Listener = nullptr;
+  std::vector<int64_t> Input;
+
+  // Per-run state.
+  bool Failed = false;
+  RuntimeError Error;
+  std::string Output;
+  uint64_t Steps = 0;
+  uint32_t NodeCounter = 0;
+  uint64_t CellSerial = 0;
+  size_t InputPos = 0;
+  unsigned CallDepth = 0;
+  std::vector<UnitFrame> Frames;
+  struct {
+    bool Active = false;
+    int Label = 0;
+    Activation *Target = nullptr;
+    SourceLoc Loc;
+  } Goto;
+
+  Impl(const Program &Prog, InterpOptions Opts) : Prog(Prog), Opts(Opts) {}
+
+  void reset() {
+    Failed = false;
+    Error = RuntimeError();
+    Output.clear();
+    Steps = 0;
+    NodeCounter = 0;
+    CellSerial = 0;
+    InputPos = 0;
+    CallDepth = 0;
+    Frames.clear();
+    Goto.Active = false;
+  }
+
+  void fail(SourceLoc Loc, std::string Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    Error.Loc = Loc;
+    Error.Message = std::move(Msg);
+  }
+
+  CellPtr newCell(std::string Name, Value V) {
+    auto C = std::make_shared<Cell>();
+    C->Name = std::move(Name);
+    C->V = std::move(V);
+    C->Serial = ++CellSerial;
+    return C;
+  }
+
+  /// Initial value of a freshly declared variable: in strict mode scalars
+  /// stay unset so use-before-assignment is detectable.
+  Value initialValue(const Type *Ty) {
+    if (Opts.DetectUninitialized && Ty && !Ty->isArray())
+      return Value();
+    return defaultValue(Ty);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Cell access with unit-frame observation
+  //===--------------------------------------------------------------------===//
+
+  /// Records a read of \p C in every active unit frame to which the cell is
+  /// non-local and not already written. Call *before* using the value.
+  void observeRead(const CellPtr &C) {
+    for (UnitFrame &F : Frames) {
+      if (C->Serial >= F.Watermark)
+        continue; // local to this unit
+      if (F.WriteSeen.count(C.get()) || F.ReadSeen.count(C.get()))
+        continue;
+      F.ReadSeen.insert(C.get());
+      F.FirstReads.push_back({C, C->V});
+    }
+  }
+
+  /// Records a write of \p C in every active unit frame to which the cell is
+  /// non-local.
+  void observeWrite(const CellPtr &C) {
+    for (UnitFrame &F : Frames) {
+      if (C->Serial >= F.Watermark)
+        continue;
+      if (F.WriteSeen.count(C.get()))
+        continue;
+      F.WriteSeen.insert(C.get());
+      F.Writes.push_back(C);
+    }
+  }
+
+  /// Full store: observes the write and applies active control deps.
+  void storeCell(Activation &A, const CellPtr &C, Value V) {
+    observeWrite(C);
+    if (Opts.TrackDeps)
+      if (const DepSet *Ctrl = A.activeCtrlDeps())
+        V.deps().mergeWith(*Ctrl);
+    C->V = std::move(V);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Name / cell resolution
+  //===--------------------------------------------------------------------===//
+
+  CellPtr getCell(Activation &A, const VarDecl *D, SourceLoc Loc) {
+    for (Activation *Cur = &A; Cur; Cur = Cur->StaticLink) {
+      auto It = Cur->Cells.find(D);
+      if (It != Cur->Cells.end())
+        return It->second;
+    }
+    fail(Loc, "internal: no storage for variable '" + D->getName() + "'");
+    return nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expression evaluation
+  //===--------------------------------------------------------------------===//
+
+  Value evalExpr(Activation &A, const Expr *E) {
+    if (Failed)
+      return Value();
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      return Value::makeInt(cast<IntLiteralExpr>(E)->getValue());
+    case Expr::Kind::BoolLiteral:
+      return Value::makeBool(cast<BoolLiteralExpr>(E)->getValue());
+    case Expr::Kind::StringLiteral:
+      return Value::makeStr(cast<StringLiteralExpr>(E)->getValue());
+
+    case Expr::Kind::ArrayLiteral: {
+      const auto *AL = cast<ArrayLiteralExpr>(E);
+      ArrayVal Arr;
+      Arr.Lo = 1;
+      Arr.Hi = static_cast<int64_t>(AL->getElements().size());
+      DepSet Deps;
+      for (const ExprPtr &Elem : AL->getElements()) {
+        Value V = evalExpr(A, Elem.get());
+        if (Failed)
+          return Value();
+        Arr.Elems.push_back(V.asInt());
+        if (Opts.TrackDeps)
+          Deps.mergeWith(V.deps());
+      }
+      Value Out = Value::makeArray(std::move(Arr));
+      Out.deps() = std::move(Deps);
+      return Out;
+    }
+
+    case Expr::Kind::VarRef: {
+      const auto *VR = cast<VarRefExpr>(E);
+      CellPtr C = getCell(A, VR->getDecl(), VR->getLoc());
+      if (!C)
+        return Value();
+      if (Opts.DetectUninitialized && C->V.isUnset()) {
+        fail(VR->getLoc(), "variable '" + VR->getName() +
+                               "' is used before it is assigned");
+        return Value();
+      }
+      observeRead(C);
+      return C->V;
+    }
+
+    case Expr::Kind::Index: {
+      const auto *IE = cast<IndexExpr>(E);
+      const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
+      CellPtr C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
+      if (!C)
+        return Value();
+      Value Idx = evalExpr(A, IE->getIndex());
+      if (Failed)
+        return Value();
+      observeRead(C);
+      const ArrayVal &Arr = C->V.asArray();
+      if (!Arr.inBounds(Idx.asInt())) {
+        fail(IE->getLoc(), "array index " + std::to_string(Idx.asInt()) +
+                               " out of bounds [" + std::to_string(Arr.Lo) +
+                               ".." + std::to_string(Arr.Hi) + "] for '" +
+                               BaseRef->getName() + "'");
+        return Value();
+      }
+      Value Out = Value::makeInt(Arr.at(Idx.asInt()));
+      if (Opts.TrackDeps) {
+        Out.deps().mergeWith(C->V.deps());
+        Out.deps().mergeWith(Idx.deps());
+      }
+      return Out;
+    }
+
+    case Expr::Kind::Call: {
+      const auto *CE = cast<CallExpr>(E);
+      return performCall(A, CE->getCallee(), CE->getArgs(), nullptr, CE,
+                         CE->getLoc());
+    }
+
+    case Expr::Kind::Unary: {
+      const auto *UE = cast<UnaryExpr>(E);
+      Value Op = evalExpr(A, UE->getOperand());
+      if (Failed)
+        return Value();
+      Value Out = UE->getOp() == UnaryOp::Neg ? Value::makeInt(-Op.asInt())
+                                              : Value::makeBool(!Op.asBool());
+      if (Opts.TrackDeps)
+        Out.deps() = Op.deps();
+      return Out;
+    }
+
+    case Expr::Kind::Binary: {
+      const auto *BE = cast<BinaryExpr>(E);
+      Value L = evalExpr(A, BE->getLHS());
+      if (Failed)
+        return Value();
+      Value R = evalExpr(A, BE->getRHS());
+      if (Failed)
+        return Value();
+      Value Out = applyBinary(BE, L, R);
+      if (Failed)
+        return Value();
+      if (Opts.TrackDeps) {
+        Out.deps().mergeWith(L.deps());
+        Out.deps().mergeWith(R.deps());
+      }
+      return Out;
+    }
+    }
+    return Value();
+  }
+
+  Value applyBinary(const BinaryExpr *BE, const Value &L, const Value &R) {
+    switch (BE->getOp()) {
+    case BinaryOp::Add:
+      return Value::makeInt(L.asInt() + R.asInt());
+    case BinaryOp::Sub:
+      return Value::makeInt(L.asInt() - R.asInt());
+    case BinaryOp::Mul:
+      return Value::makeInt(L.asInt() * R.asInt());
+    case BinaryOp::Div:
+      if (R.asInt() == 0) {
+        fail(BE->getLoc(), "division by zero");
+        return Value();
+      }
+      return Value::makeInt(L.asInt() / R.asInt());
+    case BinaryOp::Mod:
+      if (R.asInt() == 0) {
+        fail(BE->getLoc(), "modulo by zero");
+        return Value();
+      }
+      return Value::makeInt(L.asInt() % R.asInt());
+    case BinaryOp::Eq:
+      return Value::makeBool(L.isBool() ? L.asBool() == R.asBool()
+                                        : L.asInt() == R.asInt());
+    case BinaryOp::Ne:
+      return Value::makeBool(L.isBool() ? L.asBool() != R.asBool()
+                                        : L.asInt() != R.asInt());
+    case BinaryOp::Lt:
+      return Value::makeBool(L.asInt() < R.asInt());
+    case BinaryOp::Le:
+      return Value::makeBool(L.asInt() <= R.asInt());
+    case BinaryOp::Gt:
+      return Value::makeBool(L.asInt() > R.asInt());
+    case BinaryOp::Ge:
+      return Value::makeBool(L.asInt() >= R.asInt());
+    case BinaryOp::And:
+      return Value::makeBool(L.asBool() && R.asBool());
+    case BinaryOp::Or:
+      return Value::makeBool(L.asBool() || R.asBool());
+    }
+    return Value();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Calls
+  //===--------------------------------------------------------------------===//
+
+  /// Finds the static link for a call to \p Callee made from \p Caller.
+  Activation *findStaticLink(Activation &Caller, const RoutineDecl *Callee) {
+    for (Activation *Cur = &Caller; Cur; Cur = Cur->StaticLink)
+      if (Cur->R == Callee->getParent())
+        return Cur;
+    // Calling an enclosing routine recursively: its parent's activation is
+    // further up; calling the program routine has no static parent.
+    return nullptr;
+  }
+
+  /// Shared tail of performCall/callRoutine: raises unit events, executes
+  /// the body, and collects input/output bindings.
+  ///
+  /// \p EntryInputs carries bindings for value/in parameters (captured at
+  /// entry). \p Result receives the function result value.
+  void runPreparedCall(Activation &Act, const RoutineDecl *Callee,
+                       std::vector<Binding> EntryInputs,
+                       const Stmt *CallStmt, const Expr *CallExpr,
+                       SourceLoc Loc, Activation *Caller,
+                       std::vector<Binding> &Inputs,
+                       std::vector<Binding> &Outputs, Value *Result,
+                       uint64_t Watermark) {
+    uint32_t NodeId = ++NodeCounter;
+    if (Listener) {
+      UnitStart Start;
+      Start.NodeId = NodeId;
+      Start.Kind = UnitKind::Call;
+      Start.Name = Callee->getName();
+      Start.Routine = Callee;
+      Start.CallStmt = CallStmt;
+      Start.CallExpr = CallExpr;
+      Start.Loc = Loc;
+      Listener->enterUnit(Start);
+    }
+    Frames.push_back(UnitFrame());
+    UnitFrame &F = Frames.back();
+    F.NodeId = NodeId;
+    F.Kind = UnitKind::Call;
+    F.Watermark = Watermark;
+    F.Act = &Act;
+    size_t FrameIndex = Frames.size() - 1;
+
+    ++CallDepth;
+    if (Callee->getBody())
+      execStmt(Act, Callee->getBody());
+    --CallDepth;
+
+    // A non-local goto targeting *this* activation that was not caught at
+    // any compound level means a jump into a structured statement.
+    if (Goto.Active && Goto.Target == &Act) {
+      fail(Goto.Loc,
+           "goto " + std::to_string(Goto.Label) +
+               " jumps into a structured statement (not supported)");
+      Goto.Active = false;
+    }
+
+    UnitFrame Frame = std::move(Frames[FrameIndex]);
+    Frames.pop_back();
+
+    // Assemble inputs: declared-order parameters first, then true global
+    // side reads.
+    std::unordered_map<Cell *, const VarDecl *> ParamOfCell;
+    for (const auto &P : Callee->getParams()) {
+      auto It = Act.Cells.find(P.get());
+      if (It != Act.Cells.end())
+        ParamOfCell[It->second.get()] = P.get();
+    }
+    Inputs = std::move(EntryInputs);
+    // var parameters that were read before being written.
+    for (const auto &[C, V] : Frame.FirstReads) {
+      auto It = ParamOfCell.find(C.get());
+      if (It != ParamOfCell.end())
+        Inputs.push_back({It->second->getName(), V});
+    }
+    // Global (non-parameter) reads.
+    for (const auto &[C, V] : Frame.FirstReads)
+      if (!ParamOfCell.count(C.get()))
+        Inputs.push_back({nameOfCell(&Act, C.get()), V});
+
+    // Outputs: var/out parameters in declared order, then global writes,
+    // then the function result.
+    DepSet OutDeps;
+    if (Opts.TrackDeps) {
+      OutDeps.insert(NodeId);
+      if (Caller)
+        if (const DepSet *Ctrl = Caller->activeCtrlDeps())
+          OutDeps.mergeWith(*Ctrl);
+    }
+    auto finalizeOut = [&](Value &V) {
+      if (Opts.TrackDeps)
+        V.deps().mergeWith(OutDeps);
+    };
+    for (const auto &P : Callee->getParams()) {
+      if (!P->isReference())
+        continue;
+      auto It = Act.Cells.find(P.get());
+      if (It == Act.Cells.end())
+        continue;
+      Cell *C = It->second.get();
+      bool Written = Frame.WriteSeen.count(C) != 0;
+      if (Written || P->getMode() == ParamMode::Out) {
+        finalizeOut(C->V);
+        Outputs.push_back({P->getName(), C->V});
+      }
+    }
+    for (const CellPtr &C : Frame.Writes)
+      if (!ParamOfCell.count(C.get())) {
+        finalizeOut(C->V);
+        Outputs.push_back({nameOfCell(&Act, C.get()), C->V});
+      }
+    if (Callee->isFunction()) {
+      auto It = Act.Cells.find(Callee->getResultVar());
+      if (It != Act.Cells.end()) {
+        if (Opts.DetectUninitialized && It->second->V.isUnset() && !Failed)
+          fail(Callee->getLoc(), "function '" + Callee->getName() +
+                                     "' returns without assigning its "
+                                     "result");
+        finalizeOut(It->second->V);
+        Outputs.push_back({Callee->getName(), It->second->V});
+        if (Result)
+          *Result = It->second->V;
+      }
+    }
+
+    if (Listener)
+      Listener->exitUnit(NodeId, Inputs, Outputs);
+  }
+
+  Value performCall(Activation &Caller, const RoutineDecl *Callee,
+                    const std::vector<ExprPtr> &Args, const Stmt *CallStmt,
+                    const Expr *CallExpr, SourceLoc Loc) {
+    if (!Callee) {
+      fail(Loc, "internal: unresolved call");
+      return Value();
+    }
+    if (CallDepth >= Opts.MaxCallDepth) {
+      fail(Loc, "call depth limit exceeded (runaway recursion in '" +
+                    Callee->getName() + "')");
+      return Value();
+    }
+    Activation Act;
+    Act.R = Callee;
+    Act.StaticLink = findStaticLink(Caller, Callee);
+
+    // Bind parameters. Reference parameters alias the caller's cell; value
+    // parameters are evaluated and copied. Evaluation happens in the
+    // caller, so reads are charged to the caller's units.
+    std::vector<Binding> EntryInputs;
+    const auto &Params = Callee->getParams();
+    std::vector<CellPtr> RefCells(Params.size());
+    std::vector<Value> ValueArgs(Params.size());
+    for (size_t I = 0, N = Params.size(); I != N; ++I) {
+      const VarDecl *P = Params[I].get();
+      if (P->isReference()) {
+        const auto *VR = cast<VarRefExpr>(Args[I].get());
+        CellPtr C = getCell(Caller, VR->getDecl(), VR->getLoc());
+        if (!C)
+          return Value();
+        // The caller's cell stays non-local to the callee's frame, so the
+        // frame observes whether the callee reads its pre-state.
+        RefCells[I] = C;
+      } else {
+        Value V = evalExpr(Caller, Args[I].get());
+        if (Failed)
+          return Value();
+        EntryInputs.push_back({P->getName(), V});
+        ValueArgs[I] = std::move(V);
+      }
+    }
+    // Cells created from here on are local to the callee's unit frame.
+    uint64_t Watermark = CellSerial + 1;
+    for (size_t I = 0, N = Params.size(); I != N; ++I) {
+      const VarDecl *P = Params[I].get();
+      if (RefCells[I])
+        Act.Cells[P] = RefCells[I];
+      else
+        Act.Cells[P] = newCell(P->getName(), std::move(ValueArgs[I]));
+    }
+
+    for (const auto &L : Callee->getLocals())
+      Act.Cells[L.get()] = newCell(L->getName(), initialValue(L->getType()));
+    if (Callee->isFunction())
+      Act.Cells[Callee->getResultVar()] = newCell(
+          Callee->getName(), initialValue(Callee->getReturnType()));
+
+    std::vector<Binding> Inputs, Outputs;
+    Value Result;
+    runPreparedCall(Act, Callee, std::move(EntryInputs), CallStmt, CallExpr,
+                    Loc, &Caller, Inputs, Outputs, &Result, Watermark);
+    return Result;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Loop units
+  //===--------------------------------------------------------------------===//
+
+  /// Pushes a frame + listener event for a loop or iteration unit; returns
+  /// the node id (0 when this unit kind is not traced).
+  uint32_t enterLoopUnit(UnitKind Kind, const std::string &Name,
+                         const Stmt *LoopStmt, uint32_t IterIndex,
+                         SourceLoc Loc, Activation &A) {
+    if (!Opts.TraceLoops)
+      return 0;
+    if (Kind == UnitKind::Iteration && !Opts.TraceIterations)
+      return 0;
+    uint32_t NodeId = ++NodeCounter;
+    if (Listener) {
+      UnitStart Start;
+      Start.NodeId = NodeId;
+      Start.Kind = Kind;
+      Start.Name = Name;
+      Start.LoopStmt = LoopStmt;
+      Start.IterIndex = IterIndex;
+      Start.Loc = Loc;
+      Listener->enterUnit(Start);
+    }
+    Frames.push_back(UnitFrame());
+    UnitFrame &F = Frames.back();
+    F.NodeId = NodeId;
+    F.Kind = Kind;
+    F.Watermark = CellSerial + 1;
+    F.Act = &A;
+    return NodeId;
+  }
+
+  /// Returns the name under which \p C is visible from activation \p A
+  /// (var parameters alias caller cells whose creation name differs from
+  /// the local parameter name). Falls back to the creation name.
+  std::string nameOfCell(Activation *A, const Cell *C) {
+    for (Activation *Cur = A; Cur; Cur = Cur->StaticLink)
+      for (const auto &[Decl, CellP] : Cur->Cells)
+        if (CellP.get() == C)
+          return Decl->getName();
+    return C->Name;
+  }
+
+  void exitLoopUnit(uint32_t NodeId, Activation &A) {
+    if (NodeId == 0)
+      return;
+    UnitFrame Frame = std::move(Frames.back());
+    Frames.pop_back();
+    std::vector<Binding> Inputs, Outputs;
+    for (const auto &[C, V] : Frame.FirstReads)
+      Inputs.push_back({nameOfCell(&A, C.get()), V});
+    DepSet OutDeps;
+    if (Opts.TrackDeps) {
+      OutDeps.insert(NodeId);
+      if (const DepSet *Ctrl = A.activeCtrlDeps())
+        OutDeps.mergeWith(*Ctrl);
+    }
+    for (const CellPtr &C : Frame.Writes) {
+      if (Opts.TrackDeps)
+        C->V.deps().mergeWith(OutDeps);
+      Outputs.push_back({nameOfCell(&A, C.get()), C->V});
+    }
+    if (Listener)
+      Listener->exitUnit(NodeId, std::move(Inputs), std::move(Outputs));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statement execution
+  //===--------------------------------------------------------------------===//
+
+  bool countStep(SourceLoc Loc) {
+    if (++Steps > Opts.MaxSteps) {
+      fail(Loc, "step limit exceeded (possible non-termination)");
+      return false;
+    }
+    return true;
+  }
+
+  void execStmt(Activation &A, const Stmt *S) {
+    if (Failed || Goto.Active)
+      return;
+    if (!countStep(S->getLoc()))
+      return;
+
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      execCompound(A, cast<CompoundStmt>(S)->getBody());
+      return;
+    case Stmt::Kind::Assign:
+      execAssign(A, cast<AssignStmt>(S));
+      return;
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      Value Cond = evalExpr(A, IS->getCond());
+      if (Failed)
+        return;
+      pushCtrl(A, Cond.deps());
+      if (Cond.asBool())
+        execStmt(A, IS->getThen());
+      else if (IS->getElse())
+        execStmt(A, IS->getElse());
+      popCtrl(A);
+      return;
+    }
+    case Stmt::Kind::While:
+      execWhile(A, cast<WhileStmt>(S));
+      return;
+    case Stmt::Kind::Repeat:
+      execRepeat(A, cast<RepeatStmt>(S));
+      return;
+    case Stmt::Kind::For:
+      execFor(A, cast<ForStmt>(S));
+      return;
+    case Stmt::Kind::ProcCall: {
+      const auto *PC = cast<ProcCallStmt>(S);
+      performCall(A, PC->getCallee(), PC->getArgs(), PC, nullptr,
+                  PC->getLoc());
+      return;
+    }
+    case Stmt::Kind::Goto: {
+      const auto *GS = cast<GotoStmt>(S);
+      // Find the activation that declares the label (walk the static chain
+      // to the routine Sema resolved).
+      Activation *Target = &A;
+      while (Target && Target->R != GS->getTargetRoutine())
+        Target = Target->StaticLink;
+      if (!Target) {
+        fail(GS->getLoc(), "internal: no activation declares label " +
+                               std::to_string(GS->getLabel()));
+        return;
+      }
+      Goto.Active = true;
+      Goto.Label = GS->getLabel();
+      Goto.Target = Target;
+      Goto.Loc = GS->getLoc();
+      return;
+    }
+    case Stmt::Kind::Labeled:
+      execStmt(A, cast<LabeledStmt>(S)->getSub());
+      return;
+    case Stmt::Kind::Read:
+      execRead(A, cast<ReadStmt>(S));
+      return;
+    case Stmt::Kind::Write:
+      execWrite(A, cast<WriteStmt>(S));
+      return;
+    case Stmt::Kind::Empty:
+      return;
+    }
+  }
+
+  void execCompound(Activation &A, const std::vector<StmtPtr> &Body) {
+    size_t I = 0;
+    while (I < Body.size()) {
+      if (Failed)
+        return;
+      execStmt(A, Body[I].get());
+      if (Failed)
+        return;
+      if (Goto.Active) {
+        // Catch the goto if its label is an immediate child of this
+        // compound within the right activation.
+        if (Goto.Target == &A) {
+          bool Caught = false;
+          for (size_t J = 0; J < Body.size(); ++J) {
+            const auto *LS = dyn_cast<LabeledStmt>(Body[J].get());
+            if (LS && LS->getLabel() == Goto.Label) {
+              Goto.Active = false;
+              I = J;
+              Caught = true;
+              break;
+            }
+          }
+          if (Caught) {
+            if (!countStep(Body[I]->getLoc()))
+              return;
+            continue; // execute the labeled statement next
+          }
+        }
+        return; // propagate outward
+      }
+      ++I;
+    }
+  }
+
+  void execAssign(Activation &A, const AssignStmt *AS) {
+    Value V = evalExpr(A, AS->getValue());
+    if (Failed)
+      return;
+    if (const auto *VR = dyn_cast<VarRefExpr>(AS->getTarget())) {
+      CellPtr C = getCell(A, VR->getDecl(), VR->getLoc());
+      if (!C)
+        return;
+      storeCell(A, C, std::move(V));
+      return;
+    }
+    const auto *IE = cast<IndexExpr>(AS->getTarget());
+    const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
+    CellPtr C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
+    if (!C)
+      return;
+    Value Idx = evalExpr(A, IE->getIndex());
+    if (Failed)
+      return;
+    // Writing one element both reads and writes the array as a whole.
+    observeRead(C);
+    observeWrite(C);
+    ArrayVal &Arr = C->V.asArray();
+    if (!Arr.inBounds(Idx.asInt())) {
+      fail(IE->getLoc(), "array index " + std::to_string(Idx.asInt()) +
+                             " out of bounds [" + std::to_string(Arr.Lo) +
+                             ".." + std::to_string(Arr.Hi) + "] for '" +
+                             BaseRef->getName() + "'");
+      return;
+    }
+    Arr.at(Idx.asInt()) = V.asInt();
+    if (Opts.TrackDeps) {
+      C->V.deps().mergeWith(V.deps());
+      C->V.deps().mergeWith(Idx.deps());
+      if (const DepSet *Ctrl = A.activeCtrlDeps())
+        C->V.deps().mergeWith(*Ctrl);
+    }
+  }
+
+  void pushCtrl(Activation &A, const DepSet &CondDeps) {
+    if (!Opts.TrackDeps)
+      return;
+    DepSet Merged = CondDeps;
+    if (const DepSet *Active = A.activeCtrlDeps())
+      Merged.mergeWith(*Active);
+    A.CtrlStack.push_back(std::move(Merged));
+  }
+
+  void popCtrl(Activation &A) {
+    if (!Opts.TrackDeps)
+      return;
+    A.CtrlStack.pop_back();
+  }
+
+  void execWhile(Activation &A, const WhileStmt *WS) {
+    uint32_t LoopNode = enterLoopUnit(UnitKind::Loop, WS->getUnitName(), WS,
+                                      0, WS->getLoc(), A);
+    DepSet CondAccum;
+    uint32_t Iter = 0;
+    for (;;) {
+      Value Cond = evalExpr(A, WS->getCond());
+      if (Failed)
+        break;
+      if (Opts.TrackDeps)
+        CondAccum.mergeWith(Cond.deps());
+      if (!Cond.asBool())
+        break;
+      ++Iter;
+      if (!countStep(WS->getLoc()))
+        break;
+      uint32_t IterNode = enterLoopUnit(UnitKind::Iteration,
+                                        WS->getUnitName(), WS, Iter,
+                                        WS->getLoc(), A);
+      pushCtrl(A, CondAccum);
+      execStmt(A, WS->getBody());
+      popCtrl(A);
+      exitLoopUnit(IterNode, A);
+      if (Failed || Goto.Active)
+        break;
+    }
+    exitLoopUnit(LoopNode, A);
+  }
+
+  void execRepeat(Activation &A, const RepeatStmt *RS) {
+    uint32_t LoopNode = enterLoopUnit(UnitKind::Loop, RS->getUnitName(), RS,
+                                      0, RS->getLoc(), A);
+    DepSet CondAccum;
+    uint32_t Iter = 0;
+    for (;;) {
+      ++Iter;
+      if (!countStep(RS->getLoc()))
+        break;
+      uint32_t IterNode = enterLoopUnit(UnitKind::Iteration,
+                                        RS->getUnitName(), RS, Iter,
+                                        RS->getLoc(), A);
+      pushCtrl(A, CondAccum);
+      for (const StmtPtr &Sub : RS->getBody()) {
+        execStmt(A, Sub.get());
+        if (Failed || Goto.Active)
+          break;
+      }
+      popCtrl(A);
+      exitLoopUnit(IterNode, A);
+      if (Failed || Goto.Active)
+        break;
+      Value Cond = evalExpr(A, RS->getCond());
+      if (Failed)
+        break;
+      if (Opts.TrackDeps)
+        CondAccum.mergeWith(Cond.deps());
+      if (Cond.asBool())
+        break;
+    }
+    exitLoopUnit(LoopNode, A);
+  }
+
+  void execFor(Activation &A, const ForStmt *FS) {
+    uint32_t LoopNode = enterLoopUnit(UnitKind::Loop, FS->getUnitName(), FS,
+                                      0, FS->getLoc(), A);
+    const auto *VR = cast<VarRefExpr>(FS->getLoopVar());
+    CellPtr LoopCell = getCell(A, VR->getDecl(), VR->getLoc());
+    Value From = evalExpr(A, FS->getFrom());
+    Value To = evalExpr(A, FS->getTo());
+    if (!Failed && LoopCell) {
+      DepSet BoundDeps;
+      if (Opts.TrackDeps) {
+        BoundDeps.mergeWith(From.deps());
+        BoundDeps.mergeWith(To.deps());
+      }
+      pushCtrl(A, BoundDeps);
+      int64_t I = From.asInt();
+      int64_t Limit = To.asInt();
+      uint32_t Iter = 0;
+      while (FS->isDownward() ? I >= Limit : I <= Limit) {
+        ++Iter;
+        if (!countStep(FS->getLoc()))
+          break;
+        Value IV = Value::makeInt(I);
+        if (Opts.TrackDeps)
+          IV.deps() = BoundDeps;
+        storeCell(A, LoopCell, std::move(IV));
+        uint32_t IterNode = enterLoopUnit(UnitKind::Iteration,
+                                          FS->getUnitName(), FS, Iter,
+                                          FS->getLoc(), A);
+        execStmt(A, FS->getBody());
+        exitLoopUnit(IterNode, A);
+        if (Failed || Goto.Active)
+          break;
+        I += FS->isDownward() ? -1 : 1;
+      }
+      popCtrl(A);
+    }
+    exitLoopUnit(LoopNode, A);
+  }
+
+  void execRead(Activation &A, const ReadStmt *RS) {
+    for (const ExprPtr &T : RS->getTargets()) {
+      if (Failed)
+        return;
+      if (InputPos >= Input.size()) {
+        fail(RS->getLoc(), "read past end of program input");
+        return;
+      }
+      Value V = Value::makeInt(Input[InputPos++]);
+      if (const auto *VR = dyn_cast<VarRefExpr>(T.get())) {
+        CellPtr C = getCell(A, VR->getDecl(), VR->getLoc());
+        if (!C)
+          return;
+        storeCell(A, C, std::move(V));
+        continue;
+      }
+      const auto *IE = cast<IndexExpr>(T.get());
+      const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
+      CellPtr C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
+      if (!C)
+        return;
+      Value Idx = evalExpr(A, IE->getIndex());
+      if (Failed)
+        return;
+      observeRead(C);
+      observeWrite(C);
+      ArrayVal &Arr = C->V.asArray();
+      if (!Arr.inBounds(Idx.asInt())) {
+        fail(IE->getLoc(), "array index " + std::to_string(Idx.asInt()) +
+                               " out of bounds in read");
+        return;
+      }
+      Arr.at(Idx.asInt()) = V.asInt();
+      if (Opts.TrackDeps) {
+        C->V.deps().mergeWith(Idx.deps());
+        if (const DepSet *Ctrl = A.activeCtrlDeps())
+          C->V.deps().mergeWith(*Ctrl);
+      }
+    }
+  }
+
+  void execWrite(Activation &A, const WriteStmt *WS) {
+    for (const ExprPtr &Arg : WS->getArgs()) {
+      Value V = evalExpr(A, Arg.get());
+      if (Failed)
+        return;
+      if (V.isStr())
+        Output += V.asStr();
+      else
+        Output += V.str();
+    }
+    if (WS->isWriteln())
+      Output += '\n';
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Entry points
+  //===--------------------------------------------------------------------===//
+
+  Activation makeMainActivation() {
+    Activation Main;
+    Main.R = Prog.getMain();
+    Main.StaticLink = nullptr;
+    for (const auto &G : Prog.getMain()->getLocals())
+      Main.Cells[G.get()] = newCell(G->getName(), initialValue(G->getType()));
+    return Main;
+  }
+
+  ExecResult run() {
+    reset();
+    ExecResult Res;
+    Activation Main = makeMainActivation();
+
+    uint32_t RootId = ++NodeCounter;
+    if (Listener) {
+      UnitStart Start;
+      Start.NodeId = RootId;
+      Start.Kind = UnitKind::Call;
+      Start.Name = Prog.getMain()->getName();
+      Start.Routine = Prog.getMain();
+      Start.Loc = Prog.getMain()->getLoc();
+      Listener->enterUnit(Start);
+    }
+    Frames.push_back(UnitFrame());
+    Frames.back().NodeId = RootId;
+    Frames.back().Watermark = CellSerial + 1;
+    Frames.back().Act = &Main;
+
+    if (Prog.getMain()->getBody())
+      execStmt(Main, Prog.getMain()->getBody());
+    if (Goto.Active) {
+      fail(Goto.Loc, "goto " + std::to_string(Goto.Label) +
+                         " escaped the main program");
+      Goto.Active = false;
+    }
+
+    Frames.pop_back();
+    for (const auto &G : Prog.getMain()->getLocals())
+      Res.FinalGlobals.push_back(
+          {G->getName(), Main.Cells[G.get()]->V});
+    if (Listener) {
+      std::vector<Binding> Outputs = Res.FinalGlobals;
+      if (!Output.empty())
+        Outputs.push_back({"<output>", Value::makeStr(Output)});
+      Listener->exitUnit(RootId, {}, std::move(Outputs));
+    }
+
+    Res.Ok = !Failed;
+    Res.Error = Error;
+    Res.Output = Output;
+    Res.Steps = Steps;
+    Res.UnitsExecuted = NodeCounter;
+    return Res;
+  }
+
+  const RoutineDecl *findRoutineByName(const RoutineDecl *Root,
+                                       const std::string &Name) {
+    if (Root->getName() == Name)
+      return Root;
+    for (const auto &N : Root->getNested())
+      if (const RoutineDecl *Found = findRoutineByName(N.get(), Name))
+        return Found;
+    return nullptr;
+  }
+
+  CallOutcome callRoutine(const std::string &Name, std::vector<Value> Args,
+                          const std::vector<Binding> &GlobalPresets) {
+    reset();
+    CallOutcome Out;
+    const RoutineDecl *Callee = findRoutineByName(Prog.getMain(), Name);
+    if (!Callee) {
+      Out.Error = {SourceLoc(), "no routine named '" + Name + "'"};
+      return Out;
+    }
+    if (Args.size() != Callee->getParams().size()) {
+      Out.Error = {SourceLoc(), "argument count mismatch calling '" + Name +
+                                    "'"};
+      return Out;
+    }
+
+    Activation Main = makeMainActivation();
+    // Build activations for the static chain from main down to the callee's
+    // parent (their locals are default-initialized). This lets test cases
+    // invoke nested routines directly.
+    std::vector<std::unique_ptr<Activation>> Chain;
+    Activation *Link = &Main;
+    {
+      std::vector<const RoutineDecl *> Path;
+      for (const RoutineDecl *R = Callee->getParent();
+           R && R != Prog.getMain(); R = R->getParent())
+        Path.push_back(R);
+      for (auto It = Path.rbegin(); It != Path.rend(); ++It) {
+        auto Act = std::make_unique<Activation>();
+        Act->R = *It;
+        Act->StaticLink = Link;
+        for (const auto &L : (*It)->getLocals())
+          Act->Cells[L.get()] =
+              newCell(L->getName(), initialValue(L->getType()));
+        for (const auto &P : (*It)->getParams())
+          Act->Cells[P.get()] =
+              newCell(P->getName(), defaultValue(P->getType()));
+        Link = Act.get();
+        Chain.push_back(std::move(Act));
+      }
+    }
+
+    // Apply global presets by name, innermost scope first.
+    for (const Binding &Preset : GlobalPresets) {
+      for (Activation *Cur = Link; Cur; Cur = Cur->StaticLink) {
+        bool Applied = false;
+        for (auto &[Decl, CellP] : Cur->Cells)
+          if (Decl->getName() == Preset.Name) {
+            CellP->V = Preset.V;
+            Applied = true;
+            break;
+          }
+        if (Applied)
+          break;
+      }
+    }
+
+    uint64_t Watermark = CellSerial + 1;
+    Activation Act;
+    Act.R = Callee;
+    Act.StaticLink = Link;
+    std::vector<Binding> EntryInputs;
+    std::vector<CellPtr> RefCells;
+    for (size_t I = 0, N = Callee->getParams().size(); I != N; ++I) {
+      const VarDecl *Param = Callee->getParams()[I].get();
+      Value V = Args[I].isUnset() ? defaultValue(Param->getType())
+                                  : std::move(Args[I]);
+      if (!Param->isReference())
+        EntryInputs.push_back({Param->getName(), V});
+      CellPtr C = newCell(Param->getName(), std::move(V));
+      Act.Cells[Param] = C;
+      if (Param->isReference())
+        RefCells.push_back(C);
+    }
+    for (const auto &L : Callee->getLocals())
+      Act.Cells[L.get()] = newCell(L->getName(), initialValue(L->getType()));
+    if (Callee->isFunction())
+      Act.Cells[Callee->getResultVar()] = newCell(
+          Callee->getName(), initialValue(Callee->getReturnType()));
+
+    std::vector<Binding> Inputs, Outputs;
+    Value Result;
+    runPreparedCall(Act, Callee, std::move(EntryInputs), nullptr, nullptr,
+                    Callee->getLoc(), nullptr, Inputs, Outputs, &Result,
+                    Watermark);
+    if (Goto.Active) {
+      fail(Goto.Loc, "non-local goto escaped the routine under test");
+      Goto.Active = false;
+    }
+
+    Out.Ok = !Failed;
+    Out.Error = Error;
+    Out.Output = Output;
+    // The trace-shaped outputs (written params, global effects, result),
+    // augmented with unwritten var parameters so checkers see the full
+    // post-state.
+    Out.Outputs = std::move(Outputs);
+    for (size_t I = 0, N = Callee->getParams().size(); I != N; ++I) {
+      const VarDecl *Param = Callee->getParams()[I].get();
+      if (!Param->isReference())
+        continue;
+      bool Present = false;
+      for (const Binding &B : Out.Outputs)
+        if (B.Name == Param->getName())
+          Present = true;
+      if (!Present)
+        Out.Outputs.push_back({Param->getName(), Act.Cells[Param]->V});
+    }
+    return Out;
+  }
+};
+
+Interpreter::Interpreter(const Program &Prog, InterpOptions Opts)
+    : P(std::make_unique<Impl>(Prog, Opts)) {}
+
+Interpreter::~Interpreter() = default;
+
+void Interpreter::setInput(std::vector<int64_t> Input) {
+  P->Input = std::move(Input);
+}
+
+void Interpreter::setListener(TraceListener *L) { P->Listener = L; }
+
+ExecResult Interpreter::run() { return P->run(); }
+
+CallOutcome Interpreter::callRoutine(const std::string &Name,
+                                     std::vector<Value> Args,
+                                     const std::vector<Binding> &Presets) {
+  return P->callRoutine(Name, std::move(Args), Presets);
+}

@@ -1,0 +1,74 @@
+//===- Value.cpp - Runtime values -----------------------------------------===//
+
+#include "interp/Value.h"
+
+#include <algorithm>
+
+using namespace gadt;
+using namespace gadt::interp;
+
+bool DepSet::contains(uint32_t Id) const {
+  return std::binary_search(Ids.begin(), Ids.end(), Id);
+}
+
+void DepSet::insert(uint32_t Id) {
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), Id);
+  if (It == Ids.end() || *It != Id)
+    Ids.insert(It, Id);
+}
+
+void DepSet::mergeWith(const DepSet &Other) {
+  if (Other.Ids.empty())
+    return;
+  if (Ids.empty()) {
+    Ids = Other.Ids;
+    return;
+  }
+  std::vector<uint32_t> Merged;
+  Merged.reserve(Ids.size() + Other.Ids.size());
+  std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
+                 std::back_inserter(Merged));
+  Ids = std::move(Merged);
+}
+
+bool Value::equals(const Value &Other) const {
+  if (K != Other.K)
+    return false;
+  switch (K) {
+  case Kind::Unset:
+    return true;
+  case Kind::Int:
+    return Int == Other.Int;
+  case Kind::Bool:
+    return Bool == Other.Bool;
+  case Kind::Array:
+    return Array == Other.Array;
+  case Kind::Str:
+    return Str == Other.Str;
+  }
+  return false;
+}
+
+std::string Value::str() const {
+  switch (K) {
+  case Kind::Unset:
+    return "<unset>";
+  case Kind::Int:
+    return std::to_string(Int);
+  case Kind::Bool:
+    return Bool ? "true" : "false";
+  case Kind::Str:
+    return "'" + Str + "'";
+  case Kind::Array: {
+    std::string Out = "[";
+    for (size_t I = 0, N = Array.Elems.size(); I != N; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += std::to_string(Array.Elems[I]);
+    }
+    Out += "]";
+    return Out;
+  }
+  }
+  return "<invalid>";
+}

@@ -1,0 +1,132 @@
+//===- Value.h - Runtime values ---------------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values of the Pascal interpreter. Every value optionally carries
+/// a *dependence set*: the ids of the execution-tree nodes (unit executions)
+/// whose results flowed into it. This is the substrate of the dynamic
+/// slicer (paper Section 7 / [Kamkar-91b]).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_INTERP_VALUE_H
+#define GADT_INTERP_VALUE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace interp {
+
+/// A sorted, duplicate-free set of execution-tree node ids. Small programs
+/// keep these sets tiny, so a sorted vector beats heavier set types.
+class DepSet {
+public:
+  DepSet() = default;
+
+  bool empty() const { return Ids.empty(); }
+  size_t size() const { return Ids.size(); }
+  const std::vector<uint32_t> &ids() const { return Ids; }
+
+  bool contains(uint32_t Id) const;
+  void insert(uint32_t Id);
+  void mergeWith(const DepSet &Other);
+
+  friend bool operator==(const DepSet &A, const DepSet &B) {
+    return A.Ids == B.Ids;
+  }
+
+private:
+  std::vector<uint32_t> Ids;
+};
+
+/// An array value: inclusive bounds plus elements. Pascal arrays have value
+/// semantics (copied on assignment and on value-parameter passing).
+struct ArrayVal {
+  int64_t Lo = 1;
+  int64_t Hi = 0;
+  std::vector<int64_t> Elems;
+
+  int64_t size() const { return Hi - Lo + 1; }
+  bool inBounds(int64_t Index) const { return Index >= Lo && Index <= Hi; }
+  int64_t &at(int64_t Index) { return Elems[static_cast<size_t>(Index - Lo)]; }
+  int64_t at(int64_t Index) const {
+    return Elems[static_cast<size_t>(Index - Lo)];
+  }
+
+  friend bool operator==(const ArrayVal &A, const ArrayVal &B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi && A.Elems == B.Elems;
+  }
+};
+
+/// A runtime value: unset, integer, boolean, array or string.
+class Value {
+public:
+  enum class Kind : uint8_t { Unset, Int, Bool, Array, Str };
+
+  Value() = default;
+  static Value makeInt(int64_t V) {
+    Value Val;
+    Val.K = Kind::Int;
+    Val.Int = V;
+    return Val;
+  }
+  static Value makeBool(bool V) {
+    Value Val;
+    Val.K = Kind::Bool;
+    Val.Bool = V;
+    return Val;
+  }
+  static Value makeArray(ArrayVal V) {
+    Value Val;
+    Val.K = Kind::Array;
+    Val.Array = std::move(V);
+    return Val;
+  }
+  static Value makeStr(std::string V) {
+    Value Val;
+    Val.K = Kind::Str;
+    Val.Str = std::move(V);
+    return Val;
+  }
+
+  Kind kind() const { return K; }
+  bool isUnset() const { return K == Kind::Unset; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isStr() const { return K == Kind::Str; }
+
+  int64_t asInt() const { return Int; }
+  bool asBool() const { return Bool; }
+  const ArrayVal &asArray() const { return Array; }
+  ArrayVal &asArray() { return Array; }
+  const std::string &asStr() const { return Str; }
+
+  DepSet &deps() { return Deps; }
+  const DepSet &deps() const { return Deps; }
+
+  /// Structural equality; dependence sets do not participate.
+  bool equals(const Value &Other) const;
+
+  /// Renders in the paper's notation: integers as-is, booleans as
+  /// true/false, arrays as "[1, 2]".
+  std::string str() const;
+
+private:
+  Kind K = Kind::Unset;
+  int64_t Int = 0;
+  bool Bool = false;
+  ArrayVal Array;
+  std::string Str;
+  DepSet Deps;
+};
+
+} // namespace interp
+} // namespace gadt
+
+#endif // GADT_INTERP_VALUE_H

@@ -1,0 +1,20 @@
+//===- Frontend.cpp - Parse + analyze convenience -------------------------===//
+
+#include "pascal/Frontend.h"
+
+#include "pascal/Parser.h"
+#include "pascal/Sema.h"
+
+using namespace gadt;
+using namespace gadt::pascal;
+
+std::unique_ptr<Program> gadt::pascal::parseAndCheck(std::string_view Source,
+                                                     DiagnosticsEngine &Diags) {
+  Parser P(Source, Diags);
+  std::unique_ptr<Program> Prog = P.parseProgram();
+  if (!Prog)
+    return nullptr;
+  if (!analyze(*Prog, Diags))
+    return nullptr;
+  return Prog;
+}

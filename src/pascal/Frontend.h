@@ -1,0 +1,32 @@
+//===- Frontend.h - Parse + analyze convenience -----------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call entry point: source text in, checked Program out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_FRONTEND_H
+#define GADT_PASCAL_FRONTEND_H
+
+#include "pascal/AST.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <string_view>
+
+namespace gadt {
+namespace pascal {
+
+/// Parses and semantically checks \p Source. Returns null (with diagnostics
+/// in \p Diags) on any error.
+std::unique_ptr<Program> parseAndCheck(std::string_view Source,
+                                       DiagnosticsEngine &Diags);
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_FRONTEND_H

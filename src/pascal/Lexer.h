@@ -1,0 +1,65 @@
+//===- Lexer.h - Pascal lexer -----------------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for the Pascal subset. Identifiers and keywords are
+/// case-insensitive; `(* ... *)` and `{ ... }` comments are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_LEXER_H
+#define GADT_PASCAL_LEXER_H
+
+#include "pascal/Token.h"
+#include "support/Diagnostics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gadt {
+namespace pascal {
+
+/// Converts a source buffer into a token stream.
+///
+/// The lexer reports malformed input (unterminated comments/strings, stray
+/// characters) to the DiagnosticsEngine and keeps going, so the parser can
+/// surface as many problems as possible in one pass.
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticsEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes and returns the next token (Eof at end of input, forever after).
+  Token next();
+
+  /// Lexes the entire buffer. The last token is always Eof.
+  std::vector<Token> lexAll();
+
+private:
+  SourceLoc currentLoc() const { return SourceLoc(Line, Column); }
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, SourceLoc Loc, std::string Text = {});
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  Token lexString(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  uint32_t Column = 1;
+};
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_LEXER_H

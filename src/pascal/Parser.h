@@ -1,0 +1,107 @@
+//===- Parser.h - Pascal recursive-descent parser ---------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A recursive-descent parser for the Pascal subset. Produces an unchecked
+/// AST; name resolution and type checking happen in Sema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_PARSER_H
+#define GADT_PASCAL_PARSER_H
+
+#include "pascal/AST.h"
+#include "pascal/Lexer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+
+namespace gadt {
+namespace pascal {
+
+/// Parses one program. On any syntax error the parser reports to the
+/// diagnostics engine and returns null from \c parseProgram.
+class Parser {
+public:
+  Parser(std::string_view Source, DiagnosticsEngine &Diags);
+
+  /// Parses a complete `program ... end.` unit. Returns null on error.
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &tok() const { return Tokens[Index]; }
+  const Token &peekTok(unsigned Ahead = 1) const {
+    size_t I = Index + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  void consume() {
+    if (Index + 1 < Tokens.size())
+      ++Index;
+  }
+  bool consumeIf(TokenKind K) {
+    if (!tok().is(K))
+      return false;
+    consume();
+    return true;
+  }
+  /// Consumes \p K or reports "expected ...". Returns success.
+  bool expect(TokenKind K, const char *Context);
+  void error(const std::string &Message);
+
+  // Grammar productions.
+  bool parseBlock(RoutineDecl &R);
+  bool parseLabelSection(RoutineDecl &R);
+  bool parseTypeSection();
+  bool parseConstSection();
+  bool parseVarSection(RoutineDecl &R);
+  std::unique_ptr<RoutineDecl> parseRoutineDecl(RoutineDecl &Parent);
+  bool parseParamList(RoutineDecl &R);
+  const Type *parseType();
+  int64_t parseArrayBound(bool &Ok);
+
+  // Constant scoping: Pascal `const` names are substituted with their
+  // literal values during parsing; declarations in inner scopes shadow
+  // outer constants.
+  struct ConstScope {
+    std::unordered_map<std::string, int64_t> Ints;
+    std::unordered_map<std::string, bool> Bools;
+    std::set<std::string> Shadowed; ///< var/param/routine names here
+  };
+  /// Looks up \p Name through the scope stack; returns a literal expression
+  /// or null when the name is not a visible constant.
+  ExprPtr lookupConst(const std::string &Name, SourceLoc Loc) const;
+  bool lookupConstInt(const std::string &Name, int64_t &Out) const;
+
+  std::unique_ptr<CompoundStmt> parseCompound();
+  StmtPtr parseStatement();
+  StmtPtr parseUnlabeledStatement();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseRepeat();
+  StmtPtr parseFor();
+  StmtPtr parseAssignOrCall();
+
+  ExprPtr parseExpr();          // relational level
+  ExprPtr parseSimpleExpr();    // additive / or
+  ExprPtr parseTerm();          // multiplicative / and
+  ExprPtr parseFactor();
+
+  std::unique_ptr<Program> Prog;
+  std::vector<Token> Tokens;
+  size_t Index = 0;
+  DiagnosticsEngine &Diags;
+  std::unordered_map<std::string, const Type *> TypeTable;
+  std::vector<ConstScope> ConstScopes;
+};
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_PARSER_H

@@ -1,0 +1,246 @@
+//===- PrettyPrinter.cpp - AST to Pascal source ---------------------------===//
+
+#include "pascal/PrettyPrinter.h"
+
+#include "support/Casting.h"
+
+using namespace gadt;
+using namespace gadt::pascal;
+
+namespace {
+
+class Printer {
+public:
+  std::string Out;
+
+  void indent(unsigned Depth) { Out.append(Depth * 2, ' '); }
+
+  void line(unsigned Depth, const std::string &Text) {
+    indent(Depth);
+    Out += Text;
+    Out += '\n';
+  }
+
+  void printVarGroup(unsigned Depth,
+                     const std::vector<std::unique_ptr<VarDecl>> &Vars) {
+    if (Vars.empty())
+      return;
+    line(Depth, "var");
+    for (const auto &V : Vars)
+      line(Depth + 1, V->getName() + ": " + V->getType()->str() + ";");
+  }
+
+  void printParams(const RoutineDecl &R) {
+    if (R.getParams().empty())
+      return;
+    Out += '(';
+    for (size_t I = 0, N = R.getParams().size(); I != N; ++I) {
+      const VarDecl &P = *R.getParams()[I];
+      if (I != 0)
+        Out += "; ";
+      const char *Mode = paramModeSpelling(P.getMode());
+      if (*Mode) {
+        Out += Mode;
+        Out += ' ';
+      }
+      Out += P.getName();
+      Out += ": ";
+      Out += P.getType()->str();
+    }
+    Out += ')';
+  }
+
+  void printLabels(unsigned Depth, const std::vector<int> &Labels) {
+    if (Labels.empty())
+      return;
+    indent(Depth);
+    Out += "label ";
+    for (size_t I = 0, N = Labels.size(); I != N; ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += std::to_string(Labels[I]);
+    }
+    Out += ";\n";
+  }
+
+  void printRoutine(const RoutineDecl &R, unsigned Depth) {
+    indent(Depth);
+    Out += R.isFunction() ? "function " : "procedure ";
+    Out += R.getName();
+    printParams(R);
+    if (R.isFunction()) {
+      Out += ": ";
+      Out += R.getReturnType()->str();
+    }
+    Out += ";\n";
+    printLabels(Depth, R.getLabels());
+    printVarGroup(Depth, R.getLocals());
+    for (const auto &N : R.getNested())
+      printRoutine(*N, Depth + 1);
+    printBlockBody(R, Depth);
+    Out += ";\n";
+  }
+
+  /// Prints "begin ... end" of a routine (no trailing separator).
+  void printBlockBody(const RoutineDecl &R, unsigned Depth) {
+    line(Depth, "begin");
+    if (const CompoundStmt *Body = R.getBody())
+      for (const StmtPtr &S : Body->getBody())
+        printStmt(*S, Depth + 1, /*Terminate=*/true);
+    indent(Depth);
+    Out += "end";
+  }
+
+  void printStmt(const Stmt &S, unsigned Depth, bool Terminate) {
+    switch (S.getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto &AS = cast<AssignStmt>(&S);
+      indent(Depth);
+      Out += AS->getTarget()->str() + " := " + AS->getValue()->str();
+      break;
+    }
+    case Stmt::Kind::Compound: {
+      const auto *CS = cast<CompoundStmt>(&S);
+      line(Depth, "begin");
+      for (const StmtPtr &Sub : CS->getBody())
+        printStmt(*Sub, Depth + 1, true);
+      indent(Depth);
+      Out += "end";
+      break;
+    }
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(&S);
+      indent(Depth);
+      Out += "if " + IS->getCond()->str() + " then\n";
+      printStmt(*IS->getThen(), Depth + 1, false);
+      if (IS->getElse()) {
+        line(Depth, "else");
+        printStmt(*IS->getElse(), Depth + 1, false);
+      }
+      break;
+    }
+    case Stmt::Kind::While: {
+      const auto *WS = cast<WhileStmt>(&S);
+      indent(Depth);
+      Out += "while " + WS->getCond()->str() + " do\n";
+      printStmt(*WS->getBody(), Depth + 1, false);
+      break;
+    }
+    case Stmt::Kind::Repeat: {
+      const auto *RS = cast<RepeatStmt>(&S);
+      line(Depth, "repeat");
+      for (const StmtPtr &Sub : RS->getBody())
+        printStmt(*Sub, Depth + 1, true);
+      indent(Depth);
+      Out += "until " + RS->getCond()->str();
+      break;
+    }
+    case Stmt::Kind::For: {
+      const auto *FS = cast<ForStmt>(&S);
+      indent(Depth);
+      Out += "for " + FS->getLoopVar()->str() + " := " +
+             FS->getFrom()->str() + (FS->isDownward() ? " downto " : " to ") +
+             FS->getTo()->str() + " do\n";
+      printStmt(*FS->getBody(), Depth + 1, false);
+      break;
+    }
+    case Stmt::Kind::ProcCall: {
+      const auto *PC = cast<ProcCallStmt>(&S);
+      indent(Depth);
+      Out += PC->getCalleeName();
+      if (!PC->getArgs().empty()) {
+        Out += '(';
+        for (size_t I = 0, N = PC->getArgs().size(); I != N; ++I) {
+          if (I != 0)
+            Out += ", ";
+          Out += PC->getArgs()[I]->str();
+        }
+        Out += ')';
+      }
+      break;
+    }
+    case Stmt::Kind::Goto:
+      indent(Depth);
+      Out += "goto " + std::to_string(cast<GotoStmt>(&S)->getLabel());
+      break;
+    case Stmt::Kind::Labeled: {
+      const auto *LS = cast<LabeledStmt>(&S);
+      indent(Depth);
+      Out += std::to_string(LS->getLabel()) + ":\n";
+      printStmt(*LS->getSub(), Depth, false);
+      break;
+    }
+    case Stmt::Kind::Read: {
+      const auto *RS = cast<ReadStmt>(&S);
+      indent(Depth);
+      Out += "read(";
+      for (size_t I = 0, N = RS->getTargets().size(); I != N; ++I) {
+        if (I != 0)
+          Out += ", ";
+        Out += RS->getTargets()[I]->str();
+      }
+      Out += ')';
+      break;
+    }
+    case Stmt::Kind::Write: {
+      const auto *WS = cast<WriteStmt>(&S);
+      indent(Depth);
+      Out += WS->isWriteln() ? "writeln" : "write";
+      if (!WS->getArgs().empty()) {
+        Out += '(';
+        for (size_t I = 0, N = WS->getArgs().size(); I != N; ++I) {
+          if (I != 0)
+            Out += ", ";
+          Out += WS->getArgs()[I]->str();
+        }
+        Out += ')';
+      }
+      break;
+    }
+    case Stmt::Kind::Empty:
+      indent(Depth);
+      break;
+    }
+    // Exactly one terminator: strip the newline a nested block printer may
+    // have emitted, then close the statement.
+    if (Terminate) {
+      if (!Out.empty() && Out.back() == '\n')
+        Out.pop_back();
+      Out += ";\n";
+    } else if (Out.empty() || Out.back() != '\n') {
+      Out += '\n';
+    }
+  }
+};
+
+} // namespace
+
+std::string gadt::pascal::printProgram(const Program &P) {
+  Printer Pr;
+  const RoutineDecl &Main = *P.getMain();
+  Pr.Out += "program " + Main.getName() + ";\n";
+  if (!P.getTypeDefs().empty()) {
+    Pr.line(0, "type");
+    for (const TypeDef &TD : P.getTypeDefs())
+      Pr.line(1, TD.Name + " = " + TD.Ty->str() + ";");
+  }
+  Pr.printLabels(0, Main.getLabels());
+  Pr.printVarGroup(0, Main.getLocals());
+  for (const auto &N : Main.getNested())
+    Pr.printRoutine(*N, 0);
+  Pr.printBlockBody(Main, 0);
+  Pr.Out += ".\n";
+  return std::move(Pr.Out);
+}
+
+std::string gadt::pascal::printRoutine(const RoutineDecl &R, unsigned Indent) {
+  Printer Pr;
+  Pr.printRoutine(R, Indent);
+  return std::move(Pr.Out);
+}
+
+std::string gadt::pascal::printStmt(const Stmt &S, unsigned Indent) {
+  Printer Pr;
+  Pr.printStmt(S, Indent, /*Terminate=*/true);
+  return std::move(Pr.Out);
+}

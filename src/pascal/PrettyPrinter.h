@@ -1,0 +1,38 @@
+//===- PrettyPrinter.h - AST to Pascal source -------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a (possibly transformed or sliced) AST back to Pascal source.
+/// Used to present transformation results (paper Section 6), project slices
+/// onto source (paper Figure 2), and compute the growth-factor metric
+/// (paper Section 9).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_PRETTYPRINTER_H
+#define GADT_PASCAL_PRETTYPRINTER_H
+
+#include "pascal/AST.h"
+
+#include <string>
+
+namespace gadt {
+namespace pascal {
+
+/// Renders the whole program as Pascal source.
+std::string printProgram(const Program &P);
+
+/// Renders a single routine declaration (with nested routines and body) at
+/// the given indentation depth.
+std::string printRoutine(const RoutineDecl &R, unsigned Indent = 0);
+
+/// Renders a single statement at the given indentation depth.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_PRETTYPRINTER_H

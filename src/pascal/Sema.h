@@ -1,0 +1,33 @@
+//===- Sema.h - Pascal semantic analysis ------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name resolution, type checking and label checking for the Pascal subset.
+/// Sema also prepares the AST for later phases: it creates function-result
+/// pseudo-variables, classifies gotos as local or non-local (the paper's
+/// "global gotos"), and assigns stable unit names to loops (the paper treats
+/// local loops as debugging units).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_SEMA_H
+#define GADT_PASCAL_SEMA_H
+
+#include "pascal/AST.h"
+#include "support/Diagnostics.h"
+
+namespace gadt {
+namespace pascal {
+
+/// Runs semantic analysis over \p P. Returns true on success; reports
+/// problems to \p Diags otherwise. Safe to run on transformed programs as
+/// well (re-checking after a transformation is a cheap sanity pass).
+bool analyze(Program &P, DiagnosticsEngine &Diags);
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_SEMA_H

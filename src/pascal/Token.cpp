@@ -1,0 +1,122 @@
+//===- Token.cpp - Pascal token definitions -------------------------------===//
+
+#include "pascal/Token.h"
+
+using namespace gadt;
+using namespace gadt::pascal;
+
+const char *gadt::pascal::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of input";
+  case TokenKind::Unknown:
+    return "unknown character";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwProgram:
+    return "'program'";
+  case TokenKind::KwProcedure:
+    return "'procedure'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwVar:
+    return "'var'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwType:
+    return "'type'";
+  case TokenKind::KwLabel:
+    return "'label'";
+  case TokenKind::KwBegin:
+    return "'begin'";
+  case TokenKind::KwEnd:
+    return "'end'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwThen:
+    return "'then'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwRepeat:
+    return "'repeat'";
+  case TokenKind::KwUntil:
+    return "'until'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwTo:
+    return "'to'";
+  case TokenKind::KwDownto:
+    return "'downto'";
+  case TokenKind::KwGoto:
+    return "'goto'";
+  case TokenKind::KwArray:
+    return "'array'";
+  case TokenKind::KwOf:
+    return "'of'";
+  case TokenKind::KwDiv:
+    return "'div'";
+  case TokenKind::KwMod:
+    return "'mod'";
+  case TokenKind::KwAnd:
+    return "'and'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwNot:
+    return "'not'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwIn:
+    return "'in'";
+  case TokenKind::KwOut:
+    return "'out'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::DotDot:
+    return "'..'";
+  case TokenKind::Assign:
+    return "':='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Equal:
+    return "'='";
+  case TokenKind::NotEqual:
+    return "'<>'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  }
+  return "token";
+}

@@ -1,0 +1,113 @@
+//===- Token.h - Pascal token definitions -----------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens for the Pascal subset used throughout the paper: programs, nested
+/// procedures/functions, value/var/in/out parameters, labels and gotos,
+/// structured statements, integer/boolean/array expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_TOKEN_H
+#define GADT_PASCAL_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace gadt {
+namespace pascal {
+
+enum class TokenKind : uint8_t {
+  // Sentinels.
+  Eof,
+  Unknown,
+
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  StringLiteral,
+
+  // Keywords (Pascal keywords are case-insensitive).
+  KwProgram,
+  KwProcedure,
+  KwFunction,
+  KwVar,
+  KwConst,
+  KwType,
+  KwLabel,
+  KwBegin,
+  KwEnd,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwRepeat,
+  KwUntil,
+  KwFor,
+  KwTo,
+  KwDownto,
+  KwGoto,
+  KwArray,
+  KwOf,
+  KwDiv,
+  KwMod,
+  KwAnd,
+  KwOr,
+  KwNot,
+  KwTrue,
+  KwFalse,
+  KwIn,  // Parameter mode in transformed programs (paper Section 6).
+  KwOut, // Parameter mode in transformed programs (paper Section 6).
+
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Colon,
+  Dot,
+  DotDot,
+  Assign, // :=
+  Plus,
+  Minus,
+  Star,
+  Equal,
+  NotEqual, // <>
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+};
+
+/// Returns a human-readable spelling for diagnostics ("':='", "'begin'", ...).
+const char *tokenKindName(TokenKind Kind);
+
+/// A single lexed token. \c Text carries the identifier/literal spelling;
+/// \c IntValue the decoded value of integer literals.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+  bool isNot(TokenKind K) const { return Kind != K; }
+  bool isOneOf(TokenKind K1, TokenKind K2) const { return is(K1) || is(K2); }
+  template <typename... Ts>
+  bool isOneOf(TokenKind K1, TokenKind K2, Ts... Ks) const {
+    return is(K1) || isOneOf(K2, Ks...);
+  }
+};
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_TOKEN_H

@@ -1,0 +1,59 @@
+//===- Type.cpp - Pascal types --------------------------------------------===//
+
+#include "pascal/Type.h"
+
+#include <cassert>
+
+using namespace gadt;
+using namespace gadt::pascal;
+
+bool Type::equals(const Type *Other) const {
+  assert(Other && "comparing against a null type");
+  if (this == Other)
+    return true;
+  if (K != Other->K)
+    return false;
+  if (K != Kind::Array)
+    return true;
+  return Lo == Other->Lo && Hi == Other->Hi && Elem->equals(Other->Elem);
+}
+
+bool Type::isAssignableFrom(const Type *Other) const {
+  assert(Other && "checking assignability from a null type");
+  if (K != Other->K)
+    return false;
+  if (K != Kind::Array)
+    return true;
+  return Elem->equals(Other->Elem);
+}
+
+std::string Type::str() const {
+  switch (K) {
+  case Kind::Integer:
+    return "integer";
+  case Kind::Boolean:
+    return "boolean";
+  case Kind::String:
+    return "string";
+  case Kind::Array:
+    return "array[" + std::to_string(Lo) + ".." + std::to_string(Hi) +
+           "] of " + Elem->str();
+  }
+  return "<invalid>";
+}
+
+TypeContext::TypeContext()
+    : IntTy(new Type(Type::Kind::Integer)), BoolTy(new Type(Type::Kind::Boolean)),
+      StrTy(new Type(Type::Kind::String)) {}
+
+const Type *TypeContext::getArrayType(const Type *Elem, int64_t Lo,
+                                      int64_t Hi) {
+  assert(Elem && "array element type must be non-null");
+  assert(Lo <= Hi && "array bounds must be non-empty");
+  for (const auto &T : ArrayTypes)
+    if (T->getElementType() == Elem && T->getLowerBound() == Lo &&
+        T->getUpperBound() == Hi)
+      return T.get();
+  ArrayTypes.emplace_back(new Type(Elem, Lo, Hi));
+  return ArrayTypes.back().get();
+}

@@ -1,0 +1,91 @@
+//===- Type.h - Pascal types ------------------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The type system of the Pascal subset: integer, boolean, fixed-bound
+/// integer arrays, and a string type for write() arguments. Types are
+/// interned by TypeContext, so pointer equality is type equality for
+/// scalars; arrays compare structurally via Type::equals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_PASCAL_TYPE_H
+#define GADT_PASCAL_TYPE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace pascal {
+
+/// A Pascal type. Instances are owned by a TypeContext and immutable.
+class Type {
+public:
+  enum class Kind : uint8_t { Integer, Boolean, Array, String };
+
+  Kind getKind() const { return K; }
+  bool isInteger() const { return K == Kind::Integer; }
+  bool isBoolean() const { return K == Kind::Boolean; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Array element type; null for non-arrays.
+  const Type *getElementType() const { return Elem; }
+  /// Inclusive array bounds (valid only for arrays).
+  int64_t getLowerBound() const { return Lo; }
+  int64_t getUpperBound() const { return Hi; }
+  int64_t getArraySize() const { return Hi - Lo + 1; }
+
+  /// Structural equality. Array bounds participate: `array[1..10]` differs
+  /// from `array[1..5]`, but see \c isAssignableFrom for the lenient rule
+  /// used in checking.
+  bool equals(const Type *Other) const;
+
+  /// Assignment compatibility: scalars must match exactly; arrays need only
+  /// matching element types (bounds are enforced at run time, which lets the
+  /// paper's `[1, 2]` array constructors flow into `intarray` parameters).
+  bool isAssignableFrom(const Type *Other) const;
+
+  /// Renders as Pascal source: "integer", "array[1..10] of integer", ...
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  explicit Type(Kind K) : K(K) {}
+  Type(const Type *Elem, int64_t Lo, int64_t Hi)
+      : K(Kind::Array), Elem(Elem), Lo(Lo), Hi(Hi) {}
+
+  Kind K;
+  const Type *Elem = nullptr;
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+};
+
+/// Owns and interns Type instances for one program.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *getIntegerType() const { return IntTy.get(); }
+  const Type *getBooleanType() const { return BoolTy.get(); }
+  const Type *getStringType() const { return StrTy.get(); }
+  const Type *getArrayType(const Type *Elem, int64_t Lo, int64_t Hi);
+
+private:
+  std::unique_ptr<Type> IntTy;
+  std::unique_ptr<Type> BoolTy;
+  std::unique_ptr<Type> StrTy;
+  std::vector<std::unique_ptr<Type>> ArrayTypes;
+};
+
+} // namespace pascal
+} // namespace gadt
+
+#endif // GADT_PASCAL_TYPE_H

@@ -1,0 +1,38 @@
+//===- DynamicSlicer.cpp - Dynamic slicing over execution trees -----------===//
+
+#include "slicing/DynamicSlicer.h"
+
+using namespace gadt;
+using namespace gadt::slicing;
+using namespace gadt::trace;
+
+namespace {
+
+/// Marks nodes in \p N's subtree that are in \p Deps or have a marked
+/// descendant; returns whether anything below (or \p N itself) was marked.
+bool markRelevant(const ExecNode *N, const interp::DepSet &Deps,
+                  std::set<uint32_t> &Kept) {
+  bool Relevant = Deps.contains(N->getId());
+  for (const auto &C : N->getChildren())
+    if (markRelevant(C.get(), Deps, Kept))
+      Relevant = true;
+  if (Relevant)
+    Kept.insert(N->getId());
+  return Relevant;
+}
+
+} // namespace
+
+std::set<uint32_t> gadt::slicing::dynamicSlice(const ExecNode *Criterion,
+                                               const std::string &OutputName) {
+  std::set<uint32_t> Kept;
+  if (!Criterion)
+    return Kept;
+  Kept.insert(Criterion->getId());
+  const interp::Binding *B = Criterion->findOutput(OutputName);
+  if (!B)
+    return Kept;
+  for (const auto &C : Criterion->getChildren())
+    markRelevant(C.get(), B->V.deps(), Kept);
+  return Kept;
+}

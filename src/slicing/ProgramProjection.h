@@ -1,0 +1,41 @@
+//===- ProgramProjection.h - Slice to program projection --------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Projects a static slice back onto program text, producing the reduced
+/// "independent program" of Weiser slicing — the paper's Figure 2(b).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SLICING_PROGRAMPROJECTION_H
+#define GADT_SLICING_PROGRAMPROJECTION_H
+
+#include "pascal/AST.h"
+#include "slicing/StaticSlicer.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace gadt {
+namespace slicing {
+
+/// Builds a new program containing only the sliced statements: routines
+/// with no vertex in the slice are dropped, statement lists are filtered,
+/// control structure is kept when its predicate is in the slice, and
+/// variable declarations not referenced by the projected code are removed.
+///
+/// The projection is re-checked with Sema (re-resolving names inside the
+/// rebuilt tree); on the rare failure, null is returned with diagnostics in
+/// \p Diags. The returned program shares the original's TypeContext, so the
+/// original must outlive it.
+std::unique_ptr<pascal::Program> projectSlice(const pascal::Program &P,
+                                              const StaticSlice &Slice,
+                                              DiagnosticsEngine &Diags);
+
+} // namespace slicing
+} // namespace gadt
+
+#endif // GADT_SLICING_PROGRAMPROJECTION_H

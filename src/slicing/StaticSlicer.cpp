@@ -1,0 +1,89 @@
+//===- StaticSlicer.cpp - Two-phase interprocedural slicing ---------------===//
+
+#include "slicing/StaticSlicer.h"
+
+#include "analysis/Dataflow.h"
+
+#include <deque>
+
+using namespace gadt;
+using namespace gadt::slicing;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+namespace {
+
+/// Marks everything backward-reachable from \p Seeds over edges whose kind
+/// passes \p Follow, adding discoveries to \p Mark.
+template <typename Pred>
+void backwardReach(const std::vector<const SDGNode *> &Seeds,
+                   std::set<const SDGNode *> &Mark, Pred Follow) {
+  std::deque<const SDGNode *> Work(Seeds.begin(), Seeds.end());
+  for (const SDGNode *S : Seeds)
+    Mark.insert(S);
+  while (!Work.empty()) {
+    const SDGNode *N = Work.front();
+    Work.pop_front();
+    for (const SDGNode::Edge &E : N->ins()) {
+      if (!Follow(E.K))
+        continue;
+      if (Mark.insert(E.N).second)
+        Work.push_back(E.N);
+    }
+  }
+}
+
+} // namespace
+
+StaticSlice gadt::slicing::backwardSlice(
+    const SDG &G, std::vector<const SDGNode *> Criteria) {
+  StaticSlice Result;
+  if (Criteria.empty())
+    return Result;
+
+  // Phase 1: ascend to callers; summary edges stand in for callees.
+  std::set<const SDGNode *> Phase1;
+  backwardReach(Criteria, Phase1, [](SDGEdgeKind K) {
+    return K != SDGEdgeKind::ParamOut;
+  });
+
+  // Phase 2: descend into callees; never re-ascend.
+  std::set<const SDGNode *> All = Phase1;
+  std::vector<const SDGNode *> Seeds(Phase1.begin(), Phase1.end());
+  backwardReach(Seeds, All, [](SDGEdgeKind K) {
+    return K != SDGEdgeKind::ParamIn && K != SDGEdgeKind::Call;
+  });
+
+  Result.Nodes = std::move(All);
+  for (const SDGNode *N : Result.Nodes) {
+    if (N->getStmt())
+      Result.Stmts.insert(N->getStmt());
+    if (N->getRoutine())
+      Result.Routines.insert(N->getRoutine());
+    if (N->getVar())
+      Result.Vars.insert(N->getVar());
+    if (N->getCall() && N->getCall()->Site.CallExpr)
+      Result.CallExprs.insert(N->getCall()->Site.CallExpr);
+  }
+  (void)G;
+  return Result;
+}
+
+StaticSlice gadt::slicing::sliceOnRoutineOutput(const SDG &G,
+                                                const RoutineDecl *R,
+                                                const std::string &VarName) {
+  const SDGNode *Criterion = G.formalOut(R, VarName);
+  if (!Criterion && R->isFunction() && VarName == R->getName())
+    Criterion = G.formalOutResult(R);
+  if (!Criterion)
+    return StaticSlice();
+  return backwardSlice(G, {Criterion});
+}
+
+StaticSlice gadt::slicing::sliceOnProgramVar(const SDG &G, const Program &P,
+                                             const std::string &VarName) {
+  const SDGNode *Criterion = G.formalOut(P.getMain(), VarName);
+  if (!Criterion)
+    return StaticSlice();
+  return backwardSlice(G, {Criterion});
+}

@@ -1,0 +1,98 @@
+//===- StaticSlicer.h - Two-phase interprocedural slicing -------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward interprocedural slicing over the system dependence graph using
+/// the Horwitz-Reps-Binkley two-phase algorithm: phase 1 walks backwards
+/// without descending into callees (summary edges substitute for them),
+/// phase 2 descends into callees without re-ascending. The result is a
+/// context-sensitive static slice — the machinery behind the paper's
+/// Section 4 and Section 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SLICING_STATICSLICER_H
+#define GADT_SLICING_STATICSLICER_H
+
+#include "analysis/SDG.h"
+
+#include <set>
+#include <string>
+
+namespace gadt {
+namespace slicing {
+
+/// The result of a slice: the SDG vertices in the slice, with convenience
+/// views at statement and routine granularity.
+class StaticSlice {
+public:
+  const std::set<const analysis::SDGNode *> &nodes() const { return Nodes; }
+
+  bool containsNode(const analysis::SDGNode *N) const {
+    return Nodes.count(N) != 0;
+  }
+  /// True when any vertex of \p S (statement, predicate or one of its
+  /// actuals) is in the slice.
+  bool containsStmt(const pascal::Stmt *S) const {
+    return Stmts.count(S) != 0;
+  }
+  /// True when any vertex of routine \p R is in the slice.
+  bool containsRoutine(const pascal::RoutineDecl *R) const {
+    return Routines.count(R) != 0;
+  }
+  /// True when variable \p V appears as a formal/actual vertex or in the
+  /// def/use set of some sliced statement (used to retain declarations when
+  /// projecting).
+  bool mentionsVar(const pascal::VarDecl *V) const {
+    return Vars.count(V) != 0;
+  }
+
+  const std::set<const pascal::Stmt *> &stmts() const { return Stmts; }
+  const std::set<const pascal::RoutineDecl *> &routines() const {
+    return Routines;
+  }
+
+  /// True when the specific expression-position call \p E has a vertex in
+  /// the slice (finer-grained than containsStmt for statements that make
+  /// several calls).
+  bool containsCallExpr(const pascal::Expr *E) const {
+    return CallExprs.count(E) != 0;
+  }
+
+  size_t size() const { return Nodes.size(); }
+
+private:
+  friend StaticSlice backwardSlice(const analysis::SDG &,
+                                   std::vector<const analysis::SDGNode *>);
+  std::set<const analysis::SDGNode *> Nodes;
+  std::set<const pascal::Stmt *> Stmts;
+  std::set<const pascal::RoutineDecl *> Routines;
+  std::set<const pascal::VarDecl *> Vars;
+  std::set<const pascal::Expr *> CallExprs;
+};
+
+/// Computes the backward slice of \p G from \p Criteria.
+StaticSlice backwardSlice(const analysis::SDG &G,
+                          std::vector<const analysis::SDGNode *> Criteria);
+
+/// Slice with respect to output variable \p VarName of routine \p R — the
+/// criterion the debugger produces when the user flags one erroneous output
+/// (paper Section 7). The formal-out vertex of the variable anchors the
+/// slice. Returns an empty slice when no such vertex exists.
+StaticSlice sliceOnRoutineOutput(const analysis::SDG &G,
+                                 const pascal::RoutineDecl *R,
+                                 const std::string &VarName);
+
+/// Slice with respect to the value of global \p VarName at the end of the
+/// program (the classic Weiser criterion of the paper's Figure 2).
+StaticSlice sliceOnProgramVar(const analysis::SDG &G,
+                              const pascal::Program &P,
+                              const std::string &VarName);
+
+} // namespace slicing
+} // namespace gadt
+
+#endif // GADT_SLICING_STATICSLICER_H

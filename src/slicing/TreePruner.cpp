@@ -1,0 +1,78 @@
+//===- TreePruner.cpp - Execution-tree pruning ----------------------------===//
+
+#include "slicing/TreePruner.h"
+
+using namespace gadt;
+using namespace gadt::slicing;
+using namespace gadt::trace;
+
+namespace {
+
+/// True when the call/loop site of \p N is inside the slice. The root of a
+/// pruning request is always retained regardless.
+bool siteInSlice(const ExecNode *N, const StaticSlice &Slice) {
+  switch (N->getKind()) {
+  case interp::UnitKind::Call: {
+    // A call entered through a statement call or an expression call: the
+    // containing statement's vertices carry the slice membership.
+    if (N->getCallStmt())
+      return Slice.containsStmt(N->getCallStmt());
+    if (N->getCallExpr())
+      return Slice.containsCallExpr(N->getCallExpr());
+    // The root (program) node has no call site.
+    return Slice.containsRoutine(N->getRoutine());
+  }
+  case interp::UnitKind::Loop:
+  case interp::UnitKind::Iteration:
+    return N->getLoopStmt() && Slice.containsStmt(N->getLoopStmt());
+  }
+  return false;
+}
+
+void pruneRec(const ExecNode *N, const StaticSlice &Slice,
+              std::set<uint32_t> &Kept) {
+  Kept.insert(N->getId());
+  for (const auto &C : N->getChildren())
+    if (siteInSlice(C.get(), Slice))
+      pruneRec(C.get(), Slice, Kept);
+}
+
+void renderRec(const ExecNode *N, const std::set<uint32_t> &Kept,
+               unsigned Depth, std::string &Out) {
+  if (!Kept.count(N->getId()))
+    return;
+  Out.append(Depth * 2, ' ');
+  Out += N->signature();
+  Out += '\n';
+  for (const auto &C : N->getChildren())
+    renderRec(C.get(), Kept, Depth + 1, Out);
+}
+
+} // namespace
+
+std::set<uint32_t>
+gadt::slicing::pruneByStaticSlice(const ExecNode *Root,
+                                  const StaticSlice &Slice) {
+  std::set<uint32_t> Kept;
+  if (Root)
+    pruneRec(Root, Slice, Kept);
+  return Kept;
+}
+
+unsigned gadt::slicing::countRetained(const ExecNode *Root,
+                                      const std::set<uint32_t> &Kept) {
+  if (!Root || !Kept.count(Root->getId()))
+    return 0;
+  unsigned N = 1;
+  for (const auto &C : Root->getChildren())
+    N += countRetained(C.get(), Kept);
+  return N;
+}
+
+std::string gadt::slicing::renderPruned(const ExecNode *Root,
+                                        const std::set<uint32_t> &Kept) {
+  std::string Out;
+  if (Root)
+    renderRec(Root, Kept, 0, Out);
+  return Out;
+}

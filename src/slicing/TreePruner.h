@@ -1,0 +1,50 @@
+//===- TreePruner.h - Execution-tree pruning --------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Projects a slice onto the execution tree (paper Section 7): given the
+/// node where the user flagged an incorrect output variable, computes the
+/// set of execution-tree nodes the continued algorithmic-debugging search
+/// may still visit. Two variants exist — pruning by the *static* slice
+/// (call sites outside the slice are discarded with their subtrees) and by
+/// the *dynamic* dependences gathered during tracing (see DynamicSlicer).
+/// The result is a retained-id set; the tree itself is never mutated, so a
+/// session can re-slice repeatedly (paper: "a smaller and smaller set of
+/// procedures").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SLICING_TREEPRUNER_H
+#define GADT_SLICING_TREEPRUNER_H
+
+#include "slicing/StaticSlicer.h"
+#include "trace/ExecTree.h"
+
+#include <cstdint>
+#include <set>
+
+namespace gadt {
+namespace slicing {
+
+/// Retained node ids for a pruned subtree rooted at \p Root: \p Root itself
+/// plus every descendant whose chain of call sites lies entirely inside
+/// \p Slice. Loop/iteration nodes are retained when their loop statement is
+/// in the slice.
+std::set<uint32_t> pruneByStaticSlice(const trace::ExecNode *Root,
+                                      const StaticSlice &Slice);
+
+/// Number of nodes in the subtree of \p Root retained by \p Kept.
+unsigned countRetained(const trace::ExecNode *Root,
+                       const std::set<uint32_t> &Kept);
+
+/// Renders only the retained part of the subtree (paper Figures 8/9).
+std::string renderPruned(const trace::ExecNode *Root,
+                         const std::set<uint32_t> &Kept);
+
+} // namespace slicing
+} // namespace gadt
+
+#endif // GADT_SLICING_TREEPRUNER_H

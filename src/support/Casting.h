@@ -1,0 +1,58 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast -----------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-rolled, kind-enum based RTTI in the style of llvm/Support/Casting.h.
+/// Classes participate by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_CASTING_H
+#define GADT_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace gadt {
+
+/// Returns true when \p Val (non-null) is an instance of \p To.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts that \p Val really is a \p To.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null when \p Val is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace gadt
+
+#endif // GADT_SUPPORT_CASTING_H

@@ -1,0 +1,38 @@
+//===- Diagnostics.cpp - Diagnostic collection ----------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace gadt;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::str() const {
+  std::string Out;
+  if (Loc.isValid()) {
+    Out += Loc.str();
+    Out += ": ";
+  }
+  Out += severityName(Severity);
+  Out += ": ";
+  Out += Message;
+  return Out;
+}
+
+std::string DiagnosticsEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

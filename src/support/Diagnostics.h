@@ -1,0 +1,76 @@
+//===- Diagnostics.h - Diagnostic collection --------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never throws or exits; it reports
+/// problems here and callers inspect \c hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_DIAGNOSTICS_H
+#define GADT_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace gadt {
+
+/// Severity of a single diagnostic.
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem: severity, location and rendered message.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders as "line:col: error: message" in the style of compiler output
+  /// (message starts lowercase, no trailing period).
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while processing one compilation unit.
+///
+/// The engine is deliberately simple: diagnostics are appended in order and
+/// can be rendered as a batch. An error count is maintained so phases can
+/// bail out early with \c hasErrors().
+class DiagnosticsEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagSeverity::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  /// All diagnostics rendered one per line; empty string when none.
+  std::string str() const;
+
+  /// Drops all collected diagnostics and resets the error count.
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace gadt
+
+#endif // GADT_SUPPORT_DIAGNOSTICS_H

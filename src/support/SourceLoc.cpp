@@ -1,0 +1,17 @@
+//===- SourceLoc.cpp - Source locations and ranges ------------------------===//
+
+#include "support/SourceLoc.h"
+
+using namespace gadt;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Column);
+}
+
+std::string SourceRange::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return Begin.str() + "-" + End.str();
+}

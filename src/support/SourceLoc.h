@@ -1,0 +1,66 @@
+//===- SourceLoc.h - Source locations and ranges ----------------*- C++ -*-===//
+//
+// Part of the GADT project: a reproduction of "Generalized Algorithmic
+// Debugging and Testing" (Fritzson, Gyimothy, Kamkar, Shahmehri; PLDI 1991).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates used by the lexer, parser, diagnostics and
+/// the original<->transformed program mapping.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_SOURCELOC_H
+#define GADT_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace gadt {
+
+/// A position in a source buffer, 1-based line and column. Line 0 denotes an
+/// invalid/unknown location (e.g. compiler-synthesized constructs).
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Column = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Column)
+      : Line(Line), Column(Column) {}
+
+  constexpr bool isValid() const { return Line != 0; }
+
+  friend constexpr bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Column == B.Column;
+  }
+  friend constexpr bool operator!=(SourceLoc A, SourceLoc B) {
+    return !(A == B);
+  }
+  friend constexpr bool operator<(SourceLoc A, SourceLoc B) {
+    return A.Line != B.Line ? A.Line < B.Line : A.Column < B.Column;
+  }
+
+  /// Renders as "line:col", or "<unknown>" for invalid locations.
+  std::string str() const;
+};
+
+/// A half-open range of source positions [Begin, End).
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  constexpr SourceRange() = default;
+  constexpr SourceRange(SourceLoc Begin, SourceLoc End)
+      : Begin(Begin), End(End) {}
+  explicit constexpr SourceRange(SourceLoc Single)
+      : Begin(Single), End(Single) {}
+
+  constexpr bool isValid() const { return Begin.isValid(); }
+
+  std::string str() const;
+};
+
+} // namespace gadt
+
+#endif // GADT_SUPPORT_SOURCELOC_H

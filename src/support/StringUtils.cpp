@@ -1,0 +1,58 @@
+//===- StringUtils.cpp - Small string helpers -----------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+
+using namespace gadt;
+
+std::string gadt::toLower(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S)
+    Out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(C))));
+  return Out;
+}
+
+std::string gadt::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0, E = Parts.size(); I != E; ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::vector<std::string> gadt::splitLines(std::string_view S) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t NL = S.find('\n', Start);
+    if (NL == std::string_view::npos) {
+      if (Start < S.size())
+        Lines.emplace_back(S.substr(Start));
+      break;
+    }
+    Lines.emplace_back(S.substr(Start, NL - Start));
+    Start = NL + 1;
+  }
+  return Lines;
+}
+
+bool gadt::isBlank(std::string_view S) {
+  for (char C : S)
+    if (!std::isspace(static_cast<unsigned char>(C)))
+      return false;
+  return true;
+}
+
+unsigned gadt::countCodeLines(std::string_view S) {
+  unsigned Count = 0;
+  for (const std::string &Line : splitLines(S))
+    if (!isBlank(Line))
+      ++Count;
+  return Count;
+}

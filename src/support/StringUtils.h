@@ -1,0 +1,41 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the project. Pascal identifiers are
+/// case-insensitive, so the front-end normalizes with \c toLower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_STRINGUTILS_H
+#define GADT_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gadt {
+
+/// ASCII lowercase copy of \p S (Pascal identifiers are case-insensitive).
+std::string toLower(std::string_view S);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Splits \p S on newline characters; keeps empty lines, drops a trailing
+/// empty line produced by a final '\n'.
+std::vector<std::string> splitLines(std::string_view S);
+
+/// True when \p S consists only of whitespace (or is empty).
+bool isBlank(std::string_view S);
+
+/// Counts the non-blank lines of \p S — our "lines of code" metric for the
+/// transformation growth-factor experiment (paper Section 9).
+unsigned countCodeLines(std::string_view S);
+
+} // namespace gadt
+
+#endif // GADT_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,146 @@
+//===- FrameGen.cpp - Test frame generation -------------------------------===//
+
+#include "tgen/FrameGen.h"
+
+using namespace gadt;
+using namespace gadt::tgen;
+
+std::string TestFrame::encode() const {
+  std::string Out;
+  for (size_t I = 0; I != ChoiceNames.size(); ++I) {
+    if (I != 0)
+      Out += '.';
+    Out += ChoiceNames[I];
+  }
+  return Out;
+}
+
+std::string TestFrame::str() const {
+  std::string Out = "(";
+  for (size_t I = 0; I != ChoiceNames.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += ChoiceNames[I];
+  }
+  Out += ")";
+  return Out;
+}
+
+const std::vector<size_t> *
+FrameSet::framesOfScript(const std::string &Name) const {
+  for (const auto &[ScriptName, Indices] : Scripts)
+    if (ScriptName == Name)
+      return &Indices;
+  return nullptr;
+}
+
+namespace {
+
+/// Recursively enumerates combinations of ordinary (non-SINGLE, non-ERROR)
+/// choices whose selectors hold.
+void enumerate(const TestSpec &Spec, size_t CatIndex, TestFrame &Partial,
+               std::vector<TestFrame> &Out) {
+  if (CatIndex == Spec.Categories.size()) {
+    Out.push_back(Partial);
+    return;
+  }
+  const Category &Cat = Spec.Categories[CatIndex];
+  for (const Choice &Ch : Cat.Choices) {
+    if (Ch.Single || Ch.Error)
+      continue;
+    if (!Ch.If.eval(Partial.Properties))
+      continue;
+    Partial.ChoiceNames.push_back(Ch.Name);
+    std::vector<std::string> Added;
+    for (const std::string &P : Ch.Properties)
+      if (Partial.Properties.insert(P).second)
+        Added.push_back(P);
+    enumerate(Spec, CatIndex + 1, Partial, Out);
+    Partial.ChoiceNames.pop_back();
+    for (const std::string &P : Added)
+      Partial.Properties.erase(P);
+  }
+}
+
+/// Builds the one frame generated for a SINGLE/ERROR choice: the marked
+/// choice in its own category, the first selectable ordinary choice in
+/// every other category. Returns false when no consistent completion
+/// exists.
+bool buildMarkedFrame(const TestSpec &Spec, size_t MarkedCat,
+                      const Choice &Marked, TestFrame &Out) {
+  Out = TestFrame();
+  Out.IsError = Marked.Error;
+  Out.IsSingle = Marked.Single;
+  for (size_t CI = 0; CI != Spec.Categories.size(); ++CI) {
+    const Category &Cat = Spec.Categories[CI];
+    const Choice *Picked = nullptr;
+    if (CI == MarkedCat) {
+      if (Marked.If.eval(Out.Properties))
+        Picked = &Marked;
+    } else {
+      for (const Choice &Ch : Cat.Choices) {
+        if (Ch.Single || Ch.Error)
+          continue;
+        if (Ch.If.eval(Out.Properties)) {
+          Picked = &Ch;
+          break;
+        }
+      }
+    }
+    if (!Picked)
+      return false;
+    Out.ChoiceNames.push_back(Picked->Name);
+    Out.Properties.insert(Picked->Properties.begin(),
+                          Picked->Properties.end());
+  }
+  return true;
+}
+
+} // namespace
+
+FrameSet gadt::tgen::generateFrames(const TestSpec &Spec) {
+  FrameSet Set;
+
+  // Ordinary combinations first.
+  TestFrame Partial;
+  enumerate(Spec, 0, Partial, Set.Frames);
+
+  // One frame per SINGLE/ERROR choice (paper: "Only one frame is generated
+  // for each choice associated with the SINGLE property").
+  for (size_t CI = 0; CI != Spec.Categories.size(); ++CI)
+    for (const Choice &Ch : Spec.Categories[CI].Choices) {
+      if (!Ch.Single && !Ch.Error)
+        continue;
+      TestFrame Frame;
+      if (buildMarkedFrame(Spec, CI, Ch, Frame))
+        Set.Frames.push_back(std::move(Frame));
+    }
+
+  // Script assignment: each frame goes to every script whose selector it
+  // satisfies; frames matching none go to "default".
+  for (const Bucket &Script : Spec.Scripts)
+    Set.Scripts.push_back({Script.Name, {}});
+  std::vector<size_t> Unassigned;
+  for (size_t FI = 0; FI != Set.Frames.size(); ++FI) {
+    bool Matched = false;
+    for (size_t SI = 0; SI != Spec.Scripts.size(); ++SI)
+      if (Spec.Scripts[SI].If.eval(Set.Frames[FI].Properties)) {
+        Set.Scripts[SI].second.push_back(FI);
+        Matched = true;
+      }
+    if (!Matched)
+      Unassigned.push_back(FI);
+  }
+  if (!Unassigned.empty())
+    Set.Scripts.push_back({"default", std::move(Unassigned)});
+
+  // Result buckets: first matching result selector.
+  Set.ResultOf.resize(Set.Frames.size());
+  for (size_t FI = 0; FI != Set.Frames.size(); ++FI)
+    for (const Bucket &Res : Spec.Results)
+      if (Res.If.eval(Set.Frames[FI].Properties)) {
+        Set.ResultOf[FI] = Res.Name;
+        break;
+      }
+  return Set;
+}

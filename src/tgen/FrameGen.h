@@ -1,0 +1,63 @@
+//===- FrameGen.h - Test frame generation -----------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generation of test frames from a category-partition specification
+/// (paper Section 2): all combinations of one choice per category whose
+/// selector expressions hold, SINGLE/ERROR choices contributing exactly one
+/// frame each, and frames grouped into test scripts and result buckets by
+/// their selectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TGEN_FRAMEGEN_H
+#define GADT_TGEN_FRAMEGEN_H
+
+#include "tgen/TestSpec.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace tgen {
+
+/// One test frame: a choice from each category plus the accumulated
+/// property set.
+struct TestFrame {
+  /// Choice name per category, in category order.
+  std::vector<std::string> ChoiceNames;
+  std::set<std::string> Properties;
+  bool IsError = false;  ///< contains an ERROR choice
+  bool IsSingle = false; ///< generated for a SINGLE choice
+
+  /// The paper stores reports "in a coded form of the test frames": the
+  /// dot-joined choice names, e.g. "more.mixed.large".
+  std::string encode() const;
+  /// The paper's display form: "(more, mixed, large)".
+  std::string str() const;
+};
+
+/// Frames plus their script/result assignment.
+struct FrameSet {
+  std::vector<TestFrame> Frames;
+  /// Script name -> indices into Frames. Frames matching no script land in
+  /// the "default" entry.
+  std::vector<std::pair<std::string, std::vector<size_t>>> Scripts;
+  /// Result bucket per frame ("" when none matches).
+  std::vector<std::string> ResultOf;
+
+  const std::vector<size_t> *framesOfScript(const std::string &Name) const;
+};
+
+/// Generates all frames of \p Spec, applies SINGLE/ERROR semantics, and
+/// assigns scripts and result buckets.
+FrameSet generateFrames(const TestSpec &Spec);
+
+} // namespace tgen
+} // namespace gadt
+
+#endif // GADT_TGEN_FRAMEGEN_H

@@ -1,0 +1,87 @@
+//===- ReportDB.h - Test case execution and report database -----*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable test cases and the test-report database (paper Section 2:
+/// "During the execution of the test cases, test reports are produced in a
+/// database. These test reports can easily be accessed by using a coded
+/// form of the test frames"). The debugger's test-lookup component
+/// (Section 5.3.2) queries verdicts by frame code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TGEN_REPORTDB_H
+#define GADT_TGEN_REPORTDB_H
+
+#include "interp/Interpreter.h"
+#include "pascal/AST.h"
+#include "tgen/FrameGen.h"
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace tgen {
+
+/// One executed test case.
+struct TestCaseRecord {
+  std::string FrameCode;
+  std::string Script; ///< script the frame belongs to ("" = default)
+  bool Pass = false;
+  std::string Detail; ///< failure explanation / runtime error text
+};
+
+/// What the database knows about a frame.
+enum class Verdict { Pass, Fail, Untested };
+
+/// The report database, keyed by encoded frames.
+class TestReportDB {
+public:
+  void record(TestCaseRecord R);
+
+  /// Pass when at least one case ran and none failed; Fail when any case
+  /// failed; Untested otherwise.
+  Verdict verdict(const std::string &FrameCode) const;
+
+  const std::vector<TestCaseRecord> &records() const { return Records; }
+  unsigned passCount() const { return Passes; }
+  unsigned failCount() const { return Fails; }
+
+  /// One line per frame: "more.mixed.large: pass (2 cases)".
+  std::string str() const;
+
+private:
+  std::vector<TestCaseRecord> Records;
+  std::map<std::string, std::pair<unsigned, unsigned>> ByFrame; // pass, fail
+  unsigned Passes = 0;
+  unsigned Fails = 0;
+};
+
+/// Produces concrete argument values for a frame; nullopt when the frame
+/// cannot be instantiated (then it stays Untested).
+using FrameInstantiator =
+    std::function<std::optional<std::vector<interp::Value>>(const TestFrame &)>;
+
+/// Judges an executed case given the arguments and the call outcome
+/// (typically by comparing against a reference computation).
+using OutcomeChecker = std::function<bool(
+    const std::vector<interp::Value> &Args, const interp::CallOutcome &Out)>;
+
+/// Runs one test case per frame of \p Frames against routine
+/// \p Spec.TestName of \p P and collects the reports. Frames whose
+/// execution hits a runtime error are recorded as failing cases.
+TestReportDB runTestSuite(const pascal::Program &P, const TestSpec &Spec,
+                          const FrameSet &Frames,
+                          const FrameInstantiator &Instantiate,
+                          const OutcomeChecker &Check);
+
+} // namespace tgen
+} // namespace gadt
+
+#endif // GADT_TGEN_REPORTDB_H

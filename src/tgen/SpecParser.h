@@ -1,0 +1,40 @@
+//===- SpecParser.h - Parser for T-GEN specifications -----------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the T-GEN specification language (see TestSpec.h for the
+/// grammar). Shares the Pascal lexer; `when` classifier expressions use a
+/// Pascal expression subset (literals, feature variables, arithmetic,
+/// comparisons, and/or/not).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TGEN_SPECPARSER_H
+#define GADT_TGEN_SPECPARSER_H
+
+#include "support/Diagnostics.h"
+#include "tgen/TestSpec.h"
+
+#include <memory>
+#include <string_view>
+
+namespace gadt {
+namespace tgen {
+
+/// Parses one specification. Returns null (with diagnostics) on error.
+std::unique_ptr<TestSpec> parseSpec(std::string_view Source,
+                                    DiagnosticsEngine &Diags);
+
+/// Parses a standalone classifier/assertion expression ("r1 = r2 * 2 and
+/// b >= 0"). Returns null (with diagnostics) on error. Also used by the
+/// debugger's assertion language, which shares this grammar.
+pascal::ExprPtr parseClassifierExpr(std::string_view Source,
+                                    DiagnosticsEngine &Diags);
+
+} // namespace tgen
+} // namespace gadt
+
+#endif // GADT_TGEN_SPECPARSER_H

@@ -1,0 +1,142 @@
+//===- TestSpec.h - T-GEN test specifications -------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The category-partition test specification language of T-GEN (paper
+/// Section 2, extending Ostrand-Balcer's category partition method with
+/// test scripts, result categories, executable test cases and test
+/// reports). A specification, mirroring the paper's Figure 1:
+///
+///   test arrsum;
+///   category size_of_array;
+///     zero : property SINGLE when n = 0;
+///     one  : property SINGLE when n = 1;
+///     two  : when n = 2;
+///     more : property MORE when n > 2;
+///   category type_of_elements;
+///     positive : when a_min > 0;
+///     negative : when a_max < 0;
+///     mixed    : if MORE property MIXED when (a_min <= 0) and (a_max >= 0);
+///   category deviation;
+///     small   : if not MIXED;
+///     large   : if MIXED when a_spread > 10;
+///     average : if MIXED when a_spread <= 10;
+///   scripts
+///     script_1 : if MIXED;
+///     script_2 : if not MIXED;
+///   result
+///     result_1 : if MIXED;
+///   end.
+///
+/// `property P` attaches a property name usable in later `if` selector
+/// expressions; SINGLE and ERROR are the Ostrand-Balcer markers (one frame
+/// per such choice). `when <expr>` is this implementation's realization of
+/// the paper's "automatic test frame selector functions": a boolean
+/// expression over *feature variables* derived from concrete input values,
+/// evaluated when the debugger classifies a call (Section 5.3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TGEN_TESTSPEC_H
+#define GADT_TGEN_TESTSPEC_H
+
+#include "pascal/AST.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace tgen {
+
+/// A selector expression over property names (`if MORE and not MIXED`).
+class Selector {
+public:
+  enum class Kind : uint8_t { True, Prop, Not, And, Or };
+
+  static Selector alwaysTrue() { return Selector(Kind::True); }
+  static Selector prop(std::string Name);
+  static Selector notOf(Selector S);
+  static Selector andOf(Selector L, Selector R);
+  static Selector orOf(Selector L, Selector R);
+
+  Kind getKind() const { return K; }
+
+  /// Evaluates against the set of properties established so far.
+  bool eval(const std::set<std::string> &Properties) const;
+
+  /// Renders in source syntax ("more and not mixed"); "true" when trivial.
+  std::string str() const;
+
+private:
+  explicit Selector(Kind K) : K(K) {}
+
+  Kind K;
+  std::string PropName;
+  std::shared_ptr<const Selector> LHS;
+  std::shared_ptr<const Selector> RHS;
+};
+
+/// One choice within a category.
+struct Choice {
+  std::string Name;
+  /// Guard over properties of earlier choices; alwaysTrue when omitted.
+  Selector If = Selector::alwaysTrue();
+  /// Properties this choice establishes (lowercased).
+  std::vector<std::string> Properties;
+  /// Ostrand-Balcer markers.
+  bool Single = false;
+  bool Error = false;
+  /// Classifier over feature variables; null when the choice cannot be
+  /// selected automatically.
+  pascal::ExprPtr When;
+  /// Generator bindings (`gen n := 7, a := fill(n, 3 * i + 1)`): evaluated
+  /// in category order to turn a frame into executable test-case inputs
+  /// (the paper: "By extending the test specification ... the system can
+  /// generate executable test cases from test frames").
+  std::vector<std::pair<std::string, pascal::ExprPtr>> Gens;
+};
+
+/// One category (a critical property of an input parameter or of the
+/// environment).
+struct Category {
+  std::string Name;
+  std::vector<Choice> Choices;
+};
+
+/// A named script or result bucket with its selector.
+struct Bucket {
+  std::string Name;
+  Selector If = Selector::alwaysTrue();
+};
+
+/// A parameter of the routine under test, as declared in the optional
+/// `params` section (`params a, n, out b;`). Out parameters receive no
+/// generated value.
+struct ParamSpec {
+  std::string Name;
+  bool IsOut = false;
+};
+
+/// A whole specification for one procedure under test.
+struct TestSpec {
+  std::string TestName; ///< routine under test (lowercased)
+  std::vector<ParamSpec> Params;
+  std::vector<Category> Categories;
+  std::vector<Bucket> Scripts;
+  std::vector<Bucket> Results;
+
+  const Category *findCategory(const std::string &Name) const;
+  /// True when the spec can instantiate frames by itself (params declared
+  /// and generator bindings present).
+  bool hasGenerators() const;
+};
+
+} // namespace tgen
+} // namespace gadt
+
+#endif // GADT_TGEN_TESTSPEC_H

@@ -1,0 +1,135 @@
+//===- ExecTree.cpp - Execution trees -------------------------------------===//
+
+#include "trace/ExecTree.h"
+
+using namespace gadt;
+using namespace gadt::trace;
+using namespace gadt::interp;
+
+const Binding *ExecNode::findOutput(const std::string &Name) const {
+  for (const Binding &B : Outputs)
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+const Binding *ExecNode::findInput(const std::string &Name) const {
+  for (const Binding &B : Inputs)
+    if (B.Name == Name)
+      return &B;
+  return nullptr;
+}
+
+std::string ExecNode::signature() const {
+  std::string Out = getName();
+  if (getKind() == UnitKind::Iteration)
+    Out += " iteration " + std::to_string(getIterIndex());
+
+  // A function's result is rendered after the parenthesis, paper-style:
+  // decrement(In y: 3)=4.
+  const Binding *ResultBinding = nullptr;
+  if (getRoutine() && getRoutine()->isFunction() && !Outputs.empty() &&
+      Outputs.back().Name == getRoutine()->getName())
+    ResultBinding = &Outputs.back();
+
+  Out += "(";
+  bool First = true;
+  for (const Binding &B : Inputs) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "In " + B.Name + ": " + B.V.str();
+  }
+  for (const Binding &B : Outputs) {
+    if (&B == ResultBinding)
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "Out " + B.Name + ": " + B.V.str();
+  }
+  Out += ")";
+  if (ResultBinding)
+    Out += "=" + ResultBinding->V.str();
+  return Out;
+}
+
+unsigned ExecNode::subtreeSize() const {
+  unsigned N = 1;
+  for (const auto &C : Children)
+    N += C->subtreeSize();
+  return N;
+}
+
+void ExecTree::setRoot(std::unique_ptr<ExecNode> R) {
+  Root = std::move(R);
+  if (Root)
+    registerNode(Root.get());
+}
+
+void ExecTree::registerNode(ExecNode *N) {
+  if (ById.size() <= N->getId())
+    ById.resize(N->getId() + 1, nullptr);
+  ById[N->getId()] = N;
+}
+
+ExecNode *ExecTree::node(uint32_t Id) const {
+  return Id < ById.size() ? ById[Id] : nullptr;
+}
+
+void ExecTree::forEachNode(const std::function<void(ExecNode *)> &Fn) const {
+  if (!Root)
+    return;
+  std::vector<ExecNode *> Stack = {Root.get()};
+  while (!Stack.empty()) {
+    ExecNode *N = Stack.back();
+    Stack.pop_back();
+    Fn(N);
+    const auto &Children = N->getChildren();
+    for (auto It = Children.rbegin(); It != Children.rend(); ++It)
+      Stack.push_back(It->get());
+  }
+}
+
+static void renderNode(const ExecNode *N, unsigned Depth, std::string &Out) {
+  Out.append(Depth * 2, ' ');
+  Out += N->signature();
+  Out += '\n';
+  for (const auto &C : N->getChildren())
+    renderNode(C.get(), Depth + 1, Out);
+}
+
+std::string ExecTree::str() const {
+  std::string Out;
+  if (Root)
+    renderNode(Root.get(), 0, Out);
+  return Out;
+}
+
+static std::string escapeDot(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string ExecTree::dot(const std::set<uint32_t> *Kept) const {
+  std::string Out = "digraph exectree {\n  node [shape=box, "
+                    "fontname=\"monospace\"];\n";
+  forEachNode([&](ExecNode *N) {
+    bool Retained = !Kept || Kept->count(N->getId());
+    Out += "  n" + std::to_string(N->getId()) + " [label=\"" +
+           escapeDot(N->signature()) + "\"";
+    if (!Retained)
+      Out += ", style=dashed, color=grey, fontcolor=grey";
+    Out += "];\n";
+    for (const auto &C : N->getChildren())
+      Out += "  n" + std::to_string(N->getId()) + " -> n" +
+             std::to_string(C->getId()) + ";\n";
+  });
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,118 @@
+//===- ExecTree.h - Execution trees -----------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution tree of the paper's tracing phase (Section 5.2): one node
+/// per unit execution (procedure/function call, local loop, iteration),
+/// annotated with input and output bindings. The algorithmic debugger
+/// traverses this tree; the slicing subsystem prunes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TRACE_EXECTREE_H
+#define GADT_TRACE_EXECTREE_H
+
+#include "interp/Interpreter.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace trace {
+
+/// One unit execution. Ids are the interpreter-assigned unit ids (dense,
+/// preorder by entry time, 1-based; the root is id 1).
+class ExecNode {
+public:
+  ExecNode(uint32_t Id, interp::UnitStart Start)
+      : Id(Id), Start(std::move(Start)) {}
+
+  uint32_t getId() const { return Id; }
+  interp::UnitKind getKind() const { return Start.Kind; }
+  const std::string &getName() const { return Start.Name; }
+  const pascal::RoutineDecl *getRoutine() const { return Start.Routine; }
+  const pascal::Stmt *getCallStmt() const { return Start.CallStmt; }
+  const pascal::Expr *getCallExpr() const { return Start.CallExpr; }
+  const pascal::Stmt *getLoopStmt() const { return Start.LoopStmt; }
+  uint32_t getIterIndex() const { return Start.IterIndex; }
+  SourceLoc getLoc() const { return Start.Loc; }
+
+  const std::vector<interp::Binding> &getInputs() const { return Inputs; }
+  const std::vector<interp::Binding> &getOutputs() const { return Outputs; }
+  void setBindings(std::vector<interp::Binding> In,
+                   std::vector<interp::Binding> Out) {
+    Inputs = std::move(In);
+    Outputs = std::move(Out);
+  }
+
+  ExecNode *getParent() const { return Parent; }
+  const std::vector<std::unique_ptr<ExecNode>> &getChildren() const {
+    return Children;
+  }
+  ExecNode *addChild(std::unique_ptr<ExecNode> Child) {
+    Child->Parent = this;
+    Children.push_back(std::move(Child));
+    return Children.back().get();
+  }
+
+  /// Finds the output binding with the given name; null when absent.
+  const interp::Binding *findOutput(const std::string &Name) const;
+  /// Finds the input binding with the given name; null when absent.
+  const interp::Binding *findInput(const std::string &Name) const;
+
+  /// Renders the node in the paper's dialogue notation, e.g.
+  /// "computs(In y: 3, Out r1: 12, Out r2: 9)" or "decrement(In y: 3)=4".
+  std::string signature() const;
+
+  /// Number of nodes in this subtree (including this node).
+  unsigned subtreeSize() const;
+
+private:
+  uint32_t Id;
+  interp::UnitStart Start;
+  std::vector<interp::Binding> Inputs;
+  std::vector<interp::Binding> Outputs;
+  ExecNode *Parent = nullptr;
+  std::vector<std::unique_ptr<ExecNode>> Children;
+};
+
+/// The whole tree plus an id-indexed view.
+class ExecTree {
+public:
+  ExecNode *getRoot() const { return Root.get(); }
+  void setRoot(std::unique_ptr<ExecNode> R);
+
+  /// Node lookup by interpreter unit id; null when unknown.
+  ExecNode *node(uint32_t Id) const;
+
+  unsigned size() const { return Root ? Root->subtreeSize() : 0; }
+
+  /// Registers \p N in the id index (builder use).
+  void registerNode(ExecNode *N);
+
+  /// Calls \p Fn on every node, preorder.
+  void forEachNode(const std::function<void(ExecNode *)> &Fn) const;
+
+  /// Renders the tree as an indented listing of node signatures, matching
+  /// the paper's Figures 7-9 presentation.
+  std::string str() const;
+
+  /// Renders the tree in Graphviz DOT syntax. When \p Kept is non-null,
+  /// nodes outside the set are drawn dashed/grey — visualizing exactly what
+  /// a slice pruned (Figures 8/9 as pictures).
+  std::string dot(const std::set<uint32_t> *Kept = nullptr) const;
+
+private:
+  std::unique_ptr<ExecNode> Root;
+  std::vector<ExecNode *> ById; // index = id (0 unused)
+};
+
+} // namespace trace
+} // namespace gadt
+
+#endif // GADT_TRACE_EXECTREE_H

@@ -1,0 +1,59 @@
+//===- ExecTreeBuilder.cpp - Build trees from interpreter events ----------===//
+
+#include "trace/ExecTreeBuilder.h"
+
+#include <cassert>
+
+using namespace gadt;
+using namespace gadt::trace;
+using namespace gadt::interp;
+
+void ExecTreeBuilder::enterUnit(const UnitStart &Start) {
+  auto Node = std::make_unique<ExecNode>(Start.NodeId, Start);
+  ExecNode *Raw = Node.get();
+  if (Stack.empty()) {
+    assert(!PendingRoot && "two roots in one trace");
+    PendingRoot = std::move(Node);
+  } else {
+    Stack.back()->addChild(std::move(Node));
+  }
+  Stack.push_back(Raw);
+}
+
+void ExecTreeBuilder::exitUnit(uint32_t NodeId, std::vector<Binding> Inputs,
+                               std::vector<Binding> Outputs) {
+  assert(!Stack.empty() && "exitUnit without matching enterUnit");
+  ExecNode *N = Stack.back();
+  assert(N->getId() == NodeId && "mismatched unit exit");
+  (void)NodeId;
+  N->setBindings(std::move(Inputs), std::move(Outputs));
+  Stack.pop_back();
+  if (Stack.empty()) {
+    Tree->setRoot(std::move(PendingRoot));
+    Tree->forEachNode([this](ExecNode *Node) { Tree->registerNode(Node); });
+  }
+}
+
+std::unique_ptr<ExecTree> ExecTreeBuilder::takeTree() {
+  // Tolerate an aborted run (runtime error mid-trace): attach whatever has
+  // been completed so far.
+  if (PendingRoot) {
+    Tree->setRoot(std::move(PendingRoot));
+    Tree->forEachNode([this](ExecNode *Node) { Tree->registerNode(Node); });
+    Stack.clear();
+  }
+  return std::move(Tree);
+}
+
+std::unique_ptr<ExecTree>
+gadt::trace::buildExecTree(const pascal::Program &P, InterpOptions Opts,
+                           std::vector<int64_t> Input, ExecResult *Result) {
+  Interpreter Interp(P, Opts);
+  Interp.setInput(std::move(Input));
+  ExecTreeBuilder Builder;
+  Interp.setListener(&Builder);
+  ExecResult Res = Interp.run();
+  if (Result)
+    *Result = Res;
+  return Builder.takeTree();
+}

@@ -1,0 +1,54 @@
+//===- ExecTreeBuilder.h - Build trees from interpreter events --*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical TraceListener: assembles an ExecTree from the
+/// interpreter's unit enter/exit events (the paper's tracing phase).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TRACE_EXECTREEBUILDER_H
+#define GADT_TRACE_EXECTREEBUILDER_H
+
+#include "interp/Interpreter.h"
+#include "trace/ExecTree.h"
+
+#include <memory>
+#include <vector>
+
+namespace gadt {
+namespace trace {
+
+/// Collects unit events into an ExecTree. One builder builds one tree;
+/// call \c takeTree after the run.
+class ExecTreeBuilder : public interp::TraceListener {
+public:
+  ExecTreeBuilder() : Tree(std::make_unique<ExecTree>()) {}
+
+  void enterUnit(const interp::UnitStart &Start) override;
+  void exitUnit(uint32_t NodeId, std::vector<interp::Binding> Inputs,
+                std::vector<interp::Binding> Outputs) override;
+
+  /// Hands over the finished tree (the builder is empty afterwards).
+  std::unique_ptr<ExecTree> takeTree();
+
+private:
+  std::unique_ptr<ExecTree> Tree;
+  std::vector<ExecNode *> Stack;
+  std::unique_ptr<ExecNode> PendingRoot;
+};
+
+/// Convenience: runs \p P (with optional input) and returns the execution
+/// tree, or null when execution failed. \p Result receives the run outcome.
+std::unique_ptr<ExecTree> buildExecTree(const pascal::Program &P,
+                                        interp::InterpOptions Opts,
+                                        std::vector<int64_t> Input,
+                                        interp::ExecResult *Result = nullptr);
+
+} // namespace trace
+} // namespace gadt
+
+#endif // GADT_TRACE_EXECTREEBUILDER_H

@@ -1,0 +1,144 @@
+//===- GlobalsToParams.cpp - Convert global accesses to parameters --------===//
+//
+// Paper Section 6, "Conversion of global variables to parameters": every
+// non-local variable a routine may reference becomes an `in` parameter,
+// every one it may modify an `out` parameter (a variable both read and
+// written becomes `var`), and each call site passes the variable
+// explicitly. GREF/GMOD come from the Banning-style side-effect analysis,
+// so effects reached through nested calls and var parameters are covered.
+// After this pass the program is side-effect free at the unit level — the
+// precondition for pure algorithmic debugging.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transform.h"
+#include "transform/TransformUtils.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/SideEffects.h"
+#include "pascal/Sema.h"
+#include "support/Casting.h"
+
+#include <map>
+
+using namespace gadt;
+using namespace gadt::transform;
+using namespace gadt::transform::detail;
+using namespace gadt::pascal;
+using analysis::CallGraph;
+using analysis::CallSite;
+using analysis::SideEffectAnalysis;
+
+namespace {
+
+struct ConvertedGlobal {
+  const VarDecl *Global = nullptr;
+  ParamMode Mode = ParamMode::In;
+  std::string ParamName;
+};
+
+} // namespace
+
+bool gadt::transform::convertGlobalsToParams(Program &P,
+                                             DiagnosticsEngine &Diags,
+                                             TransformStats &Stats) {
+  CallGraph CG(P);
+  SideEffectAnalysis SEA(P, CG);
+  FreshNamer Names(P);
+
+  // --- Plan: which globals become parameters of which routine, and under
+  // what name the variable is visible inside each routine.
+  std::map<const RoutineDecl *, std::vector<ConvertedGlobal>> Plans;
+  std::map<const RoutineDecl *,
+           std::map<const VarDecl *, std::string>>
+      VisibleName;
+
+  forEachRoutine(P.getMain(), [&](RoutineDecl *R) {
+    for (const auto &L : R->getLocals())
+      VisibleName[R][L.get()] = L->getName();
+    if (R->isProgram())
+      return;
+    const analysis::RoutineEffects &E = SEA.effects(R);
+    // Merge GRef/GMod, keeping the deterministic name order.
+    std::vector<const VarDecl *> All = E.GRef;
+    for (const VarDecl *G : E.GMod)
+      if (std::find(All.begin(), All.end(), G) == All.end())
+        All.push_back(G);
+    for (const VarDecl *G : All) {
+      ConvertedGlobal CGl;
+      CGl.Global = G;
+      bool Ref = E.refsGlobal(G);
+      bool Mod = E.modsGlobal(G);
+      CGl.Mode = Ref && Mod ? ParamMode::Var
+                 : Mod      ? ParamMode::Out
+                            : ParamMode::In;
+      // Reuse the global's name when it is free in this routine; the body
+      // references then rebind to the parameter without rewriting.
+      if (!R->findLocal(G->getName()) && R->getName() != G->getName())
+        CGl.ParamName = G->getName();
+      else
+        CGl.ParamName = Names.freshVar(G->getName() + "_g");
+      VisibleName[R][G] = CGl.ParamName;
+      Plans[R].push_back(CGl);
+    }
+  });
+
+  if (Plans.empty())
+    return true;
+
+  // --- Apply: add parameters and rename body references.
+  for (auto &[RConst, Plan] : Plans) {
+    auto *R = const_cast<RoutineDecl *>(RConst);
+    for (const ConvertedGlobal &CGl : Plan) {
+      R->addParam(std::make_unique<VarDecl>(
+          R->getLoc(), CGl.ParamName, CGl.Global->getType(),
+          VarDecl::VarKind::Param, CGl.Mode));
+      if (CGl.ParamName != CGl.Global->getName() && R->getBody()) {
+        forEachExpr(R->getBody(), [&](Expr *E) {
+          if (auto *VR = dyn_cast<VarRefExpr>(E))
+            if (VR->getDecl() == CGl.Global)
+              VR->setName(CGl.ParamName);
+        });
+      }
+      ++Stats.GlobalsConverted;
+      Stats.Log.push_back("converted non-local '" + CGl.Global->getName() +
+                          "' to " + paramModeSpelling(CGl.Mode) +
+                          std::string(*paramModeSpelling(CGl.Mode) ? " " : "") +
+                          "parameter '" + CGl.ParamName + "' of " +
+                          R->getName());
+    }
+  }
+
+  // --- Fix every call site: pass the variable under the caller's name.
+  for (const CallSite &CS : CG.allCallSites()) {
+    auto PlanIt = Plans.find(CS.Callee);
+    if (PlanIt == Plans.end())
+      continue;
+    for (const ConvertedGlobal &CGl : PlanIt->second) {
+      const std::string *ArgName = nullptr;
+      auto CallerIt = VisibleName.find(CS.Caller);
+      if (CallerIt != VisibleName.end()) {
+        auto It = CallerIt->second.find(CGl.Global);
+        if (It != CallerIt->second.end())
+          ArgName = &It->second;
+      }
+      if (!ArgName) {
+        Diags.error(CS.AtStmt->getLoc(),
+                    "internal: caller " + CS.Caller->getName() +
+                        " has no binding for converted global '" +
+                        CGl.Global->getName() + "'");
+        return false;
+      }
+      ExprPtr Arg = mkVarRef(CS.AtStmt->getLoc(), *ArgName);
+      if (CS.CallStmt)
+        const_cast<ProcCallStmt *>(CS.CallStmt)
+            ->getArgs()
+            .push_back(std::move(Arg));
+      else
+        const_cast<CallExpr *>(CS.CallExpr)->getArgs().push_back(
+            std::move(Arg));
+    }
+  }
+
+  return analyze(P, Diags);
+}

@@ -1,0 +1,41 @@
+//===- Transform.cpp - Transformation driver ------------------------------===//
+
+#include "transform/Transform.h"
+
+#include "analysis/CallGraph.h"
+#include "analysis/SideEffects.h"
+#include "pascal/Sema.h"
+
+using namespace gadt;
+using namespace gadt::transform;
+using namespace gadt::pascal;
+
+TransformResult gadt::transform::transformProgram(const Program &P,
+                                                  DiagnosticsEngine &Diags,
+                                                  TransformOptions Opts) {
+  TransformResult Result;
+  std::unique_ptr<Program> Work = P.clone();
+
+  // Goto passes can enable each other (a broken goto lands inside a loop, a
+  // loop escape produces a new non-local goto), so alternate to fixpoint.
+  for (unsigned Round = 0; Round < 100; ++Round) {
+    unsigned Before =
+        Result.Stats.LoopsRewritten + Result.Stats.GotosBroken;
+    if (Opts.RewriteLoopEscapes &&
+        !rewriteLoopEscapes(*Work, Diags, Result.Stats))
+      return Result;
+    if (Opts.BreakGlobalGotos &&
+        !breakGlobalGotos(*Work, Diags, Result.Stats))
+      return Result;
+    unsigned After = Result.Stats.LoopsRewritten + Result.Stats.GotosBroken;
+    if (After == Before)
+      break;
+  }
+
+  if (Opts.GlobalsToParams &&
+      !convertGlobalsToParams(*Work, Diags, Result.Stats))
+    return Result;
+
+  Result.Transformed = std::move(Work);
+  return Result;
+}

@@ -1,0 +1,173 @@
+//===- TransformUtils.cpp - Shared transformation helpers -----------------===//
+
+#include "transform/TransformUtils.h"
+
+#include "support/Casting.h"
+
+#include <algorithm>
+
+using namespace gadt;
+using namespace gadt::transform::detail;
+using namespace gadt::pascal;
+
+FreshNamer::FreshNamer(const Program &P) {
+  forEachRoutine(P.getMain(), [this](RoutineDecl *R) {
+    Names.insert(R->getName());
+    for (const auto &V : R->getParams())
+      Names.insert(V->getName());
+    for (const auto &V : R->getLocals())
+      Names.insert(V->getName());
+    for (int L : R->getLabels())
+      MaxLabel = std::max(MaxLabel, L);
+  });
+}
+
+std::string FreshNamer::freshVar(const std::string &Base) {
+  if (Names.insert(Base).second)
+    return Base;
+  for (unsigned I = 1;; ++I) {
+    std::string Candidate = Base + std::to_string(I);
+    if (Names.insert(Candidate).second)
+      return Candidate;
+  }
+}
+
+int FreshNamer::freshLabel() { return ++MaxLabel; }
+
+namespace {
+
+void rewriteSlot(StmtPtr &Slot,
+                 const std::function<void(Stmt *, SlotEdit &)> &Fn);
+
+void rewriteList(std::vector<StmtPtr> &List,
+                 const std::function<void(Stmt *, SlotEdit &)> &Fn) {
+  for (size_t I = 0; I < List.size(); ++I) {
+    SlotEdit Edit;
+    Fn(List[I].get(), Edit);
+    if (Edit.Replacement)
+      List[I] = std::move(Edit.Replacement);
+    size_t NumBefore = Edit.Before.size();
+    if (!Edit.Before.empty())
+      List.insert(List.begin() + static_cast<long>(I),
+                  std::make_move_iterator(Edit.Before.begin()),
+                  std::make_move_iterator(Edit.Before.end()));
+    size_t Cur = I + NumBefore;
+    if (!Edit.After.empty())
+      List.insert(List.begin() + static_cast<long>(Cur) + 1,
+                  std::make_move_iterator(Edit.After.begin()),
+                  std::make_move_iterator(Edit.After.end()));
+    // Recurse into the (possibly replaced) statement only; inserted
+    // statements are synthesized and already in final form.
+    rewriteSlot(List[Cur], Fn);
+    I = Cur + Edit.After.size();
+  }
+}
+
+void recurseChildren(Stmt *S,
+                     const std::function<void(Stmt *, SlotEdit &)> &Fn);
+
+void rewriteSlot(StmtPtr &Slot,
+                 const std::function<void(Stmt *, SlotEdit &)> &Fn) {
+  recurseChildren(Slot.get(), Fn);
+}
+
+/// Applies the rewriter to a single-statement child slot, wrapping in a
+/// compound when insertions are requested.
+void rewriteChildSlot(StmtPtr &Slot,
+                      const std::function<void(Stmt *, SlotEdit &)> &Fn) {
+  if (!Slot)
+    return;
+  SlotEdit Edit;
+  Fn(Slot.get(), Edit);
+  if (Edit.Replacement)
+    Slot = std::move(Edit.Replacement);
+  if (!Edit.Before.empty() || !Edit.After.empty()) {
+    SourceLoc Loc = Slot->getLoc();
+    std::vector<StmtPtr> Body;
+    for (StmtPtr &B : Edit.Before)
+      Body.push_back(std::move(B));
+    Body.push_back(std::move(Slot));
+    size_t MainIndex = Body.size() - 1;
+    for (StmtPtr &A : Edit.After)
+      Body.push_back(std::move(A));
+    auto Wrapped = std::make_unique<CompoundStmt>(Loc, std::move(Body));
+    recurseChildren(Wrapped->getBody()[MainIndex].get(), Fn);
+    Slot = std::move(Wrapped);
+    return;
+  }
+  recurseChildren(Slot.get(), Fn);
+}
+
+void recurseChildren(Stmt *S,
+                     const std::function<void(Stmt *, SlotEdit &)> &Fn) {
+  if (!S)
+    return;
+  switch (S->getKind()) {
+  case Stmt::Kind::Compound:
+    rewriteList(cast<CompoundStmt>(S)->getBody(), Fn);
+    return;
+  case Stmt::Kind::Repeat:
+    rewriteList(cast<RepeatStmt>(S)->getBody(), Fn);
+    return;
+  case Stmt::Kind::If: {
+    // IfStmt exposes no slot setters; edit through a small shim.
+    auto *IS = cast<IfStmt>(S);
+    rewriteChildSlot(IS->thenSlot(), Fn);
+    rewriteChildSlot(IS->elseSlot(), Fn);
+    return;
+  }
+  case Stmt::Kind::While:
+    rewriteChildSlot(cast<WhileStmt>(S)->bodySlot(), Fn);
+    return;
+  case Stmt::Kind::For:
+    rewriteChildSlot(cast<ForStmt>(S)->bodySlot(), Fn);
+    return;
+  case Stmt::Kind::Labeled:
+    rewriteChildSlot(cast<LabeledStmt>(S)->subSlot(), Fn);
+    return;
+  default:
+    return;
+  }
+}
+
+} // namespace
+
+void gadt::transform::detail::rewriteStmts(
+    CompoundStmt *Root, const std::function<void(Stmt *, SlotEdit &)> &Fn) {
+  if (Root)
+    rewriteList(Root->getBody(), Fn);
+}
+
+ExprPtr gadt::transform::detail::mkVarRef(SourceLoc Loc,
+                                          const std::string &Name) {
+  return std::make_unique<VarRefExpr>(Loc, Name);
+}
+
+ExprPtr gadt::transform::detail::mkInt(SourceLoc Loc, int64_t V) {
+  return std::make_unique<IntLiteralExpr>(Loc, V);
+}
+
+ExprPtr gadt::transform::detail::mkBool(SourceLoc Loc, bool V) {
+  return std::make_unique<BoolLiteralExpr>(Loc, V);
+}
+
+StmtPtr gadt::transform::detail::mkAssign(SourceLoc Loc,
+                                          const std::string &Var,
+                                          ExprPtr Value) {
+  return std::make_unique<AssignStmt>(Loc, mkVarRef(Loc, Var),
+                                      std::move(Value));
+}
+
+StmtPtr gadt::transform::detail::mkGoto(SourceLoc Loc, int Label) {
+  return std::make_unique<GotoStmt>(Loc, Label);
+}
+
+StmtPtr gadt::transform::detail::mkCheckGoto(SourceLoc Loc,
+                                             const std::string &Var,
+                                             int64_t K, int Label) {
+  auto Cond = std::make_unique<BinaryExpr>(Loc, BinaryOp::Eq,
+                                           mkVarRef(Loc, Var),
+                                           mkInt(Loc, K));
+  return std::make_unique<IfStmt>(Loc, std::move(Cond), mkGoto(Loc, Label),
+                                  nullptr);
+}

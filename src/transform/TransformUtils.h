@@ -1,0 +1,75 @@
+//===- TransformUtils.h - Shared transformation helpers ---------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the transformation passes: fresh names/labels, AST
+/// construction shorthands, and a statement-list rewriter that supports
+/// replacement and insertion around any statement slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TRANSFORM_TRANSFORMUTILS_H
+#define GADT_TRANSFORM_TRANSFORMUTILS_H
+
+#include "pascal/AST.h"
+
+#include <functional>
+#include <set>
+#include <string>
+
+namespace gadt {
+namespace transform {
+namespace detail {
+
+/// Tracks every identifier and label in use, handing out fresh ones.
+class FreshNamer {
+public:
+  explicit FreshNamer(const pascal::Program &P);
+
+  /// A name starting with \p Base that collides with nothing declared
+  /// anywhere in the program (registers the result).
+  std::string freshVar(const std::string &Base);
+  /// A label number unused anywhere in the program (registers the result).
+  int freshLabel();
+
+private:
+  std::set<std::string> Names;
+  int MaxLabel = 0;
+};
+
+/// Edit request passed to the rewrite callback for one statement slot.
+struct SlotEdit {
+  /// When set, replaces the statement.
+  pascal::StmtPtr Replacement;
+  /// Spliced immediately before / after the (possibly replaced) statement.
+  std::vector<pascal::StmtPtr> Before;
+  std::vector<pascal::StmtPtr> After;
+};
+
+/// Walks every statement slot under \p Root (compound bodies, branch and
+/// loop bodies, labeled substatements), invoking \p Fn with the current
+/// statement; the callback fills the edit request. Insertions around a
+/// single-statement slot (e.g. a then-branch) are realized by wrapping in a
+/// compound. Children of replaced statements are visited too.
+void rewriteStmts(pascal::CompoundStmt *Root,
+                  const std::function<void(pascal::Stmt *, SlotEdit &)> &Fn);
+
+// AST construction shorthands (locations are inherited from \p Loc).
+pascal::ExprPtr mkVarRef(SourceLoc Loc, const std::string &Name);
+pascal::ExprPtr mkInt(SourceLoc Loc, int64_t V);
+pascal::ExprPtr mkBool(SourceLoc Loc, bool V);
+pascal::StmtPtr mkAssign(SourceLoc Loc, const std::string &Var,
+                         pascal::ExprPtr Value);
+pascal::StmtPtr mkGoto(SourceLoc Loc, int Label);
+/// `if <var> = <k> then goto <label>`
+pascal::StmtPtr mkCheckGoto(SourceLoc Loc, const std::string &Var, int64_t K,
+                            int Label);
+
+} // namespace detail
+} // namespace transform
+} // namespace gadt
+
+#endif // GADT_TRANSFORM_TRANSFORMUTILS_H

@@ -1,0 +1,126 @@
+//===- ArrsumFixture.cpp - Figure 1 test-specification fixture ------------===//
+
+#include "workload/ArrsumFixture.h"
+
+using namespace gadt;
+using namespace gadt::workload;
+using namespace gadt::interp;
+using namespace gadt::tgen;
+
+const char *const gadt::workload::ArrsumSpec = R"(
+test arrsum;
+category size_of_array;
+  zero : property SINGLE when n = 0;
+  one  : property SINGLE when n = 1;
+  two  : when n = 2;
+  more : property MORE when n > 2;
+category type_of_elements;
+  positive : when a_min > 0;
+  negative : when a_max < 0;
+  mixed    : if MORE property MIXED when (a_min <= 0) and (a_max >= 0);
+category deviation;
+  small   : if not MIXED when true;
+  large   : if MIXED when a_spread > 20;
+  average : if MIXED when a_spread <= 20;
+scripts
+  script_1 : if MIXED;
+  script_2 : if not MIXED;
+result
+  result_1 : if MIXED;
+end.
+)";
+
+const char *const gadt::workload::ArrsumSpecWithGens = R"(
+test arrsum;
+params a, n, out b;
+category size_of_array;
+  zero : property SINGLE when n = 0 gen n := 0;
+  one  : property SINGLE when n = 1 gen n := 1;
+  two  : when n = 2 gen n := 2;
+  more : property MORE when n > 2 gen n := 7;
+category type_of_elements;
+  positive : when a_min > 0
+             gen a := fill(max(n, 1), 3 * i + 1);
+  negative : when a_max < 0
+             gen a := fill(max(n, 1), -(3 * i + 1));
+  mixed    : if MORE property MIXED
+             when (a_min <= 0) and (a_max >= 0)
+             gen a := fill(n, (i mod 2) * (2 * i) - i);
+category deviation;
+  small   : if not MIXED when true;
+  large   : if MIXED when a_spread > 20
+            gen a := fill(n, ((i mod 2) * (2 * i) - i) * 10);
+  average : if MIXED when a_spread <= 20;
+scripts
+  script_1 : if MIXED;
+  script_2 : if not MIXED;
+result
+  result_1 : if MIXED;
+end.
+)";
+
+std::optional<std::vector<Value>>
+gadt::workload::instantiateArrsumFrame(const TestFrame &Frame) {
+  if (Frame.ChoiceNames.size() != 3)
+    return std::nullopt;
+  const std::string &Size = Frame.ChoiceNames[0];
+  const std::string &Type = Frame.ChoiceNames[1];
+  const std::string &Deviation = Frame.ChoiceNames[2];
+
+  int64_t N;
+  if (Size == "zero")
+    N = 0;
+  else if (Size == "one")
+    N = 1;
+  else if (Size == "two")
+    N = 2;
+  else if (Size == "more")
+    N = 7;
+  else
+    return std::nullopt;
+
+  // The backing array always has at least one element so element-based
+  // classifiers stay defined for the n = 0 frame.
+  int64_t Len = N > 0 ? N : 1;
+  ArrayVal Arr;
+  Arr.Lo = 1;
+  Arr.Hi = Len;
+  for (int64_t I = 1; I <= Len; ++I) {
+    int64_t Elem;
+    if (Type == "positive")
+      Elem = 3 * I + 1;
+    else if (Type == "negative")
+      Elem = -(3 * I + 1);
+    else if (Type == "mixed")
+      // Alternating signs; "large" scales the amplitude past the spread
+      // threshold of the specification.
+      Elem = (I % 2 == 0 ? -I : I) * (Deviation == "large" ? 10 : 1);
+    else
+      return std::nullopt;
+    Arr.Elems.push_back(Elem);
+  }
+
+  std::vector<Value> Args;
+  Args.push_back(Value::makeArray(std::move(Arr)));
+  Args.push_back(Value::makeInt(N));
+  Args.push_back(Value()); // var b: filled by the callee
+  return Args;
+}
+
+bool gadt::workload::checkArrsumOutcome(const std::vector<Value> &Args,
+                                        const CallOutcome &Out) {
+  if (Args.size() != 3 || !Args[0].isArray() || !Args[1].isInt())
+    return false;
+  const ArrayVal &Arr = Args[0].asArray();
+  int64_t N = Args[1].asInt();
+  int64_t Expected = 0;
+  for (int64_t I = 1; I <= N; ++I) {
+    if (!Arr.inBounds(I))
+      return false;
+    Expected += Arr.at(I);
+  }
+  for (const Binding &B : Out.Outputs)
+    if (B.Name == "b")
+      return B.V.isInt() && B.V.asInt() == Expected;
+  return false;
+}

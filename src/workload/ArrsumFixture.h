@@ -1,0 +1,48 @@
+//===- ArrsumFixture.h - Figure 1 test-specification fixture ----*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 1 specification for the arrsum procedure, ported to
+/// our T-GEN dialect, together with a deterministic frame instantiator and
+/// a reference outcome checker. Used by the Figure 1 bench, the T-GEN
+/// tests, and the GADT end-to-end session (Section 8: the arrsum query is
+/// answered from the test database).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_WORKLOAD_ARRSUMFIXTURE_H
+#define GADT_WORKLOAD_ARRSUMFIXTURE_H
+
+#include "tgen/ReportDB.h"
+
+namespace gadt {
+namespace workload {
+
+/// The Figure 1 specification text (categories size_of_array,
+/// type_of_elements, deviation; scripts script_1/script_2; result
+/// result_1), extended with `when` classifiers so frames can be selected
+/// automatically during debugging.
+extern const char *const ArrsumSpec;
+
+/// The same specification made self-contained with a `params` declaration
+/// and `gen` bindings, so T-GEN can produce executable test cases without
+/// the host-language instantiator below (tgen/Generator.h).
+extern const char *const ArrsumSpecWithGens;
+
+/// Builds concrete (a, n, b) arguments for a frame of ArrsumSpec. The
+/// instantiation round-trips: classifying the produced inputs yields the
+/// same frame.
+std::optional<std::vector<interp::Value>>
+instantiateArrsumFrame(const tgen::TestFrame &Frame);
+
+/// Reference checker: output b must equal the sum of the first n elements.
+bool checkArrsumOutcome(const std::vector<interp::Value> &Args,
+                        const interp::CallOutcome &Out);
+
+} // namespace workload
+} // namespace gadt
+
+#endif // GADT_WORKLOAD_ARRSUMFIXTURE_H

@@ -1,0 +1,244 @@
+//===- PaperPrograms.cpp - Programs from the PLDI'91 paper ----------------===//
+
+#include "workload/PaperPrograms.h"
+
+#include <string>
+
+using namespace gadt;
+
+// Figure 4, transcribed. Differences from the paper's listing:
+//  - `n` is passed to arrsum explicitly (as in the paper's Figure 4 listing,
+//    which already has `arrsum(a: intarray; n: integer; var b: integer)`).
+//  - the unused local `t` in sum2 and `z` in sum1 are kept to stay faithful.
+static const char *const Figure4Common = R"(
+program main;
+type
+  intarray = array[1..10] of integer;
+var
+  isok: boolean;
+
+procedure test(r1, r2: integer; var isok: boolean);
+begin
+  isok := r1 = r2;
+end;
+
+procedure arrsum(a: intarray; n: integer; var b: integer);
+var
+  i: integer;
+begin
+  b := 0;
+  for i := 1 to n do
+    b := b + a[i];
+end;
+
+procedure square(y: integer; var r2: integer);
+begin
+  r2 := y * y;
+end;
+
+procedure comput2(y: integer; var r2: integer);
+begin
+  square(y, r2);
+end;
+
+procedure add(s1, s2: integer; var r1: integer);
+begin
+  r1 := s1 + s2;
+end;
+
+function decrement(y: integer): integer;
+begin
+  decrement := y %DECREMENT% 1;
+end;
+
+function increment(y: integer): integer;
+begin
+  increment := y + 1;
+end;
+
+procedure sum2(y: integer; var s2: integer);
+var
+  t: integer;
+begin
+  s2 := decrement(y) * y div 2;
+end;
+
+procedure sum1(y: integer; var s1: integer);
+var
+  z: integer;
+begin
+  s1 := y * increment(y) div 2;
+end;
+
+procedure partialsums(y: integer; var s1, s2: integer);
+begin
+  sum1(y, s1);
+  sum2(y, s2);
+end;
+
+procedure comput1(y: integer; var r1: integer);
+var
+  s1, s2: integer;
+begin
+  partialsums(y, s1, s2);
+  add(s1, s2, r1);
+end;
+
+procedure computs(y: integer; var r1, r2: integer);
+begin
+  comput1(y, r1);
+  comput2(y, r2);
+end;
+
+procedure sqrtest(ary: intarray; n: integer; var isok: boolean);
+var
+  r1, r2, t: integer;
+begin
+  arrsum(ary, n, t);
+  computs(t, r1, r2);
+  test(r1, r2, isok);
+end;
+
+begin
+  sqrtest([1, 2], 2, isok);
+end.
+)";
+
+namespace {
+
+/// Replaces the %DECREMENT% hole with the given operator.
+std::string instantiateFigure4(const char *Op) {
+  std::string Src = Figure4Common;
+  const std::string Hole = "%DECREMENT%";
+  size_t Pos = Src.find(Hole);
+  Src.replace(Pos, Hole.size(), Op);
+  return Src;
+}
+
+const std::string Figure4BuggyStorage = instantiateFigure4("+");
+const std::string Figure4FixedStorage = instantiateFigure4("-");
+
+} // namespace
+
+const char *const workload::Figure4Buggy = Figure4BuggyStorage.c_str();
+const char *const workload::Figure4Fixed = Figure4FixedStorage.c_str();
+
+const char *const workload::Figure2 = R"(
+program p;
+var
+  x, y, z, sum, mul: integer;
+begin
+  read(x, y);
+  mul := 0;
+  sum := 0;
+  if x <= 1 then
+    sum := x + y
+  else begin
+    read(z);
+    mul := x * y;
+  end;
+end.
+)";
+
+const char *const workload::Section6Globals = R"(
+program g;
+var
+  x, z, w: integer;
+
+procedure p(var y: integer);
+begin
+  y := x + 1;
+  z := y - x;
+end;
+
+begin
+  x := 10;
+  p(w);
+  writeln(z);
+end.
+)";
+
+const char *const workload::Section6GlobalGoto = R"(
+program gg;
+label 8;
+var
+  a, b: integer;
+
+procedure p(v: integer; var r: integer);
+label 9;
+
+  procedure q(u: integer; var s: integer);
+  begin
+    s := u + 1;
+    if u > 10 then
+      goto 9;
+    s := s * 2;
+  end;
+
+begin
+  r := 0;
+  q(v, r);
+  r := r + 100;
+  9:
+  r := r + 1;
+  if v > 100 then
+    goto 8;
+  r := r + 1000;
+end;
+
+begin
+  a := 20;
+  p(a, b);
+  8:
+  writeln(b);
+end.
+)";
+
+const char *const workload::Section6LoopGoto = R"(
+program lg;
+var
+  n, acc: integer;
+
+procedure scan(limit: integer; var total: integer);
+label 9;
+var
+  i: integer;
+begin
+  total := 0;
+  i := 0;
+  while i < limit do begin
+    i := i + 1;
+    total := total + i;
+    if total > 50 then
+      goto 9;
+    total := total + 1;
+  end;
+  total := total + 500;
+  9:
+  total := total + 7;
+end;
+
+begin
+  n := 100;
+  scan(n, acc);
+  writeln(acc);
+end.
+)";
+
+const char *const workload::ArrsumProgram = R"(
+program arrsumprog;
+type
+  intarray = array[1..100] of integer;
+var
+  a: intarray;
+  n, i, s: integer;
+begin
+  read(n);
+  for i := 1 to n do
+    read(a[i]);
+  s := 0;
+  for i := 1 to n do
+    s := s + a[i];
+  writeln(s);
+end.
+)";

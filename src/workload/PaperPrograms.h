@@ -1,0 +1,51 @@
+//===- PaperPrograms.h - Programs from the PLDI'91 paper --------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The example programs the paper's figures are built from, transcribed into
+/// the Pascal subset. Tests and benches reproduce the figures from these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_WORKLOAD_PAPERPROGRAMS_H
+#define GADT_WORKLOAD_PAPERPROGRAMS_H
+
+namespace gadt {
+namespace workload {
+
+/// Figure 4: computes the square of the sum of [1,2] in two ways and
+/// compares. Contains the planted bug (`y + 1` instead of `y - 1` in
+/// function decrement).
+extern const char *const Figure4Buggy;
+
+/// Figure 4 with the bug fixed — the "intended program" used by reference
+/// oracles and test-report generation.
+extern const char *const Figure4Fixed;
+
+/// Figure 2(a): the slicing example program (reads x,y; computes sum and
+/// mul).
+extern const char *const Figure2;
+
+/// Section 6, first transformation example: a procedure with global
+/// side-effects (reads global x, writes global z) to be converted to
+/// in/out parameters.
+extern const char *const Section6Globals;
+
+/// Section 6, second example: a global goto from a nested procedure q to a
+/// label in the enclosing procedure p.
+extern const char *const Section6GlobalGoto;
+
+/// Section 6, third example: a goto out of a while loop.
+extern const char *const Section6LoopGoto;
+
+/// Section 2 / Figure 1: the arrsum procedure under test, wrapped in a
+/// runnable program (reads n and the array contents, writes the sum).
+extern const char *const ArrsumProgram;
+
+} // namespace workload
+} // namespace gadt
+
+#endif // GADT_WORKLOAD_PAPERPROGRAMS_H

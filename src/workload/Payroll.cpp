@@ -1,0 +1,160 @@
+//===- Payroll.cpp - A realistic application workload ----------------------===//
+
+#include "workload/Payroll.h"
+
+#include <string>
+
+using namespace gadt;
+
+namespace {
+
+// Holes: %TAXBASE% is the lower bracket boundary (intended 500);
+// %OTNUM%/%OTDEN% the overtime multiplier (intended 3/2).
+const char *const PayrollTemplate = R"(
+program payroll;
+const
+  maxemp = 20;
+  stdhours = 40;
+type
+  intarray = array[1..20] of integer;
+var
+  hours, rates: intarray;
+  nemp, totalnet, totaltax, highest: integer;
+
+function overtimepay(h, rate: integer): integer;
+begin
+  if h > stdhours then
+    overtimepay := ((h - stdhours) * rate * %OTNUM%) div %OTDEN%
+  else
+    overtimepay := 0;
+end;
+
+function grosspay(h, rate: integer): integer;
+var
+  base: integer;
+begin
+  if h > stdhours then
+    base := stdhours * rate
+  else
+    base := h * rate;
+  grosspay := base + overtimepay(h, rate);
+end;
+
+function taxfor(gross: integer): integer;
+var
+  t: integer;
+begin
+  t := 0;
+  if gross > %TAXBASE% then begin
+    if gross > 2000 then
+      t := ((2000 - %TAXBASE%) * 20) div 100 +
+           ((gross - 2000) * 40) div 100
+    else
+      t := ((gross - %TAXBASE%) * 20) div 100;
+  end;
+  taxfor := t;
+end;
+
+function netpay(h, rate: integer): integer;
+var
+  g: integer;
+begin
+  g := grosspay(h, rate);
+  netpay := g - taxfor(g);
+end;
+
+procedure processall(n: integer; var totnet, tottax: integer);
+var
+  i, g: integer;
+begin
+  totnet := 0;
+  tottax := 0;
+  for i := 1 to n do begin
+    g := grosspay(hours[i], rates[i]);
+    tottax := tottax + taxfor(g);
+    totnet := totnet + netpay(hours[i], rates[i]);
+  end;
+end;
+
+procedure findhighest(n: integer; var best: integer);
+var
+  i, np: integer;
+begin
+  best := 0;
+  for i := 1 to n do begin
+    np := netpay(hours[i], rates[i]);
+    if np > best then
+      best := np;
+  end;
+end;
+
+begin
+  nemp := 5;
+  hours[1] := 38;  rates[1] := 12;
+  hours[2] := 45;  rates[2] := 30;
+  hours[3] := 40;  rates[3] := 55;
+  hours[4] := 52;  rates[4] := 18;
+  hours[5] := 20;  rates[5] := 90;
+  processall(nemp, totalnet, totaltax);
+  findhighest(nemp, highest);
+  writeln(totalnet, ' ', totaltax, ' ', highest);
+end.
+)";
+
+std::string instantiate(const char *TaxBase, const char *OtNum,
+                        const char *OtDen) {
+  std::string S = PayrollTemplate;
+  auto ReplaceAll = [&S](const std::string &Hole, const std::string &Text) {
+    for (size_t Pos = S.find(Hole); Pos != std::string::npos;
+         Pos = S.find(Hole, Pos))
+      S.replace(Pos, Hole.size(), Text);
+  };
+  ReplaceAll("%TAXBASE%", TaxBase);
+  ReplaceAll("%OTNUM%", OtNum);
+  ReplaceAll("%OTDEN%", OtDen);
+  return S;
+}
+
+const std::string CorrectStorage = instantiate("500", "3", "2");
+const std::string TaxBugStorage = instantiate("400", "3", "2");
+const std::string OvertimeBugStorage = instantiate("500", "2", "1");
+
+} // namespace
+
+const char *const workload::PayrollCorrect = CorrectStorage.c_str();
+const char *const workload::PayrollTaxBug = TaxBugStorage.c_str();
+const char *const workload::PayrollOvertimeBug = OvertimeBugStorage.c_str();
+
+const char *const workload::TaxforSpec = R"(
+test taxfor;
+params gross;
+category bracket;
+  boundary : property SINGLE when gross = 500 gen gross := 500;
+  untaxed  : when gross < 500 gen gross := 300;
+  middle   : property MID when (gross > 500) and (gross <= 2000)
+             gen gross := 1200;
+  top      : property TOP when gross > 2000 gen gross := 5000;
+category magnitude;
+  extreme  : if TOP when gross > 100000 gen gross := 200000;
+  ordinary : when true;
+scripts
+  low_brackets  : if not TOP;
+  high_brackets : if TOP;
+end.
+)";
+
+const char *const workload::OvertimeSpec = R"(
+test overtimepay;
+params h, rate;
+category worked;
+  none     : property SINGLE when h = 0 gen h := 0, rate := 10;
+  regular  : when (h > 0) and (h <= 40) gen h := 35, rate := 10;
+  overtime : property OT when h > 40 gen h := 48, rate := 10;
+category pay_rate;
+  low  : when rate <= 25 gen rate := 10;
+  high : when rate > 25 gen rate := 60;
+scripts
+  with_overtime    : if OT;
+  without_overtime : if not OT;
+end.
+)";

@@ -1,0 +1,49 @@
+//===- Payroll.h - A realistic application workload -------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small but realistic payroll application — the kind of "non-trivial
+/// program" the paper's long-range goal targets ("a semi-automatic
+/// debugging and testing system which can be used during large-scale
+/// program development"). It exercises constants, array globals read
+/// through side effects (so the transformation has to convert arrays to
+/// parameters), overtime and bracketed-tax logic, and a call hierarchy
+/// four levels deep.
+///
+/// Three variants share the same shape: the intended program, one with a
+/// wrong tax-bracket boundary, and one with a wrong overtime rate. T-GEN
+/// specifications (with params/gen clauses) cover the tax and overtime
+/// routines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_WORKLOAD_PAYROLL_H
+#define GADT_WORKLOAD_PAYROLL_H
+
+namespace gadt {
+namespace workload {
+
+/// The intended payroll program.
+extern const char *const PayrollCorrect;
+
+/// Bug: the middle tax bracket starts at 400 instead of 500 (in function
+/// taxfor).
+extern const char *const PayrollTaxBug;
+
+/// Bug: overtime is paid at 2x instead of 1.5x (in function overtimepay).
+extern const char *const PayrollOvertimeBug;
+
+/// Self-contained T-GEN specification for `taxfor(gross)`: brackets
+/// below/inside/above, with boundary SINGLE frames.
+extern const char *const TaxforSpec;
+
+/// Self-contained T-GEN specification for `overtimepay(h, rate)`.
+extern const char *const OvertimeSpec;
+
+} // namespace workload
+} // namespace gadt
+
+#endif // GADT_WORKLOAD_PAYROLL_H

@@ -1,0 +1,66 @@
+//===- Synthetic.h - Synthetic program generator ----------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators of (intended, buggy) program pairs with a known
+/// bug location. These stand in for the "larger programs" the paper aims at
+/// (Section 9: "We intend to test it on larger programs soon") and drive
+/// the scaling/ablation benchmarks plus the randomized property tests
+/// (transformation equivalence, debugger completeness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_WORKLOAD_SYNTHETIC_H
+#define GADT_WORKLOAD_SYNTHETIC_H
+
+#include <cstdint>
+#include <string>
+
+namespace gadt {
+namespace workload {
+
+/// An (intended, buggy) pair plus the routine whose body contains the bug.
+struct ProgramPair {
+  std::string Fixed;
+  std::string Buggy;
+  std::string BuggyRoutine;
+};
+
+/// A linear call chain p1 -> p2 -> ... -> pN with the bug planted in
+/// p<BugIndex> (1-based). Top-down debugging cost grows linearly with
+/// BugIndex; divide-and-query logarithmically with N.
+ProgramPair chainProgram(unsigned N, unsigned BugIndex);
+
+/// A complete binary call tree of the given depth; the bug sits in the
+/// leaf reached by always taking the *last* child (the worst case for
+/// left-to-right top-down search).
+ProgramPair treeProgram(unsigned Depth);
+
+/// The paper's Figure 5 shape: procedure p performs N-1 calls that are
+/// irrelevant to its output y, then one relevant call. Slicing on y removes
+/// all N-1 irrelevant queries (Section 7).
+ProgramPair wideIrrelevantProgram(unsigned N);
+
+/// Options for the randomized generator.
+struct SyntheticOptions {
+  uint32_t Seed = 1;
+  unsigned NumRoutines = 6;
+  unsigned NumGlobals = 3;
+  unsigned StmtsPerRoutine = 5;
+  bool UseLoops = true;
+  bool UseGotos = false; ///< plant non-local gotos (transform stress)
+};
+
+/// A random structured program pair: flat routines calling lower-numbered
+/// ones, global side effects, bounded loops, optional non-local gotos, and
+/// one off-by-one bug in a random routine. Programs always terminate and
+/// never fault.
+ProgramPair randomProgram(const SyntheticOptions &Opts);
+
+} // namespace workload
+} // namespace gadt
+
+#endif // GADT_WORKLOAD_SYNTHETIC_H

@@ -1,0 +1,368 @@
+//===- AnalysisTest.cpp - Call graph, side effects, CFG, dataflow ---------===//
+
+#include "analysis/CFG.h"
+#include "analysis/CallGraph.h"
+#include "analysis/ControlDep.h"
+#include "analysis/Dataflow.h"
+#include "analysis/SideEffects.h"
+
+#include "pascal/Frontend.h"
+#include "workload/PaperPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::pascal;
+
+namespace {
+
+std::unique_ptr<Program> compile(std::string_view Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = parseAndCheck(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+bool hasGlobal(const std::vector<const VarDecl *> &Set,
+               const std::string &Name) {
+  for (const VarDecl *V : Set)
+    if (V->getName() == Name)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph
+//===----------------------------------------------------------------------===//
+
+TEST(CallGraphTest, CollectsStatementAndExpressionCalls) {
+  auto Prog = compile("program p; var r: integer;"
+                      "function f(x: integer): integer; begin f := x; end;"
+                      "procedure q(a: integer); begin r := f(a); end;"
+                      "begin q(f(1) + f(2)); end.");
+  CallGraph CG(*Prog);
+  // main calls q once and f twice; q calls f once.
+  EXPECT_EQ(CG.callSitesIn(Prog->getMain()).size(), 3u);
+  const RoutineDecl *Q = Prog->getMain()->findNested("q");
+  EXPECT_EQ(CG.callSitesIn(Q).size(), 1u);
+  EXPECT_EQ(CG.allCallSites().size(), 4u);
+}
+
+TEST(CallGraphTest, BottomUpOrderPutsCalleesFirst) {
+  auto Prog = compile(workload::Figure4Buggy);
+  CallGraph CG(*Prog);
+  auto Order = CG.bottomUpOrder();
+  auto IndexOf = [&](const std::string &Name) {
+    for (size_t I = 0; I != Order.size(); ++I)
+      if (Order[I]->getName() == Name)
+        return I;
+    return Order.size();
+  };
+  EXPECT_LT(IndexOf("decrement"), IndexOf("sum2"));
+  EXPECT_LT(IndexOf("sum2"), IndexOf("partialsums"));
+  EXPECT_LT(IndexOf("sqrtest"), IndexOf("main"));
+}
+
+TEST(CallGraphTest, CallSiteArgsAccessor) {
+  auto Prog = compile("program p; procedure q(a, b: integer); begin end;"
+                      "begin q(1, 2); end.");
+  CallGraph CG(*Prog);
+  const auto &Sites = CG.callSitesIn(Prog->getMain());
+  ASSERT_EQ(Sites.size(), 1u);
+  EXPECT_EQ(Sites[0].args().size(), 2u);
+  EXPECT_EQ(Sites[0].Callee->getName(), "q");
+}
+
+//===----------------------------------------------------------------------===//
+// Side effects
+//===----------------------------------------------------------------------===//
+
+TEST(SideEffectsTest, DirectGlobalEffects) {
+  auto Prog = compile(workload::Section6Globals);
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  const RoutineDecl *P = Prog->getMain()->findNested("p");
+  const RoutineEffects &E = SEA.effects(P);
+  EXPECT_TRUE(hasGlobal(E.GRef, "x"));
+  EXPECT_FALSE(hasGlobal(E.GRef, "z")) << "z is written, not read";
+  EXPECT_TRUE(hasGlobal(E.GMod, "z"));
+  EXPECT_FALSE(hasGlobal(E.GMod, "x"));
+  EXPECT_TRUE(E.ModParams.count(0)) << "var param y is written";
+  EXPECT_TRUE(E.RefParams.count(0)) << "y is read by z := y - x";
+  EXPECT_FALSE(SEA.programIsSideEffectFree());
+}
+
+TEST(SideEffectsTest, TransitiveEffectsThroughCalls) {
+  auto Prog = compile("program p; var g: integer;"
+                      "procedure leaf; begin g := 1; end;"
+                      "procedure mid; begin leaf; end;"
+                      "procedure top; begin mid; end;"
+                      "begin top; end.");
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  const RoutineDecl *Top = Prog->getMain()->findNested("top");
+  EXPECT_TRUE(hasGlobal(SEA.effects(Top).GMod, "g"));
+}
+
+TEST(SideEffectsTest, EffectsThroughVarParams) {
+  auto Prog = compile("program p; var g: integer;"
+                      "procedure setit(var v: integer); begin v := 9; end;"
+                      "procedure caller; begin setit(g); end;"
+                      "begin caller; end.");
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  const RoutineDecl *Caller = Prog->getMain()->findNested("caller");
+  EXPECT_TRUE(hasGlobal(SEA.effects(Caller).GMod, "g"))
+      << "modification of g funneled through setit's var param";
+}
+
+TEST(SideEffectsTest, UpLevelLocalIsCalleeSideEffectButNotCallers) {
+  auto Prog = compile("program p;"
+                      "procedure outer; var m: integer;"
+                      "  procedure inner; begin m := 1; end;"
+                      "begin inner; end;"
+                      "begin outer; end.");
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  const RoutineDecl *Outer = Prog->getMain()->findNested("outer");
+  const RoutineDecl *Inner = Outer->findNested("inner");
+  EXPECT_TRUE(hasGlobal(SEA.effects(Inner).GMod, "m"));
+  // m is outer's own local, so outer has no *global* side effect.
+  EXPECT_TRUE(SEA.effects(Outer).GMod.empty());
+}
+
+TEST(SideEffectsTest, RecursiveRoutinesConverge) {
+  auto Prog = compile("program p; var g: integer;"
+                      "procedure rec(n: integer);"
+                      "begin if n > 0 then begin g := g + n; rec(n - 1); end;"
+                      "end;"
+                      "begin rec(3); end.");
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  const RoutineDecl *Rec = Prog->getMain()->findNested("rec");
+  EXPECT_TRUE(hasGlobal(SEA.effects(Rec).GMod, "g"));
+  EXPECT_TRUE(hasGlobal(SEA.effects(Rec).GRef, "g"));
+}
+
+TEST(SideEffectsTest, Figure4IsSideEffectFreeExceptNothing) {
+  // Figure 4's routines communicate only through parameters.
+  auto Prog = compile(workload::Figure4Buggy);
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  EXPECT_TRUE(SEA.programIsSideEffectFree());
+}
+
+TEST(SideEffectsTest, FunctionResultIsNotASideEffect) {
+  auto Prog = compile("program p; var r: integer;"
+                      "function f: integer; begin f := 1; end;"
+                      "begin r := f(); end.");
+  CallGraph CG(*Prog);
+  SideEffectAnalysis SEA(*Prog, CG);
+  const RoutineDecl *F = Prog->getMain()->findNested("f");
+  EXPECT_TRUE(SEA.effects(F).GMod.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// CFG
+//===----------------------------------------------------------------------===//
+
+struct CFGFixture {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<CallGraph> CG;
+  std::unique_ptr<SideEffectAnalysis> SEA;
+
+  explicit CFGFixture(std::string_view Src) {
+    DiagnosticsEngine Diags;
+    Prog = parseAndCheck(Src, Diags);
+    EXPECT_TRUE(Prog != nullptr) << Diags.str();
+    CG = std::make_unique<CallGraph>(*Prog);
+    SEA = std::make_unique<SideEffectAnalysis>(*Prog, *CG);
+  }
+
+  CFG make(const RoutineDecl *R) { return CFG(R, *SEA); }
+};
+
+TEST(CFGTest, StraightLine) {
+  CFGFixture F("program p; var x, y: integer;"
+               "begin x := 1; y := x + 1; end.");
+  CFG G = F.make(F.Prog->getMain());
+  // entry, exit, 2 statements, 2 formal-outs (globals x and y).
+  EXPECT_EQ(G.nodes().size(), 6u);
+  EXPECT_EQ(G.entry()->succs().size(), 1u);
+  EXPECT_TRUE(G.formalOutFor(F.Prog->getMain()->getLocals()[0].get()));
+}
+
+TEST(CFGTest, IfWithoutElseHasFallthroughEdge) {
+  CFGFixture F("program p; var x: integer;"
+               "begin if x > 0 then x := 1; x := 2; end.");
+  CFG G = F.make(F.Prog->getMain());
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Pred = G.nodeFor(Body[0].get());
+  ASSERT_TRUE(Pred);
+  EXPECT_EQ(Pred->getKind(), CFGNode::Kind::Predicate);
+  EXPECT_EQ(Pred->succs().size(), 2u);
+}
+
+TEST(CFGTest, WhileLoopHasBackEdge) {
+  CFGFixture F("program p; var x: integer;"
+               "begin while x > 0 do x := x - 1; end.");
+  CFG G = F.make(F.Prog->getMain());
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Pred = G.nodeFor(Body[0].get());
+  CFGNode *BodyNode =
+      G.nodeFor(cast<WhileStmt>(Body[0].get())->getBody());
+  ASSERT_TRUE(Pred && BodyNode);
+  // body -> pred back edge.
+  EXPECT_NE(std::find(BodyNode->succs().begin(), BodyNode->succs().end(),
+                      Pred),
+            BodyNode->succs().end());
+}
+
+TEST(CFGTest, GotoEdgesConnectToLabel) {
+  CFGFixture F("program p; label 9; var x: integer;"
+               "begin goto 9; x := 1; 9: x := 2; end.");
+  CFG G = F.make(F.Prog->getMain());
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *GotoNode = G.nodeFor(Body[0].get());
+  CFGNode *LabelNode = G.nodeFor(Body[2].get());
+  ASSERT_TRUE(GotoNode && LabelNode);
+  ASSERT_EQ(GotoNode->succs().size(), 1u);
+  EXPECT_EQ(GotoNode->succs()[0], LabelNode);
+  // x := 1 is unreachable: no predecessors.
+  EXPECT_TRUE(G.nodeFor(Body[1].get())->preds().empty());
+}
+
+TEST(CFGTest, FormalBoundariesForProcedure) {
+  CFGFixture F(workload::Section6Globals);
+  const RoutineDecl *P = F.Prog->getMain()->findNested("p");
+  CFG G = F.make(P);
+  // formal-ins: y (var param), x (GRef). formal-outs: y (var), z (GMod).
+  EXPECT_EQ(G.formalIns().size(), 2u);
+  EXPECT_EQ(G.formalOuts().size(), 2u);
+  EXPECT_TRUE(G.formalInFor(P->getParams()[0].get()));
+  EXPECT_TRUE(G.formalOutFor(P->getParams()[0].get()));
+}
+
+TEST(CFGTest, FunctionHasResultFormalOut) {
+  CFGFixture F("program p; var r: integer;"
+               "function f(x: integer): integer; begin f := x; end;"
+               "begin r := f(1); end.");
+  const RoutineDecl *Fn = F.Prog->getMain()->findNested("f");
+  CFG G = F.make(Fn);
+  EXPECT_TRUE(G.resultFormalOut());
+}
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+TEST(ReachingDefsTest, LinearKill) {
+  CFGFixture F("program p; var x, y: integer;"
+               "begin x := 1; x := 2; y := x; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ReachingDefs RD(G, *F.SEA);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Use = G.nodeFor(Body[2].get());
+  auto Defs = RD.reachingIn(Use, F.Prog->getMain()->getLocals()[0].get());
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0], G.nodeFor(Body[1].get())) << "x := 2 kills x := 1";
+}
+
+TEST(ReachingDefsTest, BranchesMerge) {
+  CFGFixture F("program p; var x, y: integer;"
+               "begin if y > 0 then x := 1 else x := 2; y := x; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ReachingDefs RD(G, *F.SEA);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Use = G.nodeFor(Body[1].get());
+  auto Defs = RD.reachingIn(Use, F.Prog->getMain()->getLocals()[0].get());
+  EXPECT_EQ(Defs.size(), 2u) << "both branch definitions reach the use";
+}
+
+TEST(ReachingDefsTest, ArrayWritesAreWeak) {
+  CFGFixture F("program p; var a: array[1..3] of integer; i, x: integer;"
+               "begin a[1] := 10; a[i] := 20; x := a[2]; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ReachingDefs RD(G, *F.SEA);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Use = G.nodeFor(Body[2].get());
+  auto Defs = RD.reachingIn(Use, F.Prog->getMain()->getLocals()[0].get());
+  EXPECT_EQ(Defs.size(), 2u) << "element writes must not kill each other";
+}
+
+TEST(ReachingDefsTest, CallMediatedDefs) {
+  CFGFixture F(workload::Section6Globals);
+  CFG G = F.make(F.Prog->getMain());
+  ReachingDefs RD(G, *F.SEA);
+  // In main: x := 10; p(w); writeln(z) — the call defines z (and w).
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *WriteNode = G.nodeFor(Body[2].get());
+  const VarDecl *Z = F.Prog->getMain()->findLocal("z");
+  auto Defs = RD.reachingIn(WriteNode, Z);
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0], G.nodeFor(Body[1].get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Control dependence
+//===----------------------------------------------------------------------===//
+
+TEST(ControlDepTest, ThenBranchDependsOnIf) {
+  CFGFixture F("program p; var x, y: integer;"
+               "begin if x > 0 then y := 1; y := 2; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ControlDependence CD(G);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Pred = G.nodeFor(Body[0].get());
+  CFGNode *Then = G.nodeFor(cast<IfStmt>(Body[0].get())->getThen());
+  CFGNode *After = G.nodeFor(Body[1].get());
+  ASSERT_EQ(CD.controllersOf(Then).size(), 1u);
+  EXPECT_EQ(CD.controllersOf(Then)[0], Pred);
+  ASSERT_EQ(CD.controllersOf(After).size(), 1u);
+  EXPECT_EQ(CD.controllersOf(After)[0], G.entry());
+}
+
+TEST(ControlDepTest, LoopBodyDependsOnLoopPredicate) {
+  CFGFixture F("program p; var x: integer;"
+               "begin while x > 0 do x := x - 1; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ControlDependence CD(G);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Pred = G.nodeFor(Body[0].get());
+  CFGNode *BodyNode = G.nodeFor(cast<WhileStmt>(Body[0].get())->getBody());
+  ASSERT_EQ(CD.controllersOf(BodyNode).size(), 1u);
+  EXPECT_EQ(CD.controllersOf(BodyNode)[0], Pred);
+}
+
+TEST(ControlDepTest, NestedIfs) {
+  CFGFixture F("program p; var a, b, x: integer;"
+               "begin if a > 0 then if b > 0 then x := 1; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ControlDependence CD(G);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  const auto *Outer = cast<IfStmt>(Body[0].get());
+  const auto *Inner = cast<IfStmt>(Outer->getThen());
+  CFGNode *InnerPred = G.nodeFor(Inner);
+  CFGNode *Assign = G.nodeFor(Inner->getThen());
+  ASSERT_EQ(CD.controllersOf(Assign).size(), 1u);
+  EXPECT_EQ(CD.controllersOf(Assign)[0], InnerPred);
+  ASSERT_EQ(CD.controllersOf(InnerPred).size(), 1u);
+  EXPECT_EQ(CD.controllersOf(InnerPred)[0], G.nodeFor(Outer));
+}
+
+TEST(ControlDepTest, PostDominanceQueries) {
+  CFGFixture F("program p; var x: integer;"
+               "begin if x > 0 then x := 1; x := 2; end.");
+  CFG G = F.make(F.Prog->getMain());
+  ControlDependence CD(G);
+  const auto &Body = F.Prog->getMain()->getBody()->getBody();
+  CFGNode *Pred = G.nodeFor(Body[0].get());
+  CFGNode *Then = G.nodeFor(cast<IfStmt>(Body[0].get())->getThen());
+  CFGNode *After = G.nodeFor(Body[1].get());
+  EXPECT_TRUE(CD.postDominates(After, Pred));
+  EXPECT_FALSE(CD.postDominates(Then, Pred));
+  EXPECT_TRUE(CD.postDominates(G.exit(), G.entry()));
+}
+
+} // namespace

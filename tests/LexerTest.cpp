@@ -1,0 +1,156 @@
+//===- LexerTest.cpp - Lexer unit tests -----------------------------------===//
+
+#include "pascal/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+using namespace gadt::pascal;
+
+namespace {
+
+std::vector<Token> lex(std::string_view Src, DiagnosticsEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kindsOf(std::string_view Src) {
+  DiagnosticsEngine Diags;
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : lex(Src, Diags))
+    Kinds.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Kinds;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("", Diags);
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::Eof);
+}
+
+TEST(LexerTest, Keywords) {
+  auto Kinds = kindsOf("program procedure function var begin end if then "
+                       "else while do repeat until for to downto goto label "
+                       "array of div mod and or not true false in out");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KwProgram,  TokenKind::KwProcedure, TokenKind::KwFunction,
+      TokenKind::KwVar,      TokenKind::KwBegin,     TokenKind::KwEnd,
+      TokenKind::KwIf,       TokenKind::KwThen,      TokenKind::KwElse,
+      TokenKind::KwWhile,    TokenKind::KwDo,        TokenKind::KwRepeat,
+      TokenKind::KwUntil,    TokenKind::KwFor,       TokenKind::KwTo,
+      TokenKind::KwDownto,   TokenKind::KwGoto,      TokenKind::KwLabel,
+      TokenKind::KwArray,    TokenKind::KwOf,        TokenKind::KwDiv,
+      TokenKind::KwMod,      TokenKind::KwAnd,       TokenKind::KwOr,
+      TokenKind::KwNot,      TokenKind::KwTrue,      TokenKind::KwFalse,
+      TokenKind::KwIn,       TokenKind::KwOut,       TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto Kinds = kindsOf("BEGIN End WhIlE");
+  std::vector<TokenKind> Expected = {TokenKind::KwBegin, TokenKind::KwEnd,
+                                     TokenKind::KwWhile, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, IdentifiersAreLowercased) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("ArrSum X9 under_score", Diags);
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "arrsum");
+  EXPECT_EQ(Tokens[1].Text, "x9");
+  EXPECT_EQ(Tokens[2].Text, "under_score");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("0 42 123456789", Diags);
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto Kinds = kindsOf("( ) [ ] , ; : . .. := + - * = <> < <= > >=");
+  std::vector<TokenKind> Expected = {
+      TokenKind::LParen,    TokenKind::RParen,   TokenKind::LBracket,
+      TokenKind::RBracket,  TokenKind::Comma,    TokenKind::Semicolon,
+      TokenKind::Colon,     TokenKind::Dot,      TokenKind::DotDot,
+      TokenKind::Assign,    TokenKind::Plus,     TokenKind::Minus,
+      TokenKind::Star,      TokenKind::Equal,    TokenKind::NotEqual,
+      TokenKind::Less,      TokenKind::LessEqual, TokenKind::Greater,
+      TokenKind::GreaterEqual, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, AssignVersusColon) {
+  auto Kinds = kindsOf("x := y : z");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier, TokenKind::Assign,
+                                     TokenKind::Identifier, TokenKind::Colon,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, ParenStarComments) {
+  auto Kinds = kindsOf("x (* a comment \n spanning lines *) y");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, BraceComments) {
+  auto Kinds = kindsOf("x { comment } y");
+  std::vector<TokenKind> Expected = {TokenKind::Identifier,
+                                     TokenKind::Identifier, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(LexerTest, UnterminatedCommentIsAnError) {
+  DiagnosticsEngine Diags;
+  lex("x (* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StringLiteralsWithEscapedQuote) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("'hello' 'it''s'", Diags);
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].Kind, TokenKind::StringLiteral);
+  EXPECT_EQ(Tokens[0].Text, "hello");
+  EXPECT_EQ(Tokens[1].Text, "it's");
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(LexerTest, UnterminatedStringIsAnError) {
+  DiagnosticsEngine Diags;
+  lex("'oops", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(LexerTest, StrayCharacterIsAnError) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("x # y", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Tokens[1].Kind, TokenKind::Unknown);
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  DiagnosticsEngine Diags;
+  auto Tokens = lex("a\n  b", Diags);
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, DotDotVersusDot) {
+  auto Kinds = kindsOf("1..2 end.");
+  std::vector<TokenKind> Expected = {TokenKind::IntLiteral, TokenKind::DotDot,
+                                     TokenKind::IntLiteral, TokenKind::KwEnd,
+                                     TokenKind::Dot, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- PayrollTest.cpp - Whole-system integration on a realistic app ------===//
+//
+// Drives every phase of GADT on the payroll workload: transformation of a
+// program whose routines read array globals, spec-driven test databases
+// for two routines, and full debugging sessions for two different planted
+// bugs — the "large-scale program development" scenario the paper's
+// long-range goal describes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/SideEffects.h"
+#include "core/GADT.h"
+#include "core/ReferenceOracle.h"
+#include "interp/Interpreter.h"
+#include "pascal/Frontend.h"
+#include "tgen/Classifier.h"
+#include "tgen/FrameGen.h"
+#include "tgen/Generator.h"
+#include "tgen/SpecParser.h"
+#include "transform/Transform.h"
+#include "workload/Payroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::interp;
+using namespace gadt::pascal;
+
+namespace {
+
+std::unique_ptr<Program> compile(std::string_view Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = parseAndCheck(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+/// Judges a test case by re-running it in the intended program.
+tgen::OutcomeChecker referenceChecker(const Program &Reference,
+                                      std::string Routine) {
+  return [&Reference, Routine](const std::vector<Value> &Args,
+                               const CallOutcome &Out) {
+    Interpreter I(Reference);
+    CallOutcome Expected = I.callRoutine(Routine, Args);
+    if (!Expected.Ok || !Out.Ok)
+      return Expected.Ok == Out.Ok;
+    for (const Binding &B : Expected.Outputs)
+      for (const Binding &Got : Out.Outputs)
+        if (Got.Name == B.Name && !Got.V.equals(B.V))
+          return false;
+    return true;
+  };
+}
+
+/// Builds (spec, report DB) for one routine, tested against the intended
+/// program with spec-driven instantiation.
+std::pair<std::shared_ptr<tgen::TestSpec>, std::shared_ptr<tgen::TestReportDB>>
+buildDatabase(const char *SpecText, const Program &Reference) {
+  DiagnosticsEngine Diags;
+  std::shared_ptr<tgen::TestSpec> Spec = tgen::parseSpec(SpecText, Diags);
+  EXPECT_TRUE(Spec != nullptr) << Diags.str();
+  tgen::FrameSet Frames = tgen::generateFrames(*Spec);
+  auto DB = std::make_shared<tgen::TestReportDB>(tgen::runTestSuite(
+      Reference, *Spec, Frames, tgen::specInstantiator(*Spec),
+      referenceChecker(Reference, Spec->TestName)));
+  return {Spec, DB};
+}
+
+TEST(PayrollTest, ProgramsRunAndBugsManifest) {
+  auto Correct = compile(workload::PayrollCorrect);
+  auto TaxBug = compile(workload::PayrollTaxBug);
+  auto OtBug = compile(workload::PayrollOvertimeBug);
+  Interpreter I1(*Correct), I2(*TaxBug), I3(*OtBug);
+  ExecResult R1 = I1.run(), R2 = I2.run(), R3 = I3.run();
+  ASSERT_TRUE(R1.Ok) << R1.Error.Message;
+  ASSERT_TRUE(R2.Ok && R3.Ok);
+  EXPECT_NE(R1.Output, R2.Output) << "tax bug must be observable";
+  EXPECT_NE(R1.Output, R3.Output) << "overtime bug must be observable";
+}
+
+TEST(PayrollTest, StrictModeCleanOnIntendedProgram) {
+  auto Correct = compile(workload::PayrollCorrect);
+  InterpOptions Opts;
+  Opts.DetectUninitialized = true;
+  Interpreter I(*Correct, Opts);
+  EXPECT_TRUE(I.run().Ok);
+}
+
+TEST(PayrollTest, TransformConvertsArrayGlobals) {
+  auto Correct = compile(workload::PayrollCorrect);
+  DiagnosticsEngine Diags;
+  transform::TransformResult X =
+      transform::transformProgram(*Correct, Diags);
+  ASSERT_TRUE(X.Transformed) << Diags.str();
+  // processall and findhighest read the hours/rates arrays through global
+  // side effects; after transformation they take them as parameters.
+  RoutineDecl *ProcessAll =
+      X.Transformed->getMain()->findNested("processall");
+  ASSERT_TRUE(ProcessAll);
+  EXPECT_EQ(ProcessAll->getParams().size(), 5u)
+      << "n, totnet, tottax + in hours + in rates";
+  analysis::CallGraph CG(*X.Transformed);
+  analysis::SideEffectAnalysis SEA(*X.Transformed, CG);
+  EXPECT_TRUE(SEA.programIsSideEffectFree());
+
+  // Behaviour is preserved.
+  Interpreter IO(*Correct), IX(*X.Transformed);
+  EXPECT_EQ(IO.run().Output, IX.run().Output);
+}
+
+TEST(PayrollTest, SpecDrivenSuitesPassOnIntendedProgram) {
+  auto Correct = compile(workload::PayrollCorrect);
+  auto [TaxSpec, TaxDB] = buildDatabase(workload::TaxforSpec, *Correct);
+  EXPECT_GT(TaxDB->passCount(), 0u);
+  EXPECT_EQ(TaxDB->failCount(), 0u);
+  auto [OtSpec, OtDB] = buildDatabase(workload::OvertimeSpec, *Correct);
+  EXPECT_GT(OtDB->passCount(), 0u);
+  EXPECT_EQ(OtDB->failCount(), 0u);
+}
+
+TEST(PayrollTest, SpecInstantiationRoundTrips) {
+  for (const char *SpecText :
+       {workload::TaxforSpec, workload::OvertimeSpec}) {
+    DiagnosticsEngine Diags;
+    auto Spec = tgen::parseSpec(SpecText, Diags);
+    ASSERT_TRUE(Spec != nullptr) << Diags.str();
+    tgen::FrameSet Frames = tgen::generateFrames(*Spec);
+    ASSERT_GT(Frames.Frames.size(), 2u);
+    for (const tgen::TestFrame &F : Frames.Frames) {
+      auto Args = tgen::instantiateFrame(*Spec, F);
+      ASSERT_TRUE(Args.has_value()) << F.encode();
+      std::vector<Binding> Inputs;
+      for (size_t I = 0; I != Spec->Params.size(); ++I)
+        if (!Spec->Params[I].IsOut)
+          Inputs.push_back({Spec->Params[I].Name, (*Args)[I]});
+      auto Back = tgen::classifyInputs(*Spec, Inputs);
+      ASSERT_TRUE(Back.has_value()) << F.encode();
+      EXPECT_EQ(Back->encode(), F.encode());
+    }
+  }
+}
+
+TEST(PayrollTest, TaxBugLocalizedWithTestDatabases) {
+  auto Correct = compile(workload::PayrollCorrect);
+  auto Buggy = compile(workload::PayrollTaxBug);
+  DiagnosticsEngine Diags;
+  GADTSession Session(*Buggy, GADTOptions(), Diags);
+  ASSERT_TRUE(Session.valid()) << Diags.str();
+  // The overtime routine is covered by passing tests; taxfor's database is
+  // built from the intended program too, but the buggy call's frames fail,
+  // so the lookup stays silent and the search descends into taxfor.
+  auto [OtSpec, OtDB] = buildDatabase(workload::OvertimeSpec, *Correct);
+  Session.addTestDatabase(OtSpec, OtDB);
+  IntendedProgramOracle User(*Correct);
+  BugReport R = Session.debug(User);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.UnitName, "taxfor");
+  EXPECT_EQ(Session.stats().Unanswered, 0u);
+  // The candidate statements point into the bracket logic.
+  EXPECT_FALSE(R.CandidateStmts.empty());
+}
+
+TEST(PayrollTest, OvertimeBugLocalized) {
+  auto Correct = compile(workload::PayrollCorrect);
+  auto Buggy = compile(workload::PayrollOvertimeBug);
+  DiagnosticsEngine Diags;
+  GADTSession Session(*Buggy, GADTOptions(), Diags);
+  ASSERT_TRUE(Session.valid());
+  IntendedProgramOracle User(*Correct);
+  BugReport R = Session.debug(User);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.UnitName, "overtimepay");
+}
+
+TEST(PayrollTest, TestDatabaseCutsInteractions) {
+  auto Correct = compile(workload::PayrollCorrect);
+  auto Buggy = compile(workload::PayrollTaxBug);
+  unsigned Queries[2];
+  for (int WithDB = 0; WithDB <= 1; ++WithDB) {
+    DiagnosticsEngine Diags;
+    GADTSession Session(*Buggy, GADTOptions(), Diags);
+    ASSERT_TRUE(Session.valid());
+    if (WithDB) {
+      auto [OtSpec, OtDB] = buildDatabase(workload::OvertimeSpec, *Correct);
+      Session.addTestDatabase(OtSpec, OtDB);
+    }
+    IntendedProgramOracle User(*Correct);
+    BugReport R = Session.debug(User);
+    ASSERT_TRUE(R.Found && R.UnitName == "taxfor");
+    Queries[WithDB] = Session.stats().userQueries();
+  }
+  EXPECT_LE(Queries[1], Queries[0])
+      << "covered overtimepay calls answered from the database";
+}
+
+} // namespace

@@ -1,0 +1,268 @@
+//===- PropertyTest.cpp - Randomized property tests -----------------------===//
+//
+// Parameterized sweeps over seeded random programs checking the system's
+// core invariants:
+//  - the transformation phase preserves semantics,
+//  - transformed programs are side-effect free and goto-local,
+//  - static slices preserve the criterion value,
+//  - the debugger localizes the planted bug with a consistent oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+#include "analysis/SDG.h"
+#include "analysis/SideEffects.h"
+#include "core/GADT.h"
+#include "core/ReferenceOracle.h"
+#include "interp/Interpreter.h"
+#include "pascal/Frontend.h"
+#include "slicing/ProgramProjection.h"
+#include "slicing/StaticSlicer.h"
+#include "transform/Transform.h"
+#include "workload/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::interp;
+using namespace gadt::pascal;
+using namespace gadt::workload;
+
+namespace {
+
+std::unique_ptr<Program> compile(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = parseAndCheck(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str() << "\n" << Src;
+  return Prog;
+}
+
+const Value *findGlobal(const ExecResult &R, const std::string &Name) {
+  for (const Binding &B : R.FinalGlobals)
+    if (B.Name == Name)
+      return &B.V;
+  return nullptr;
+}
+
+ExecResult runProgram(const Program &P) {
+  Interpreter I(P);
+  return I.run();
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation equivalence
+//===----------------------------------------------------------------------===//
+
+class TransformEquivalence : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(TransformEquivalence, RandomProgramUnchangedBehaviour) {
+  SyntheticOptions Opts;
+  Opts.Seed = GetParam();
+  Opts.NumRoutines = 4 + GetParam() % 5;
+  Opts.NumGlobals = 1 + GetParam() % 3;
+  ProgramPair Pair = randomProgram(Opts);
+  auto Prog = compile(Pair.Fixed);
+  ASSERT_TRUE(Prog);
+
+  DiagnosticsEngine Diags;
+  transform::TransformResult X = transform::transformProgram(*Prog, Diags);
+  ASSERT_TRUE(X.Transformed) << Diags.str() << "\n" << Pair.Fixed;
+
+  ExecResult Orig = runProgram(*Prog);
+  ExecResult After = runProgram(*X.Transformed);
+  ASSERT_TRUE(Orig.Ok) << Orig.Error.Message;
+  ASSERT_TRUE(After.Ok) << After.Error.Message;
+  EXPECT_EQ(Orig.Output, After.Output) << Pair.Fixed;
+
+  // The transformed program must be side-effect free at the unit level.
+  analysis::CallGraph CG(*X.Transformed);
+  analysis::SideEffectAnalysis SEA(*X.Transformed, CG);
+  EXPECT_TRUE(SEA.programIsSideEffectFree());
+}
+
+TEST_P(TransformEquivalence, RandomGotoProgramUnchangedBehaviour) {
+  SyntheticOptions Opts;
+  Opts.Seed = GetParam() * 31 + 7;
+  Opts.UseGotos = true;
+  Opts.NumRoutines = 3 + GetParam() % 4;
+  ProgramPair Pair = randomProgram(Opts);
+  auto Prog = compile(Pair.Fixed);
+  ASSERT_TRUE(Prog);
+
+  DiagnosticsEngine Diags;
+  transform::TransformResult X = transform::transformProgram(*Prog, Diags);
+  ASSERT_TRUE(X.Transformed) << Diags.str() << "\n" << Pair.Fixed;
+
+  ExecResult Orig = runProgram(*Prog);
+  ExecResult After = runProgram(*X.Transformed);
+  ASSERT_TRUE(Orig.Ok);
+  ASSERT_TRUE(After.Ok);
+  EXPECT_EQ(Orig.Output, After.Output) << Pair.Fixed;
+
+  // And every goto must now be local.
+  bool NonLocal = false;
+  forEachRoutine(X.Transformed->getMain(), [&](RoutineDecl *R) {
+    if (R->getBody())
+      forEachStmt(R->getBody(), [&](Stmt *S) {
+        if (auto *GS = dyn_cast<GotoStmt>(S))
+          NonLocal |= GS->isNonLocal();
+      });
+  });
+  EXPECT_FALSE(NonLocal);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformEquivalence,
+                         testing::Range(1u, 26u));
+
+//===----------------------------------------------------------------------===//
+// Slice soundness
+//===----------------------------------------------------------------------===//
+
+class SliceSoundness : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(SliceSoundness, ProjectionPreservesCriterionValue) {
+  SyntheticOptions Opts;
+  Opts.Seed = GetParam() * 1337 + 11;
+  Opts.NumRoutines = 3 + GetParam() % 4;
+  Opts.NumGlobals = 2;
+  ProgramPair Pair = randomProgram(Opts);
+  auto Prog = compile(Pair.Fixed);
+  ASSERT_TRUE(Prog);
+
+  analysis::SDG G(*Prog);
+  slicing::StaticSlice Slice = slicing::sliceOnProgramVar(G, *Prog, "g1");
+  ASSERT_GT(Slice.size(), 0u);
+  DiagnosticsEngine Diags;
+  auto Projected = slicing::projectSlice(*Prog, Slice, Diags);
+  ASSERT_TRUE(Projected) << Diags.str() << "\n" << Pair.Fixed;
+
+  ExecResult Orig = runProgram(*Prog);
+  ExecResult Sliced = runProgram(*Projected);
+  ASSERT_TRUE(Orig.Ok);
+  ASSERT_TRUE(Sliced.Ok) << Sliced.Error.Message;
+  const Value *VO = findGlobal(Orig, "g1");
+  const Value *VS = findGlobal(Sliced, "g1");
+  ASSERT_TRUE(VO && VS);
+  EXPECT_TRUE(VO->equals(*VS))
+      << "slice changed g1: " << VO->str() << " vs " << VS->str() << "\n"
+      << Pair.Fixed;
+
+  // Slices never grow.
+  EXPECT_LE(Sliced.Steps, Orig.Steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SliceSoundness, testing::Range(1u, 21u));
+
+//===----------------------------------------------------------------------===//
+// Debugger completeness
+//===----------------------------------------------------------------------===//
+
+class DebuggerCompleteness : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(DebuggerCompleteness, PlantedBugIsLocalized) {
+  SyntheticOptions Opts;
+  Opts.Seed = GetParam() * 7919 + 3;
+  Opts.NumRoutines = 4 + GetParam() % 4;
+  ProgramPair Pair = randomProgram(Opts);
+  auto Buggy = compile(Pair.Buggy);
+  auto Fixed = compile(Pair.Fixed);
+  ASSERT_TRUE(Buggy && Fixed);
+
+  // Only debug when the bug manifests in externally visible behaviour.
+  ExecResult RB = runProgram(*Buggy);
+  ExecResult RF = runProgram(*Fixed);
+  ASSERT_TRUE(RB.Ok && RF.Ok);
+  if (RB.Output == RF.Output)
+    GTEST_SKIP() << "bug does not manifest for this seed";
+
+  DiagnosticsEngine Diags;
+  GADTSession Session(*Buggy, GADTOptions(), Diags);
+  ASSERT_TRUE(Session.valid()) << Diags.str();
+  IntendedProgramOracle User(*Fixed);
+  BugReport R = Session.debug(User);
+  ASSERT_TRUE(R.Found);
+  EXPECT_EQ(R.UnitName, Pair.BuggyRoutine)
+      << Pair.Buggy << "\n"
+      << Session.tree()->str();
+  EXPECT_EQ(Session.stats().Unanswered, 0u);
+}
+
+TEST_P(DebuggerCompleteness, AllStrategiesAgreeOnTheBuggyUnit) {
+  SyntheticOptions Opts;
+  Opts.Seed = GetParam() * 104729 + 13;
+  Opts.NumRoutines = 5;
+  ProgramPair Pair = randomProgram(Opts);
+  auto Buggy = compile(Pair.Buggy);
+  auto Fixed = compile(Pair.Fixed);
+  ExecResult RB = runProgram(*Buggy);
+  ExecResult RF = runProgram(*Fixed);
+  ASSERT_TRUE(RB.Ok && RF.Ok);
+  if (RB.Output == RF.Output)
+    GTEST_SKIP() << "bug does not manifest for this seed";
+
+  for (SearchStrategy Strategy :
+       {SearchStrategy::TopDown, SearchStrategy::TopDownHeaviest,
+        SearchStrategy::DivideAndQuery, SearchStrategy::BottomUp}) {
+    DiagnosticsEngine Diags;
+    GADTOptions Opts2;
+    Opts2.Debugger.Strategy = Strategy;
+    GADTSession Session(*Buggy, Opts2, Diags);
+    ASSERT_TRUE(Session.valid());
+    IntendedProgramOracle User(*Fixed);
+    BugReport R = Session.debug(User);
+    ASSERT_TRUE(R.Found);
+    EXPECT_EQ(R.UnitName, Pair.BuggyRoutine)
+        << "strategy " << static_cast<int>(Strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DebuggerCompleteness,
+                         testing::Range(1u, 16u));
+
+//===----------------------------------------------------------------------===//
+// Generator sanity
+//===----------------------------------------------------------------------===//
+
+TEST(SyntheticTest, ChainProgramsBehaveAsDescribed) {
+  ProgramPair Pair = chainProgram(5, 3);
+  auto Fixed = compile(Pair.Fixed);
+  auto Buggy = compile(Pair.Buggy);
+  ExecResult RF = runProgram(*Fixed);
+  ExecResult RB = runProgram(*Buggy);
+  ASSERT_TRUE(RF.Ok && RB.Ok);
+  EXPECT_NE(RF.Output, RB.Output);
+  EXPECT_EQ(Pair.BuggyRoutine, "p3");
+}
+
+TEST(SyntheticTest, TreeProgramsBehaveAsDescribed) {
+  ProgramPair Pair = treeProgram(3);
+  auto Fixed = compile(Pair.Fixed);
+  auto Buggy = compile(Pair.Buggy);
+  ExecResult RF = runProgram(*Fixed);
+  ExecResult RB = runProgram(*Buggy);
+  ASSERT_TRUE(RF.Ok && RB.Ok);
+  EXPECT_NE(RF.Output, RB.Output);
+  EXPECT_EQ(Pair.BuggyRoutine, "n7");
+}
+
+TEST(SyntheticTest, WideProgramsManifestOnlyThroughTarget) {
+  ProgramPair Pair = wideIrrelevantProgram(6);
+  auto Fixed = compile(Pair.Fixed);
+  auto Buggy = compile(Pair.Buggy);
+  ExecResult RF = runProgram(*Fixed);
+  ExecResult RB = runProgram(*Buggy);
+  ASSERT_TRUE(RF.Ok && RB.Ok);
+  EXPECT_NE(RF.Output, RB.Output);
+}
+
+TEST(SyntheticTest, GenerationIsDeterministic) {
+  SyntheticOptions Opts;
+  Opts.Seed = 42;
+  EXPECT_EQ(randomProgram(Opts).Fixed, randomProgram(Opts).Fixed);
+  Opts.Seed = 43;
+  EXPECT_NE(randomProgram(SyntheticOptions{42}).Fixed,
+            randomProgram(Opts).Fixed);
+}
+
+} // namespace

@@ -1,0 +1,345 @@
+//===- SlicingTest.cpp - Static/dynamic slicing tests (Figures 2, 8, 9) ---===//
+
+#include "slicing/DynamicSlicer.h"
+#include "slicing/ProgramProjection.h"
+#include "slicing/StaticSlicer.h"
+#include "slicing/TreePruner.h"
+
+#include "pascal/Frontend.h"
+#include "pascal/PrettyPrinter.h"
+#include "trace/ExecTreeBuilder.h"
+#include "workload/PaperPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+using namespace gadt::analysis;
+using namespace gadt::interp;
+using namespace gadt::pascal;
+using namespace gadt::slicing;
+using namespace gadt::trace;
+
+namespace {
+
+std::unique_ptr<Program> compile(std::string_view Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = parseAndCheck(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+ExecNode *findNode(ExecTree &T, const std::string &Name) {
+  ExecNode *Found = nullptr;
+  T.forEachNode([&](ExecNode *N) {
+    if (!Found && N->getName() == Name)
+      Found = N;
+  });
+  return Found;
+}
+
+//===----------------------------------------------------------------------===//
+// Figure 2: classic Weiser slice + projection
+//===----------------------------------------------------------------------===//
+
+TEST(StaticSliceTest, Figure2SliceOnMul) {
+  auto Prog = compile(workload::Figure2);
+  SDG G(*Prog);
+  StaticSlice Slice = sliceOnProgramVar(G, *Prog, "mul");
+  ASSERT_GT(Slice.size(), 0u);
+
+  const auto &Body = Prog->getMain()->getBody()->getBody();
+  // read(x,y); mul := 0; sum := 0; if ...
+  EXPECT_TRUE(Slice.containsStmt(Body[0].get())) << "read(x, y) stays";
+  EXPECT_TRUE(Slice.containsStmt(Body[1].get())) << "mul := 0 stays";
+  EXPECT_FALSE(Slice.containsStmt(Body[2].get())) << "sum := 0 goes";
+  const auto *If = cast<IfStmt>(Body[3].get());
+  EXPECT_TRUE(Slice.containsStmt(If)) << "the predicate stays";
+  EXPECT_FALSE(Slice.containsStmt(If->getThen())) << "sum := x + y goes";
+  const auto *Else = cast<CompoundStmt>(If->getElse());
+  EXPECT_FALSE(Slice.containsStmt(Else->getBody()[0].get()))
+      << "read(z) goes";
+  EXPECT_TRUE(Slice.containsStmt(Else->getBody()[1].get()))
+      << "mul := x * y stays";
+}
+
+TEST(StaticSliceTest, Figure2ProjectionMatchesPaper) {
+  auto Prog = compile(workload::Figure2);
+  SDG G(*Prog);
+  StaticSlice Slice = sliceOnProgramVar(G, *Prog, "mul");
+  DiagnosticsEngine Diags;
+  auto Projected = projectSlice(*Prog, Slice, Diags);
+  ASSERT_TRUE(Projected) << Diags.str();
+  std::string Src = printProgram(*Projected);
+  // The paper's Figure 2(b): x, y, mul declared; z and sum gone.
+  EXPECT_NE(Src.find("x: integer"), std::string::npos) << Src;
+  EXPECT_NE(Src.find("mul: integer"), std::string::npos) << Src;
+  EXPECT_EQ(Src.find("sum"), std::string::npos) << Src;
+  EXPECT_EQ(Src.find("z:"), std::string::npos) << Src;
+  EXPECT_NE(Src.find("mul := x * y"), std::string::npos) << Src;
+  EXPECT_NE(Src.find("if x <= 1"), std::string::npos) << Src;
+}
+
+TEST(StaticSliceTest, Figure2ProjectionPreservesCriterionBehaviour) {
+  // The slice must compute the same value of mul as the original for any
+  // input (Weiser's correctness property), including both branch outcomes.
+  auto Prog = compile(workload::Figure2);
+  SDG G(*Prog);
+  StaticSlice Slice = sliceOnProgramVar(G, *Prog, "mul");
+  DiagnosticsEngine Diags;
+  auto Projected = projectSlice(*Prog, Slice, Diags);
+  ASSERT_TRUE(Projected);
+  for (std::vector<int64_t> Input :
+       {std::vector<int64_t>{0, 5, 7}, std::vector<int64_t>{3, 4, 9}}) {
+    Interpreter Orig(*Prog);
+    Orig.setInput(Input);
+    auto RO = Orig.run();
+    ASSERT_TRUE(RO.Ok) << RO.Error.Message;
+    Interpreter Sliced(*Projected);
+    Sliced.setInput(Input);
+    auto RS = Sliced.run();
+    ASSERT_TRUE(RS.Ok) << RS.Error.Message;
+    auto MulOf = [](const ExecResult &R) {
+      for (const Binding &B : R.FinalGlobals)
+        if (B.Name == "mul")
+          return B.V.asInt();
+      return int64_t(-999);
+    };
+    EXPECT_EQ(MulOf(RO), MulOf(RS));
+  }
+}
+
+TEST(StaticSliceTest, SliceOnSumKeepsOtherBranch) {
+  auto Prog = compile(workload::Figure2);
+  SDG G(*Prog);
+  StaticSlice Slice = sliceOnProgramVar(G, *Prog, "sum");
+  const auto &Body = Prog->getMain()->getBody()->getBody();
+  EXPECT_TRUE(Slice.containsStmt(Body[2].get())) << "sum := 0 stays";
+  const auto *If = cast<IfStmt>(Body[3].get());
+  EXPECT_TRUE(Slice.containsStmt(If->getThen())) << "sum := x + y stays";
+  const auto *Else = cast<CompoundStmt>(If->getElse());
+  EXPECT_FALSE(Slice.containsStmt(Else->getBody()[1].get()))
+      << "mul := x * y goes";
+}
+
+TEST(StaticSliceTest, EmptyCriterionYieldsEmptySlice) {
+  auto Prog = compile(workload::Figure2);
+  SDG G(*Prog);
+  StaticSlice Slice = sliceOnProgramVar(G, *Prog, "nosuchvar");
+  EXPECT_EQ(Slice.size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural slicing on Figure 4
+//===----------------------------------------------------------------------===//
+
+TEST(StaticSliceTest, Figure4SliceOnR1ExcludesComput2) {
+  auto Prog = compile(workload::Figure4Buggy);
+  SDG G(*Prog);
+  const RoutineDecl *Computs = Prog->getMain()->findNested("computs");
+  StaticSlice Slice = sliceOnRoutineOutput(G, Computs, "r1");
+  ASSERT_GT(Slice.size(), 0u);
+  EXPECT_TRUE(Slice.containsRoutine(Prog->getMain()->findNested("comput1")));
+  EXPECT_TRUE(Slice.containsRoutine(Prog->getMain()->findNested("sum1")));
+  EXPECT_TRUE(Slice.containsRoutine(Prog->getMain()->findNested("sum2")));
+  EXPECT_TRUE(Slice.containsRoutine(Prog->getMain()->findNested("add")));
+  EXPECT_TRUE(
+      Slice.containsRoutine(Prog->getMain()->findNested("decrement")));
+  // comput2/square only affect r2.
+  const RoutineDecl *Comput2 = Prog->getMain()->findNested("comput2");
+  const auto *Comput2Call =
+      cast<ProcCallStmt>(Computs->getBody()->getBody()[1].get());
+  EXPECT_EQ(Comput2Call->getCallee(), Comput2);
+  EXPECT_FALSE(Slice.containsStmt(Comput2Call));
+}
+
+TEST(StaticSliceTest, Figure4SliceOnS2ExcludesSum1) {
+  auto Prog = compile(workload::Figure4Buggy);
+  SDG G(*Prog);
+  const RoutineDecl *Partialsums = Prog->getMain()->findNested("partialsums");
+  StaticSlice Slice = sliceOnRoutineOutput(G, Partialsums, "s2");
+  const auto &Body = Partialsums->getBody()->getBody();
+  EXPECT_FALSE(Slice.containsStmt(Body[0].get())) << "sum1 call goes";
+  EXPECT_TRUE(Slice.containsStmt(Body[1].get())) << "sum2 call stays";
+  EXPECT_TRUE(Slice.containsRoutine(Prog->getMain()->findNested("decrement")));
+}
+
+TEST(StaticSliceTest, SliceOnFunctionResult) {
+  auto Prog = compile(workload::Figure4Buggy);
+  SDG G(*Prog);
+  const RoutineDecl *Dec = Prog->getMain()->findNested("decrement");
+  StaticSlice Slice = sliceOnRoutineOutput(G, Dec, "decrement");
+  EXPECT_GT(Slice.size(), 0u);
+  EXPECT_TRUE(Slice.containsStmt(Dec->getBody()->getBody()[0].get()));
+}
+
+//===----------------------------------------------------------------------===//
+// Execution-tree pruning: Figures 8 and 9
+//===----------------------------------------------------------------------===//
+
+struct Fig4Trace {
+  std::unique_ptr<Program> Prog;
+  std::unique_ptr<SDG> G;
+  std::unique_ptr<ExecTree> Tree;
+
+  explicit Fig4Trace(bool TrackDeps = false) {
+    Prog = compile(workload::Figure4Buggy);
+    G = std::make_unique<SDG>(*Prog);
+    InterpOptions Opts;
+    Opts.TrackDeps = TrackDeps;
+    ExecResult Res;
+    Tree = buildExecTree(*Prog, Opts, {}, &Res);
+    EXPECT_TRUE(Res.Ok) << Res.Error.Message;
+  }
+};
+
+TEST(TreePrunerTest, Figure8PrunedTree) {
+  Fig4Trace F;
+  ExecNode *Computs = findNode(*F.Tree, "computs");
+  ASSERT_TRUE(Computs);
+  StaticSlice Slice = sliceOnRoutineOutput(
+      *F.G, F.Prog->getMain()->findNested("computs"), "r1");
+  auto Kept = pruneByStaticSlice(Computs, Slice);
+
+  const char *Expected =
+      R"(computs(In y: 3, Out r1: 12, Out r2: 9)
+  comput1(In y: 3, Out r1: 12)
+    partialsums(In y: 3, Out s1: 6, Out s2: 6)
+      sum1(In y: 3, Out s1: 6)
+        increment(In y: 3)=4
+      sum2(In y: 3, Out s2: 6)
+        decrement(In y: 3)=4
+    add(In s1: 6, In s2: 6, Out r1: 12)
+)";
+  EXPECT_EQ(renderPruned(Computs, Kept), Expected);
+  EXPECT_EQ(countRetained(Computs, Kept), 8u);
+}
+
+TEST(TreePrunerTest, Figure9PrunedTree) {
+  Fig4Trace F;
+  ExecNode *Partialsums = findNode(*F.Tree, "partialsums");
+  ASSERT_TRUE(Partialsums);
+  StaticSlice Slice = sliceOnRoutineOutput(
+      *F.G, F.Prog->getMain()->findNested("partialsums"), "s2");
+  auto Kept = pruneByStaticSlice(Partialsums, Slice);
+
+  const char *Expected =
+      R"(partialsums(In y: 3, Out s1: 6, Out s2: 6)
+  sum2(In y: 3, Out s2: 6)
+    decrement(In y: 3)=4
+)";
+  EXPECT_EQ(renderPruned(Partialsums, Kept), Expected);
+  EXPECT_EQ(countRetained(Partialsums, Kept), 3u);
+}
+
+TEST(TreePrunerTest, PruningNeverDropsTheCriterionNode) {
+  Fig4Trace F;
+  ExecNode *Test = findNode(*F.Tree, "test");
+  ASSERT_TRUE(Test);
+  StaticSlice Empty;
+  auto Kept = pruneByStaticSlice(Test, Empty);
+  EXPECT_EQ(Kept.size(), 1u);
+  EXPECT_TRUE(Kept.count(Test->getId()));
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic slicing
+//===----------------------------------------------------------------------===//
+
+TEST(DynamicSliceTest, Figure8DynamicMatchesStatic) {
+  Fig4Trace F(/*TrackDeps=*/true);
+  ExecNode *Computs = findNode(*F.Tree, "computs");
+  ASSERT_TRUE(Computs);
+  auto Kept = dynamicSlice(Computs, "r1");
+  const char *Expected =
+      R"(computs(In y: 3, Out r1: 12, Out r2: 9)
+  comput1(In y: 3, Out r1: 12)
+    partialsums(In y: 3, Out s1: 6, Out s2: 6)
+      sum1(In y: 3, Out s1: 6)
+        increment(In y: 3)=4
+      sum2(In y: 3, Out s2: 6)
+        decrement(In y: 3)=4
+    add(In s1: 6, In s2: 6, Out r1: 12)
+)";
+  EXPECT_EQ(renderPruned(Computs, Kept), Expected);
+}
+
+TEST(DynamicSliceTest, Figure9DynamicMatchesStatic) {
+  Fig4Trace F(/*TrackDeps=*/true);
+  ExecNode *Partialsums = findNode(*F.Tree, "partialsums");
+  ASSERT_TRUE(Partialsums);
+  auto Kept = dynamicSlice(Partialsums, "s2");
+  EXPECT_EQ(countRetained(Partialsums, Kept), 3u);
+}
+
+TEST(DynamicSliceTest, BranchNotExecutedIsExcluded) {
+  // Static slicing keeps both branches; dynamic slicing keeps only what
+  // actually ran.
+  auto Prog = compile(
+      "program p; var x, r: integer;"
+      "function f(a: integer): integer; begin f := a + 1; end;"
+      "function g(a: integer): integer; begin g := a + 2; end;"
+      "procedure pick(sel: integer; var out1: integer);"
+      "begin if sel > 0 then out1 := f(sel) else out1 := g(sel); end;"
+      "begin x := 5; pick(x, r); end.");
+  InterpOptions Opts;
+  Opts.TrackDeps = true;
+  ExecResult Res;
+  auto Tree = buildExecTree(*Prog, Opts, {}, &Res);
+  ASSERT_TRUE(Res.Ok);
+  ExecNode *Pick = findNode(*Tree, "pick");
+  ASSERT_TRUE(Pick);
+  auto Kept = dynamicSlice(Pick, "out1");
+  // f executed and is relevant; g never ran, so it cannot appear.
+  ExecNode *FNode = findNode(*Tree, "f");
+  ASSERT_TRUE(FNode);
+  EXPECT_TRUE(Kept.count(FNode->getId()));
+  EXPECT_EQ(findNode(*Tree, "g"), nullptr);
+}
+
+TEST(DynamicSliceTest, IrrelevantSiblingCallExcluded) {
+  auto Prog = compile(
+      "program p; var a, b: integer;"
+      "procedure one(var v: integer); begin v := 1; end;"
+      "procedure two(var v: integer); begin v := 2; end;"
+      "procedure driver(var x, y: integer); begin one(x); two(y); end;"
+      "begin driver(a, b); end.");
+  InterpOptions Opts;
+  Opts.TrackDeps = true;
+  ExecResult Res;
+  auto Tree = buildExecTree(*Prog, Opts, {}, &Res);
+  ASSERT_TRUE(Res.Ok);
+  ExecNode *Driver = findNode(*Tree, "driver");
+  auto Kept = dynamicSlice(Driver, "y");
+  EXPECT_TRUE(Kept.count(findNode(*Tree, "two")->getId()));
+  EXPECT_FALSE(Kept.count(findNode(*Tree, "one")->getId()));
+}
+
+TEST(DynamicSliceTest, ControlDependenceIsTracked) {
+  // cond() decides whether out gets set by f: f's output is control
+  // dependent on cond's result, so cond must be in the dynamic slice.
+  auto Prog = compile(
+      "program p; var r: integer;"
+      "function cond(x: integer): boolean; begin cond := x > 0; end;"
+      "function f(a: integer): integer; begin f := a * 2; end;"
+      "procedure driver(var out1: integer);"
+      "begin out1 := 0; if cond(3) then out1 := f(7); end;"
+      "begin driver(r); end.");
+  InterpOptions Opts;
+  Opts.TrackDeps = true;
+  ExecResult Res;
+  auto Tree = buildExecTree(*Prog, Opts, {}, &Res);
+  ASSERT_TRUE(Res.Ok);
+  ExecNode *Driver = findNode(*Tree, "driver");
+  auto Kept = dynamicSlice(Driver, "out1");
+  EXPECT_TRUE(Kept.count(findNode(*Tree, "cond")->getId()));
+  EXPECT_TRUE(Kept.count(findNode(*Tree, "f")->getId()));
+}
+
+TEST(DynamicSliceTest, WithoutTrackingOnlyCriterionRemains) {
+  Fig4Trace F(/*TrackDeps=*/false);
+  ExecNode *Computs = findNode(*F.Tree, "computs");
+  auto Kept = dynamicSlice(Computs, "r1");
+  EXPECT_EQ(Kept.size(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+//===- SupportTest.cpp - Support library and value-model unit tests -------===//
+
+#include "interp/Value.h"
+#include "pascal/Frontend.h"
+#include "pascal/PrettyPrinter.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/SourceLoc.h"
+#include "support/StringUtils.h"
+#include "workload/PaperPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SourceLoc / SourceRange
+//===----------------------------------------------------------------------===//
+
+TEST(SourceLocTest, ValidityAndRendering) {
+  SourceLoc Invalid;
+  EXPECT_FALSE(Invalid.isValid());
+  EXPECT_EQ(Invalid.str(), "<unknown>");
+  SourceLoc L(3, 14);
+  EXPECT_TRUE(L.isValid());
+  EXPECT_EQ(L.str(), "3:14");
+}
+
+TEST(SourceLocTest, Ordering) {
+  EXPECT_LT(SourceLoc(1, 9), SourceLoc(2, 1));
+  EXPECT_LT(SourceLoc(2, 1), SourceLoc(2, 5));
+  EXPECT_EQ(SourceLoc(2, 5), SourceLoc(2, 5));
+  EXPECT_NE(SourceLoc(2, 5), SourceLoc(2, 6));
+}
+
+TEST(SourceRangeTest, Rendering) {
+  SourceRange R(SourceLoc(1, 2), SourceLoc(1, 8));
+  EXPECT_EQ(R.str(), "1:2-1:8");
+  EXPECT_EQ(SourceRange().str(), "<unknown>");
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticsTest, CountsOnlyErrors) {
+  DiagnosticsEngine D;
+  D.note(SourceLoc(1, 1), "fyi");
+  D.warning(SourceLoc(2, 1), "hmm");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(3, 1), "boom");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(DiagnosticsTest, RendersCompilerStyle) {
+  DiagnosticsEngine D;
+  D.error(SourceLoc(7, 3), "unexpected thing");
+  EXPECT_EQ(D.str(), "7:3: error: unexpected thing\n");
+  D.clear();
+  EXPECT_TRUE(D.empty());
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(DiagnosticsTest, InvalidLocationOmitsPrefix) {
+  DiagnosticsEngine D;
+  D.error(SourceLoc(), "global problem");
+  EXPECT_EQ(D.str(), "error: global problem\n");
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, ToLower) {
+  EXPECT_EQ(toLower("MiXeD_09"), "mixed_09");
+  EXPECT_EQ(toLower(""), "");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, "+"), "solo");
+}
+
+TEST(StringUtilsTest, SplitLines) {
+  auto Lines = splitLines("a\nb\n\nc");
+  ASSERT_EQ(Lines.size(), 4u);
+  EXPECT_EQ(Lines[2], "");
+  EXPECT_EQ(splitLines("x\n").size(), 1u) << "trailing newline adds no line";
+  EXPECT_TRUE(splitLines("").empty());
+}
+
+TEST(StringUtilsTest, CountCodeLines) {
+  EXPECT_EQ(countCodeLines("a\n \n\t\nb\n"), 2u);
+  EXPECT_EQ(countCodeLines(""), 0u);
+  EXPECT_TRUE(isBlank("  \t "));
+  EXPECT_FALSE(isBlank(" x "));
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+TEST(CastingTest, IsaCastDynCast) {
+  using namespace gadt::pascal;
+  IntLiteralExpr Int(SourceLoc(1, 1), 42);
+  Expr *E = &Int;
+  EXPECT_TRUE(isa<IntLiteralExpr>(E));
+  EXPECT_FALSE(isa<BoolLiteralExpr>(E));
+  EXPECT_EQ(cast<IntLiteralExpr>(E)->getValue(), 42);
+  EXPECT_EQ(dyn_cast<BoolLiteralExpr>(E), nullptr);
+  EXPECT_NE(dyn_cast<IntLiteralExpr>(E), nullptr);
+  Expr *Null = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<IntLiteralExpr>(Null), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// DepSet
+//===----------------------------------------------------------------------===//
+
+TEST(DepSetTest, InsertKeepsSortedUnique) {
+  interp::DepSet S;
+  S.insert(5);
+  S.insert(1);
+  S.insert(5);
+  S.insert(3);
+  EXPECT_EQ(S.ids(), (std::vector<uint32_t>{1, 3, 5}));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(4));
+}
+
+TEST(DepSetTest, MergeIsUnion) {
+  interp::DepSet A, B;
+  A.insert(1);
+  A.insert(4);
+  B.insert(2);
+  B.insert(4);
+  A.mergeWith(B);
+  EXPECT_EQ(A.ids(), (std::vector<uint32_t>{1, 2, 4}));
+  interp::DepSet Empty;
+  A.mergeWith(Empty);
+  EXPECT_EQ(A.size(), 3u);
+  Empty.mergeWith(A);
+  EXPECT_EQ(Empty.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Value
+//===----------------------------------------------------------------------===//
+
+TEST(ValueTest, KindsAndEquality) {
+  using interp::Value;
+  EXPECT_TRUE(Value().isUnset());
+  EXPECT_TRUE(Value::makeInt(3).equals(Value::makeInt(3)));
+  EXPECT_FALSE(Value::makeInt(3).equals(Value::makeInt(4)));
+  EXPECT_FALSE(Value::makeInt(1).equals(Value::makeBool(true)));
+  interp::ArrayVal A;
+  A.Lo = 1;
+  A.Hi = 2;
+  A.Elems = {1, 2};
+  interp::ArrayVal B = A;
+  EXPECT_TRUE(Value::makeArray(A).equals(Value::makeArray(B)));
+  B.Elems[1] = 9;
+  EXPECT_FALSE(Value::makeArray(A).equals(Value::makeArray(B)));
+}
+
+TEST(ValueTest, Rendering) {
+  using interp::Value;
+  EXPECT_EQ(Value().str(), "<unset>");
+  EXPECT_EQ(Value::makeInt(-7).str(), "-7");
+  EXPECT_EQ(Value::makeBool(true).str(), "true");
+  EXPECT_EQ(Value::makeStr("hi").str(), "'hi'");
+  interp::ArrayVal A;
+  A.Lo = 1;
+  A.Hi = 3;
+  A.Elems = {1, 2, 3};
+  EXPECT_EQ(Value::makeArray(A).str(), "[1, 2, 3]");
+}
+
+TEST(ValueTest, ArrayHelpers) {
+  interp::ArrayVal A;
+  A.Lo = -1;
+  A.Hi = 1;
+  A.Elems = {10, 20, 30};
+  EXPECT_EQ(A.size(), 3);
+  EXPECT_TRUE(A.inBounds(-1));
+  EXPECT_TRUE(A.inBounds(1));
+  EXPECT_FALSE(A.inBounds(2));
+  EXPECT_EQ(A.at(0), 20);
+  A.at(-1) = 99;
+  EXPECT_EQ(A.Elems[0], 99);
+}
+
+//===----------------------------------------------------------------------===//
+// Pretty-printer round trips
+//===----------------------------------------------------------------------===//
+
+TEST(PrettyPrinterTest, AllPaperProgramsRoundTrip) {
+  for (const char *Src :
+       {workload::Figure4Buggy, workload::Figure2,
+        workload::Section6Globals, workload::Section6GlobalGoto,
+        workload::Section6LoopGoto, workload::ArrsumProgram}) {
+    DiagnosticsEngine D1;
+    auto P1 = pascal::parseAndCheck(Src, D1);
+    ASSERT_TRUE(P1) << D1.str();
+    std::string Printed = pascal::printProgram(*P1);
+    DiagnosticsEngine D2;
+    auto P2 = pascal::parseAndCheck(Printed, D2);
+    ASSERT_TRUE(P2) << D2.str() << "\n" << Printed;
+    EXPECT_EQ(pascal::printProgram(*P2), Printed) << "fixed point";
+  }
+}
+
+TEST(PrettyPrinterTest, StatementRendering) {
+  DiagnosticsEngine D;
+  auto P = pascal::parseAndCheck(
+      "program p; label 9; var x: integer;"
+      "begin repeat x := x + 1; until x > 3; goto 9; 9: writeln(x); end.",
+      D);
+  ASSERT_TRUE(P);
+  const auto &Body = P->getMain()->getBody()->getBody();
+  EXPECT_EQ(pascal::printStmt(*Body[0]),
+            "repeat\n  x := x + 1;\nuntil x > 3;\n");
+  EXPECT_EQ(pascal::printStmt(*Body[1]), "goto 9;\n");
+}
+
+} // namespace
