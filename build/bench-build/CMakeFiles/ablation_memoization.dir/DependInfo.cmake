@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_memoization.cpp" "bench-build/CMakeFiles/ablation_memoization.dir/ablation_memoization.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_memoization.dir/ablation_memoization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gadt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gadt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/gadt_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/gadt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/gadt_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gadt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gadt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gadt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pascal/CMakeFiles/gadt_pascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

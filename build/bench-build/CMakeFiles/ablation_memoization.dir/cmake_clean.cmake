@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_memoization"
+  "../bench/ablation_memoization.pdb"
+  "CMakeFiles/ablation_memoization.dir/ablation_memoization.cpp.o"
+  "CMakeFiles/ablation_memoization.dir/ablation_memoization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memoization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

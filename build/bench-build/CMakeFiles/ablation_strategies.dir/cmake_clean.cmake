@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strategies"
+  "../bench/ablation_strategies.pdb"
+  "CMakeFiles/ablation_strategies.dir/ablation_strategies.cpp.o"
+  "CMakeFiles/ablation_strategies.dir/ablation_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_tgen_frames"
+  "../bench/fig1_tgen_frames.pdb"
+  "CMakeFiles/fig1_tgen_frames.dir/fig1_tgen_frames.cpp.o"
+  "CMakeFiles/fig1_tgen_frames.dir/fig1_tgen_frames.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tgen_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

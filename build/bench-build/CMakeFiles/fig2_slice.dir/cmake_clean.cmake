@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_slice"
+  "../bench/fig2_slice.pdb"
+  "CMakeFiles/fig2_slice.dir/fig2_slice.cpp.o"
+  "CMakeFiles/fig2_slice.dir/fig2_slice.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

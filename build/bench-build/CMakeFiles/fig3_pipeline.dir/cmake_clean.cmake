@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_pipeline"
+  "../bench/fig3_pipeline.pdb"
+  "CMakeFiles/fig3_pipeline.dir/fig3_pipeline.cpp.o"
+  "CMakeFiles/fig3_pipeline.dir/fig3_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

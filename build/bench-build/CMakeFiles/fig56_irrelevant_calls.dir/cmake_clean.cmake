@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig56_irrelevant_calls"
+  "../bench/fig56_irrelevant_calls.pdb"
+  "CMakeFiles/fig56_irrelevant_calls.dir/fig56_irrelevant_calls.cpp.o"
+  "CMakeFiles/fig56_irrelevant_calls.dir/fig56_irrelevant_calls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig56_irrelevant_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

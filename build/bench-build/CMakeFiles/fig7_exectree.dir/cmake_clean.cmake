@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_exectree"
+  "../bench/fig7_exectree.pdb"
+  "CMakeFiles/fig7_exectree.dir/fig7_exectree.cpp.o"
+  "CMakeFiles/fig7_exectree.dir/fig7_exectree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_exectree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_slice1"
+  "../bench/fig8_slice1.pdb"
+  "CMakeFiles/fig8_slice1.dir/fig8_slice1.cpp.o"
+  "CMakeFiles/fig8_slice1.dir/fig8_slice1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_slice1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

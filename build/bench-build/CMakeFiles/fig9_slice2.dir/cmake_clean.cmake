@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_slice2"
+  "../bench/fig9_slice2.pdb"
+  "CMakeFiles/fig9_slice2.dir/fig9_slice2.cpp.o"
+  "CMakeFiles/fig9_slice2.dir/fig9_slice2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_slice2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

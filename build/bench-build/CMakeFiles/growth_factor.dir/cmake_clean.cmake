@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/growth_factor"
+  "../bench/growth_factor.pdb"
+  "CMakeFiles/growth_factor.dir/growth_factor.cpp.o"
+  "CMakeFiles/growth_factor.dir/growth_factor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/growth_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

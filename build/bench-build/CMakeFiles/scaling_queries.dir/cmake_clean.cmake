@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_queries"
+  "../bench/scaling_queries.pdb"
+  "CMakeFiles/scaling_queries.dir/scaling_queries.cpp.o"
+  "CMakeFiles/scaling_queries.dir/scaling_queries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/session_interactions"
+  "../bench/session_interactions.pdb"
+  "CMakeFiles/session_interactions.dir/session_interactions.cpp.o"
+  "CMakeFiles/session_interactions.dir/session_interactions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/slice_sizes"
+  "../bench/slice_sizes.pdb"
+  "CMakeFiles/slice_sizes.dir/slice_sizes.cpp.o"
+  "CMakeFiles/slice_sizes.dir/slice_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

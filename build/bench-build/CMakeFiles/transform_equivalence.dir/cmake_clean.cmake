@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/transform_equivalence"
+  "../bench/transform_equivalence.pdb"
+  "CMakeFiles/transform_equivalence.dir/transform_equivalence.cpp.o"
+  "CMakeFiles/transform_equivalence.dir/transform_equivalence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_samples.dir/export_samples.cpp.o"
+  "CMakeFiles/export_samples.dir/export_samples.cpp.o.d"
+  "export_samples"
+  "export_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

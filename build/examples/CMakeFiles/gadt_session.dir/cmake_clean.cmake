@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_session.dir/gadt_session.cpp.o"
+  "CMakeFiles/gadt_session.dir/gadt_session.cpp.o.d"
+  "gadt_session"
+  "gadt_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_demo.dir/payroll_demo.cpp.o"
+  "CMakeFiles/payroll_demo.dir/payroll_demo.cpp.o.d"
+  "payroll_demo"
+  "payroll_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tgen_demo.dir/tgen_demo.cpp.o"
+  "CMakeFiles/tgen_demo.dir/tgen_demo.cpp.o.d"
+  "tgen_demo"
+  "tgen_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tgen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

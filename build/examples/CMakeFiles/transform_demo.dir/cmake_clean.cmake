@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transform_demo.dir/transform_demo.cpp.o"
+  "CMakeFiles/transform_demo.dir/transform_demo.cpp.o.d"
+  "transform_demo"
+  "transform_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transform_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

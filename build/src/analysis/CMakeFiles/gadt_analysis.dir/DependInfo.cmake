@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CFG.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/CFG.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/CFG.cpp.o.d"
+  "/root/repo/src/analysis/CallGraph.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/CallGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/ControlDep.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/ControlDep.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/ControlDep.cpp.o.d"
+  "/root/repo/src/analysis/Dataflow.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/Dataflow.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/Dataflow.cpp.o.d"
+  "/root/repo/src/analysis/DefUse.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/DefUse.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/DefUse.cpp.o.d"
+  "/root/repo/src/analysis/SDG.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/SDG.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/SDG.cpp.o.d"
+  "/root/repo/src/analysis/SideEffects.cpp" "src/analysis/CMakeFiles/gadt_analysis.dir/SideEffects.cpp.o" "gcc" "src/analysis/CMakeFiles/gadt_analysis.dir/SideEffects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pascal/CMakeFiles/gadt_pascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_analysis.dir/CFG.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/CFG.cpp.o.d"
+  "CMakeFiles/gadt_analysis.dir/CallGraph.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/gadt_analysis.dir/ControlDep.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/ControlDep.cpp.o.d"
+  "CMakeFiles/gadt_analysis.dir/Dataflow.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/Dataflow.cpp.o.d"
+  "CMakeFiles/gadt_analysis.dir/DefUse.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/DefUse.cpp.o.d"
+  "CMakeFiles/gadt_analysis.dir/SDG.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/SDG.cpp.o.d"
+  "CMakeFiles/gadt_analysis.dir/SideEffects.cpp.o"
+  "CMakeFiles/gadt_analysis.dir/SideEffects.cpp.o.d"
+  "libgadt_analysis.a"
+  "libgadt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

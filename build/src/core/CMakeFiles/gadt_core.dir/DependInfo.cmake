@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AssertionOracle.cpp" "src/core/CMakeFiles/gadt_core.dir/AssertionOracle.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/AssertionOracle.cpp.o.d"
+  "/root/repo/src/core/Debugger.cpp" "src/core/CMakeFiles/gadt_core.dir/Debugger.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/Debugger.cpp.o.d"
+  "/root/repo/src/core/GADT.cpp" "src/core/CMakeFiles/gadt_core.dir/GADT.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/GADT.cpp.o.d"
+  "/root/repo/src/core/InteractiveOracle.cpp" "src/core/CMakeFiles/gadt_core.dir/InteractiveOracle.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/InteractiveOracle.cpp.o.d"
+  "/root/repo/src/core/Oracle.cpp" "src/core/CMakeFiles/gadt_core.dir/Oracle.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/Oracle.cpp.o.d"
+  "/root/repo/src/core/ReferenceOracle.cpp" "src/core/CMakeFiles/gadt_core.dir/ReferenceOracle.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/ReferenceOracle.cpp.o.d"
+  "/root/repo/src/core/TestOracle.cpp" "src/core/CMakeFiles/gadt_core.dir/TestOracle.cpp.o" "gcc" "src/core/CMakeFiles/gadt_core.dir/TestOracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/gadt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/slicing/CMakeFiles/gadt_slicing.dir/DependInfo.cmake"
+  "/root/repo/build/src/tgen/CMakeFiles/gadt_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gadt_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gadt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gadt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pascal/CMakeFiles/gadt_pascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

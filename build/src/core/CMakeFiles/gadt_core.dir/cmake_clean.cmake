@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_core.dir/AssertionOracle.cpp.o"
+  "CMakeFiles/gadt_core.dir/AssertionOracle.cpp.o.d"
+  "CMakeFiles/gadt_core.dir/Debugger.cpp.o"
+  "CMakeFiles/gadt_core.dir/Debugger.cpp.o.d"
+  "CMakeFiles/gadt_core.dir/GADT.cpp.o"
+  "CMakeFiles/gadt_core.dir/GADT.cpp.o.d"
+  "CMakeFiles/gadt_core.dir/InteractiveOracle.cpp.o"
+  "CMakeFiles/gadt_core.dir/InteractiveOracle.cpp.o.d"
+  "CMakeFiles/gadt_core.dir/Oracle.cpp.o"
+  "CMakeFiles/gadt_core.dir/Oracle.cpp.o.d"
+  "CMakeFiles/gadt_core.dir/ReferenceOracle.cpp.o"
+  "CMakeFiles/gadt_core.dir/ReferenceOracle.cpp.o.d"
+  "CMakeFiles/gadt_core.dir/TestOracle.cpp.o"
+  "CMakeFiles/gadt_core.dir/TestOracle.cpp.o.d"
+  "libgadt_core.a"
+  "libgadt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

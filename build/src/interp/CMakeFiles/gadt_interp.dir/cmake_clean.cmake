@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/gadt_interp.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/gadt_interp.dir/Value.cpp.o"
+  "CMakeFiles/gadt_interp.dir/Value.cpp.o.d"
+  "libgadt_interp.a"
+  "libgadt_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pascal/AST.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/AST.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/AST.cpp.o.d"
+  "/root/repo/src/pascal/Frontend.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/Frontend.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/Frontend.cpp.o.d"
+  "/root/repo/src/pascal/Lexer.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/Lexer.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/Lexer.cpp.o.d"
+  "/root/repo/src/pascal/Parser.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/Parser.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/Parser.cpp.o.d"
+  "/root/repo/src/pascal/PrettyPrinter.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/PrettyPrinter.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/PrettyPrinter.cpp.o.d"
+  "/root/repo/src/pascal/Sema.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/Sema.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/Sema.cpp.o.d"
+  "/root/repo/src/pascal/Token.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/Token.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/Token.cpp.o.d"
+  "/root/repo/src/pascal/Type.cpp" "src/pascal/CMakeFiles/gadt_pascal.dir/Type.cpp.o" "gcc" "src/pascal/CMakeFiles/gadt_pascal.dir/Type.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

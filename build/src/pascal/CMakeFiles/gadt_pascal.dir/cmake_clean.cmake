@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_pascal.dir/AST.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/AST.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/Frontend.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/Frontend.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/Lexer.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/Lexer.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/Parser.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/Parser.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/PrettyPrinter.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/PrettyPrinter.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/Sema.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/Sema.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/Token.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/Token.cpp.o.d"
+  "CMakeFiles/gadt_pascal.dir/Type.cpp.o"
+  "CMakeFiles/gadt_pascal.dir/Type.cpp.o.d"
+  "libgadt_pascal.a"
+  "libgadt_pascal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_pascal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_slicing.dir/DynamicSlicer.cpp.o"
+  "CMakeFiles/gadt_slicing.dir/DynamicSlicer.cpp.o.d"
+  "CMakeFiles/gadt_slicing.dir/ProgramProjection.cpp.o"
+  "CMakeFiles/gadt_slicing.dir/ProgramProjection.cpp.o.d"
+  "CMakeFiles/gadt_slicing.dir/StaticSlicer.cpp.o"
+  "CMakeFiles/gadt_slicing.dir/StaticSlicer.cpp.o.d"
+  "CMakeFiles/gadt_slicing.dir/TreePruner.cpp.o"
+  "CMakeFiles/gadt_slicing.dir/TreePruner.cpp.o.d"
+  "libgadt_slicing.a"
+  "libgadt_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gadt_slicing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/gadt_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/gadt_support.dir/SourceLoc.cpp.o"
+  "CMakeFiles/gadt_support.dir/SourceLoc.cpp.o.d"
+  "CMakeFiles/gadt_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/gadt_support.dir/StringUtils.cpp.o.d"
+  "libgadt_support.a"
+  "libgadt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

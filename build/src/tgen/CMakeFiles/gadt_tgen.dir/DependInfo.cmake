@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tgen/Classifier.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/Classifier.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/Classifier.cpp.o.d"
+  "/root/repo/src/tgen/ConstEval.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/ConstEval.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/ConstEval.cpp.o.d"
+  "/root/repo/src/tgen/FrameGen.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/FrameGen.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/FrameGen.cpp.o.d"
+  "/root/repo/src/tgen/Generator.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/Generator.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/Generator.cpp.o.d"
+  "/root/repo/src/tgen/ReportDB.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/ReportDB.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/ReportDB.cpp.o.d"
+  "/root/repo/src/tgen/SpecParser.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/SpecParser.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/SpecParser.cpp.o.d"
+  "/root/repo/src/tgen/TestSpec.cpp" "src/tgen/CMakeFiles/gadt_tgen.dir/TestSpec.cpp.o" "gcc" "src/tgen/CMakeFiles/gadt_tgen.dir/TestSpec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/interp/CMakeFiles/gadt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pascal/CMakeFiles/gadt_pascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

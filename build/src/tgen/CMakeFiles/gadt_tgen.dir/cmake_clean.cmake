@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_tgen.dir/Classifier.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/Classifier.cpp.o.d"
+  "CMakeFiles/gadt_tgen.dir/ConstEval.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/ConstEval.cpp.o.d"
+  "CMakeFiles/gadt_tgen.dir/FrameGen.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/FrameGen.cpp.o.d"
+  "CMakeFiles/gadt_tgen.dir/Generator.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/Generator.cpp.o.d"
+  "CMakeFiles/gadt_tgen.dir/ReportDB.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/ReportDB.cpp.o.d"
+  "CMakeFiles/gadt_tgen.dir/SpecParser.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/SpecParser.cpp.o.d"
+  "CMakeFiles/gadt_tgen.dir/TestSpec.cpp.o"
+  "CMakeFiles/gadt_tgen.dir/TestSpec.cpp.o.d"
+  "libgadt_tgen.a"
+  "libgadt_tgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_trace.dir/ExecTree.cpp.o"
+  "CMakeFiles/gadt_trace.dir/ExecTree.cpp.o.d"
+  "CMakeFiles/gadt_trace.dir/ExecTreeBuilder.cpp.o"
+  "CMakeFiles/gadt_trace.dir/ExecTreeBuilder.cpp.o.d"
+  "libgadt_trace.a"
+  "libgadt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/GlobalGotos.cpp" "src/transform/CMakeFiles/gadt_transform.dir/GlobalGotos.cpp.o" "gcc" "src/transform/CMakeFiles/gadt_transform.dir/GlobalGotos.cpp.o.d"
+  "/root/repo/src/transform/GlobalsToParams.cpp" "src/transform/CMakeFiles/gadt_transform.dir/GlobalsToParams.cpp.o" "gcc" "src/transform/CMakeFiles/gadt_transform.dir/GlobalsToParams.cpp.o.d"
+  "/root/repo/src/transform/LoopEscapes.cpp" "src/transform/CMakeFiles/gadt_transform.dir/LoopEscapes.cpp.o" "gcc" "src/transform/CMakeFiles/gadt_transform.dir/LoopEscapes.cpp.o.d"
+  "/root/repo/src/transform/Transform.cpp" "src/transform/CMakeFiles/gadt_transform.dir/Transform.cpp.o" "gcc" "src/transform/CMakeFiles/gadt_transform.dir/Transform.cpp.o.d"
+  "/root/repo/src/transform/TransformUtils.cpp" "src/transform/CMakeFiles/gadt_transform.dir/TransformUtils.cpp.o" "gcc" "src/transform/CMakeFiles/gadt_transform.dir/TransformUtils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gadt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/pascal/CMakeFiles/gadt_pascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

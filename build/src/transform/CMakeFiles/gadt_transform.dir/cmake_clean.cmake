@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_transform.dir/GlobalGotos.cpp.o"
+  "CMakeFiles/gadt_transform.dir/GlobalGotos.cpp.o.d"
+  "CMakeFiles/gadt_transform.dir/GlobalsToParams.cpp.o"
+  "CMakeFiles/gadt_transform.dir/GlobalsToParams.cpp.o.d"
+  "CMakeFiles/gadt_transform.dir/LoopEscapes.cpp.o"
+  "CMakeFiles/gadt_transform.dir/LoopEscapes.cpp.o.d"
+  "CMakeFiles/gadt_transform.dir/Transform.cpp.o"
+  "CMakeFiles/gadt_transform.dir/Transform.cpp.o.d"
+  "CMakeFiles/gadt_transform.dir/TransformUtils.cpp.o"
+  "CMakeFiles/gadt_transform.dir/TransformUtils.cpp.o.d"
+  "libgadt_transform.a"
+  "libgadt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

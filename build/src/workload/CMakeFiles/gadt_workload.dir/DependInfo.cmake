@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/ArrsumFixture.cpp" "src/workload/CMakeFiles/gadt_workload.dir/ArrsumFixture.cpp.o" "gcc" "src/workload/CMakeFiles/gadt_workload.dir/ArrsumFixture.cpp.o.d"
+  "/root/repo/src/workload/PaperPrograms.cpp" "src/workload/CMakeFiles/gadt_workload.dir/PaperPrograms.cpp.o" "gcc" "src/workload/CMakeFiles/gadt_workload.dir/PaperPrograms.cpp.o.d"
+  "/root/repo/src/workload/Payroll.cpp" "src/workload/CMakeFiles/gadt_workload.dir/Payroll.cpp.o" "gcc" "src/workload/CMakeFiles/gadt_workload.dir/Payroll.cpp.o.d"
+  "/root/repo/src/workload/Synthetic.cpp" "src/workload/CMakeFiles/gadt_workload.dir/Synthetic.cpp.o" "gcc" "src/workload/CMakeFiles/gadt_workload.dir/Synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tgen/CMakeFiles/gadt_tgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/gadt_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pascal/CMakeFiles/gadt_pascal.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gadt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gadt_workload.dir/ArrsumFixture.cpp.o"
+  "CMakeFiles/gadt_workload.dir/ArrsumFixture.cpp.o.d"
+  "CMakeFiles/gadt_workload.dir/PaperPrograms.cpp.o"
+  "CMakeFiles/gadt_workload.dir/PaperPrograms.cpp.o.d"
+  "CMakeFiles/gadt_workload.dir/Payroll.cpp.o"
+  "CMakeFiles/gadt_workload.dir/Payroll.cpp.o.d"
+  "CMakeFiles/gadt_workload.dir/Synthetic.cpp.o"
+  "CMakeFiles/gadt_workload.dir/Synthetic.cpp.o.d"
+  "libgadt_workload.a"
+  "libgadt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gadt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exectree.dir/ExecTreeTest.cpp.o"
+  "CMakeFiles/test_exectree.dir/ExecTreeTest.cpp.o.d"
+  "test_exectree"
+  "test_exectree.pdb"
+  "test_exectree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exectree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

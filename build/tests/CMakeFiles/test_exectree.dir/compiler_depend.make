@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_exectree.
+# This may be replaced when dependencies are built.

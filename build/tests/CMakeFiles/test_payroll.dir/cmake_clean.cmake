@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payroll.dir/PayrollTest.cpp.o"
+  "CMakeFiles/test_payroll.dir/PayrollTest.cpp.o.d"
+  "test_payroll"
+  "test_payroll.pdb"
+  "test_payroll[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payroll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tgen.dir/TGenTest.cpp.o"
+  "CMakeFiles/test_tgen.dir/TGenTest.cpp.o.d"
+  "test_tgen"
+  "test_tgen.pdb"
+  "test_tgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
