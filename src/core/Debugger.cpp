@@ -87,6 +87,18 @@ AlgorithmicDebugger::activeSubtreeSize(const ExecNode *N) const {
   return Count;
 }
 
+std::shared_ptr<const slicing::StaticSlice>
+AlgorithmicDebugger::staticSliceFor(const pascal::RoutineDecl *R,
+                                    const std::string &Output) const {
+  if (!Sdg)
+    return nullptr;
+  if (Slices)
+    if (std::shared_ptr<const slicing::StaticSlice> S = Slices(R, Output))
+      return S;
+  return std::make_shared<const slicing::StaticSlice>(
+      slicing::sliceOnRoutineOutput(*Sdg, R, Output));
+}
+
 void AlgorithmicDebugger::applySliceIfPossible(
     const ExecNode &N, const std::string &WrongOutput) {
   std::set<uint32_t> Kept;
@@ -96,11 +108,11 @@ void AlgorithmicDebugger::applySliceIfPossible(
   case SliceMode::Static: {
     if (!Sdg || !N.getRoutine())
       return;
-    slicing::StaticSlice Slice =
-        slicing::sliceOnRoutineOutput(*Sdg, N.getRoutine(), WrongOutput);
-    if (Slice.size() == 0)
+    std::shared_ptr<const slicing::StaticSlice> Slice =
+        staticSliceFor(N.getRoutine(), WrongOutput);
+    if (!Slice || Slice->size() == 0)
       return; // no formal-out vertex for this output
-    Kept = slicing::pruneByStaticSlice(&N, Slice);
+    Kept = slicing::pruneByStaticSlice(&N, *Slice);
     break;
   }
   case SliceMode::Dynamic: {
@@ -154,9 +166,10 @@ BugReport AlgorithmicDebugger::bugAt(const ExecNode *N) const {
     const pascal::RoutineDecl *Routine = N->getRoutine();
     std::set<const pascal::Stmt *> InSlice;
     auto Collect = [&](const std::string &Output) {
-      slicing::StaticSlice Slice =
-          slicing::sliceOnRoutineOutput(*Sdg, Routine, Output);
-      InSlice.insert(Slice.stmts().begin(), Slice.stmts().end());
+      std::shared_ptr<const slicing::StaticSlice> Slice =
+          staticSliceFor(Routine, Output);
+      if (Slice)
+        InSlice.insert(Slice->stmts().begin(), Slice->stmts().end());
     };
     if (!R.WrongOutput.empty())
       Collect(R.WrongOutput);

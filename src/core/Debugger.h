@@ -28,12 +28,26 @@
 #include "core/Oracle.h"
 #include "trace/ExecTree.h"
 
+#include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
 namespace gadt {
+
+namespace slicing {
+class StaticSlice;
+} // namespace slicing
+
 namespace core {
+
+/// Supplies the static slice for (routine, output-variable) criteria. The
+/// batch runtime installs a provider backed by a shared cross-session memo;
+/// without one the debugger computes each slice itself. A provider may
+/// return null to fall back to local computation.
+using SliceProvider = std::function<std::shared_ptr<const slicing::StaticSlice>(
+    const pascal::RoutineDecl *, const std::string &)>;
 
 /// How the execution tree is searched.
 enum class SearchStrategy : uint8_t {
@@ -124,6 +138,10 @@ public:
   /// must describe the program the tree was traced from).
   void setSDG(const analysis::SDG *G) { Sdg = G; }
 
+  /// Installs a shared slice memo; slices it returns must come from the
+  /// same SDG supplied via setSDG.
+  void setSliceProvider(SliceProvider P) { Slices = std::move(P); }
+
   /// Runs the search to completion.
   BugReport run();
 
@@ -134,6 +152,11 @@ public:
 
 private:
   Judgement ask(const trace::ExecNode &N);
+  /// The static slice for (R, Output): from the provider when installed,
+  /// computed locally otherwise. Null without an SDG.
+  std::shared_ptr<const slicing::StaticSlice>
+  staticSliceFor(const pascal::RoutineDecl *R,
+                 const std::string &Output) const;
   void applySliceIfPossible(const trace::ExecNode &N,
                             const std::string &WrongOutput);
   unsigned activeSubtreeSize(const trace::ExecNode *N) const;
@@ -147,6 +170,7 @@ private:
   Oracle &O;
   DebuggerOptions Opts;
   const analysis::SDG *Sdg = nullptr;
+  SliceProvider Slices;
   std::set<uint32_t> Active;
   std::map<std::string, Judgement> Memo; ///< keyed by node signature
   /// Wrong-output variable recorded per judged-incorrect node.

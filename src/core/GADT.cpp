@@ -26,7 +26,29 @@ GADTSession::GADTSession(const Program &Subject, GADTOptions Opts,
     Sdg = std::make_unique<analysis::SDG>(*Prepared);
 }
 
+GADTSession::GADTSession(std::shared_ptr<const SessionArtifacts> A,
+                         GADTOptions Opts, DiagnosticsEngine &Diags)
+    : Opts(Opts), Artifacts(std::move(A)) {
+  if (!Artifacts || !Artifacts->Prepared) {
+    Diags.error(SourceLoc(), "session artifacts are missing the prepared "
+                             "program");
+    return;
+  }
+  Prepared = Artifacts->Prepared.get();
+  TransformInfo = Artifacts->TransformInfo;
+  // Fall back to building the graph locally when static slicing is
+  // requested but the artifacts were prepared without it.
+  if (Opts.Debugger.Slicing == SliceMode::Static && !Artifacts->Sdg)
+    Sdg = std::make_unique<analysis::SDG>(*Prepared);
+}
+
 GADTSession::~GADTSession() = default;
+
+const analysis::SDG *GADTSession::sdg() const {
+  if (Sdg)
+    return Sdg.get();
+  return Artifacts ? Artifacts->Sdg.get() : nullptr;
+}
 
 void GADTSession::addTestDatabase(
     std::shared_ptr<const tgen::TestSpec> Spec,
@@ -61,8 +83,10 @@ BugReport GADTSession::debug(Oracle &UserOracle, std::vector<int64_t> Input) {
   Chain.append(&UserOracle);
 
   AlgorithmicDebugger Debugger(*LastTree, Chain, Opts.Debugger);
-  if (Sdg)
-    Debugger.setSDG(Sdg.get());
+  if (const analysis::SDG *G = sdg())
+    Debugger.setSDG(G);
+  if (Artifacts && Artifacts->Slices)
+    Debugger.setSliceProvider(Artifacts->Slices);
   BugReport Report = Debugger.run();
   LastStats = Debugger.stats();
   return Report;

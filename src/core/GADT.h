@@ -50,6 +50,29 @@ struct GADTOptions {
   DebuggerOptions Debugger;
 };
 
+/// Prebuilt, shareable session inputs. The batch runtime (src/runtime)
+/// produces these from its cross-session caches so that repeated sessions
+/// over the same subject skip the transformation, dependence-graph and
+/// slicing work; a session constructed from artifacts rebuilds nothing.
+/// Every member is immutable after construction and safe to share across
+/// concurrently running sessions.
+struct SessionArtifacts {
+  /// Fingerprint of the parsed subject (support/Hashing.h hashProgram).
+  uint64_t Fingerprint = 0;
+  /// The parsed original. Pins the AST (and its TypeContext) that
+  /// \c Prepared shares.
+  std::shared_ptr<const pascal::Program> Subject;
+  /// The program to trace and debug: the transformed clone, or \c Subject
+  /// itself when transformation is off.
+  std::shared_ptr<const pascal::Program> Prepared;
+  transform::TransformStats TransformInfo;
+  /// Dependence graph over \c Prepared; null unless static slicing was
+  /// requested when the artifacts were prepared.
+  std::shared_ptr<const analysis::SDG> Sdg;
+  /// Shared static-slice memo over \c Sdg; may be null.
+  SliceProvider Slices;
+};
+
 /// One debugging session over one subject program. The session owns the
 /// transformed program, the dependence graph, and the most recent execution
 /// tree; it can be re-run on different inputs and with different oracles.
@@ -60,6 +83,13 @@ public:
   /// the session.
   GADTSession(const pascal::Program &Subject, GADTOptions Opts,
               DiagnosticsEngine &Diags);
+
+  /// Prepares the session from shared artifacts: the transformed program,
+  /// dependence graph and slice memo are injected instead of rebuilt.
+  /// \p Artifacts must have been prepared with the same transformation and
+  /// slicing settings as \p Opts requests.
+  GADTSession(std::shared_ptr<const SessionArtifacts> Artifacts,
+              GADTOptions Opts, DiagnosticsEngine &Diags);
   ~GADTSession();
 
   bool valid() const { return Prepared != nullptr; }
@@ -90,11 +120,17 @@ public:
   const interp::ExecResult &lastRun() const { return LastRun; }
 
 private:
+  /// The dependence graph in effect: owned or injected.
+  const analysis::SDG *sdg() const;
+
   GADTOptions Opts;
   std::unique_ptr<pascal::Program> TransformedStorage;
   const pascal::Program *Prepared = nullptr;
   transform::TransformStats TransformInfo;
   std::unique_ptr<analysis::SDG> Sdg;
+  /// Set when constructed from shared artifacts; keeps injected programs,
+  /// graph and slice memo alive for the session's lifetime.
+  std::shared_ptr<const SessionArtifacts> Artifacts;
   AssertionOracle Assertions;
   TestDatabaseOracle TestOracleImpl;
   std::unique_ptr<trace::ExecTree> LastTree;

@@ -1,0 +1,145 @@
+//===- BatchRunner.cpp - Parallel batch-debugging runtime -----------------===//
+
+#include "runtime/BatchRunner.h"
+
+#include "core/ReferenceOracle.h"
+#include "support/Hashing.h"
+
+#include <atomic>
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::runtime;
+
+std::string SessionResult::summary() const {
+  std::string Out;
+  Out += "fp=" + hashHex(Fingerprint);
+  Out += " prepared=" + std::string(Prepared ? "1" : "0");
+  Out += " found=" + std::string(Found ? "1" : "0");
+  Out += " unit=" + UnitName;
+  Out += " wrong=" + WrongOutput;
+  Out += " msg=" + Message;
+  Out += "\njudgements=" + std::to_string(Stats.Judgements);
+  Out += " unanswered=" + std::to_string(Stats.Unanswered);
+  Out += " memo=" + std::to_string(Stats.MemoHits);
+  Out += " slicing=" + std::to_string(Stats.SlicingActivations);
+  Out += " pruned=" + std::to_string(Stats.NodesPruned);
+  Out += "\n" + Stats.transcript();
+  return Out;
+}
+
+SessionResult gadt::runtime::runSession(RuntimeContext &Ctx,
+                                        const SessionRequest &Req) {
+  SessionResult Res;
+  DiagnosticsEngine Diags;
+
+  std::shared_ptr<const SessionArtifacts> Artifacts =
+      Ctx.prepare(Req.Source, Req.Opts, Diags);
+  if (!Artifacts) {
+    Res.Message = Diags.str();
+    return Res;
+  }
+  Res.Fingerprint = Artifacts->Fingerprint;
+
+  GADTSession Session(Artifacts, Req.Opts, Diags);
+  if (!Session.valid()) {
+    Res.Message = Diags.str();
+    return Res;
+  }
+
+  // Build this session's private oracle (oracles are stateful; the
+  // intended *program* parse is shared through the context).
+  std::unique_ptr<Oracle> Private;
+  std::shared_ptr<const pascal::Program> IntendedProg;
+  if (Req.MakeOracle) {
+    Private = Req.MakeOracle();
+  } else if (!Req.Intended.empty()) {
+    IntendedProg = Ctx.internProgram(Req.Intended, Diags);
+    if (!IntendedProg) {
+      Res.Message = Diags.str();
+      return Res;
+    }
+    Private = std::make_unique<IntendedProgramOracle>(*IntendedProg);
+  }
+  if (!Private) {
+    Res.Message = "batch runtime: request provides no oracle";
+    return Res;
+  }
+  Res.Prepared = true;
+
+  BugReport Report = Session.debug(*Private, Req.Input);
+  Res.Found = Report.Found;
+  Res.UnitName = Report.UnitName;
+  Res.WrongOutput = Report.WrongOutput;
+  Res.Message = Report.Message;
+  Res.Stats = Session.stats();
+  return Res;
+}
+
+struct BatchRunner::Batch {
+  std::mutex M;
+  std::condition_variable Done;
+  size_t Remaining = 0;
+};
+
+BatchRunner::BatchRunner(std::shared_ptr<RuntimeContext> Ctx,
+                         BatchOptions Opts)
+    : Ctx(std::move(Ctx)) {
+  if (!this->Ctx)
+    this->Ctx = std::make_shared<RuntimeContext>();
+  Threads = Opts.Threads ? Opts.Threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+BatchRunner::~BatchRunner() {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void BatchRunner::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      WorkReady.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // stopping and drained
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+  }
+}
+
+std::vector<SessionResult>
+BatchRunner::run(const std::vector<SessionRequest> &Requests) {
+  std::vector<SessionResult> Results(Requests.size());
+  if (Requests.empty())
+    return Results;
+
+  auto State = std::make_shared<Batch>();
+  State->Remaining = Requests.size();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    for (size_t I = 0; I < Requests.size(); ++I)
+      Queue.push_back([this, State, &Requests, &Results, I] {
+        Results[I] = runSession(*Ctx, Requests[I]);
+        std::lock_guard<std::mutex> BatchLock(State->M);
+        if (--State->Remaining == 0)
+          State->Done.notify_all();
+      });
+  }
+  WorkReady.notify_all();
+
+  std::unique_lock<std::mutex> Lock(State->M);
+  State->Done.wait(Lock, [&] { return State->Remaining == 0; });
+  return Results;
+}

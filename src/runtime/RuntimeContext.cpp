@@ -1,0 +1,152 @@
+//===- RuntimeContext.cpp - Shared caches for batch debugging -------------===//
+
+#include "runtime/RuntimeContext.h"
+
+#include "pascal/Frontend.h"
+#include "slicing/StaticSlicer.h"
+#include "support/Hashing.h"
+
+using namespace gadt;
+using namespace gadt::runtime;
+
+std::string RuntimeStats::str() const {
+  auto Cache = [](const char *Name, uint64_t Misses, uint64_t Hits) {
+    return std::string(Name) + " " + std::to_string(Misses) + "/" +
+           std::to_string(Misses + Hits);
+  };
+  return Cache("programs", ProgramMisses, ProgramHits) + " " +
+         Cache("transforms", TransformMisses, TransformHits) + " " +
+         Cache("sdgs", SdgMisses, SdgHits) + " " +
+         Cache("slices", SliceMisses, SliceHits) + " subjects " +
+         std::to_string(Subjects) + " (miss/total)";
+}
+
+/// One parsed program plus its fingerprint; parse failures cache their
+/// diagnostics so repeated bad sources fail fast.
+struct RuntimeContext::ProgramEntry {
+  std::shared_ptr<const pascal::Program> Program; ///< null on failure
+  uint64_t Fingerprint = 0;
+  std::string Errors;
+};
+
+RuntimeContext::RuntimeContext() = default;
+RuntimeContext::~RuntimeContext() = default;
+
+std::shared_ptr<const pascal::Program>
+RuntimeContext::internProgram(const std::string &Source,
+                              DiagnosticsEngine &Diags) {
+  uint64_t SourceHash = hashBytes(Source);
+  std::shared_ptr<const ProgramEntry> E = Programs.getOrBuild(
+      SourceHash, [&]() -> std::shared_ptr<const ProgramEntry> {
+        auto Entry = std::make_shared<ProgramEntry>();
+        DiagnosticsEngine Local;
+        Entry->Program = pascal::parseAndCheck(Source, Local);
+        if (Entry->Program)
+          Entry->Fingerprint = hashProgram(*Entry->Program);
+        else
+          Entry->Errors = Local.str();
+        return Entry;
+      });
+  if (!E->Program)
+    Diags.error(SourceLoc(), "batch runtime: cached parse failure: " +
+                                 E->Errors);
+  return E->Program;
+}
+
+std::shared_ptr<const core::SessionArtifacts>
+RuntimeContext::prepare(const std::string &Source,
+                        const core::GADTOptions &Opts,
+                        DiagnosticsEngine &Diags) {
+  std::shared_ptr<const pascal::Program> Subject =
+      internProgram(Source, Diags);
+  if (!Subject)
+    return nullptr;
+  uint64_t Fingerprint = hashProgram(*Subject);
+
+  auto Artifacts = std::make_shared<core::SessionArtifacts>();
+  Artifacts->Fingerprint = Fingerprint;
+  Artifacts->Subject = Subject;
+
+  if (Opts.Transform) {
+    std::shared_ptr<const TransformEntry> X = Transforms.getOrBuild(
+        Fingerprint, [&]() -> std::shared_ptr<const TransformEntry> {
+          auto Entry = std::make_shared<TransformEntry>();
+          Entry->Original = Subject;
+          DiagnosticsEngine Local;
+          transform::TransformResult R =
+              transform::transformProgram(*Subject, Local);
+          if (R.Transformed) {
+            Entry->Transformed = std::move(R.Transformed);
+            Entry->Stats = std::move(R.Stats);
+          } else {
+            Entry->Errors = Local.str();
+          }
+          return Entry;
+        });
+    if (!X->Transformed) {
+      Diags.error(SourceLoc(), "batch runtime: cached transform failure: " +
+                                   X->Errors);
+      return nullptr;
+    }
+    Artifacts->Prepared = X->Transformed;
+    Artifacts->TransformInfo = X->Stats;
+    // Pin the original the transformed clone's TypeContext belongs to.
+    Artifacts->Subject = X->Original;
+  } else {
+    Artifacts->Prepared = Subject;
+  }
+
+  if (Opts.Debugger.Slicing == core::SliceMode::Static) {
+    std::pair<uint64_t, bool> SdgKey{Fingerprint, Opts.Transform};
+    std::shared_ptr<const pascal::Program> Prepared = Artifacts->Prepared;
+    std::shared_ptr<const pascal::Program> Pin = Artifacts->Subject;
+    std::shared_ptr<const SdgEntry> G = Sdgs.getOrBuild(
+        SdgKey, [&]() -> std::shared_ptr<const SdgEntry> {
+          auto Entry = std::make_shared<SdgEntry>();
+          Entry->Prepared = Prepared;
+          Entry->OriginalPin = Pin;
+          Entry->Graph = std::make_unique<const analysis::SDG>(*Prepared);
+          return Entry;
+        });
+    // Alias the SDG's lifetime to its cache entry, and debug the exact
+    // program object the graph was built over — textual variants of one
+    // fingerprint intern as distinct ASTs, but slices resolve by pointer.
+    Artifacts->Sdg =
+        std::shared_ptr<const analysis::SDG>(G, G->Graph.get());
+    Artifacts->Prepared = G->Prepared;
+    Artifacts->Subject = G->OriginalPin;
+    // Hand sessions a slice provider backed by the shared memo. The
+    // criterion routine belongs to the cached prepared program, so slices
+    // are shared by every session over this subject.
+    std::shared_ptr<const analysis::SDG> Sdg = Artifacts->Sdg;
+    bool Transformed = Opts.Transform;
+    Artifacts->Slices =
+        [this, Sdg, Fingerprint,
+         Transformed](const pascal::RoutineDecl *R, const std::string &Out)
+        -> std::shared_ptr<const slicing::StaticSlice> {
+      if (!R)
+        return nullptr;
+      SliceKey Key{Fingerprint, Transformed, R->getName(), Out};
+      return Slices.getOrBuild(
+          Key, [&]() -> std::shared_ptr<const slicing::StaticSlice> {
+            return std::make_shared<const slicing::StaticSlice>(
+                slicing::sliceOnRoutineOutput(*Sdg, R, Out));
+          });
+    };
+  }
+  return Artifacts;
+}
+
+RuntimeStats RuntimeContext::stats() const {
+  RuntimeStats S;
+  S.ProgramHits = Programs.hits();
+  S.ProgramMisses = Programs.misses();
+  S.TransformHits = Transforms.hits();
+  S.TransformMisses = Transforms.misses();
+  S.SdgHits = Sdgs.hits();
+  S.SdgMisses = Sdgs.misses();
+  S.SliceHits = Slices.hits();
+  S.SliceMisses = Slices.misses();
+  S.Subjects = Transforms.size();
+  return S;
+}

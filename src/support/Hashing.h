@@ -1,0 +1,51 @@
+//===- Hashing.h - Stable hashing and program fingerprints ------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stable (process-independent) hashing for the batch runtime's shared
+/// caches. The transform cache, the SDG cache and the static-slice memo are
+/// keyed by a *program fingerprint*: the FNV-1a hash of the canonical
+/// pretty-print of the checked AST, so that textual noise (whitespace,
+/// comments, identifier case) does not defeat sharing, while any semantic
+/// difference changes the key.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_HASHING_H
+#define GADT_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gadt {
+
+namespace pascal {
+class Program;
+} // namespace pascal
+
+/// 64-bit FNV-1a offset basis — the seed of an incremental hash.
+inline constexpr uint64_t FnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+/// Folds \p S into \p Seed with 64-bit FNV-1a. Stable across runs,
+/// platforms and processes (unlike std::hash).
+uint64_t hashBytes(std::string_view S, uint64_t Seed = FnvOffsetBasis);
+
+/// Order-dependent combination of two hashes (for composite cache keys).
+uint64_t hashCombine(uint64_t A, uint64_t B);
+
+/// Renders a hash as 16 lowercase hex digits for logs and reports.
+std::string hashHex(uint64_t H);
+
+/// The stable fingerprint of a checked program: FNV-1a over its canonical
+/// pretty-print. Two programs with the same fingerprint have identical
+/// canonical source, so transformation results, dependence graphs and
+/// static slices computed for one are valid for the other.
+uint64_t hashProgram(const pascal::Program &P);
+
+} // namespace gadt
+
+#endif // GADT_SUPPORT_HASHING_H

@@ -1,0 +1,98 @@
+//===- OnceCache.h - Build-once concurrent memo map -------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe map from keys to immutable, shareable values where each
+/// value is built exactly once no matter how many threads request it
+/// concurrently. The batch runtime's shared caches (transform results,
+/// dependence graphs, static slices) are instances of this template.
+///
+/// Guarantees:
+///  - the builder for a key runs exactly once; concurrent requesters of the
+///    same key block until it finishes and then share the result;
+///  - builders for *different* keys run in parallel (the map lock is never
+///    held while building);
+///  - hit/miss counters are exact: misses() equals the number of builder
+///    invocations, hits() equals all other lookups;
+///  - a builder returning null caches the failure (subsequent lookups
+///    return null as hits without re-building).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_ONCECACHE_H
+#define GADT_SUPPORT_ONCECACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace gadt {
+
+template <typename Key, typename T> class OnceCache {
+public:
+  using Builder = std::function<std::shared_ptr<const T>()>;
+
+  /// Returns the value for \p K, invoking \p Build to create it if this is
+  /// the first request. Thread-safe.
+  std::shared_ptr<const T> getOrBuild(const Key &K, const Builder &Build) {
+    std::shared_ptr<Slot> S;
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      std::shared_ptr<Slot> &Entry = Slots[K];
+      if (!Entry)
+        Entry = std::make_shared<Slot>();
+      S = Entry;
+    }
+    bool Built = false;
+    std::call_once(S->Once, [&] {
+      std::shared_ptr<const T> V = Build();
+      // Publish under the map lock so peek() is race-free; threads waiting
+      // on the once-flag are ordered by it regardless.
+      std::lock_guard<std::mutex> Lock(M);
+      S->V = std::move(V);
+      Built = true;
+    });
+    if (Built)
+      Misses.fetch_add(1, std::memory_order_relaxed);
+    else
+      Hits.fetch_add(1, std::memory_order_relaxed);
+    return S->V;
+  }
+
+  /// The value already cached for \p K, or null (counts as neither hit nor
+  /// miss; for inspection).
+  std::shared_ptr<const T> peek(const Key &K) const {
+    std::lock_guard<std::mutex> Lock(M);
+    auto It = Slots.find(K);
+    return It == Slots.end() ? nullptr : It->second->V;
+  }
+
+  uint64_t hits() const { return Hits.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return Slots.size();
+  }
+
+private:
+  struct Slot {
+    std::once_flag Once;
+    std::shared_ptr<const T> V;
+  };
+
+  mutable std::mutex M;
+  std::map<Key, std::shared_ptr<Slot>> Slots;
+  std::atomic<uint64_t> Hits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace gadt
+
+#endif // GADT_SUPPORT_ONCECACHE_H

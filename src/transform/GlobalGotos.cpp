@@ -59,12 +59,17 @@ std::vector<const GotoStmt *> nonLocalGotos(const RoutineDecl *R) {
 bool gadt::transform::breakGlobalGotos(Program &P, DiagnosticsEngine &Diags,
                                        TransformStats &Stats) {
   for (unsigned Round = 0; Round < 1000; ++Round) {
-    // Routines whose own body still performs non-local gotos.
-    std::map<RoutineDecl *, std::vector<const GotoStmt *>> Offenders;
+    // Routines whose own body still performs non-local gotos, in routine
+    // traversal order — a pointer-keyed map here would hand out the fresh
+    // exit-parameter names in heap-address order, making two transforms of
+    // the same program disagree on which routine gets "exitcond" vs
+    // "exitcond1".
+    std::vector<std::pair<RoutineDecl *, std::vector<const GotoStmt *>>>
+        Offenders;
     forEachRoutine(P.getMain(), [&](RoutineDecl *R) {
       auto Gotos = nonLocalGotos(R);
       if (!Gotos.empty())
-        Offenders[R] = std::move(Gotos);
+        Offenders.emplace_back(R, std::move(Gotos));
     });
     if (Offenders.empty())
       return true;

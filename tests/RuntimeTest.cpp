@@ -1,0 +1,321 @@
+//===- RuntimeTest.cpp - Batch runtime & shared-cache concurrency tests ---===//
+//
+// The hardening layer for the parallel batch-debugging runtime:
+//  - N sessions across 8 threads produce byte-identical results to serial
+//    execution (same context wiring, same dialogue, same bug);
+//  - cache hit/miss counters are exact (build-once semantics);
+//  - results are deterministic across repeated runs with the same seed;
+//  - sessions built from shared artifacts behave identically to sessions
+//    that build everything themselves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BatchRunner.h"
+
+#include "core/ReferenceOracle.h"
+#include "pascal/Frontend.h"
+#include "support/Hashing.h"
+#include "workload/PaperPrograms.h"
+#include "workload/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::pascal;
+using namespace gadt::runtime;
+using namespace gadt::workload;
+
+namespace {
+
+std::unique_ptr<Program> compile(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = parseAndCheck(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+/// A mixed, seed-determined workload: chains, a call tree, random programs
+/// and the paper's Figure 4 — every request pairs a buggy subject with its
+/// intended program.
+std::vector<SessionRequest> makeWorkload(unsigned N) {
+  std::vector<ProgramPair> Pairs;
+  for (unsigned K = 1; K <= 3; ++K)
+    Pairs.push_back(chainProgram(6, K * 2));
+  Pairs.push_back(treeProgram(3));
+  for (uint32_t Seed : {3u, 8u}) {
+    SyntheticOptions Opts;
+    Opts.Seed = Seed;
+    Opts.NumRoutines = 5;
+    Pairs.push_back(randomProgram(Opts));
+  }
+  Pairs.push_back({Figure4Fixed, Figure4Buggy, "decrement"});
+
+  std::vector<SessionRequest> Reqs;
+  for (unsigned I = 0; I < N; ++I) {
+    const ProgramPair &P = Pairs[I % Pairs.size()];
+    SessionRequest R;
+    R.Source = P.Buggy;
+    R.Intended = P.Fixed;
+    Reqs.push_back(std::move(R));
+  }
+  return Reqs;
+}
+
+std::vector<std::string> summaries(const std::vector<SessionResult> &Rs) {
+  std::vector<std::string> Out;
+  for (const SessionResult &R : Rs)
+    Out.push_back(R.summary());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel == serial, byte for byte
+//===----------------------------------------------------------------------===//
+
+TEST(BatchRunnerTest, EightThreadsByteIdenticalToSerial) {
+  std::vector<SessionRequest> Reqs = makeWorkload(21);
+
+  // Serial reference: one fresh context, the calling thread.
+  RuntimeContext Serial;
+  std::vector<std::string> Reference;
+  for (const SessionRequest &R : Reqs)
+    Reference.push_back(runSession(Serial, R).summary());
+
+  // Parallel: fresh context, 8 workers.
+  BatchRunner Runner(std::make_shared<RuntimeContext>(), {8});
+  std::vector<SessionResult> Results = Runner.run(Reqs);
+
+  ASSERT_EQ(Results.size(), Reqs.size());
+  for (size_t I = 0; I < Results.size(); ++I) {
+    EXPECT_TRUE(Results[I].Prepared) << Results[I].Message;
+    EXPECT_EQ(Results[I].summary(), Reference[I]) << "request " << I;
+  }
+}
+
+TEST(BatchRunnerTest, LocalizesThePlantedBugInParallel) {
+  ProgramPair Chain = chainProgram(8, 5);
+  std::vector<SessionRequest> Reqs(12);
+  for (SessionRequest &R : Reqs) {
+    R.Source = Chain.Buggy;
+    R.Intended = Chain.Fixed;
+  }
+  BatchRunner Runner(std::make_shared<RuntimeContext>(), {8});
+  for (const SessionResult &R : Runner.run(Reqs)) {
+    ASSERT_TRUE(R.Found) << R.Message;
+    EXPECT_EQ(R.UnitName, Chain.BuggyRoutine);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Exact cache accounting
+//===----------------------------------------------------------------------===//
+
+TEST(BatchRunnerTest, CacheHitCountersAreExact) {
+  ProgramPair Pair = chainProgram(6, 4);
+  SessionRequest Req;
+  Req.Source = Pair.Buggy;
+  Req.Intended = Pair.Fixed;
+
+  // One serial session establishes the per-session cache-access profile.
+  auto Ctx = std::make_shared<RuntimeContext>();
+  SessionResult First = runSession(*Ctx, Req);
+  ASSERT_TRUE(First.Found);
+  RuntimeStats S1 = Ctx->stats();
+  EXPECT_EQ(S1.ProgramMisses, 2u) << "subject + intended parsed once each";
+  EXPECT_EQ(S1.TransformMisses, 1u);
+  EXPECT_EQ(S1.TransformHits, 0u);
+  EXPECT_EQ(S1.SdgMisses, 1u);
+  EXPECT_EQ(S1.Subjects, 1u);
+  uint64_t SliceCallsPerSession = S1.SliceMisses + S1.SliceHits;
+
+  // Eleven more identical sessions across 8 threads: every build is a hit,
+  // no cache builds anything again.
+  std::vector<SessionRequest> Reqs(11, Req);
+  BatchRunner Runner(Ctx, {8});
+  std::vector<SessionResult> Results = Runner.run(Reqs);
+  for (const SessionResult &R : Results)
+    EXPECT_EQ(R.summary(), First.summary());
+
+  RuntimeStats S12 = Ctx->stats();
+  EXPECT_EQ(S12.ProgramMisses, 2u);
+  EXPECT_EQ(S12.ProgramHits, S1.ProgramHits + 22u);
+  EXPECT_EQ(S12.TransformMisses, 1u);
+  EXPECT_EQ(S12.TransformHits, 11u);
+  EXPECT_EQ(S12.SdgMisses, 1u);
+  EXPECT_EQ(S12.SdgHits, 11u);
+  EXPECT_EQ(S12.SliceMisses, S1.SliceMisses)
+      << "identical sessions never rebuild a slice";
+  EXPECT_EQ(S12.SliceHits, S1.SliceHits + 11 * SliceCallsPerSession);
+  EXPECT_EQ(S12.Subjects, 1u);
+}
+
+TEST(BatchRunnerTest, DistinctSubjectsGetDistinctEntries) {
+  std::vector<SessionRequest> Reqs = makeWorkload(7); // 7 distinct pairs
+  auto Ctx = std::make_shared<RuntimeContext>();
+  BatchRunner Runner(Ctx, {4});
+  Runner.run(Reqs);
+  RuntimeStats S = Ctx->stats();
+  EXPECT_EQ(S.Subjects, 7u);
+  EXPECT_EQ(S.TransformMisses, 7u);
+  EXPECT_EQ(S.TransformHits, 0u);
+  EXPECT_EQ(S.ProgramMisses, 12u)
+      << "7 subjects + 5 distinct intended programs (the three chain "
+         "requests share one fixed program)";
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism
+//===----------------------------------------------------------------------===//
+
+TEST(BatchRunnerTest, RepeatedRunsWithSameSeedAreIdentical) {
+  std::vector<SessionRequest> Reqs = makeWorkload(21);
+  BatchRunner A(std::make_shared<RuntimeContext>(), {8});
+  BatchRunner B(std::make_shared<RuntimeContext>(), {8});
+  EXPECT_EQ(summaries(A.run(Reqs)), summaries(B.run(Reqs)));
+}
+
+TEST(BatchRunnerTest, WarmCacheChangesNothingButTheCounters) {
+  std::vector<SessionRequest> Reqs = makeWorkload(14);
+  auto Ctx = std::make_shared<RuntimeContext>();
+  BatchRunner Runner(Ctx, {8});
+
+  std::vector<std::string> Cold = summaries(Runner.run(Reqs));
+  RuntimeStats AfterCold = Ctx->stats();
+
+  std::vector<std::string> Warm = summaries(Runner.run(Reqs));
+  RuntimeStats AfterWarm = Ctx->stats();
+
+  EXPECT_EQ(Cold, Warm) << "warm-cache sessions localize the same bugs";
+  EXPECT_EQ(AfterWarm.ProgramMisses, AfterCold.ProgramMisses);
+  EXPECT_EQ(AfterWarm.TransformMisses, AfterCold.TransformMisses);
+  EXPECT_EQ(AfterWarm.SdgMisses, AfterCold.SdgMisses);
+  EXPECT_EQ(AfterWarm.SliceMisses, AfterCold.SliceMisses);
+}
+
+//===----------------------------------------------------------------------===//
+// Pool mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(BatchRunnerTest, EmptyBatchAndOverProvisionedPool) {
+  BatchRunner Runner(std::make_shared<RuntimeContext>(), {8});
+  EXPECT_TRUE(Runner.run({}).empty());
+  // 2 requests across 8 threads: the idle workers must not deadlock.
+  std::vector<SessionRequest> Reqs = makeWorkload(2);
+  EXPECT_EQ(Runner.run(Reqs).size(), 2u);
+  EXPECT_EQ(Runner.threadCount(), 8u);
+}
+
+TEST(BatchRunnerTest, BadSubjectReportsFailureWithoutPoisoningTheBatch) {
+  std::vector<SessionRequest> Reqs = makeWorkload(4);
+  Reqs[1].Source = "program broken; begin x := ; end.";
+  Reqs[2].MakeOracle = nullptr;
+  Reqs[2].Intended.clear(); // no oracle at all
+  BatchRunner Runner(std::make_shared<RuntimeContext>(), {4});
+  std::vector<SessionResult> Results = Runner.run(Reqs);
+  EXPECT_TRUE(Results[0].Prepared);
+  EXPECT_FALSE(Results[1].Prepared);
+  EXPECT_NE(Results[1].Message.find("parse failure"), std::string::npos)
+      << Results[1].Message;
+  EXPECT_FALSE(Results[2].Prepared);
+  EXPECT_NE(Results[2].Message.find("no oracle"), std::string::npos);
+  EXPECT_TRUE(Results[3].Prepared);
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact injection vs. self-built sessions
+//===----------------------------------------------------------------------===//
+
+TEST(RuntimeContextTest, ArtifactSessionMatchesSelfBuiltSession) {
+  auto Buggy = compile(Figure4Buggy);
+  auto Fixed = compile(Figure4Fixed);
+
+  DiagnosticsEngine D1;
+  GADTSession Direct(*Buggy, GADTOptions(), D1);
+  ASSERT_TRUE(Direct.valid());
+  IntendedProgramOracle U1(*Fixed);
+  BugReport R1 = Direct.debug(U1);
+
+  RuntimeContext Ctx;
+  DiagnosticsEngine D2;
+  auto Artifacts = Ctx.prepare(Figure4Buggy, GADTOptions(), D2);
+  ASSERT_TRUE(Artifacts) << D2.str();
+  EXPECT_EQ(Artifacts->Fingerprint, hashProgram(*Buggy));
+  ASSERT_TRUE(Artifacts->Sdg) << "static slicing is on by default";
+  GADTSession Injected(Artifacts, GADTOptions(), D2);
+  ASSERT_TRUE(Injected.valid()) << D2.str();
+  IntendedProgramOracle U2(*Fixed);
+  BugReport R2 = Injected.debug(U2);
+
+  ASSERT_TRUE(R1.Found && R2.Found);
+  EXPECT_EQ(R1.UnitName, R2.UnitName);
+  EXPECT_EQ(R1.WrongOutput, R2.WrongOutput);
+  EXPECT_EQ(R1.Message, R2.Message);
+  EXPECT_EQ(R1.CandidateStmts.size(), R2.CandidateStmts.size());
+  EXPECT_EQ(Direct.stats().transcript(), Injected.stats().transcript())
+      << "the shared slice memo must not change the dialogue";
+  EXPECT_EQ(Direct.stats().NodesPruned, Injected.stats().NodesPruned);
+}
+
+TEST(RuntimeContextTest, TransformArtifactsAreShared) {
+  RuntimeContext Ctx;
+  DiagnosticsEngine Diags;
+  GADTOptions Opts;
+  auto A1 = Ctx.prepare(Section6Globals, Opts, Diags);
+  auto A2 = Ctx.prepare(Section6Globals, Opts, Diags);
+  ASSERT_TRUE(A1 && A2);
+  EXPECT_EQ(A1->Prepared.get(), A2->Prepared.get())
+      << "one transformed program object per fingerprint";
+  EXPECT_EQ(A1->Sdg.get(), A2->Sdg.get());
+  EXPECT_EQ(Ctx.stats().TransformMisses, 1u);
+  EXPECT_EQ(Ctx.stats().TransformHits, 1u);
+}
+
+TEST(RuntimeContextTest, TextualVariantsShareOneFingerprint) {
+  // Same program, different whitespace/case: two parses, one fingerprint,
+  // one transform, one SDG — and both artifact sets debug the same object.
+  std::string A = "program p; var x: integer; begin x := 1; end.";
+  std::string B = "program P;\n var X: integer;\nbegin\n  X := 1;\nend.";
+  RuntimeContext Ctx;
+  DiagnosticsEngine Diags;
+  auto AA = Ctx.prepare(A, GADTOptions(), Diags);
+  auto AB = Ctx.prepare(B, GADTOptions(), Diags);
+  ASSERT_TRUE(AA && AB);
+  EXPECT_EQ(AA->Fingerprint, AB->Fingerprint);
+  EXPECT_EQ(AA->Prepared.get(), AB->Prepared.get());
+  EXPECT_EQ(Ctx.stats().ProgramMisses, 2u);
+  EXPECT_EQ(Ctx.stats().TransformMisses, 1u);
+  EXPECT_EQ(Ctx.stats().SdgMisses, 1u);
+}
+
+TEST(RuntimeContextTest, CachedParseFailureIsReported) {
+  RuntimeContext Ctx;
+  DiagnosticsEngine D1, D2;
+  EXPECT_EQ(Ctx.internProgram("program x; begin := end.", D1), nullptr);
+  EXPECT_TRUE(D1.hasErrors());
+  // Second request hits the cached failure, still reporting an error.
+  EXPECT_EQ(Ctx.internProgram("program x; begin := end.", D2), nullptr);
+  EXPECT_TRUE(D2.hasErrors());
+  EXPECT_EQ(Ctx.stats().ProgramMisses, 1u);
+  EXPECT_EQ(Ctx.stats().ProgramHits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(HashingTest, ProgramFingerprintIsStableAndDiscriminating) {
+  auto P1 = compile(Figure4Buggy);
+  auto P2 = compile(Figure4Buggy);
+  auto P3 = compile(Figure4Fixed);
+  EXPECT_EQ(hashProgram(*P1), hashProgram(*P2))
+      << "same source, separate parses: same fingerprint";
+  EXPECT_NE(hashProgram(*P1), hashProgram(*P3));
+  EXPECT_EQ(hashBytes("gadt"), hashBytes("gadt"));
+  EXPECT_NE(hashBytes("gadt"), hashBytes("gadT"));
+  EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+  EXPECT_EQ(hashHex(0).size(), 16u);
+  EXPECT_EQ(hashHex(0xabcULL), "0000000000000abc");
+}
+
+} // namespace

@@ -342,4 +342,48 @@ TEST(DynamicSliceTest, WithoutTrackingOnlyCriterionRemains) {
   EXPECT_EQ(Kept.size(), 1u);
 }
 
+//===----------------------------------------------------------------------===//
+// dynamicSlice edge cases (hand-built trees)
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<ExecNode> syntheticNode(uint32_t Id, const std::string &Name) {
+  UnitStart S;
+  S.NodeId = Id;
+  S.Name = Name;
+  return std::make_unique<ExecNode>(Id, std::move(S));
+}
+
+TEST(DynamicSliceTest, NullCriterionYieldsEmptySlice) {
+  EXPECT_TRUE(dynamicSlice(nullptr, "y").empty());
+}
+
+TEST(DynamicSliceTest, UnknownOutputNameKeepsOnlyCriterion) {
+  auto Root = syntheticNode(1, "root");
+  Root->addChild(syntheticNode(2, "child"));
+  Value V = Value::makeInt(7);
+  V.deps().insert(2);
+  Root->setBindings({}, {{"y", V}});
+  auto Kept = dynamicSlice(Root.get(), "nosuch");
+  EXPECT_EQ(Kept, (std::set<uint32_t>{1}));
+}
+
+TEST(DynamicSliceTest, IntermediateKeptViaMarkedDescendant) {
+  // root(1) -> mid(2) -> leaf(3), plus an irrelevant sibling other(4).
+  // The output depends only on leaf; mid must be retained purely because a
+  // descendant is marked (the ancestry-closure path in markRelevant), and
+  // other must not.
+  auto Root = syntheticNode(1, "root");
+  ExecNode *Mid = Root->addChild(syntheticNode(2, "mid"));
+  Mid->addChild(syntheticNode(3, "leaf"));
+  Root->addChild(syntheticNode(4, "other"));
+
+  Value V = Value::makeInt(42);
+  V.deps().insert(3);
+  Root->setBindings({}, {{"y", V}});
+
+  auto Kept = dynamicSlice(Root.get(), "y");
+  EXPECT_EQ(Kept, (std::set<uint32_t>{1, 2, 3}));
+  EXPECT_FALSE(Kept.count(4)) << "irrelevant sibling must be sliced away";
+}
+
 } // namespace
