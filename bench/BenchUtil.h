@@ -57,6 +57,9 @@ public:
     return Passed == Total ? 0 : 1;
   }
 
+  unsigned passed() const { return Passed; }
+  unsigned total() const { return Total; }
+
 private:
   unsigned Total = 0;
   unsigned Passed = 0;

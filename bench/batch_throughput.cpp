@@ -18,11 +18,13 @@
 #include "BenchUtil.h"
 
 #include "runtime/BatchRunner.h"
+#include "support/JSON.h"
 #include "workload/PaperPrograms.h"
 #include "workload/Synthetic.h"
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <vector>
 
@@ -70,9 +72,59 @@ double secondsOf(std::chrono::steady_clock::time_point T0,
   return std::chrono::duration<double>(T1 - T0).count();
 }
 
+/// One measured row of the throughput table, kept for --json export.
+struct Row {
+  unsigned Threads = 0;
+  double ColdRate = 0, WarmRate = 0;
+  RuntimeStats Warm;
+};
+
+void writeJson(const std::string &Path, unsigned NumSessions,
+               const std::vector<Row> &Rows, const Expectations &E) {
+  std::string Buf;
+  json::Writer W(Buf);
+  W.beginObject();
+  W.key("bench").value("batch_throughput");
+  W.key("schema").value(1);
+  W.key("sessions").value(NumSessions);
+  W.key("hardware_threads").value(std::thread::hardware_concurrency());
+  W.key("results").beginArray();
+  for (const Row &R : Rows) {
+    W.beginObject();
+    W.key("threads").value(R.Threads);
+    W.key("cold_sessions_per_sec").value(R.ColdRate);
+    W.key("warm_sessions_per_sec").value(R.WarmRate);
+    W.key("cache_misses").beginObject();
+    W.key("program").value(R.Warm.ProgramMisses);
+    W.key("transform").value(R.Warm.TransformMisses);
+    W.key("sdg").value(R.Warm.SdgMisses);
+    W.key("slice").value(R.Warm.SliceMisses);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.key("checks").beginObject();
+  W.key("passed").value(E.passed());
+  W.key("total").value(E.total());
+  W.endObject();
+  W.endObject();
+  std::ofstream Out(Path);
+  Out << Buf << "\n";
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::string_view(argv[I]) == "--json" && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
   const unsigned NumSessions = 54;
   std::vector<SessionRequest> Reqs = makeWorkload(NumSessions);
   Expectations E;
@@ -96,6 +148,7 @@ int main() {
   }
 
   double Cold1 = 0, Cold4 = 0;
+  std::vector<Row> Rows;
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
     auto Ctx = std::make_shared<RuntimeContext>();
     BatchRunner Runner(Ctx, {Threads});
@@ -114,6 +167,7 @@ int main() {
     double WarmRate = NumSessions / secondsOf(T2, T3);
     std::printf("%8u %14.1f %14.1f %11.2fx\n", Threads, ColdRate, WarmRate,
                 WarmRate / ColdRate);
+    Rows.push_back({Threads, ColdRate, WarmRate, AfterWarm});
 
     E.expect(summaries(Cold) == Reference,
              std::to_string(Threads) +
@@ -146,5 +200,8 @@ int main() {
                 std::thread::hardware_concurrency(), Cold4 / Cold1);
   }
 
-  return E.finish("batch_throughput");
+  int Exit = E.finish("batch_throughput");
+  if (!JsonPath.empty())
+    writeJson(JsonPath, NumSessions, Rows, E);
+  return Exit;
 }

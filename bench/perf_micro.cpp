@@ -13,6 +13,7 @@
 #include "interp/Interpreter.h"
 #include "pascal/Frontend.h"
 #include "slicing/StaticSlicer.h"
+#include "support/JSON.h"
 #include "tgen/FrameGen.h"
 #include "tgen/SpecParser.h"
 #include "trace/ExecTreeBuilder.h"
@@ -22,6 +23,9 @@
 #include "workload/Synthetic.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <unistd.h>
 
 using namespace gadt;
 
@@ -160,6 +164,80 @@ void BM_RunArrsumTestSuite(benchmark::State &State) {
 }
 BENCHMARK(BM_RunArrsumTestSuite);
 
+/// The stock console reporter, additionally collecting every per-iteration
+/// run so main() can export them as machine-readable JSON.
+class CollectingReporter : public benchmark::ConsoleReporter {
+public:
+  // Match BENCHMARK_MAIN's behaviour of dropping colour codes when stdout
+  // is not a terminal (pipes, CI logs, grep).
+  CollectingReporter()
+      : benchmark::ConsoleReporter(isatty(fileno(stdout))
+                                       ? OO_ColorTabular
+                                       : OO_Tabular) {}
+
+  struct Result {
+    std::string Name;
+    double RealNanos = 0, CpuNanos = 0;
+    uint64_t Iterations = 0;
+  };
+  std::vector<Result> Results;
+
+  void ReportRuns(const std::vector<Run> &Reports) override {
+    for (const Run &R : Reports) {
+      if (R.run_type != Run::RT_Iteration || R.error_occurred)
+        continue;
+      Results.push_back({R.benchmark_name(), R.GetAdjustedRealTime(),
+                         R.GetAdjustedCPUTime(),
+                         static_cast<uint64_t>(R.iterations)});
+    }
+    benchmark::ConsoleReporter::ReportRuns(Reports);
+  }
+};
+
+void writeJson(const std::string &Path,
+               const std::vector<CollectingReporter::Result> &Results) {
+  std::string Buf;
+  json::Writer W(Buf);
+  W.beginObject();
+  W.key("bench").value("perf_micro");
+  W.key("schema").value(1);
+  W.key("results").beginArray();
+  for (const auto &R : Results) {
+    W.beginObject();
+    W.key("name").value(R.Name);
+    W.key("real_ns").value(R.RealNanos);
+    W.key("cpu_ns").value(R.CpuNanos);
+    W.key("iterations").value(R.Iterations);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  std::ofstream Out(Path);
+  Out << Buf << "\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Peel off our own --json <path> before google-benchmark sees the
+  // command line (it rejects flags it does not know).
+  std::string JsonPath;
+  std::vector<char *> Args;
+  for (int I = 0; I < argc; ++I) {
+    if (std::string_view(argv[I]) == "--json" && I + 1 < argc) {
+      JsonPath = argv[++I];
+      continue;
+    }
+    Args.push_back(argv[I]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  CollectingReporter Reporter;
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Reporter.Results);
+  benchmark::Shutdown();
+  return 0;
+}

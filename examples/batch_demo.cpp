@@ -9,13 +9,23 @@
 //
 //   $ ./batch_demo
 //
+// Set GADT_TRACE to watch the run in a trace viewer (README,
+// "Observability"): every parse, transform, SDG build, cache lookup,
+// oracle judgement and session is recorded as a span and flushed as JSONL
+// at exit.
+//
+//   $ GADT_TRACE=batch.trace.jsonl ./batch_demo
+//
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "runtime/BatchRunner.h"
 #include "workload/PaperPrograms.h"
 #include "workload/Synthetic.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace gadt;
 using namespace gadt::runtime;
@@ -60,5 +70,17 @@ int main() {
   Runner.run(Requests);
   std::printf("after a warm batch over the same fleet:\n  %s\n",
               Ctx->stats().str().c_str());
+
+  // The same numbers (and more: per-phase counters, session wall-time and
+  // queue-wait histograms) live in the unified metrics registry.
+  std::printf("\nmetrics registry snapshot:\n%s",
+              obs::Registry::global().str().c_str());
+
+  if (const char *TracePath = std::getenv("GADT_TRACE"))
+    std::printf("\ntracing: %llu events will be flushed to %s "
+                "(load in chrome://tracing or Perfetto)\n",
+                static_cast<unsigned long long>(
+                    obs::Tracer::global().eventCount()),
+                TracePath);
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include "analysis/SDG.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -119,12 +121,25 @@ void SDG::addEdge(SDGNode *From, SDGNode *To, SDGEdgeKind K) {
 SDG::SDG(const Program &P)
     : CG(std::make_unique<CallGraph>(P)),
       SEA(std::make_unique<SideEffectAnalysis>(P, *CG)) {
+  obs::Span Span("sdg", "analysis");
   for (const RoutineDecl *R : CG->routines())
     CFGs[R] = std::make_unique<CFG>(R, *SEA);
   for (const RoutineDecl *R : CG->routines())
     buildRoutine(R);
   buildCallLinkage();
   computeSummaryEdges();
+  Span.arg("routines", CG->routines().size());
+  Span.arg("nodes", Nodes.size());
+  Span.arg("edges", NumEdges);
+  static obs::Counter &Builds =
+      obs::Registry::global().counter("analysis.sdg.builds");
+  static obs::Counter &NodeC =
+      obs::Registry::global().counter("analysis.sdg.nodes");
+  static obs::Counter &EdgeC =
+      obs::Registry::global().counter("analysis.sdg.edges");
+  Builds.add();
+  NodeC.add(Nodes.size());
+  EdgeC.add(NumEdges);
 }
 
 static int paramIndexIn(const RoutineDecl *R, const VarDecl *V) {

@@ -2,6 +2,7 @@
 
 #include "core/Debugger.h"
 
+#include "obs/Trace.h"
 #include "slicing/DynamicSlicer.h"
 #include "slicing/StaticSlicer.h"
 #include "slicing/TreePruner.h"
@@ -49,6 +50,28 @@ AlgorithmicDebugger::AlgorithmicDebugger(ExecTree &Tree, Oracle &O,
   Tree.forEachNode([this](ExecNode *N) { Active.insert(N->getId()); });
 }
 
+/// One telemetry event per oracle exchange: who answered, what the verdict
+/// was, and whether the memo short-circuited the oracle.
+static void emitJudgementEvent(const trace::ExecNode &N, const Judgement &J,
+                               bool FromMemo) {
+  if (!obs::enabled())
+    return;
+  const char *Verdict = J.A == Answer::Correct     ? "correct"
+                        : J.A == Answer::Incorrect ? "incorrect"
+                                                   : "dont_know";
+  std::vector<obs::TraceArg> Args;
+  Args.push_back({"unit", N.getName(), /*Quote=*/true});
+  Args.push_back({"source",
+                  FromMemo ? std::string("memo")
+                           : (J.Source.empty() ? std::string("unknown")
+                                               : J.Source),
+                  /*Quote=*/true});
+  Args.push_back({"verdict", Verdict, /*Quote=*/true});
+  if (!J.WrongOutput.empty())
+    Args.push_back({"wrong_output", J.WrongOutput, /*Quote=*/true});
+  obs::Tracer::global().instant("judgement", "debug", std::move(Args));
+}
+
 Judgement AlgorithmicDebugger::ask(const ExecNode &N) {
   // Identical unit behaviour needs only one verdict: key the memo by the
   // full dialogue signature (name, inputs, outputs).
@@ -59,6 +82,7 @@ Judgement AlgorithmicDebugger::ask(const ExecNode &N) {
       ++Stats.MemoHits;
       Stats.Dialogue.push_back({Key, It->second.A, It->second.WrongOutput,
                                 It->second.Source, /*FromMemo=*/true});
+      emitJudgementEvent(N, It->second, /*FromMemo=*/true);
       return It->second;
     }
   }
@@ -70,6 +94,7 @@ Judgement AlgorithmicDebugger::ask(const ExecNode &N) {
     ++Stats.AnswersBySource[J.Source.empty() ? "unknown" : J.Source];
   Stats.Dialogue.push_back(
       {Key, J.A, J.WrongOutput, J.Source, /*FromMemo=*/false});
+  emitJudgementEvent(N, J, /*FromMemo=*/false);
   if (J.A == Answer::Incorrect && !J.WrongOutput.empty())
     WrongOutputOf[&N] = J.WrongOutput;
   if (Opts.MemoizeJudgements && J.A != Answer::DontKnow)

@@ -2,6 +2,7 @@
 
 #include "core/GADT.h"
 
+#include "obs/Trace.h"
 #include "trace/ExecTreeBuilder.h"
 
 using namespace gadt;
@@ -87,7 +88,30 @@ BugReport GADTSession::debug(Oracle &UserOracle, std::vector<int64_t> Input) {
     Debugger.setSDG(G);
   if (Artifacts && Artifacts->Slices)
     Debugger.setSliceProvider(Artifacts->Slices);
-  BugReport Report = Debugger.run();
-  LastStats = Debugger.stats();
+  BugReport Report;
+  {
+    obs::Span Span("debug", "debug");
+    Report = Debugger.run();
+    LastStats = Debugger.stats();
+    Span.arg("found", Report.Found);
+    if (Report.Found)
+      Span.arg("unit", Report.UnitName);
+    Span.arg("judgements", LastStats.Judgements);
+    Span.arg("memo_hits", LastStats.MemoHits);
+    Span.arg("nodes_pruned", LastStats.NodesPruned);
+  }
+
+  // Route the session's interaction accounting — the paper's figure of
+  // merit — into the unified registry. The SessionStats struct remains the
+  // per-run API; these counters are the cross-session totals.
+  Metrics->counter("debug.sessions").add();
+  Metrics->counter("debug.queries.total").add(LastStats.Judgements);
+  Metrics->counter("debug.queries.unanswered").add(LastStats.Unanswered);
+  for (const auto &[Source, N] : LastStats.AnswersBySource)
+    Metrics->counter("debug.queries." + Source).add(N);
+  Metrics->counter("debug.memo.hits").add(LastStats.MemoHits);
+  Metrics->counter("debug.slicing.activations")
+      .add(LastStats.SlicingActivations);
+  Metrics->counter("debug.slicing.nodes_pruned").add(LastStats.NodesPruned);
   return Report;
 }

@@ -2,6 +2,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "obs/Metrics.h"
 #include "support/Casting.h"
 
 #include <unordered_map>
@@ -1129,7 +1130,20 @@ void Interpreter::setInput(std::vector<int64_t> Input) {
 
 void Interpreter::setListener(TraceListener *L) { P->Listener = L; }
 
-ExecResult Interpreter::run() { return P->run(); }
+ExecResult Interpreter::run() {
+  ExecResult R = P->run();
+  // Per-run execution profile, unified in the central registry. The
+  // references are resolved once; subsequent runs pay three relaxed adds.
+  static obs::Counter &Runs = obs::Registry::global().counter("interp.runs");
+  static obs::Counter &Steps =
+      obs::Registry::global().counter("interp.steps");
+  static obs::Counter &Units =
+      obs::Registry::global().counter("interp.units");
+  Runs.add();
+  Steps.add(R.Steps);
+  Units.add(R.UnitsExecuted);
+  return R;
+}
 
 CallOutcome Interpreter::callRoutine(const std::string &Name,
                                      std::vector<Value> Args,

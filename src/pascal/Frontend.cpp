@@ -2,6 +2,8 @@
 
 #include "pascal/Frontend.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "pascal/Parser.h"
 #include "pascal/Sema.h"
 
@@ -10,11 +12,33 @@ using namespace gadt::pascal;
 
 std::unique_ptr<Program> gadt::pascal::parseAndCheck(std::string_view Source,
                                                      DiagnosticsEngine &Diags) {
-  Parser P(Source, Diags);
-  std::unique_ptr<Program> Prog = P.parseProgram();
-  if (!Prog)
+  // Instrument references are stable for the registry's lifetime, so the
+  // name lookup runs once, not per parse.
+  static obs::Counter &Parses =
+      obs::Registry::global().counter("frontend.parses");
+  static obs::Counter &Errors =
+      obs::Registry::global().counter("frontend.errors");
+  Parses.add();
+  std::unique_ptr<Program> Prog;
+  {
+    obs::Span S("parse", "frontend");
+    S.arg("bytes", Source.size());
+    Parser P(Source, Diags);
+    Prog = P.parseProgram();
+    S.arg("ok", Prog != nullptr);
+  }
+  if (!Prog) {
+    Errors.add();
     return nullptr;
-  if (!analyze(*Prog, Diags))
-    return nullptr;
+  }
+  {
+    obs::Span S("sema", "frontend");
+    if (!analyze(*Prog, Diags)) {
+      S.arg("ok", false);
+      Errors.add();
+      return nullptr;
+    }
+    S.arg("ok", true);
+  }
   return Prog;
 }

@@ -3,6 +3,7 @@
 #include "runtime/BatchRunner.h"
 
 #include "core/ReferenceOracle.h"
+#include "obs/Trace.h"
 #include "support/Hashing.h"
 
 #include <atomic>
@@ -30,22 +31,39 @@ std::string SessionResult::summary() const {
 
 SessionResult gadt::runtime::runSession(RuntimeContext &Ctx,
                                         const SessionRequest &Req) {
+  // Wall time is measured through the tracer clock so the histogram and
+  // the trace span agree; the clock read costs nothing extra when tracing
+  // is off.
+  uint64_t StartNs = obs::Tracer::global().nowNanos();
+  obs::Span Span("session", "runtime");
   SessionResult Res;
   DiagnosticsEngine Diags;
+
+  auto Finish = [&](SessionResult R) {
+    uint64_t DurNs = obs::Tracer::global().nowNanos() - StartNs;
+    obs::Registry &Reg = Ctx.metrics();
+    Reg.counter("runtime.sessions").add();
+    Reg.histogram("runtime.session.micros").observe(DurNs / 1000);
+    Span.arg("fp", hashHex(R.Fingerprint));
+    Span.arg("prepared", R.Prepared);
+    Span.arg("found", R.Found);
+    return R;
+  };
 
   std::shared_ptr<const SessionArtifacts> Artifacts =
       Ctx.prepare(Req.Source, Req.Opts, Diags);
   if (!Artifacts) {
     Res.Message = Diags.str();
-    return Res;
+    return Finish(std::move(Res));
   }
   Res.Fingerprint = Artifacts->Fingerprint;
 
   GADTSession Session(Artifacts, Req.Opts, Diags);
   if (!Session.valid()) {
     Res.Message = Diags.str();
-    return Res;
+    return Finish(std::move(Res));
   }
+  Session.setMetricsRegistry(&Ctx.metrics());
 
   // Build this session's private oracle (oracles are stateful; the
   // intended *program* parse is shared through the context).
@@ -57,13 +75,13 @@ SessionResult gadt::runtime::runSession(RuntimeContext &Ctx,
     IntendedProg = Ctx.internProgram(Req.Intended, Diags);
     if (!IntendedProg) {
       Res.Message = Diags.str();
-      return Res;
+      return Finish(std::move(Res));
     }
     Private = std::make_unique<IntendedProgramOracle>(*IntendedProg);
   }
   if (!Private) {
     Res.Message = "batch runtime: request provides no oracle";
-    return Res;
+    return Finish(std::move(Res));
   }
   Res.Prepared = true;
 
@@ -73,7 +91,7 @@ SessionResult gadt::runtime::runSession(RuntimeContext &Ctx,
   Res.WrongOutput = Report.WrongOutput;
   Res.Message = Report.Message;
   Res.Stats = Session.stats();
-  return Res;
+  return Finish(std::move(Res));
 }
 
 struct BatchRunner::Batch {
@@ -129,13 +147,25 @@ BatchRunner::run(const std::vector<SessionRequest> &Requests) {
   State->Remaining = Requests.size();
   {
     std::lock_guard<std::mutex> Lock(M);
-    for (size_t I = 0; I < Requests.size(); ++I)
-      Queue.push_back([this, State, &Requests, &Results, I] {
+    for (size_t I = 0; I < Requests.size(); ++I) {
+      uint64_t EnqueuedNs = obs::Tracer::global().nowNanos();
+      Queue.push_back([this, State, &Requests, &Results, I, EnqueuedNs] {
+        // Time between enqueue and a worker picking the job up: the
+        // batch's queueing delay, visible per job in the trace and as a
+        // histogram in the context's registry.
+        uint64_t WaitNs = obs::Tracer::global().nowNanos() - EnqueuedNs;
+        Ctx->metrics()
+            .histogram("runtime.queue_wait.micros")
+            .observe(WaitNs / 1000);
+        if (obs::enabled())
+          obs::Tracer::global().completeEvent("queue.wait", "runtime",
+                                              EnqueuedNs, WaitNs);
         Results[I] = runSession(*Ctx, Requests[I]);
         std::lock_guard<std::mutex> BatchLock(State->M);
         if (--State->Remaining == 0)
           State->Done.notify_all();
       });
+    }
   }
   WorkReady.notify_all();
 

@@ -2,6 +2,7 @@
 
 #include "runtime/RuntimeContext.h"
 
+#include "obs/Trace.h"
 #include "pascal/Frontend.h"
 #include "slicing/StaticSlicer.h"
 #include "support/Hashing.h"
@@ -29,15 +30,37 @@ struct RuntimeContext::ProgramEntry {
   std::string Errors;
 };
 
-RuntimeContext::RuntimeContext() = default;
+RuntimeContext::RuntimeContext(obs::Registry *Metrics)
+    : Reg(Metrics ? *Metrics : obs::Registry::global()),
+      ProgramC{Reg.counter("runtime.cache.program.hits"),
+               Reg.counter("runtime.cache.program.misses")},
+      TransformC{Reg.counter("runtime.cache.transform.hits"),
+                 Reg.counter("runtime.cache.transform.misses")},
+      SdgC{Reg.counter("runtime.cache.sdg.hits"),
+           Reg.counter("runtime.cache.sdg.misses")},
+      SliceC{Reg.counter("runtime.cache.slice.hits"),
+             Reg.counter("runtime.cache.slice.misses")} {}
+
 RuntimeContext::~RuntimeContext() = default;
+
+namespace {
+/// Forwards one lookup outcome to the registry and the active trace span.
+template <typename Counters>
+void noteLookup(Counters &C, obs::Span &Span, bool WasMiss) {
+  (WasMiss ? C.Misses : C.Hits).add();
+  Span.arg("hit", !WasMiss);
+}
+} // namespace
 
 std::shared_ptr<const pascal::Program>
 RuntimeContext::internProgram(const std::string &Source,
                               DiagnosticsEngine &Diags) {
   uint64_t SourceHash = hashBytes(Source);
+  obs::Span Span("cache.program", "cache");
+  bool WasMiss = false;
   std::shared_ptr<const ProgramEntry> E = Programs.getOrBuild(
-      SourceHash, [&]() -> std::shared_ptr<const ProgramEntry> {
+      SourceHash,
+      [&]() -> std::shared_ptr<const ProgramEntry> {
         auto Entry = std::make_shared<ProgramEntry>();
         DiagnosticsEngine Local;
         Entry->Program = pascal::parseAndCheck(Source, Local);
@@ -46,7 +69,9 @@ RuntimeContext::internProgram(const std::string &Source,
         else
           Entry->Errors = Local.str();
         return Entry;
-      });
+      },
+      &WasMiss);
+  noteLookup(ProgramC, Span, WasMiss);
   if (!E->Program)
     Diags.error(SourceLoc(), "batch runtime: cached parse failure: " +
                                  E->Errors);
@@ -68,8 +93,11 @@ RuntimeContext::prepare(const std::string &Source,
   Artifacts->Subject = Subject;
 
   if (Opts.Transform) {
+    obs::Span Span("cache.transform", "cache");
+    bool WasMiss = false;
     std::shared_ptr<const TransformEntry> X = Transforms.getOrBuild(
-        Fingerprint, [&]() -> std::shared_ptr<const TransformEntry> {
+        Fingerprint,
+        [&]() -> std::shared_ptr<const TransformEntry> {
           auto Entry = std::make_shared<TransformEntry>();
           Entry->Original = Subject;
           DiagnosticsEngine Local;
@@ -82,7 +110,10 @@ RuntimeContext::prepare(const std::string &Source,
             Entry->Errors = Local.str();
           }
           return Entry;
-        });
+        },
+        &WasMiss);
+    noteLookup(TransformC, Span, WasMiss);
+    Reg.gauge("runtime.subjects").set(static_cast<int64_t>(Transforms.size()));
     if (!X->Transformed) {
       Diags.error(SourceLoc(), "batch runtime: cached transform failure: " +
                                    X->Errors);
@@ -100,14 +131,19 @@ RuntimeContext::prepare(const std::string &Source,
     std::pair<uint64_t, bool> SdgKey{Fingerprint, Opts.Transform};
     std::shared_ptr<const pascal::Program> Prepared = Artifacts->Prepared;
     std::shared_ptr<const pascal::Program> Pin = Artifacts->Subject;
+    obs::Span Span("cache.sdg", "cache");
+    bool WasMiss = false;
     std::shared_ptr<const SdgEntry> G = Sdgs.getOrBuild(
-        SdgKey, [&]() -> std::shared_ptr<const SdgEntry> {
+        SdgKey,
+        [&]() -> std::shared_ptr<const SdgEntry> {
           auto Entry = std::make_shared<SdgEntry>();
           Entry->Prepared = Prepared;
           Entry->OriginalPin = Pin;
           Entry->Graph = std::make_unique<const analysis::SDG>(*Prepared);
           return Entry;
-        });
+        },
+        &WasMiss);
+    noteLookup(SdgC, Span, WasMiss);
     // Alias the SDG's lifetime to its cache entry, and debug the exact
     // program object the graph was built over — textual variants of one
     // fingerprint intern as distinct ASTs, but slices resolve by pointer.
@@ -127,11 +163,17 @@ RuntimeContext::prepare(const std::string &Source,
       if (!R)
         return nullptr;
       SliceKey Key{Fingerprint, Transformed, R->getName(), Out};
-      return Slices.getOrBuild(
-          Key, [&]() -> std::shared_ptr<const slicing::StaticSlice> {
+      obs::Span Span("cache.slice", "cache");
+      bool WasMiss = false;
+      std::shared_ptr<const slicing::StaticSlice> S = Slices.getOrBuild(
+          Key,
+          [&]() -> std::shared_ptr<const slicing::StaticSlice> {
             return std::make_shared<const slicing::StaticSlice>(
                 slicing::sliceOnRoutineOutput(*Sdg, R, Out));
-          });
+          },
+          &WasMiss);
+      noteLookup(SliceC, Span, WasMiss);
+      return S;
     };
   }
   return Artifacts;

@@ -32,6 +32,7 @@
 #define GADT_RUNTIME_RUNTIMECONTEXT_H
 
 #include "core/GADT.h"
+#include "obs/Metrics.h"
 #include "support/OnceCache.h"
 
 #include <memory>
@@ -73,7 +74,11 @@ struct SdgEntry {
 /// The shared cache layer. Thread-safe; see file comment.
 class RuntimeContext {
 public:
-  RuntimeContext();
+  /// \p Metrics receives this context's telemetry — cache hit/miss
+  /// counters (`runtime.cache.*`), session accounting and wall-time
+  /// histograms. Defaults to the process-wide registry; tests pass a
+  /// private one for exact accounting. Must outlive the context.
+  explicit RuntimeContext(obs::Registry *Metrics = nullptr);
   ~RuntimeContext();
 
   RuntimeContext(const RuntimeContext &) = delete;
@@ -96,6 +101,9 @@ public:
 
   RuntimeStats stats() const;
 
+  /// The registry this context reports into (see the constructor).
+  obs::Registry &metrics() { return Reg; }
+
 private:
   struct ProgramEntry;
 
@@ -107,6 +115,15 @@ private:
   OnceCache<uint64_t, TransformEntry> Transforms;    // by program fingerprint
   OnceCache<std::pair<uint64_t, bool>, SdgEntry> Sdgs;
   OnceCache<SliceKey, slicing::StaticSlice> Slices;
+
+  obs::Registry &Reg;
+  /// `runtime.cache.<cache>.{hits,misses}`, resolved once at construction.
+  /// Kept exactly in sync with the OnceCache counters above (every
+  /// getOrBuild bumps both); tests/ObsTest.cpp asserts the equality.
+  struct CacheCounters {
+    obs::Counter &Hits, &Misses;
+  };
+  CacheCounters ProgramC, TransformC, SdgC, SliceC;
 };
 
 } // namespace runtime

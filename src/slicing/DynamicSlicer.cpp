@@ -2,6 +2,9 @@
 
 #include "slicing/DynamicSlicer.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 using namespace gadt;
 using namespace gadt::slicing;
 using namespace gadt::trace;
@@ -25,14 +28,27 @@ bool markRelevant(const ExecNode *N, const interp::DepSet &Deps,
 
 std::set<uint32_t> gadt::slicing::dynamicSlice(const ExecNode *Criterion,
                                                const std::string &OutputName) {
+  obs::Span Span("slice", "slicing");
+  if (Span.active()) {
+    Span.arg("kind", "dynamic");
+    Span.arg("criterion", Criterion ? Criterion->getName()
+                                    : std::string("<null>"));
+    Span.arg("output", OutputName);
+  }
   std::set<uint32_t> Kept;
   if (!Criterion)
     return Kept;
   Kept.insert(Criterion->getId());
   const interp::Binding *B = Criterion->findOutput(OutputName);
-  if (!B)
-    return Kept;
-  for (const auto &C : Criterion->getChildren())
-    markRelevant(C.get(), B->V.deps(), Kept);
+  if (B)
+    for (const auto &C : Criterion->getChildren())
+      markRelevant(C.get(), B->V.deps(), Kept);
+  Span.arg("kept", Kept.size());
+  static obs::Counter &Slices =
+      obs::Registry::global().counter("slicing.dynamic.slices");
+  static obs::Counter &KeptC =
+      obs::Registry::global().counter("slicing.dynamic.kept");
+  Slices.add();
+  KeptC.add(Kept.size());
   return Kept;
 }

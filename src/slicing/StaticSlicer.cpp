@@ -3,6 +3,8 @@
 #include "slicing/StaticSlicer.h"
 
 #include "analysis/Dataflow.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <deque>
 
@@ -72,18 +74,45 @@ StaticSlice gadt::slicing::backwardSlice(
 StaticSlice gadt::slicing::sliceOnRoutineOutput(const SDG &G,
                                                 const RoutineDecl *R,
                                                 const std::string &VarName) {
+  obs::Span Span("slice", "slicing");
+  if (Span.active()) {
+    Span.arg("kind", "static");
+    Span.arg("routine", R ? R->getName() : std::string("<null>"));
+    Span.arg("output", VarName);
+  }
   const SDGNode *Criterion = G.formalOut(R, VarName);
   if (!Criterion && R->isFunction() && VarName == R->getName())
     Criterion = G.formalOutResult(R);
   if (!Criterion)
     return StaticSlice();
-  return backwardSlice(G, {Criterion});
+  StaticSlice S = backwardSlice(G, {Criterion});
+  Span.arg("nodes", S.size());
+  static obs::Counter &Slices =
+      obs::Registry::global().counter("slicing.static.slices");
+  static obs::Counter &Nodes =
+      obs::Registry::global().counter("slicing.static.nodes");
+  Slices.add();
+  Nodes.add(S.size());
+  return S;
 }
 
 StaticSlice gadt::slicing::sliceOnProgramVar(const SDG &G, const Program &P,
                                              const std::string &VarName) {
+  obs::Span Span("slice", "slicing");
+  if (Span.active()) {
+    Span.arg("kind", "static");
+    Span.arg("output", VarName);
+  }
   const SDGNode *Criterion = G.formalOut(P.getMain(), VarName);
   if (!Criterion)
     return StaticSlice();
-  return backwardSlice(G, {Criterion});
+  StaticSlice S = backwardSlice(G, {Criterion});
+  Span.arg("nodes", S.size());
+  static obs::Counter &Slices =
+      obs::Registry::global().counter("slicing.static.slices");
+  static obs::Counter &Nodes =
+      obs::Registry::global().counter("slicing.static.nodes");
+  Slices.add();
+  Nodes.add(S.size());
+  return S;
 }

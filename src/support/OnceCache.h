@@ -39,8 +39,12 @@ public:
   using Builder = std::function<std::shared_ptr<const T>()>;
 
   /// Returns the value for \p K, invoking \p Build to create it if this is
-  /// the first request. Thread-safe.
-  std::shared_ptr<const T> getOrBuild(const Key &K, const Builder &Build) {
+  /// the first request. Thread-safe. When \p WasMiss is non-null it is set
+  /// to whether *this* call ran the builder — the per-call view of the
+  /// aggregate hit/miss counters, for callers that forward the outcome to
+  /// telemetry.
+  std::shared_ptr<const T> getOrBuild(const Key &K, const Builder &Build,
+                                      bool *WasMiss = nullptr) {
     std::shared_ptr<Slot> S;
     {
       std::lock_guard<std::mutex> Lock(M);
@@ -62,6 +66,8 @@ public:
       Misses.fetch_add(1, std::memory_order_relaxed);
     else
       Hits.fetch_add(1, std::memory_order_relaxed);
+    if (WasMiss)
+      *WasMiss = Built;
     return S->V;
   }
 

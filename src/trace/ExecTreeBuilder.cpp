@@ -2,6 +2,8 @@
 
 #include "trace/ExecTreeBuilder.h"
 
+#include "obs/Trace.h"
+
 #include <cassert>
 
 using namespace gadt;
@@ -48,11 +50,16 @@ std::unique_ptr<ExecTree> ExecTreeBuilder::takeTree() {
 std::unique_ptr<ExecTree>
 gadt::trace::buildExecTree(const pascal::Program &P, InterpOptions Opts,
                            std::vector<int64_t> Input, ExecResult *Result) {
+  obs::Span Span("exectree", "trace");
+  Span.arg("track_deps", Opts.TrackDeps);
   Interpreter Interp(P, Opts);
   Interp.setInput(std::move(Input));
   ExecTreeBuilder Builder;
   Interp.setListener(&Builder);
   ExecResult Res = Interp.run();
+  Span.arg("steps", Res.Steps);
+  Span.arg("units", Res.UnitsExecuted);
+  Span.arg("ok", Res.Ok);
   if (Result)
     *Result = Res;
   return Builder.takeTree();

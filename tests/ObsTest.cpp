@@ -1,0 +1,488 @@
+//===- ObsTest.cpp - Observability layer tests ----------------------------===//
+//
+// The contract of src/obs and its wiring into the pipeline:
+//  - the JSON writer and parser round-trip (the trace exporter, metric
+//    snapshots and bench --json all ride on them);
+//  - spans nest, order and annotate correctly in the exported JSONL;
+//  - disabled tracing emits nothing and allocates nothing on the hot path;
+//  - the metrics registry counts exactly, and its totals equal the sums of
+//    the per-session/per-context stats structs (no drift);
+//  - a traced BatchRunner run covers every pipeline phase and every line
+//    of its export is independently parseable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#include "runtime/BatchRunner.h"
+#include "support/JSON.h"
+#include "workload/PaperPrograms.h"
+#include "workload/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <new>
+#include <set>
+#include <sstream>
+
+using namespace gadt;
+using namespace gadt::core;
+using namespace gadt::runtime;
+using namespace gadt::workload;
+
+//===----------------------------------------------------------------------===//
+// Allocation accounting for the disabled-hot-path test. Sanitizers replace
+// operator new themselves, so the check only runs in plain builds.
+//===----------------------------------------------------------------------===//
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GADT_OBS_NO_ALLOC_CHECK 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) ||     \
+    __has_feature(memory_sanitizer)
+#define GADT_OBS_NO_ALLOC_CHECK 1
+#endif
+#endif
+
+#ifndef GADT_OBS_NO_ALLOC_CHECK
+// The replacement operator new allocates with malloc, so the frees below
+// are matched; GCC's pairing heuristic cannot see that.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+static std::atomic<uint64_t> GAllocCount{0};
+
+void *operator new(std::size_t N) {
+  GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(N ? N : 1))
+    return P;
+  throw std::bad_alloc();
+}
+void *operator new[](std::size_t N) { return ::operator new(N); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
+#endif
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// JSON writer / parser round-trip
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, WriterParserRoundTrip) {
+  std::string Buf;
+  json::Writer W(Buf);
+  W.beginObject();
+  W.key("s").value("a \"quoted\"\nline\twith\\slashes");
+  W.key("i").value(int64_t(-42));
+  W.key("u").value(uint64_t(18446744073709551615ull));
+  W.key("d").value(1.5);
+  W.key("b").value(true);
+  W.key("n").null();
+  W.key("arr").beginArray().value(1).value(2).value(3).endArray();
+  W.key("obj").beginObject().key("k").value("v").endObject();
+  W.endObject();
+
+  std::optional<json::Value> V = json::parse(Buf);
+  ASSERT_TRUE(V.has_value()) << Buf;
+  EXPECT_EQ(V->getString("s"), "a \"quoted\"\nline\twith\\slashes");
+  EXPECT_EQ(V->getNumber("i"), -42.0);
+  EXPECT_EQ(V->getNumber("d"), 1.5);
+  EXPECT_TRUE(V->getBool("b"));
+  ASSERT_NE(V->find("n"), nullptr);
+  EXPECT_TRUE(V->find("n")->isNull());
+  ASSERT_NE(V->find("arr"), nullptr);
+  ASSERT_EQ(V->find("arr")->Arr.size(), 3u);
+  EXPECT_EQ(V->find("arr")->Arr[1].Num, 2.0);
+  ASSERT_NE(V->find("obj"), nullptr);
+  EXPECT_EQ(V->find("obj")->getString("k"), "v");
+}
+
+TEST(JsonTest, ControlCharactersEscapeAndParseBack) {
+  std::string Raw = "ctrl:\x01\x1f done";
+  std::string Buf;
+  json::Writer W(Buf);
+  W.beginObject().key("k").value(Raw).endObject();
+  std::optional<json::Value> V = json::parse(Buf);
+  ASSERT_TRUE(V.has_value()) << Buf;
+  EXPECT_EQ(V->getString("k"), Raw);
+}
+
+TEST(JsonTest, ParserRejectsMalformed) {
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json::parse("[1,2,]").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(json::parse("{} trailing").has_value());
+  EXPECT_FALSE(json::parse("nul").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics registry semantics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, CountersAndGaugesAreExact) {
+  obs::Registry Reg;
+  obs::Counter &C = Reg.counter("test.counter");
+  for (int I = 0; I < 100; ++I)
+    C.add();
+  C.add(17);
+  EXPECT_EQ(Reg.counterValue("test.counter"), 117u);
+  EXPECT_EQ(Reg.counterValue("never.touched"), 0u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&C, &Reg.counter("test.counter"));
+
+  obs::Gauge &G = Reg.gauge("test.gauge");
+  G.set(5);
+  G.add(-2);
+  EXPECT_EQ(Reg.gaugeValue("test.gauge"), 3);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  obs::Histogram H;
+  EXPECT_EQ(obs::Histogram::bucketOf(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketOf(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucketOf(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucketOf(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucketOf(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucketBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucketBound(3), 7u);
+
+  for (uint64_t V : {0ull, 1ull, 2ull, 3ull, 1000ull})
+    H.observe(V);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_EQ(H.sum(), 1006u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 1000u);
+  EXPECT_EQ(H.bucket(0), 1u); // 0
+  EXPECT_EQ(H.bucket(1), 1u); // 1
+  EXPECT_EQ(H.bucket(2), 2u); // 2, 3
+  EXPECT_EQ(H.bucket(10), 1u); // 1000
+}
+
+TEST(MetricsTest, JsonSnapshotParses) {
+  obs::Registry Reg;
+  Reg.counter("a.b").add(7);
+  Reg.gauge("g").set(-4);
+  Reg.histogram("h.micros").observe(3);
+  std::optional<json::Value> V = json::parse(Reg.jsonSnapshot());
+  ASSERT_TRUE(V.has_value()) << Reg.jsonSnapshot();
+  const json::Value *Counters = V->find("counters");
+  ASSERT_NE(Counters, nullptr);
+  EXPECT_EQ(Counters->getNumber("a.b"), 7.0);
+  const json::Value *Gauges = V->find("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  EXPECT_EQ(Gauges->getNumber("g"), -4.0);
+  const json::Value *Hists = V->find("histograms");
+  ASSERT_NE(Hists, nullptr);
+  const json::Value *H = Hists->find("h.micros");
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(H->getNumber("count"), 1.0);
+  EXPECT_EQ(H->getNumber("sum"), 3.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Span tracing
+//===----------------------------------------------------------------------===//
+
+/// Splits JSONL into parsed objects, failing the test on any bad line.
+std::vector<json::Value> parseLines(const std::string &Jsonl) {
+  std::vector<json::Value> Out;
+  std::istringstream In(Jsonl);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<json::Value> V = json::parse(Line);
+    EXPECT_TRUE(V.has_value()) << "unparseable JSONL line: " << Line;
+    if (V)
+      Out.push_back(std::move(*V));
+  }
+  return Out;
+}
+
+const json::Value *findEvent(const std::vector<json::Value> &Events,
+                             const std::string &Name) {
+  for (const json::Value &E : Events)
+    if (E.getString("name") == Name)
+      return &E;
+  return nullptr;
+}
+
+TEST(TracerTest, SpansNestAndExportOrdered) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.exportJsonl(); // drain anything a previous test buffered
+  T.enable();
+  {
+    obs::Span Outer("outer", "test");
+    Outer.arg("label", "hello world");
+    Outer.arg("n", uint64_t(42));
+    Outer.arg("ok", true);
+    {
+      obs::Span Inner("inner", "test");
+      EXPECT_TRUE(Inner.active());
+    }
+  }
+  obs::instant("mark", "test");
+  T.disable();
+
+  std::vector<json::Value> Events = parseLines(T.exportJsonl());
+  ASSERT_EQ(Events.size(), 3u);
+
+  const json::Value *Outer = findEvent(Events, "outer");
+  const json::Value *Inner = findEvent(Events, "inner");
+  const json::Value *Mark = findEvent(Events, "mark");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_NE(Mark, nullptr);
+
+  EXPECT_EQ(Outer->getString("ph"), "X");
+  EXPECT_EQ(Outer->getString("cat"), "test");
+  EXPECT_EQ(Mark->getString("ph"), "i");
+
+  // The inner span lies within the outer span's interval.
+  double OutT0 = Outer->getNumber("ts");
+  double OutT1 = OutT0 + Outer->getNumber("dur");
+  double InT0 = Inner->getNumber("ts");
+  double InT1 = InT0 + Inner->getNumber("dur");
+  EXPECT_GE(InT0, OutT0);
+  EXPECT_LE(InT1, OutT1);
+
+  // Export is sorted by timestamp.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_GE(Events[I].getNumber("ts"), Events[I - 1].getNumber("ts"));
+
+  // Typed args survive the round trip.
+  const json::Value *Args = Outer->find("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_EQ(Args->getString("label"), "hello world");
+  EXPECT_EQ(Args->getNumber("n"), 42.0);
+  EXPECT_TRUE(Args->getBool("ok"));
+
+  // Drained: a second export is empty.
+  EXPECT_EQ(T.exportJsonl(), "");
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+TEST(TracerTest, DisabledEmitsNothing) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.exportJsonl();
+  ASSERT_FALSE(T.isEnabled());
+  {
+    obs::Span S("ghost", "test");
+    EXPECT_FALSE(S.active());
+    S.arg("k", uint64_t(1));
+  }
+  obs::instant("ghost.mark", "test");
+  EXPECT_EQ(T.eventCount(), 0u);
+  EXPECT_EQ(T.exportJsonl(), "");
+}
+
+TEST(TracerTest, DisabledHotPathDoesNotAllocate) {
+#ifdef GADT_OBS_NO_ALLOC_CHECK
+  GTEST_SKIP() << "allocation accounting is unavailable under sanitizers";
+#else
+  ASSERT_FALSE(obs::enabled());
+  uint64_t Before = GAllocCount.load();
+  for (int I = 0; I < 1000; ++I) {
+    obs::Span S("hot", "test");
+    S.arg("i", uint64_t(I));
+  }
+  uint64_t After = GAllocCount.load();
+  EXPECT_EQ(After, Before) << "disabled spans must not allocate";
+#endif
+}
+
+TEST(TracerTest, FlushWritesJsonlFile) {
+  std::string Path = ::testing::TempDir() + "gadt_obs_flush_test.jsonl";
+  obs::Tracer T; // private instance; spans go to the global one, so record
+                 // events directly
+  T.enableToFile(Path);
+  T.completeEvent("phase", "test", 1000, 2000, {{"k", "v", true}});
+  T.instant("tick", "test");
+  T.flush();
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+  std::vector<json::Value> Events = parseLines(Content);
+  ASSERT_EQ(Events.size(), 2u);
+  const json::Value *Phase = findEvent(Events, "phase");
+  ASSERT_NE(Phase, nullptr);
+  EXPECT_EQ(Phase->getNumber("ts"), 1.0); // 1000 ns == 1 microsecond
+  EXPECT_EQ(Phase->getNumber("dur"), 2.0);
+  EXPECT_NE(findEvent(Events, "tick"), nullptr);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Registry totals == summed per-session structs (no stats drift)
+//===----------------------------------------------------------------------===//
+
+std::vector<SessionRequest> smallWorkload(unsigned N) {
+  std::vector<ProgramPair> Pairs;
+  Pairs.push_back(chainProgram(6, 2));
+  Pairs.push_back(treeProgram(3));
+  Pairs.push_back({Figure4Fixed, Figure4Buggy, "decrement"});
+  std::vector<SessionRequest> Reqs;
+  for (unsigned I = 0; I < N; ++I) {
+    const ProgramPair &P = Pairs[I % Pairs.size()];
+    SessionRequest R;
+    R.Source = P.Buggy;
+    R.Intended = P.Fixed;
+    Reqs.push_back(std::move(R));
+  }
+  return Reqs;
+}
+
+TEST(ObservabilityTest, RegistryTotalsMatchSummedStructs) {
+  obs::Registry Reg;
+  RuntimeContext Ctx(&Reg);
+  std::vector<SessionRequest> Reqs = smallWorkload(9);
+
+  // Two passes: the second is fully warm, so both hit and miss counters
+  // accumulate interesting values.
+  uint64_t Sessions = 0, Judgements = 0, Unanswered = 0, MemoHits = 0;
+  uint64_t Activations = 0, Pruned = 0;
+  std::map<std::string, uint64_t> BySource;
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (const SessionRequest &R : Reqs) {
+      SessionResult Res = runSession(Ctx, R);
+      ASSERT_TRUE(Res.Prepared) << Res.Message;
+      ++Sessions;
+      Judgements += Res.Stats.Judgements;
+      Unanswered += Res.Stats.Unanswered;
+      MemoHits += Res.Stats.MemoHits;
+      Activations += Res.Stats.SlicingActivations;
+      Pruned += Res.Stats.NodesPruned;
+      for (const auto &[Source, N] : Res.Stats.AnswersBySource)
+        BySource[Source] += N;
+    }
+  }
+
+  // Cache counters: registry == the context's own RuntimeStats snapshot.
+  RuntimeStats S = Ctx.stats();
+  EXPECT_EQ(Reg.counterValue("runtime.cache.program.hits"), S.ProgramHits);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.program.misses"),
+            S.ProgramMisses);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.transform.hits"),
+            S.TransformHits);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.transform.misses"),
+            S.TransformMisses);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.sdg.hits"), S.SdgHits);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.sdg.misses"), S.SdgMisses);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.slice.hits"), S.SliceHits);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.slice.misses"), S.SliceMisses);
+  EXPECT_EQ(static_cast<uint64_t>(Reg.gaugeValue("runtime.subjects")),
+            S.Subjects);
+
+  // Session accounting: registry == the sum of every SessionStats.
+  EXPECT_EQ(Reg.counterValue("runtime.sessions"), Sessions);
+  EXPECT_EQ(Reg.histogram("runtime.session.micros").count(), Sessions);
+  EXPECT_EQ(Reg.counterValue("debug.sessions"), Sessions);
+  EXPECT_EQ(Reg.counterValue("debug.queries.total"), Judgements);
+  EXPECT_EQ(Reg.counterValue("debug.queries.unanswered"), Unanswered);
+  EXPECT_EQ(Reg.counterValue("debug.memo.hits"), MemoHits);
+  EXPECT_EQ(Reg.counterValue("debug.slicing.activations"), Activations);
+  EXPECT_EQ(Reg.counterValue("debug.slicing.nodes_pruned"), Pruned);
+  for (const auto &[Source, N] : BySource)
+    EXPECT_EQ(Reg.counterValue("debug.queries." + Source), N)
+        << "source " << Source;
+
+  // A warm second pass must have produced hits on every cache.
+  EXPECT_GT(S.ProgramHits, 0u);
+  EXPECT_GT(S.TransformHits, 0u);
+  EXPECT_GT(S.SdgHits, 0u);
+  EXPECT_GT(S.SliceHits, 0u);
+}
+
+TEST(ObservabilityTest, PrivateRegistryKeepsGlobalClean) {
+  uint64_t GlobalBefore =
+      obs::Registry::global().counterValue("runtime.sessions");
+  obs::Registry Reg;
+  RuntimeContext Ctx(&Reg);
+  SessionRequest R;
+  R.Source = Figure4Buggy;
+  R.Intended = Figure4Fixed;
+  SessionResult Res = runSession(Ctx, R);
+  ASSERT_TRUE(Res.Prepared) << Res.Message;
+  EXPECT_EQ(Reg.counterValue("runtime.sessions"), 1u);
+  EXPECT_EQ(obs::Registry::global().counterValue("runtime.sessions"),
+            GlobalBefore);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: a traced batch run covers the whole pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(ObservabilityTest, BatchRunnerTraceCoversPipeline) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.exportJsonl();
+  T.enable();
+
+  obs::Registry Reg;
+  auto Ctx = std::make_shared<RuntimeContext>(&Reg);
+  BatchRunner Runner(Ctx, {4});
+  std::vector<SessionRequest> Reqs = smallWorkload(6);
+  std::vector<SessionResult> Rs = Runner.run(Reqs);
+  T.disable();
+
+  ASSERT_EQ(Rs.size(), Reqs.size());
+  for (const SessionResult &R : Rs)
+    EXPECT_TRUE(R.Prepared) << R.Message;
+
+  std::vector<json::Value> Events = parseLines(T.exportJsonl());
+  ASSERT_FALSE(Events.empty());
+
+  std::set<std::string> Names;
+  for (const json::Value &E : Events)
+    Names.insert(E.getString("name"));
+  for (const char *Expected :
+       {"session", "queue.wait", "parse", "sema", "transform", "sdg",
+        "exectree", "debug", "judgement", "cache.program",
+        "cache.transform", "cache.sdg", "cache.slice"})
+    EXPECT_TRUE(Names.count(Expected)) << "missing phase: " << Expected;
+
+  // One session span per request, each annotated with its outcome.
+  unsigned SessionSpans = 0;
+  for (const json::Value &E : Events) {
+    if (E.getString("name") != "session")
+      continue;
+    ++SessionSpans;
+    const json::Value *Args = E.find("args");
+    ASSERT_NE(Args, nullptr);
+    EXPECT_TRUE(Args->getBool("prepared"));
+    EXPECT_NE(Args->getString("fp"), "");
+  }
+  EXPECT_EQ(SessionSpans, Reqs.size());
+
+  // Judgement events carry the dialogue verdicts.
+  for (const json::Value &E : Events) {
+    if (E.getString("name") != "judgement")
+      continue;
+    const json::Value *Args = E.find("args");
+    ASSERT_NE(Args, nullptr);
+    std::string Verdict = Args->getString("verdict");
+    EXPECT_TRUE(Verdict == "correct" || Verdict == "incorrect" ||
+                Verdict == "dont_know")
+        << Verdict;
+    EXPECT_NE(Args->getString("unit"), "");
+    EXPECT_NE(Args->getString("source"), "");
+  }
+
+  // The private registry saw the batch too.
+  EXPECT_EQ(Reg.counterValue("runtime.sessions"), Reqs.size());
+  EXPECT_EQ(Reg.histogram("runtime.queue_wait.micros").count(), Reqs.size());
+}
+
+} // namespace
