@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff two perf_micro --json files (or combined baseline files) with a
+regression threshold.
+
+Usage:
+  compare_bench.py BASELINE.json CURRENT.json [options]
+
+Options:
+  --max-regression R   Fail (exit 1) when current/baseline exceeds R for any
+                       compared benchmark (default: 1.5).
+  --filter REGEX       Only gate on benchmarks whose name matches REGEX
+                       (others are still printed, marked "info"). Default:
+                       gate on everything present in both files.
+  --metric NAME        JSON field to compare (default: cpu_ns).
+  --normalize NAME     Divide every time by the named benchmark's time from
+                       the same file before comparing. This cancels the
+                       absolute speed of the machine, which makes a committed
+                       baseline meaningful on different hardware (CI).
+
+Accepted file shapes:
+  * a raw perf_micro export: {"bench": "perf_micro", "results": [...]}
+  * a combined baseline:     {"perf_micro": {...}, "batch_throughput": {...}}
+
+Exit status: 0 when no gated benchmark regressed past the threshold,
+1 otherwise, 2 on usage/schema errors.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_results(path, metric):
+    with open(path) as f:
+        doc = json.load(f)
+    if "perf_micro" in doc and "results" not in doc:
+        doc = doc["perf_micro"]
+    if doc.get("bench") != "perf_micro" or "results" not in doc:
+        sys.exit(f"error: {path} is not a perf_micro JSON export")
+    out = {}
+    for row in doc["results"]:
+        if metric not in row:
+            sys.exit(f"error: {path}: result {row.get('name')!r} has no "
+                     f"field {metric!r}")
+        out[row["name"]] = float(row[metric])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=1.5)
+    ap.add_argument("--filter", default=None)
+    ap.add_argument("--metric", default="cpu_ns")
+    ap.add_argument("--normalize", default=None)
+    args = ap.parse_args()
+
+    base = load_results(args.baseline, args.metric)
+    cur = load_results(args.current, args.metric)
+
+    if args.normalize:
+        for name, table in (("baseline", base), ("current", cur)):
+            if args.normalize not in table or table[args.normalize] <= 0:
+                sys.exit(f"error: --normalize benchmark {args.normalize!r} "
+                         f"missing from {name} file")
+        base = {k: v / base[args.normalize] for k, v in base.items()}
+        cur = {k: v / cur[args.normalize] for k, v in cur.items()}
+
+    gate = re.compile(args.filter) if args.filter else None
+    common = [n for n in base if n in cur]
+    if not common:
+        sys.exit("error: the two files share no benchmark names")
+
+    width = max(len(n) for n in common)
+    unit = "x-of-ref" if args.normalize else "ns"
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict   [{args.metric}, {unit}]")
+    failed = []
+    for name in common:
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        gated = gate is None or gate.search(name)
+        if not gated:
+            verdict = "info"
+        elif ratio > args.max_regression:
+            verdict = "REGRESSED"
+            failed.append(name)
+        elif ratio < 1 / args.max_regression:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {base[name]:>12.1f}  {cur[name]:>12.1f}  "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    if only_base:
+        print(f"note: only in baseline: {', '.join(only_base)}")
+    if only_cur:
+        print(f"note: only in current: {', '.join(only_cur)}")
+
+    if failed:
+        print(f"\nFAIL: {len(failed)} benchmark(s) regressed past "
+              f"{args.max_regression}x: {', '.join(failed)}")
+        return 1
+    print(f"\nOK: no gated benchmark regressed past {args.max_regression}x "
+          f"({len(common)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

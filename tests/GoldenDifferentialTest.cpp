@@ -1,0 +1,229 @@
+//===- GoldenDifferentialTest.cpp - Interpreter golden differential -------===//
+//
+// Pins the interpreter's observable behaviour byte-for-byte: for every
+// sample program and every interpreter flag combination (TraceLoops x
+// TraceIterations x TrackDeps x DetectUninitialized), the ExecResult
+// (output, final globals, steps, unit count), the serialized execution
+// tree, and every dynamic slice must match a committed golden file.
+//
+// The goldens were generated from the pre-overhaul (PR 2) interpreter, so
+// any storage/dependence-substrate rework that changes observable
+// behaviour — binding names, binding order, tree shape, slice contents —
+// fails here, not in production.
+//
+// Regenerate (after an *intentional* behaviour change) with:
+//   GADT_REGEN_GOLDEN=1 ./test_golden
+//
+// A second obligation rides along: running with and without a listener
+// must produce the same ExecResult. The hot path elides binding/name
+// construction when no listener is attached, and this proves the elision
+// is unobservable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interpreter.h"
+#include "pascal/Frontend.h"
+#include "slicing/DynamicSlicer.h"
+#include "trace/ExecTreeBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace gadt;
+using namespace gadt::interp;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+#ifndef GADT_SAMPLES_DIR
+#error "GADT_SAMPLES_DIR must be defined by the build"
+#endif
+#ifndef GADT_GOLDEN_DIR
+#error "GADT_GOLDEN_DIR must be defined by the build"
+#endif
+
+/// Deterministic program input, long enough for every sample; reads past
+/// the end are themselves deterministic (a runtime error in the golden).
+std::vector<int64_t> sampleInput() {
+  return {3, 7, 2, 9, 4, 1, 8, 5, 6, 10, 11, 13, 12, 15, 14, 17};
+}
+
+std::string escapeLine(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\n')
+      Out += "\\n";
+    else if (C == '\\')
+      Out += "\\\\";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Renders one (program, options) execution: result, tree, slices.
+std::string renderRun(const pascal::Program &Prog, const InterpOptions &Opts) {
+  Interpreter I(Prog, Opts);
+  I.setInput(sampleInput());
+  trace::ExecTreeBuilder Builder;
+  I.setListener(&Builder);
+  ExecResult R = I.run();
+  auto Tree = Builder.takeTree();
+
+  std::ostringstream Out;
+  Out << "ok: " << (R.Ok ? 1 : 0) << "\n";
+  if (!R.Ok)
+    Out << "error: " << R.Error.Loc.Line << ":" << R.Error.Loc.Column << " "
+        << escapeLine(R.Error.Message) << "\n";
+  Out << "output: " << escapeLine(R.Output) << "\n";
+  Out << "steps: " << R.Steps << "\n";
+  Out << "units: " << R.UnitsExecuted << "\n";
+  for (const Binding &B : R.FinalGlobals)
+    Out << "global " << B.Name << " = " << B.V.str() << "\n";
+  Out << "tree:\n" << (Tree && Tree->getRoot() ? Tree->str() : "<none>\n");
+
+  if (Opts.TrackDeps && Tree && Tree->getRoot()) {
+    Out << "slices:\n";
+    for (uint32_t Id = 1; Id <= R.UnitsExecuted; ++Id) {
+      const trace::ExecNode *N = Tree->node(Id);
+      if (!N)
+        continue;
+      for (const Binding &B : N->getOutputs()) {
+        auto Kept = slicing::dynamicSlice(N, B.Name);
+        Out << "slice " << Id << "." << B.Name << ":";
+        for (uint32_t K : Kept)
+          Out << " " << K;
+        Out << "\n";
+      }
+    }
+  }
+  return Out.str();
+}
+
+/// Full golden document for one sample: all 16 flag combinations.
+std::string renderSample(const pascal::Program &Prog) {
+  std::ostringstream Out;
+  for (int Mask = 0; Mask < 16; ++Mask) {
+    InterpOptions Opts;
+    Opts.TraceLoops = (Mask & 1) != 0;
+    Opts.TraceIterations = (Mask & 2) != 0;
+    Opts.TrackDeps = (Mask & 4) != 0;
+    Opts.DetectUninitialized = (Mask & 8) != 0;
+    Out << "== combo loops=" << Opts.TraceLoops
+        << " iters=" << Opts.TraceIterations << " deps=" << Opts.TrackDeps
+        << " strict=" << Opts.DetectUninitialized << "\n";
+    Out << renderRun(Prog, Opts);
+  }
+  return Out.str();
+}
+
+std::vector<fs::path> samplePrograms() {
+  std::vector<fs::path> Paths;
+  for (const auto &Entry : fs::directory_iterator(GADT_SAMPLES_DIR))
+    if (Entry.path().extension() == ".pas")
+      Paths.push_back(Entry.path());
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+std::unique_ptr<pascal::Program> compileFile(const fs::path &Path) {
+  std::ifstream In(Path);
+  std::stringstream Src;
+  Src << In.rdbuf();
+  DiagnosticsEngine Diags;
+  auto Prog = pascal::parseAndCheck(Src.str(), Diags);
+  EXPECT_TRUE(Prog != nullptr) << Path << ": " << Diags.str();
+  return Prog;
+}
+
+class GoldenDifferential : public ::testing::TestWithParam<fs::path> {};
+
+TEST_P(GoldenDifferential, MatchesCommittedGolden) {
+  const fs::path &Sample = GetParam();
+  auto Prog = compileFile(Sample);
+  ASSERT_TRUE(Prog);
+
+  std::string Actual = renderSample(*Prog);
+  fs::path GoldenPath =
+      fs::path(GADT_GOLDEN_DIR) / (Sample.stem().string() + ".golden");
+
+  if (std::getenv("GADT_REGEN_GOLDEN")) {
+    std::ofstream Out(GoldenPath);
+    Out << Actual;
+    GTEST_SKIP() << "regenerated " << GoldenPath;
+  }
+
+  std::ifstream In(GoldenPath);
+  ASSERT_TRUE(In.good()) << "missing golden " << GoldenPath
+                         << " (run with GADT_REGEN_GOLDEN=1 to create)";
+  std::stringstream Expected;
+  Expected << In.rdbuf();
+  // Compare line-by-line for a readable first-divergence message, then the
+  // whole document to catch length differences.
+  std::istringstream ActualS(Actual), ExpectedS(Expected.str());
+  std::string AL, EL;
+  unsigned Line = 0;
+  while (std::getline(ExpectedS, EL)) {
+    ++Line;
+    ASSERT_TRUE(std::getline(ActualS, AL))
+        << Sample.stem() << ": output truncated at golden line " << Line;
+    ASSERT_EQ(AL, EL) << Sample.stem() << ": first divergence at line "
+                      << Line;
+  }
+  EXPECT_EQ(Actual, Expected.str()) << Sample.stem() << ": trailing output";
+}
+
+/// The no-listener fast path must be unobservable in the ExecResult.
+TEST_P(GoldenDifferential, ListenerDoesNotChangeExecResult) {
+  auto Prog = compileFile(GetParam());
+  ASSERT_TRUE(Prog);
+  for (int Mask = 0; Mask < 16; ++Mask) {
+    InterpOptions Opts;
+    Opts.TraceLoops = (Mask & 1) != 0;
+    Opts.TraceIterations = (Mask & 2) != 0;
+    Opts.TrackDeps = (Mask & 4) != 0;
+    Opts.DetectUninitialized = (Mask & 8) != 0;
+
+    Interpreter WithL(*Prog, Opts);
+    WithL.setInput(sampleInput());
+    trace::ExecTreeBuilder Builder;
+    WithL.setListener(&Builder);
+    ExecResult A = WithL.run();
+    (void)Builder.takeTree();
+
+    Interpreter NoL(*Prog, Opts);
+    NoL.setInput(sampleInput());
+    ExecResult B = NoL.run();
+
+    EXPECT_EQ(A.Ok, B.Ok) << "mask " << Mask;
+    EXPECT_EQ(A.Output, B.Output) << "mask " << Mask;
+    EXPECT_EQ(A.Steps, B.Steps) << "mask " << Mask;
+    EXPECT_EQ(A.UnitsExecuted, B.UnitsExecuted) << "mask " << Mask;
+    EXPECT_EQ(A.Error.Message, B.Error.Message) << "mask " << Mask;
+    ASSERT_EQ(A.FinalGlobals.size(), B.FinalGlobals.size()) << "mask " << Mask;
+    for (size_t I = 0; I < A.FinalGlobals.size(); ++I) {
+      EXPECT_EQ(A.FinalGlobals[I].Name, B.FinalGlobals[I].Name);
+      EXPECT_TRUE(A.FinalGlobals[I].V.equals(B.FinalGlobals[I].V))
+          << "mask " << Mask << " global " << A.FinalGlobals[I].Name;
+    }
+  }
+}
+
+std::string sampleName(const ::testing::TestParamInfo<fs::path> &Info) {
+  std::string Name = Info.param.stem().string();
+  for (char &C : Name)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Samples, GoldenDifferential,
+                         ::testing::ValuesIn(samplePrograms()), sampleName);
+
+} // namespace
