@@ -5,8 +5,7 @@
 #include "obs/Metrics.h"
 #include "support/Casting.h"
 
-#include <unordered_map>
-#include <unordered_set>
+#include <algorithm>
 
 using namespace gadt;
 using namespace gadt::interp;
@@ -37,21 +36,39 @@ Value gadt::interp::defaultValue(const Type *Ty) {
 
 namespace {
 
+/// Index of a cell in the interpreter's arena. Cells are pooled: handles of
+/// dead activations return to a free list and are reissued with a fresh
+/// serial, so a handle is only meaningful while its cell is live — which
+/// the watermark discipline guarantees for every handle the interpreter
+/// retains (see observeRead/freeActivationCells).
+using CellRef = uint32_t;
+constexpr CellRef NoCell = UINT32_MAX;
+
 /// A storage location. Var parameters alias cells across activations, so
-/// cells are shared_ptr-owned and identified by a serial number that orders
-/// them by creation time (used to decide locality relative to a unit).
+/// cells live in a shared arena and are identified by a serial number that
+/// orders them by creation time (used to decide locality relative to a
+/// unit). ReadUpTo/WriteUpTo are observation stamps: every live unit frame
+/// whose FrameId is at or below the stamp has already recorded this cell
+/// (or the cell is local to it), so observation walks touch each cell a
+/// constant number of times per event instead of once per active frame.
 struct Cell {
   Value V;
   uint64_t Serial = 0;
-  std::string Name;
+  uint64_t ReadUpTo = 0;
+  uint64_t WriteUpTo = 0;
+  /// Declaration the cell was created for (naming fallback).
+  const VarDecl *Decl = nullptr;
 };
-using CellPtr = std::shared_ptr<Cell>;
 
-/// One routine activation.
+/// One routine activation: a flat frame of cell handles indexed by the
+/// slots Sema assigned (params, then locals, then the function result).
 struct Activation {
   const RoutineDecl *R = nullptr;
   Activation *StaticLink = nullptr;
-  std::unordered_map<const VarDecl *, CellPtr> Cells;
+  /// Cells with Serial >= Watermark were created by (and die with) this
+  /// activation; below it they are aliased from the caller.
+  uint64_t Watermark = 0;
+  std::vector<CellRef> Slots;
   /// Stack of *merged* control-dependence sets; back() is the set of deps
   /// governing any store performed right now.
   std::vector<DepSet> CtrlStack;
@@ -67,11 +84,11 @@ struct UnitFrame {
   UnitKind Kind = UnitKind::Call;
   /// Cells created at or after this serial are local to the unit.
   uint64_t Watermark = 0;
+  /// Monotonic push id; cell stamps reference it.
+  uint64_t FrameId = 0;
   Activation *Act = nullptr;
-  std::vector<std::pair<CellPtr, Value>> FirstReads;
-  std::vector<CellPtr> Writes;
-  std::unordered_set<Cell *> ReadSeen;
-  std::unordered_set<Cell *> WriteSeen;
+  std::vector<std::pair<CellRef, Value>> FirstReads;
+  std::vector<CellRef> Writes;
 };
 
 } // namespace
@@ -89,8 +106,12 @@ struct Interpreter::Impl {
   uint64_t Steps = 0;
   uint32_t NodeCounter = 0;
   uint64_t CellSerial = 0;
+  uint64_t FrameCounter = 0;
+  uint64_t PooledReuses = 0;
   size_t InputPos = 0;
   unsigned CallDepth = 0;
+  std::vector<Cell> Arena;
+  std::vector<CellRef> FreeList;
   std::vector<UnitFrame> Frames;
   struct {
     bool Active = false;
@@ -108,10 +129,24 @@ struct Interpreter::Impl {
     Steps = 0;
     NodeCounter = 0;
     CellSerial = 0;
+    FrameCounter = 0;
     InputPos = 0;
     CallDepth = 0;
+    Arena.clear();
+    FreeList.clear();
     Frames.clear();
     Goto.Active = false;
+  }
+
+  /// Publishes per-run pool statistics; called at the end of each entry
+  /// point so hot paths pay plain increments, not atomics.
+  void flushPoolStats() {
+    if (PooledReuses == 0)
+      return;
+    static obs::Counter &Pooled =
+        obs::Registry::global().counter("interp.cells.pooled");
+    Pooled.add(PooledReuses);
+    PooledReuses = 0;
   }
 
   void fail(SourceLoc Loc, std::string Msg) {
@@ -122,12 +157,39 @@ struct Interpreter::Impl {
     Error.Message = std::move(Msg);
   }
 
-  CellPtr newCell(std::string Name, Value V) {
-    auto C = std::make_shared<Cell>();
-    C->Name = std::move(Name);
-    C->V = std::move(V);
-    C->Serial = ++CellSerial;
-    return C;
+  CellRef newCell(const VarDecl *Decl, Value V) {
+    CellRef H;
+    if (!FreeList.empty()) {
+      H = FreeList.back();
+      FreeList.pop_back();
+      ++PooledReuses;
+    } else {
+      H = static_cast<CellRef>(Arena.size());
+      Arena.emplace_back();
+    }
+    Cell &C = Arena[H];
+    C.V = std::move(V);
+    C.Serial = ++CellSerial;
+    C.ReadUpTo = 0;
+    C.WriteUpTo = 0;
+    C.Decl = Decl;
+    return H;
+  }
+
+  /// Returns the cells this activation created to the pool. Safe because no
+  /// retained handle can reach them afterwards: enclosing unit frames only
+  /// record cells below their watermark, which is at or below this
+  /// activation's, and the activation's own frames are popped first.
+  void freeActivationCells(Activation &Act) {
+    for (CellRef H : Act.Slots) {
+      if (H == NoCell)
+        continue;
+      Cell &C = Arena[H];
+      if (C.Serial < Act.Watermark)
+        continue; // aliased from the caller
+      C.V = Value();
+      FreeList.push_back(H);
+    }
   }
 
   /// Initial value of a freshly declared variable: in strict mode scalars
@@ -142,53 +204,77 @@ struct Interpreter::Impl {
   // Cell access with unit-frame observation
   //===--------------------------------------------------------------------===//
 
-  /// Records a read of \p C in every active unit frame to which the cell is
-  /// non-local and not already written. Call *before* using the value.
-  void observeRead(const CellPtr &C) {
-    for (UnitFrame &F : Frames) {
-      if (C->Serial >= F.Watermark)
-        continue; // local to this unit
-      if (F.WriteSeen.count(C.get()) || F.ReadSeen.count(C.get()))
-        continue;
-      F.ReadSeen.insert(C.get());
-      F.FirstReads.push_back({C, C->V});
+  // Watermarks are non-decreasing with frame-stack depth, so the frames a
+  // cell is non-local to form a suffix of the stack; so do the frames above
+  // a cell's stamp. Observation therefore walks from the top of the stack
+  // and stops at the first frame that is already covered — each event costs
+  // O(frames actually recording), not O(live frames).
+
+  /// Records a read of \p H in every active unit frame to which the cell is
+  /// non-local and not already read or written. Call *before* using the
+  /// value.
+  void observeRead(CellRef H) {
+    if (Frames.empty())
+      return;
+    Cell &C = Arena[H];
+    uint64_t Stamp = std::max(C.ReadUpTo, C.WriteUpTo);
+    for (size_t I = Frames.size(); I-- > 0;) {
+      UnitFrame &F = Frames[I];
+      if (F.FrameId <= Stamp || C.Serial >= F.Watermark)
+        break;
+      F.FirstReads.push_back({H, C.V});
     }
+    if (C.ReadUpTo < Frames.back().FrameId)
+      C.ReadUpTo = Frames.back().FrameId;
   }
 
-  /// Records a write of \p C in every active unit frame to which the cell is
-  /// non-local.
-  void observeWrite(const CellPtr &C) {
-    for (UnitFrame &F : Frames) {
-      if (C->Serial >= F.Watermark)
-        continue;
-      if (F.WriteSeen.count(C.get()))
-        continue;
-      F.WriteSeen.insert(C.get());
-      F.Writes.push_back(C);
+  /// Records a write of \p H in every active unit frame to which the cell
+  /// is non-local.
+  void observeWrite(CellRef H) {
+    if (Frames.empty())
+      return;
+    Cell &C = Arena[H];
+    for (size_t I = Frames.size(); I-- > 0;) {
+      UnitFrame &F = Frames[I];
+      if (F.FrameId <= C.WriteUpTo || C.Serial >= F.Watermark)
+        break;
+      F.Writes.push_back(H);
     }
+    if (C.WriteUpTo < Frames.back().FrameId)
+      C.WriteUpTo = Frames.back().FrameId;
+  }
+
+  /// Whether \p H was write-recorded in \p F (valid right after \p F was
+  /// popped, before any new frame is pushed).
+  bool writtenInFrame(const UnitFrame &F, CellRef H) const {
+    return Arena[H].WriteUpTo >= F.FrameId && Arena[H].Serial < F.Watermark;
   }
 
   /// Full store: observes the write and applies active control deps.
-  void storeCell(Activation &A, const CellPtr &C, Value V) {
-    observeWrite(C);
+  void storeCell(Activation &A, CellRef H, Value V) {
+    observeWrite(H);
     if (Opts.TrackDeps)
       if (const DepSet *Ctrl = A.activeCtrlDeps())
         V.deps().mergeWith(*Ctrl);
-    C->V = std::move(V);
+    Arena[H].V = std::move(V);
   }
 
   //===--------------------------------------------------------------------===//
   // Name / cell resolution
   //===--------------------------------------------------------------------===//
 
-  CellPtr getCell(Activation &A, const VarDecl *D, SourceLoc Loc) {
-    for (Activation *Cur = &A; Cur; Cur = Cur->StaticLink) {
-      auto It = Cur->Cells.find(D);
-      if (It != Cur->Cells.end())
-        return It->second;
+  CellRef getCell(Activation &A, const VarDecl *D, SourceLoc Loc) {
+    Activation *Cur = &A;
+    for (uint32_t Hops = Cur->R->getStorageDepth() - D->getDepth();
+         Hops && Cur; --Hops)
+      Cur = Cur->StaticLink;
+    if (Cur && D->getSlot() < Cur->Slots.size()) {
+      CellRef H = Cur->Slots[D->getSlot()];
+      if (H != NoCell)
+        return H;
     }
     fail(Loc, "internal: no storage for variable '" + D->getName() + "'");
-    return nullptr;
+    return NoCell;
   }
 
   //===--------------------------------------------------------------------===//
@@ -227,29 +313,29 @@ struct Interpreter::Impl {
 
     case Expr::Kind::VarRef: {
       const auto *VR = cast<VarRefExpr>(E);
-      CellPtr C = getCell(A, VR->getDecl(), VR->getLoc());
-      if (!C)
+      CellRef C = getCell(A, VR->getDecl(), VR->getLoc());
+      if (C == NoCell)
         return Value();
-      if (Opts.DetectUninitialized && C->V.isUnset()) {
+      if (Opts.DetectUninitialized && Arena[C].V.isUnset()) {
         fail(VR->getLoc(), "variable '" + VR->getName() +
                                "' is used before it is assigned");
         return Value();
       }
       observeRead(C);
-      return C->V;
+      return Arena[C].V;
     }
 
     case Expr::Kind::Index: {
       const auto *IE = cast<IndexExpr>(E);
       const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
-      CellPtr C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
-      if (!C)
+      CellRef C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
+      if (C == NoCell)
         return Value();
       Value Idx = evalExpr(A, IE->getIndex());
       if (Failed)
         return Value();
       observeRead(C);
-      const ArrayVal &Arr = C->V.asArray();
+      const ArrayVal &Arr = Arena[C].V.asArray();
       if (!Arr.inBounds(Idx.asInt())) {
         fail(IE->getLoc(), "array index " + std::to_string(Idx.asInt()) +
                                " out of bounds [" + std::to_string(Arr.Lo) +
@@ -259,7 +345,7 @@ struct Interpreter::Impl {
       }
       Value Out = Value::makeInt(Arr.at(Idx.asInt()));
       if (Opts.TrackDeps) {
-        Out.deps().mergeWith(C->V.deps());
+        Out.deps().mergeWith(Arena[C].V.deps());
         Out.deps().mergeWith(Idx.deps());
       }
       return Out;
@@ -360,17 +446,33 @@ struct Interpreter::Impl {
     return nullptr;
   }
 
+  /// The parameter declaration whose frame slot holds \p H, or null. When
+  /// two reference parameters alias one cell, the last one wins (matching
+  /// the map-based attribution this replaced).
+  const VarDecl *paramOfCell(const Activation &Act, const RoutineDecl *Callee,
+                             CellRef H) const {
+    const VarDecl *Found = nullptr;
+    size_t NumParams = Callee->getParams().size();
+    for (size_t I = 0; I != NumParams; ++I)
+      if (Act.Slots[I] == H)
+        Found = Callee->getParams()[I].get();
+    return Found;
+  }
+
   /// Shared tail of performCall/callRoutine: raises unit events, executes
   /// the body, and collects input/output bindings.
   ///
   /// \p EntryInputs carries bindings for value/in parameters (captured at
-  /// entry). \p Result receives the function result value.
+  /// entry — only when bindings are wanted). \p OutputsOut, when non-null,
+  /// receives the output bindings even without a listener (callRoutine
+  /// needs them); otherwise bindings are only assembled for the listener.
+  /// Dependence side effects (output deps merged into cell values and the
+  /// function result) happen regardless.
   void runPreparedCall(Activation &Act, const RoutineDecl *Callee,
                        std::vector<Binding> EntryInputs,
                        const Stmt *CallStmt, const Expr *CallExpr,
                        SourceLoc Loc, Activation *Caller,
-                       std::vector<Binding> &Inputs,
-                       std::vector<Binding> &Outputs, Value *Result,
+                       std::vector<Binding> *OutputsOut, Value *Result,
                        uint64_t Watermark) {
     uint32_t NodeId = ++NodeCounter;
     if (Listener) {
@@ -389,6 +491,7 @@ struct Interpreter::Impl {
     F.NodeId = NodeId;
     F.Kind = UnitKind::Call;
     F.Watermark = Watermark;
+    F.FrameId = ++FrameCounter;
     F.Act = &Act;
     size_t FrameIndex = Frames.size() - 1;
 
@@ -409,28 +512,28 @@ struct Interpreter::Impl {
     UnitFrame Frame = std::move(Frames[FrameIndex]);
     Frames.pop_back();
 
+    bool WantOut = Listener || OutputsOut;
+
     // Assemble inputs: declared-order parameters first, then true global
-    // side reads.
-    std::unordered_map<Cell *, const VarDecl *> ParamOfCell;
-    for (const auto &P : Callee->getParams()) {
-      auto It = Act.Cells.find(P.get());
-      if (It != Act.Cells.end())
-        ParamOfCell[It->second.get()] = P.get();
+    // side reads. Pure bookkeeping for the listener — skipped entirely
+    // when no one is listening.
+    std::vector<Binding> Inputs;
+    if (Listener) {
+      Inputs = std::move(EntryInputs);
+      // var parameters that were read before being written.
+      for (const auto &[C, V] : Frame.FirstReads)
+        if (const VarDecl *P = paramOfCell(Act, Callee, C))
+          Inputs.push_back({P->getName(), V});
+      // Global (non-parameter) reads.
+      for (const auto &[C, V] : Frame.FirstReads)
+        if (!paramOfCell(Act, Callee, C))
+          Inputs.push_back({nameOfCell(&Act, C), V});
     }
-    Inputs = std::move(EntryInputs);
-    // var parameters that were read before being written.
-    for (const auto &[C, V] : Frame.FirstReads) {
-      auto It = ParamOfCell.find(C.get());
-      if (It != ParamOfCell.end())
-        Inputs.push_back({It->second->getName(), V});
-    }
-    // Global (non-parameter) reads.
-    for (const auto &[C, V] : Frame.FirstReads)
-      if (!ParamOfCell.count(C.get()))
-        Inputs.push_back({nameOfCell(&Act, C.get()), V});
 
     // Outputs: var/out parameters in declared order, then global writes,
-    // then the function result.
+    // then the function result. The dependence merges are semantics (they
+    // persist in the written cells), so they run with or without bindings.
+    std::vector<Binding> Outputs;
     DepSet OutDeps;
     if (Opts.TrackDeps) {
       OutDeps.insert(NodeId);
@@ -445,37 +548,44 @@ struct Interpreter::Impl {
     for (const auto &P : Callee->getParams()) {
       if (!P->isReference())
         continue;
-      auto It = Act.Cells.find(P.get());
-      if (It == Act.Cells.end())
+      CellRef C = Act.Slots[P->getSlot()];
+      if (C == NoCell)
         continue;
-      Cell *C = It->second.get();
-      bool Written = Frame.WriteSeen.count(C) != 0;
-      if (Written || P->getMode() == ParamMode::Out) {
-        finalizeOut(C->V);
-        Outputs.push_back({P->getName(), C->V});
+      if (writtenInFrame(Frame, C) || P->getMode() == ParamMode::Out) {
+        finalizeOut(Arena[C].V);
+        if (WantOut)
+          Outputs.push_back({P->getName(), Arena[C].V});
       }
     }
-    for (const CellPtr &C : Frame.Writes)
-      if (!ParamOfCell.count(C.get())) {
-        finalizeOut(C->V);
-        Outputs.push_back({nameOfCell(&Act, C.get()), C->V});
+    for (CellRef C : Frame.Writes)
+      if (!paramOfCell(Act, Callee, C)) {
+        finalizeOut(Arena[C].V);
+        if (WantOut)
+          Outputs.push_back({nameOfCell(&Act, C), Arena[C].V});
       }
     if (Callee->isFunction()) {
-      auto It = Act.Cells.find(Callee->getResultVar());
-      if (It != Act.Cells.end()) {
-        if (Opts.DetectUninitialized && It->second->V.isUnset() && !Failed)
+      CellRef C = Act.Slots[Callee->getResultVar()->getSlot()];
+      if (C != NoCell) {
+        if (Opts.DetectUninitialized && Arena[C].V.isUnset() && !Failed)
           fail(Callee->getLoc(), "function '" + Callee->getName() +
                                      "' returns without assigning its "
                                      "result");
-        finalizeOut(It->second->V);
-        Outputs.push_back({Callee->getName(), It->second->V});
+        finalizeOut(Arena[C].V);
+        if (WantOut)
+          Outputs.push_back({Callee->getName(), Arena[C].V});
         if (Result)
-          *Result = It->second->V;
+          *Result = std::move(Arena[C].V);
       }
     }
 
-    if (Listener)
-      Listener->exitUnit(NodeId, Inputs, Outputs);
+    if (Listener) {
+      if (OutputsOut)
+        Listener->exitUnit(NodeId, std::move(Inputs), Outputs);
+      else
+        Listener->exitUnit(NodeId, std::move(Inputs), std::move(Outputs));
+    }
+    if (OutputsOut)
+      *OutputsOut = std::move(Outputs);
   }
 
   Value performCall(Activation &Caller, const RoutineDecl *Callee,
@@ -499,14 +609,14 @@ struct Interpreter::Impl {
     // caller, so reads are charged to the caller's units.
     std::vector<Binding> EntryInputs;
     const auto &Params = Callee->getParams();
-    std::vector<CellPtr> RefCells(Params.size());
+    std::vector<CellRef> RefCells(Params.size(), NoCell);
     std::vector<Value> ValueArgs(Params.size());
     for (size_t I = 0, N = Params.size(); I != N; ++I) {
       const VarDecl *P = Params[I].get();
       if (P->isReference()) {
         const auto *VR = cast<VarRefExpr>(Args[I].get());
-        CellPtr C = getCell(Caller, VR->getDecl(), VR->getLoc());
-        if (!C)
+        CellRef C = getCell(Caller, VR->getDecl(), VR->getLoc());
+        if (C == NoCell)
           return Value();
         // The caller's cell stays non-local to the callee's frame, so the
         // frame observes whether the callee reads its pre-state.
@@ -515,30 +625,34 @@ struct Interpreter::Impl {
         Value V = evalExpr(Caller, Args[I].get());
         if (Failed)
           return Value();
-        EntryInputs.push_back({P->getName(), V});
+        if (Listener)
+          EntryInputs.push_back({P->getName(), V});
         ValueArgs[I] = std::move(V);
       }
     }
-    // Cells created from here on are local to the callee's unit frame.
+    // Cells created from here on are local to the callee's unit frame —
+    // and owned by its activation (freed when the call returns).
     uint64_t Watermark = CellSerial + 1;
+    Act.Watermark = Watermark;
+    Act.Slots.resize(Callee->getNumSlots(), NoCell);
     for (size_t I = 0, N = Params.size(); I != N; ++I) {
       const VarDecl *P = Params[I].get();
-      if (RefCells[I])
-        Act.Cells[P] = RefCells[I];
-      else
-        Act.Cells[P] = newCell(P->getName(), std::move(ValueArgs[I]));
+      Act.Slots[P->getSlot()] =
+          RefCells[I] != NoCell ? RefCells[I]
+                                : newCell(P, std::move(ValueArgs[I]));
+    }
+    for (const auto &L : Callee->getLocals())
+      Act.Slots[L->getSlot()] = newCell(L.get(), initialValue(L->getType()));
+    if (Callee->isFunction()) {
+      const VarDecl *RV = Callee->getResultVar();
+      Act.Slots[RV->getSlot()] =
+          newCell(RV, initialValue(Callee->getReturnType()));
     }
 
-    for (const auto &L : Callee->getLocals())
-      Act.Cells[L.get()] = newCell(L->getName(), initialValue(L->getType()));
-    if (Callee->isFunction())
-      Act.Cells[Callee->getResultVar()] = newCell(
-          Callee->getName(), initialValue(Callee->getReturnType()));
-
-    std::vector<Binding> Inputs, Outputs;
     Value Result;
     runPreparedCall(Act, Callee, std::move(EntryInputs), CallStmt, CallExpr,
-                    Loc, &Caller, Inputs, Outputs, &Result, Watermark);
+                    Loc, &Caller, nullptr, &Result, Watermark);
+    freeActivationCells(Act);
     return Result;
   }
 
@@ -571,19 +685,21 @@ struct Interpreter::Impl {
     F.NodeId = NodeId;
     F.Kind = Kind;
     F.Watermark = CellSerial + 1;
+    F.FrameId = ++FrameCounter;
     F.Act = &A;
     return NodeId;
   }
 
-  /// Returns the name under which \p C is visible from activation \p A
+  /// Returns the name under which \p H is visible from activation \p A
   /// (var parameters alias caller cells whose creation name differs from
   /// the local parameter name). Falls back to the creation name.
-  std::string nameOfCell(Activation *A, const Cell *C) {
+  std::string nameOfCell(Activation *A, CellRef H) {
     for (Activation *Cur = A; Cur; Cur = Cur->StaticLink)
-      for (const auto &[Decl, CellP] : Cur->Cells)
-        if (CellP.get() == C)
-          return Decl->getName();
-    return C->Name;
+      for (size_t I = 0, N = Cur->Slots.size(); I != N; ++I)
+        if (Cur->Slots[I] == H)
+          return Cur->R->getSlotDecls()[I]->getName();
+    const VarDecl *D = Arena[H].Decl;
+    return D ? D->getName() : std::string("<cell>");
   }
 
   void exitLoopUnit(uint32_t NodeId, Activation &A) {
@@ -592,18 +708,20 @@ struct Interpreter::Impl {
     UnitFrame Frame = std::move(Frames.back());
     Frames.pop_back();
     std::vector<Binding> Inputs, Outputs;
-    for (const auto &[C, V] : Frame.FirstReads)
-      Inputs.push_back({nameOfCell(&A, C.get()), V});
+    if (Listener)
+      for (const auto &[C, V] : Frame.FirstReads)
+        Inputs.push_back({nameOfCell(&A, C), V});
     DepSet OutDeps;
     if (Opts.TrackDeps) {
       OutDeps.insert(NodeId);
       if (const DepSet *Ctrl = A.activeCtrlDeps())
         OutDeps.mergeWith(*Ctrl);
     }
-    for (const CellPtr &C : Frame.Writes) {
+    for (CellRef C : Frame.Writes) {
       if (Opts.TrackDeps)
-        C->V.deps().mergeWith(OutDeps);
-      Outputs.push_back({nameOfCell(&A, C.get()), C->V});
+        Arena[C].V.deps().mergeWith(OutDeps);
+      if (Listener)
+        Outputs.push_back({nameOfCell(&A, C), Arena[C].V});
     }
     if (Listener)
       Listener->exitUnit(NodeId, std::move(Inputs), std::move(Outputs));
@@ -614,7 +732,7 @@ struct Interpreter::Impl {
   //===--------------------------------------------------------------------===//
 
   bool countStep(SourceLoc Loc) {
-    if (++Steps > Opts.MaxSteps) {
+    if (++Steps > Opts.MaxSteps) [[unlikely]] {
       fail(Loc, "step limit exceeded (possible non-termination)");
       return false;
     }
@@ -733,16 +851,16 @@ struct Interpreter::Impl {
     if (Failed)
       return;
     if (const auto *VR = dyn_cast<VarRefExpr>(AS->getTarget())) {
-      CellPtr C = getCell(A, VR->getDecl(), VR->getLoc());
-      if (!C)
+      CellRef C = getCell(A, VR->getDecl(), VR->getLoc());
+      if (C == NoCell)
         return;
       storeCell(A, C, std::move(V));
       return;
     }
     const auto *IE = cast<IndexExpr>(AS->getTarget());
     const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
-    CellPtr C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
-    if (!C)
+    CellRef C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
+    if (C == NoCell)
       return;
     Value Idx = evalExpr(A, IE->getIndex());
     if (Failed)
@@ -750,7 +868,7 @@ struct Interpreter::Impl {
     // Writing one element both reads and writes the array as a whole.
     observeRead(C);
     observeWrite(C);
-    ArrayVal &Arr = C->V.asArray();
+    ArrayVal &Arr = Arena[C].V.asArray();
     if (!Arr.inBounds(Idx.asInt())) {
       fail(IE->getLoc(), "array index " + std::to_string(Idx.asInt()) +
                              " out of bounds [" + std::to_string(Arr.Lo) +
@@ -760,10 +878,10 @@ struct Interpreter::Impl {
     }
     Arr.at(Idx.asInt()) = V.asInt();
     if (Opts.TrackDeps) {
-      C->V.deps().mergeWith(V.deps());
-      C->V.deps().mergeWith(Idx.deps());
+      Arena[C].V.deps().mergeWith(V.deps());
+      Arena[C].V.deps().mergeWith(Idx.deps());
       if (const DepSet *Ctrl = A.activeCtrlDeps())
-        C->V.deps().mergeWith(*Ctrl);
+        Arena[C].V.deps().mergeWith(*Ctrl);
     }
   }
 
@@ -848,10 +966,10 @@ struct Interpreter::Impl {
     uint32_t LoopNode = enterLoopUnit(UnitKind::Loop, FS->getUnitName(), FS,
                                       0, FS->getLoc(), A);
     const auto *VR = cast<VarRefExpr>(FS->getLoopVar());
-    CellPtr LoopCell = getCell(A, VR->getDecl(), VR->getLoc());
+    CellRef LoopCell = getCell(A, VR->getDecl(), VR->getLoc());
     Value From = evalExpr(A, FS->getFrom());
     Value To = evalExpr(A, FS->getTo());
-    if (!Failed && LoopCell) {
+    if (!Failed && LoopCell != NoCell) {
       DepSet BoundDeps;
       if (Opts.TrackDeps) {
         BoundDeps.mergeWith(From.deps());
@@ -893,23 +1011,23 @@ struct Interpreter::Impl {
       }
       Value V = Value::makeInt(Input[InputPos++]);
       if (const auto *VR = dyn_cast<VarRefExpr>(T.get())) {
-        CellPtr C = getCell(A, VR->getDecl(), VR->getLoc());
-        if (!C)
+        CellRef C = getCell(A, VR->getDecl(), VR->getLoc());
+        if (C == NoCell)
           return;
         storeCell(A, C, std::move(V));
         continue;
       }
       const auto *IE = cast<IndexExpr>(T.get());
       const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
-      CellPtr C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
-      if (!C)
+      CellRef C = getCell(A, BaseRef->getDecl(), BaseRef->getLoc());
+      if (C == NoCell)
         return;
       Value Idx = evalExpr(A, IE->getIndex());
       if (Failed)
         return;
       observeRead(C);
       observeWrite(C);
-      ArrayVal &Arr = C->V.asArray();
+      ArrayVal &Arr = Arena[C].V.asArray();
       if (!Arr.inBounds(Idx.asInt())) {
         fail(IE->getLoc(), "array index " + std::to_string(Idx.asInt()) +
                                " out of bounds in read");
@@ -917,9 +1035,9 @@ struct Interpreter::Impl {
       }
       Arr.at(Idx.asInt()) = V.asInt();
       if (Opts.TrackDeps) {
-        C->V.deps().mergeWith(Idx.deps());
+        Arena[C].V.deps().mergeWith(Idx.deps());
         if (const DepSet *Ctrl = A.activeCtrlDeps())
-          C->V.deps().mergeWith(*Ctrl);
+          Arena[C].V.deps().mergeWith(*Ctrl);
       }
     }
   }
@@ -942,12 +1060,20 @@ struct Interpreter::Impl {
   // Entry points
   //===--------------------------------------------------------------------===//
 
+  Activation makeActivation(const RoutineDecl *R, Activation *Link) {
+    Activation Act;
+    Act.R = R;
+    Act.StaticLink = Link;
+    Act.Watermark = CellSerial + 1;
+    Act.Slots.resize(R->getNumSlots(), NoCell);
+    return Act;
+  }
+
   Activation makeMainActivation() {
-    Activation Main;
-    Main.R = Prog.getMain();
-    Main.StaticLink = nullptr;
+    Activation Main = makeActivation(Prog.getMain(), nullptr);
     for (const auto &G : Prog.getMain()->getLocals())
-      Main.Cells[G.get()] = newCell(G->getName(), initialValue(G->getType()));
+      Main.Slots[G->getSlot()] =
+          newCell(G.get(), initialValue(G->getType()));
     return Main;
   }
 
@@ -969,6 +1095,7 @@ struct Interpreter::Impl {
     Frames.push_back(UnitFrame());
     Frames.back().NodeId = RootId;
     Frames.back().Watermark = CellSerial + 1;
+    Frames.back().FrameId = ++FrameCounter;
     Frames.back().Act = &Main;
 
     if (Prog.getMain()->getBody())
@@ -982,7 +1109,7 @@ struct Interpreter::Impl {
     Frames.pop_back();
     for (const auto &G : Prog.getMain()->getLocals())
       Res.FinalGlobals.push_back(
-          {G->getName(), Main.Cells[G.get()]->V});
+          {G->getName(), Arena[Main.Slots[G->getSlot()]].V});
     if (Listener) {
       std::vector<Binding> Outputs = Res.FinalGlobals;
       if (!Output.empty())
@@ -995,6 +1122,7 @@ struct Interpreter::Impl {
     Res.Output = Output;
     Res.Steps = Steps;
     Res.UnitsExecuted = NodeCounter;
+    flushPoolStats();
     return Res;
   }
 
@@ -1035,15 +1163,13 @@ struct Interpreter::Impl {
            R && R != Prog.getMain(); R = R->getParent())
         Path.push_back(R);
       for (auto It = Path.rbegin(); It != Path.rend(); ++It) {
-        auto Act = std::make_unique<Activation>();
-        Act->R = *It;
-        Act->StaticLink = Link;
+        auto Act = std::make_unique<Activation>(makeActivation(*It, Link));
         for (const auto &L : (*It)->getLocals())
-          Act->Cells[L.get()] =
-              newCell(L->getName(), initialValue(L->getType()));
+          Act->Slots[L->getSlot()] =
+              newCell(L.get(), initialValue(L->getType()));
         for (const auto &P : (*It)->getParams())
-          Act->Cells[P.get()] =
-              newCell(P->getName(), defaultValue(P->getType()));
+          Act->Slots[P->getSlot()] =
+              newCell(P.get(), defaultValue(P->getType()));
         Link = Act.get();
         Chain.push_back(std::move(Act));
       }
@@ -1053,9 +1179,11 @@ struct Interpreter::Impl {
     for (const Binding &Preset : GlobalPresets) {
       for (Activation *Cur = Link; Cur; Cur = Cur->StaticLink) {
         bool Applied = false;
-        for (auto &[Decl, CellP] : Cur->Cells)
-          if (Decl->getName() == Preset.Name) {
-            CellP->V = Preset.V;
+        const auto &Decls = Cur->R->getSlotDecls();
+        for (size_t I = 0, N = Decls.size(); I != N; ++I)
+          if (Cur->Slots[I] != NoCell &&
+              Decls[I]->getName() == Preset.Name) {
+            Arena[Cur->Slots[I]].V = Preset.V;
             Applied = true;
             break;
           }
@@ -1065,33 +1193,29 @@ struct Interpreter::Impl {
     }
 
     uint64_t Watermark = CellSerial + 1;
-    Activation Act;
-    Act.R = Callee;
-    Act.StaticLink = Link;
+    Activation Act = makeActivation(Callee, Link);
+    Act.Watermark = Watermark;
     std::vector<Binding> EntryInputs;
-    std::vector<CellPtr> RefCells;
     for (size_t I = 0, N = Callee->getParams().size(); I != N; ++I) {
       const VarDecl *Param = Callee->getParams()[I].get();
       Value V = Args[I].isUnset() ? defaultValue(Param->getType())
                                   : std::move(Args[I]);
-      if (!Param->isReference())
+      if (Listener && !Param->isReference())
         EntryInputs.push_back({Param->getName(), V});
-      CellPtr C = newCell(Param->getName(), std::move(V));
-      Act.Cells[Param] = C;
-      if (Param->isReference())
-        RefCells.push_back(C);
+      Act.Slots[Param->getSlot()] = newCell(Param, std::move(V));
     }
     for (const auto &L : Callee->getLocals())
-      Act.Cells[L.get()] = newCell(L->getName(), initialValue(L->getType()));
-    if (Callee->isFunction())
-      Act.Cells[Callee->getResultVar()] = newCell(
-          Callee->getName(), initialValue(Callee->getReturnType()));
+      Act.Slots[L->getSlot()] = newCell(L.get(), initialValue(L->getType()));
+    if (Callee->isFunction()) {
+      const VarDecl *RV = Callee->getResultVar();
+      Act.Slots[RV->getSlot()] =
+          newCell(RV, initialValue(Callee->getReturnType()));
+    }
 
-    std::vector<Binding> Inputs, Outputs;
+    std::vector<Binding> Outputs;
     Value Result;
     runPreparedCall(Act, Callee, std::move(EntryInputs), nullptr, nullptr,
-                    Callee->getLoc(), nullptr, Inputs, Outputs, &Result,
-                    Watermark);
+                    Callee->getLoc(), nullptr, &Outputs, &Result, Watermark);
     if (Goto.Active) {
       fail(Goto.Loc, "non-local goto escaped the routine under test");
       Goto.Active = false;
@@ -1113,14 +1237,24 @@ struct Interpreter::Impl {
         if (B.Name == Param->getName())
           Present = true;
       if (!Present)
-        Out.Outputs.push_back({Param->getName(), Act.Cells[Param]->V});
+        Out.Outputs.push_back(
+            {Param->getName(), Arena[Act.Slots[Param->getSlot()]].V});
     }
+    flushPoolStats();
     return Out;
   }
 };
 
 Interpreter::Interpreter(const Program &Prog, InterpOptions Opts)
-    : P(std::make_unique<Impl>(Prog, Opts)) {}
+    : P(std::make_unique<Impl>(Prog, Opts)) {
+  // Every production path reaches the interpreter through pascal::analyze(),
+  // which assigns frame slots; hand-built programs in tests may not have
+  // them yet. The lazy assignment is idempotent and happens before any
+  // BatchRunner thread could share the program (subjects are analyzed
+  // before the pool starts), so it is not a data race in practice.
+  if (!Prog.areSlotsAssigned())
+    assignStorageSlots(const_cast<Program &>(Prog));
+}
 
 Interpreter::~Interpreter() = default;
 

@@ -2,33 +2,159 @@
 
 #include "interp/Value.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
+#include <unordered_map>
 
 using namespace gadt;
 using namespace gadt::interp;
 
+namespace {
+
+using HeapVec = std::vector<uint32_t>;
+using HeapPtr = std::shared_ptr<const HeapVec>;
+
+uint64_t hashIds(const uint32_t *P, size_t N) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a
+  for (size_t I = 0; I != N; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Per-thread hash-consing table for heap-backed id vectors. Thread-local
+/// so BatchRunner threads never contend; entries hold shared_ptrs, so a
+/// consumer (execution tree, slicer) outliving the interning thread is
+/// fine. Capped: dependence sets of one subject repeat heavily, but across
+/// many subjects the population is unbounded, so the table is dropped
+/// wholesale when it grows past the cap (correctness is unaffected —
+/// interning only dedupes storage).
+struct InternTable {
+  static constexpr size_t MaxEntries = 1 << 15;
+  std::unordered_map<uint64_t, std::vector<HeapPtr>> Buckets;
+  size_t Entries = 0;
+};
+
+thread_local InternTable Interned;
+
+HeapPtr internVec(HeapVec V) {
+  InternTable &T = Interned;
+  if (T.Entries >= InternTable::MaxEntries) {
+    T.Buckets.clear();
+    T.Entries = 0;
+  }
+  auto &Cands = T.Buckets[hashIds(V.data(), V.size())];
+  for (const HeapPtr &C : Cands)
+    if (*C == V) {
+      static obs::Counter &Hits =
+          obs::Registry::global().counter("interp.depset.intern_hits");
+      Hits.add();
+      return C;
+    }
+  Cands.push_back(std::make_shared<const HeapVec>(std::move(V)));
+  ++T.Entries;
+  return Cands.back();
+}
+
+} // namespace
+
+void DepSet::adopt(HeapVec V) {
+  if (V.size() <= InlineCap) {
+    Heap.reset();
+    std::copy(V.begin(), V.end(), Small);
+    Count = static_cast<uint32_t>(V.size());
+    return;
+  }
+  // Interning pays off for the small-to-medium sets that recur (loop
+  // bodies re-merging the same dependences); very large sets are mostly
+  // unique prefixes of a growing chain, where hashing every merge result
+  // costs more than the occasional dedup saves. They still share storage
+  // through the copy-on-write handle.
+  constexpr size_t InternMax = 16;
+  Heap = V.size() <= InternMax
+             ? internVec(std::move(V))
+             : std::make_shared<const HeapVec>(std::move(V));
+  Count = 0;
+}
+
 bool DepSet::contains(uint32_t Id) const {
-  return std::binary_search(Ids.begin(), Ids.end(), Id);
+  const uint32_t *B = begin();
+  return std::binary_search(B, B + size(), Id);
 }
 
 void DepSet::insert(uint32_t Id) {
-  auto It = std::lower_bound(Ids.begin(), Ids.end(), Id);
-  if (It == Ids.end() || *It != Id)
-    Ids.insert(It, Id);
+  const uint32_t *B = begin();
+  size_t N = size();
+  const uint32_t *Pos = std::lower_bound(B, B + N, Id);
+  if (Pos != B + N && *Pos == Id)
+    return;
+  if (!Heap && N < InlineCap) {
+    size_t At = static_cast<size_t>(Pos - B);
+    for (size_t I = N; I > At; --I)
+      Small[I] = Small[I - 1];
+    Small[At] = Id;
+    ++Count;
+    return;
+  }
+  HeapVec V;
+  V.reserve(N + 1);
+  V.insert(V.end(), B, Pos);
+  V.push_back(Id);
+  V.insert(V.end(), Pos, B + N);
+  adopt(std::move(V));
 }
 
 void DepSet::mergeWith(const DepSet &Other) {
-  if (Other.Ids.empty())
+  if (&Other == this)
     return;
-  if (Ids.empty()) {
-    Ids = Other.Ids;
+  size_t ON = Other.size();
+  if (ON == 0)
+    return;
+  size_t N = size();
+  if (N == 0) {
+    *this = Other; // inline copy or refcount bump — never an allocation
     return;
   }
-  std::vector<uint32_t> Merged;
-  Merged.reserve(Ids.size() + Other.Ids.size());
-  std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
-                 std::back_inserter(Merged));
-  Ids = std::move(Merged);
+  if (Heap && Heap == Other.Heap)
+    return;
+  const uint32_t *A = begin();
+  const uint32_t *B = Other.begin();
+  if (N + ON <= InlineCap) {
+    uint32_t Tmp[InlineCap];
+    uint32_t *End = std::set_union(A, A + N, B, B + ON, Tmp);
+    std::copy(Tmp, End, Small);
+    Count = static_cast<uint32_t>(End - Tmp);
+    return;
+  }
+  // Disjoint-range fast path: a unit finishing merges its fresh (maximal)
+  // node id into accumulated deps constantly — that union is plain
+  // concatenation, no element-wise walk needed.
+  if (A[N - 1] < B[0] || B[ON - 1] < A[0]) {
+    const uint32_t *Lo = A[N - 1] < B[0] ? A : B;
+    size_t LoN = Lo == A ? N : ON;
+    const uint32_t *Hi = Lo == A ? B : A;
+    size_t HiN = N + ON - LoN;
+    HeapVec Cat;
+    Cat.reserve(N + ON);
+    Cat.insert(Cat.end(), Lo, Lo + LoN);
+    Cat.insert(Cat.end(), Hi, Hi + HiN);
+    adopt(std::move(Cat));
+    return;
+  }
+  // Subsumption fast paths: merge chains in TrackDeps runs mostly re-merge
+  // sets that already contain each other.
+  if (ON <= N && std::includes(A, A + N, B, B + ON))
+    return;
+  if (N < ON && std::includes(B, B + ON, A, A + N)) {
+    *this = Other;
+    return;
+  }
+  HeapVec Merged;
+  Merged.reserve(N + ON);
+  std::set_union(A, A + N, B, B + ON, std::back_inserter(Merged));
+  adopt(std::move(Merged));
 }
 
 bool Value::equals(const Value &Other) const {

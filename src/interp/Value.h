@@ -16,32 +16,73 @@
 #define GADT_INTERP_VALUE_H
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace gadt {
 namespace interp {
 
-/// A sorted, duplicate-free set of execution-tree node ids. Small programs
-/// keep these sets tiny, so a sorted vector beats heavier set types.
+/// A sorted, duplicate-free set of execution-tree node ids.
+///
+/// Dependence sets are copied every time a value flows — into an expression
+/// result, across a unit boundary, into a control stack — so representation
+/// cost dominates TrackDeps runs. Two-level storage keeps both directions
+/// cheap:
+///
+///  - up to InlineCap ids live inline (no allocation at all; the common
+///    case for short def-use chains), and
+///  - larger sets are a shared, immutable heap vector. Copying a DepSet is
+///    then a refcount bump, mergeWith can adopt the other side's handle
+///    outright when one set subsumes the other, and identical large sets
+///    are hash-consed into one allocation per thread (see Value.cpp).
+///
+/// Mutation is copy-on-write: heap storage is never edited in place, so
+/// handles may be shared freely across values, the execution tree, and the
+/// slicer. The intern table is thread-local, which keeps BatchRunner
+/// threads from contending (or racing) on it.
 class DepSet {
 public:
   DepSet() = default;
 
-  bool empty() const { return Ids.empty(); }
-  size_t size() const { return Ids.size(); }
-  const std::vector<uint32_t> &ids() const { return Ids; }
+  bool empty() const { return !Heap && Count == 0; }
+  size_t size() const { return Heap ? Heap->size() : Count; }
+  /// The ids in ascending order. Returns by value: inline sets have no
+  /// vector to reference, and callers are tests and diagnostics.
+  std::vector<uint32_t> ids() const {
+    return std::vector<uint32_t>(begin(), begin() + size());
+  }
 
   bool contains(uint32_t Id) const;
   void insert(uint32_t Id);
   void mergeWith(const DepSet &Other);
 
   friend bool operator==(const DepSet &A, const DepSet &B) {
-    return A.Ids == B.Ids;
+    size_t N = A.size();
+    if (N != B.size())
+      return false;
+    if (A.Heap && A.Heap == B.Heap)
+      return true;
+    const uint32_t *PA = A.begin(), *PB = B.begin();
+    for (size_t I = 0; I != N; ++I)
+      if (PA[I] != PB[I])
+        return false;
+    return true;
   }
 
 private:
-  std::vector<uint32_t> Ids;
+  static constexpr size_t InlineCap = 4;
+
+  const uint32_t *begin() const { return Heap ? Heap->data() : Small; }
+
+  /// Replaces the contents with \p V (sorted, unique), choosing inline or
+  /// interned heap storage by size. Takes the vector by value so the heap
+  /// path moves instead of copying.
+  void adopt(std::vector<uint32_t> V);
+
+  uint32_t Small[InlineCap] = {};
+  uint32_t Count = 0; // meaningful only when !Heap
+  std::shared_ptr<const std::vector<uint32_t>> Heap;
 };
 
 /// An array value: inclusive bounds plus elements. Pascal arrays have value

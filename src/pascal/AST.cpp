@@ -440,6 +440,12 @@ std::unique_ptr<Program> Program::clone() const {
   NewP->SharedTypes = SharedTypes ? SharedTypes : Types.get();
   NewP->TypeDefs = TypeDefs;
   NewP->setMain(Main->cloneTree());
+  // Keep the clone immediately interpretable: the batch runtime caches
+  // transformed clones and interprets one instance from many threads, so
+  // the Interpreter's lazy slot assignment must never trigger on a shared
+  // program (it would be a write race).
+  if (SlotsAssigned)
+    assignStorageSlots(*NewP);
   return NewP;
 }
 
@@ -575,6 +581,30 @@ void gadt::pascal::forEachExpr(Stmt *S,
       return;
     }
   });
+}
+
+uint32_t gadt::pascal::assignStorageSlots(Program &P) {
+  uint32_t MaxSlots = 0;
+  forEachRoutine(P.getMain(), [&MaxSlots](RoutineDecl *R) {
+    uint32_t Depth = 0;
+    for (const RoutineDecl *Up = R->getParent(); Up; Up = Up->getParent())
+      ++Depth;
+    std::vector<const VarDecl *> Decls;
+    auto Place = [&](VarDecl *V) {
+      V->setStorage(static_cast<uint32_t>(Decls.size()), Depth);
+      Decls.push_back(V);
+    };
+    for (const auto &Param : R->getParams())
+      Place(Param.get());
+    for (const auto &Local : R->getLocals())
+      Place(Local.get());
+    if (VarDecl *Result = R->getResultVar())
+      Place(Result);
+    MaxSlots = std::max(MaxSlots, static_cast<uint32_t>(Decls.size()));
+    R->setStorageLayout(Depth, std::move(Decls));
+  });
+  P.setSlotsAssigned(true);
+  return MaxSlots;
 }
 
 unsigned gadt::pascal::assignNodeIds(Program &P) {

@@ -611,6 +611,17 @@ public:
   RoutineDecl *getOwner() const { return Owner; }
   void setOwner(RoutineDecl *R) { Owner = R; }
 
+  /// Storage coordinates assigned by assignStorageSlots: the index of this
+  /// variable in its owner's activation frame, and the owner's static
+  /// nesting depth (program = 0). Together they let the interpreter reach
+  /// any variable with (depth hops, array index) instead of map lookups.
+  uint32_t getSlot() const { return Slot; }
+  uint32_t getDepth() const { return Depth; }
+  void setStorage(uint32_t S, uint32_t D) {
+    Slot = S;
+    Depth = D;
+  }
+
 private:
   SourceLoc Loc;
   std::string Name;
@@ -618,6 +629,8 @@ private:
   VarKind VK;
   ParamMode Mode;
   RoutineDecl *Owner = nullptr;
+  uint32_t Slot = 0;
+  uint32_t Depth = 0;
 };
 
 /// A procedure, function, or the program itself (the root routine).
@@ -692,6 +705,21 @@ public:
   /// declarations, so the result is a self-contained program tree.
   std::unique_ptr<RoutineDecl> cloneTree() const;
 
+  /// Storage layout assigned by assignStorageSlots: static nesting depth
+  /// (program = 0) and the declarations backing each frame slot, in slot
+  /// order (params, then locals, then the function result).
+  uint32_t getStorageDepth() const { return StorageDepth; }
+  uint32_t getNumSlots() const {
+    return static_cast<uint32_t>(SlotDecls.size());
+  }
+  const std::vector<const VarDecl *> &getSlotDecls() const {
+    return SlotDecls;
+  }
+  void setStorageLayout(uint32_t Depth, std::vector<const VarDecl *> Decls) {
+    StorageDepth = Depth;
+    SlotDecls = std::move(Decls);
+  }
+
 private:
   SourceLoc Loc;
   std::string Name;
@@ -704,6 +732,8 @@ private:
   std::vector<std::unique_ptr<RoutineDecl>> Nested;
   std::unique_ptr<CompoundStmt> Body;
   std::unique_ptr<VarDecl> ResultVar;
+  uint32_t StorageDepth = 0;
+  std::vector<const VarDecl *> SlotDecls;
 };
 
 //===----------------------------------------------------------------------===//
@@ -734,13 +764,20 @@ public:
   /// Deep copy sharing the TypeContext of this program. The clone keeps a
   /// non-owning pointer to our TypeContext, so the original must outlive it;
   /// transformations clone, mutate, and hand both back to the caller.
+  /// Clones start with storage slots unassigned (they are re-analyzed after
+  /// mutation, which reassigns them).
   std::unique_ptr<Program> clone() const;
+
+  /// Whether assignStorageSlots has run on the current shape of the tree.
+  bool areSlotsAssigned() const { return SlotsAssigned; }
+  void setSlotsAssigned(bool B) { SlotsAssigned = B; }
 
 private:
   std::unique_ptr<TypeContext> Types;
   TypeContext *SharedTypes = nullptr; // set on clones
   std::vector<TypeDef> TypeDefs;
   std::unique_ptr<RoutineDecl> Main;
+  bool SlotsAssigned = false;
 
 public:
   /// The context actually used for type creation (shared for clones).
@@ -754,6 +791,14 @@ public:
 /// Assigns dense, deterministic ids (1-based, preorder) to every statement
 /// and expression in \p P. Returns the number of nodes numbered.
 unsigned assignNodeIds(Program &P);
+
+/// Assigns frame-storage coordinates to every variable of \p P: each
+/// routine gets its static nesting depth and a slot-ordered declaration
+/// table (params, locals, function result), and each VarDecl the matching
+/// (slot, depth) pair. Sema runs this after every successful analysis;
+/// re-running after tree mutation is safe and required. Returns the
+/// largest frame size.
+uint32_t assignStorageSlots(Program &P);
 
 /// Calls \p Fn on every routine of the tree rooted at \p Root (preorder,
 /// including \p Root itself).

@@ -523,7 +523,9 @@ const Type *SemaPass::checkExpr(RoutineDecl *R, Expr *E) {
 bool gadt::pascal::analyze(Program &P, DiagnosticsEngine &Diags) {
   SemaPass Pass(P, Diags);
   bool Ok = Pass.run();
-  if (Ok)
+  if (Ok) {
     assignNodeIds(P);
+    assignStorageSlots(P);
+  }
   return Ok;
 }

@@ -148,6 +148,76 @@ TEST(DepSetTest, MergeIsUnion) {
   EXPECT_EQ(Empty.size(), 3u);
 }
 
+TEST(DepSetTest, MergeSelf) {
+  interp::DepSet S;
+  for (uint32_t Id : {3u, 1u, 7u})
+    S.insert(Id);
+  S.mergeWith(S);
+  EXPECT_EQ(S.ids(), (std::vector<uint32_t>{1, 3, 7}));
+  // Self-merge on a heap-backed set (> inline capacity) as well.
+  for (uint32_t Id : {9u, 11u, 13u, 15u})
+    S.insert(Id);
+  S.mergeWith(S);
+  EXPECT_EQ(S.ids(), (std::vector<uint32_t>{1, 3, 7, 9, 11, 13, 15}));
+}
+
+TEST(DepSetTest, MergeDisjoint) {
+  interp::DepSet A, B;
+  for (uint32_t Id : {1u, 3u, 5u})
+    A.insert(Id);
+  for (uint32_t Id : {2u, 4u, 6u})
+    B.insert(Id);
+  A.mergeWith(B);
+  EXPECT_EQ(A.ids(), (std::vector<uint32_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(B.ids(), (std::vector<uint32_t>{2, 4, 6})); // argument untouched
+}
+
+TEST(DepSetTest, MergeFullyOverlapping) {
+  interp::DepSet A, B;
+  for (uint32_t Id : {2u, 4u, 8u})
+    A.insert(Id);
+  for (uint32_t Id : {2u, 4u, 8u})
+    B.insert(Id);
+  A.mergeWith(B);
+  EXPECT_EQ(A.ids(), (std::vector<uint32_t>{2, 4, 8}));
+  // Strict subset in either direction is also a no-copy path.
+  interp::DepSet Sub;
+  Sub.insert(4);
+  A.mergeWith(Sub);
+  EXPECT_EQ(A.ids(), (std::vector<uint32_t>{2, 4, 8}));
+  Sub.mergeWith(A);
+  EXPECT_EQ(Sub.ids(), (std::vector<uint32_t>{2, 4, 8}));
+}
+
+TEST(DepSetTest, SpillsInlineToHeapAndBack) {
+  // Cross the inline-capacity boundary via insert and via merge; contains,
+  // ids order, and equality must be representation-independent.
+  interp::DepSet S;
+  for (uint32_t Id = 1; Id <= 12; ++Id)
+    S.insert(13 - Id);
+  EXPECT_EQ(S.size(), 12u);
+  for (uint32_t Id = 1; Id <= 12; ++Id)
+    EXPECT_TRUE(S.contains(Id));
+  EXPECT_FALSE(S.contains(13));
+
+  interp::DepSet A, B;
+  for (uint32_t Id : {1u, 2u, 3u})
+    A.insert(Id);
+  for (uint32_t Id : {10u, 20u, 30u})
+    B.insert(Id);
+  A.mergeWith(B);
+  EXPECT_EQ(A.ids(), (std::vector<uint32_t>{1, 2, 3, 10, 20, 30}));
+
+  interp::DepSet C = A; // shared heap handle
+  EXPECT_TRUE(C == A);
+  C.insert(5); // copy-on-write: A must not see the 5
+  EXPECT_TRUE(C.contains(5));
+  EXPECT_FALSE(A.contains(5));
+  interp::DepSet EmptyAdopts;
+  EmptyAdopts.mergeWith(A);
+  EXPECT_TRUE(EmptyAdopts == A);
+}
+
 //===----------------------------------------------------------------------===//
 // Value
 //===----------------------------------------------------------------------===//
