@@ -15,9 +15,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/SDG.h"
+#include "core/Debugger.h"
 #include "interp/Interpreter.h"
 #include "pascal/Frontend.h"
+#include "slicing/DynamicSlicer.h"
 #include "slicing/StaticSlicer.h"
+#include "slicing/TreePruner.h"
 #include "support/JSON.h"
 #include "tgen/FrameGen.h"
 #include "tgen/SpecParser.h"
@@ -32,6 +35,7 @@
 #include <fstream>
 #include <map>
 #include <unistd.h>
+#include <unordered_set>
 
 using namespace gadt;
 
@@ -245,6 +249,165 @@ void BM_RunArrsumTestSuite(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_RunArrsumTestSuite);
+
+//===--------------------------------------------------------------------===//
+// Debugger-strategy benchmarks (X10): search cost over large synthetic
+// execution trees with a zero-latency perfect oracle, so the numbers
+// isolate the tree bookkeeping — subtree weights, slice pruning, memo
+// lookups — rather than oracle latency. These are the regression gate for
+// the trace/slicing/debugger substrate.
+//===--------------------------------------------------------------------===//
+
+/// A traced buggy subject plus the node ids a perfect oracle judges
+/// incorrect: every execution of the buggy routine and all its ancestors
+/// (the erroneous path the search must follow down to the bug).
+struct StrategyFixture {
+  std::unique_ptr<pascal::Program> Prog;
+  std::unique_ptr<trace::ExecTree> Tree;
+  std::unordered_set<uint32_t> Bad;
+};
+
+StrategyFixture makeStrategyFixture(const workload::ProgramPair &Pair) {
+  StrategyFixture F;
+  F.Prog = compileOrDie(Pair.Buggy);
+  F.Tree = trace::buildExecTree(*F.Prog, {}, {});
+  F.Tree->forEachNode([&](trace::ExecNode *N) {
+    if (N->getRoutine() && N->getRoutine()->getName() == Pair.BuggyRoutine)
+      for (const trace::ExecNode *A = N; A; A = A->getParent())
+        F.Bad.insert(A->getId());
+  });
+  return F;
+}
+
+core::LambdaOracle::Fn perfectOracle(const StrategyFixture &Fix) {
+  return [&Fix](const trace::ExecNode &N) {
+    return Fix.Bad.count(N.getId()) ? core::Judgement::incorrect("bench")
+                                    : core::Judgement::correct("bench");
+  };
+}
+
+/// Heaviest-first descent over a complete binary call tree (depth = range):
+/// every level re-ranks the children by active subtree weight.
+void BM_DebugTopDownHeaviestTree(benchmark::State &State) {
+  auto Fix = makeStrategyFixture(
+      workload::treeProgram(static_cast<unsigned>(State.range(0))));
+  core::LambdaOracle O(perfectOracle(Fix), "bench");
+  core::DebuggerOptions Opts;
+  Opts.Strategy = core::SearchStrategy::TopDownHeaviest;
+  Opts.Slicing = core::SliceMode::None;
+  for (auto _ : State) {
+    core::AlgorithmicDebugger D(*Fix.Tree, O, Opts);
+    auto R = D.run();
+    benchmark::DoNotOptimize(R.Found);
+  }
+  State.SetComplexityN(1 << State.range(0));
+}
+BENCHMARK(BM_DebugTopDownHeaviestTree)->DenseRange(8, 12, 2)->Complexity();
+
+/// Shapiro's divide-and-query over the same binary tree: each round scans
+/// every active candidate's subtree weight to find the half-weight pivot.
+void BM_DebugDivideAndQueryTree(benchmark::State &State) {
+  auto Fix = makeStrategyFixture(
+      workload::treeProgram(static_cast<unsigned>(State.range(0))));
+  core::LambdaOracle O(perfectOracle(Fix), "bench");
+  core::DebuggerOptions Opts;
+  Opts.Strategy = core::SearchStrategy::DivideAndQuery;
+  Opts.Slicing = core::SliceMode::None;
+  for (auto _ : State) {
+    core::AlgorithmicDebugger D(*Fix.Tree, O, Opts);
+    auto R = D.run();
+    benchmark::DoNotOptimize(R.Found);
+  }
+  State.SetComplexityN(1 << State.range(0));
+}
+BENCHMARK(BM_DebugDivideAndQueryTree)->DenseRange(8, 12, 2)->Complexity();
+
+/// Divide-and-query on a linear call chain — the weight-scan worst case:
+/// O(active) candidates per round, each with an O(subtree) weight.
+void BM_DebugDivideAndQueryChain(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  auto Fix = makeStrategyFixture(workload::chainProgram(N, N / 2));
+  core::LambdaOracle O(perfectOracle(Fix), "bench");
+  core::DebuggerOptions Opts;
+  Opts.Strategy = core::SearchStrategy::DivideAndQuery;
+  Opts.Slicing = core::SliceMode::None;
+  for (auto _ : State) {
+    core::AlgorithmicDebugger D(*Fix.Tree, O, Opts);
+    auto R = D.run();
+    benchmark::DoNotOptimize(R.Found);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_DebugDivideAndQueryChain)->Range(64, 512)->Complexity();
+
+/// The paper's Figure 5 scenario at scale: a wrong-output answer activates
+/// static slicing, pruning the N-1 irrelevant calls, then the search
+/// continues on the pruned tree.
+void BM_DebugSliceThenSearchWide(benchmark::State &State) {
+  auto Fix = makeStrategyFixture(
+      workload::wideIrrelevantProgram(static_cast<unsigned>(State.range(0))));
+  analysis::SDG G(*Fix.Prog);
+  core::LambdaOracle O(
+      [&Fix](const trace::ExecNode &N) {
+        if (!Fix.Bad.count(N.getId()))
+          return core::Judgement::correct("bench");
+        std::string Wrong = N.getOutputs().empty()
+                                ? std::string()
+                                : std::string(N.getOutputs().back().Name);
+        return core::Judgement::incorrect("bench", std::move(Wrong));
+      },
+      "bench");
+  core::DebuggerOptions Opts;
+  Opts.Strategy = core::SearchStrategy::TopDown;
+  Opts.Slicing = core::SliceMode::Static;
+  for (auto _ : State) {
+    core::AlgorithmicDebugger D(*Fix.Tree, O, Opts);
+    D.setSDG(&G);
+    auto R = D.run();
+    benchmark::DoNotOptimize(R.Found);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_DebugSliceThenSearchWide)->Range(64, 256)->Complexity();
+
+/// Static-slice pruning plus retained-count over the wide tree, without the
+/// search on top — the raw prune/count substrate.
+void BM_PruneStaticWide(benchmark::State &State) {
+  auto Pair =
+      workload::wideIrrelevantProgram(static_cast<unsigned>(State.range(0)));
+  auto Prog = compileOrDie(Pair.Buggy);
+  auto Tree = trace::buildExecTree(*Prog, {}, {});
+  analysis::SDG G(*Prog);
+  const pascal::RoutineDecl *P = Prog->getMain()->findNested("p");
+  auto Slice = slicing::sliceOnRoutineOutput(G, P, "b");
+  trace::ExecNode *PNode = nullptr;
+  Tree->forEachNode([&](trace::ExecNode *N) {
+    if (N->getRoutine() == P)
+      PNode = N;
+  });
+  for (auto _ : State) {
+    auto Kept = slicing::pruneByStaticSlice(PNode, Slice);
+    benchmark::DoNotOptimize(slicing::countRetained(PNode, Kept));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_PruneStaticWide)->Range(64, 512)->Complexity();
+
+/// Dynamic slicing on the root output of a dependence-tracked chain: the
+/// relevant-set closure walk over the whole tree.
+void BM_DynamicSliceChainDeps(benchmark::State &State) {
+  auto Pair = workload::chainProgram(static_cast<unsigned>(State.range(0)), 1);
+  auto Prog = compileOrDie(Pair.Buggy);
+  interp::InterpOptions IOpts;
+  IOpts.TrackDeps = true;
+  auto Tree = trace::buildExecTree(*Prog, IOpts, {});
+  for (auto _ : State) {
+    auto Kept = slicing::dynamicSlice(Tree->getRoot(), "r");
+    benchmark::DoNotOptimize(Kept.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_DynamicSliceChainDeps)->Range(64, 512)->Complexity();
 
 /// The stock console reporter, additionally collecting every per-repetition
 /// run so main() can export min-of-N aggregates as machine-readable JSON.

@@ -40,7 +40,7 @@ Judgement AssertionOracle::judge(const ExecNode &N) {
   tgen::ValueEnv Env;
   for (const interp::Binding &B : N.getInputs()) {
     Env[B.Name] = B.V;
-    Env["in_" + B.Name] = B.V;
+    Env["in_" + B.Name.str()] = B.V;
   }
   for (const interp::Binding &B : N.getOutputs())
     Env[B.Name] = B.V;

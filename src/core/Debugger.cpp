@@ -46,8 +46,8 @@ std::string SessionStats::transcript() const {
 
 AlgorithmicDebugger::AlgorithmicDebugger(ExecTree &Tree, Oracle &O,
                                          DebuggerOptions Opts)
-    : Tree(Tree), O(O), Opts(Opts) {
-  Tree.forEachNode([this](ExecNode *N) { Active.insert(N->getId()); });
+    : Tree(Tree), O(O), Opts(Opts), Active(Tree.maxNodeId() + 1) {
+  Active.insertRange(1, Tree.maxNodeId() + 1);
 }
 
 /// One telemetry event per oracle exchange: who answered, what the verdict
@@ -72,18 +72,132 @@ static void emitJudgementEvent(const trace::ExecNode &N, const Judgement &J,
   obs::Tracer::global().instant("judgement", "debug", std::move(Args));
 }
 
+namespace {
+
+uint64_t hashMix(uint64_t H, uint64_t V) {
+  H ^= V;
+  H *= 1099511628211ull; // FNV-1a step over 64-bit lanes
+  return H;
+}
+
+/// True when the unit is a function whose last output is its result binding
+/// — the signature renders that binding as "=value" rather than "Out ...".
+bool hasResultBinding(const ExecNode &N) {
+  return N.getRoutine() && N.getRoutine()->isFunction() &&
+         !N.getOutputs().empty() &&
+         N.getOutputs().back().Name == N.getRoutine()->getName();
+}
+
+uint64_t hashValueRender(uint64_t H, const interp::Value &V) {
+  using K = interp::Value::Kind;
+  H = hashMix(H, static_cast<uint64_t>(V.kind()));
+  switch (V.kind()) {
+  case K::Unset:
+    break;
+  case K::Int:
+    H = hashMix(H, static_cast<uint64_t>(V.asInt()));
+    break;
+  case K::Bool:
+    H = hashMix(H, V.asBool() ? 1 : 2);
+    break;
+  case K::Str:
+    for (unsigned char C : V.asStr())
+      H = hashMix(H, C);
+    break;
+  case K::Array:
+    // Bounds are deliberately excluded: Value::str() renders elements only,
+    // and the memo must hit exactly when the rendered signatures coincide.
+    for (int64_t E : V.asArray().Elems)
+      H = hashMix(H, static_cast<uint64_t>(E));
+    break;
+  }
+  return H;
+}
+
+/// Equality of the *rendered* text of two values without rendering it:
+/// Value::str() is injective within each kind and distinguishes kinds
+/// (quotes, brackets, true/false), except that array bounds do not appear.
+bool valueRenderEqual(const interp::Value &A, const interp::Value &B) {
+  using K = interp::Value::Kind;
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case K::Unset:
+    return true;
+  case K::Int:
+    return A.asInt() == B.asInt();
+  case K::Bool:
+    return A.asBool() == B.asBool();
+  case K::Str:
+    return A.asStr() == B.asStr();
+  case K::Array:
+    return A.asArray().Elems == B.asArray().Elems;
+  }
+  return false;
+}
+
+bool bindingsRenderEqual(const std::vector<interp::Binding> &A,
+                         const std::vector<interp::Binding> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (A[I].Name != B[I].Name || !valueRenderEqual(A[I].V, B[I].V))
+      return false;
+  return true;
+}
+
+/// The iteration tag rendered into the signature: the 1-based index for
+/// Iteration units, absent (0) otherwise.
+uint64_t iterationTag(const ExecNode &N) {
+  return N.getKind() == interp::UnitKind::Iteration ? N.getIterIndex() + 1
+                                                    : 0;
+}
+
+uint64_t judgementKeyHash(const ExecNode &N) {
+  uint64_t H = 1469598103934665603ull;
+  H = hashMix(H, N.getNameSymbol().id());
+  H = hashMix(H, iterationTag(N));
+  H = hashMix(H, hasResultBinding(N) ? 1 : 0);
+  for (const interp::Binding &B : N.getInputs()) {
+    H = hashMix(H, B.Name.id());
+    H = hashValueRender(H, B.V);
+  }
+  H = hashMix(H, 0x9e3779b97f4a7c15ull); // input/output boundary
+  for (const interp::Binding &B : N.getOutputs()) {
+    H = hashMix(H, B.Name.id());
+    H = hashValueRender(H, B.V);
+  }
+  return H;
+}
+
+/// True iff \p A and \p B render identical dialogue signatures.
+bool judgementKeyEqual(const ExecNode &A, const ExecNode &B) {
+  return A.getNameSymbol() == B.getNameSymbol() &&
+         iterationTag(A) == iterationTag(B) &&
+         hasResultBinding(A) == hasResultBinding(B) &&
+         bindingsRenderEqual(A.getInputs(), B.getInputs()) &&
+         bindingsRenderEqual(A.getOutputs(), B.getOutputs());
+}
+
+} // namespace
+
 Judgement AlgorithmicDebugger::ask(const ExecNode &N) {
-  // Identical unit behaviour needs only one verdict: key the memo by the
-  // full dialogue signature (name, inputs, outputs).
+  // Identical unit behaviour needs only one verdict: the memo key is the
+  // interned unit name plus the binding names and values — equal exactly
+  // when the rendered dialogue signatures are equal, without making the
+  // signature string the key.
   std::string Key = N.signature();
+  std::vector<MemoEntry> *Bucket = nullptr;
   if (Opts.MemoizeJudgements) {
-    auto It = Memo.find(Key);
-    if (It != Memo.end()) {
+    Bucket = &Memo[judgementKeyHash(N)];
+    for (const MemoEntry &E : *Bucket) {
+      if (!judgementKeyEqual(*E.Rep, N))
+        continue;
       ++Stats.MemoHits;
-      Stats.Dialogue.push_back({Key, It->second.A, It->second.WrongOutput,
-                                It->second.Source, /*FromMemo=*/true});
-      emitJudgementEvent(N, It->second, /*FromMemo=*/true);
-      return It->second;
+      Stats.Dialogue.push_back(
+          {Key, E.J.A, E.J.WrongOutput, E.J.Source, /*FromMemo=*/true});
+      emitJudgementEvent(N, E.J, /*FromMemo=*/true);
+      return E.J;
     }
   }
   ++Stats.Judgements;
@@ -97,19 +211,19 @@ Judgement AlgorithmicDebugger::ask(const ExecNode &N) {
   emitJudgementEvent(N, J, /*FromMemo=*/false);
   if (J.A == Answer::Incorrect && !J.WrongOutput.empty())
     WrongOutputOf[&N] = J.WrongOutput;
-  if (Opts.MemoizeJudgements && J.A != Answer::DontKnow)
-    Memo.emplace(std::move(Key), J);
+  if (Bucket && J.A != Answer::DontKnow)
+    Bucket->push_back({&N, J});
   return J;
 }
 
 unsigned
 AlgorithmicDebugger::activeSubtreeSize(const ExecNode *N) const {
-  if (!Active.count(N->getId()))
+  // Chain-closed active set + contiguous subtree interval: the reachable
+  // active weight is a masked popcount, not a traversal.
+  if (!Active.contains(N->getId()))
     return 0;
-  unsigned Count = 1;
-  for (const auto &C : N->getChildren())
-    Count += activeSubtreeSize(C.get());
-  return Count;
+  return static_cast<unsigned>(
+      Active.countRange(N->getId(), N->subtreeEnd()));
 }
 
 std::shared_ptr<const slicing::StaticSlice>
@@ -126,7 +240,7 @@ AlgorithmicDebugger::staticSliceFor(const pascal::RoutineDecl *R,
 
 void AlgorithmicDebugger::applySliceIfPossible(
     const ExecNode &N, const std::string &WrongOutput) {
-  std::set<uint32_t> Kept;
+  trace::NodeSet Kept;
   switch (Opts.Slicing) {
   case SliceMode::None:
     return;
@@ -151,15 +265,7 @@ void AlgorithmicDebugger::applySliceIfPossible(
   unsigned Before = activeSubtreeSize(&N);
   // Restrict the active set within N's subtree to the kept ids; nodes
   // outside N's subtree are unaffected (the search is inside N now anyway).
-  std::vector<const ExecNode *> Stack = {&N};
-  while (!Stack.empty()) {
-    const ExecNode *Cur = Stack.back();
-    Stack.pop_back();
-    if (!Kept.count(Cur->getId()))
-      Active.erase(Cur->getId());
-    for (const auto &C : Cur->getChildren())
-      Stack.push_back(C.get());
-  }
+  Active.intersectRangeWith(Kept, N.getId(), N.subtreeEnd());
   Active.insert(N.getId()); // the sliced node itself stays suspect
   unsigned After = activeSubtreeSize(&N);
   ++Stats.SlicingActivations;
@@ -247,9 +353,9 @@ BugReport AlgorithmicDebugger::runTopDown(const ExecNode *Root,
   const ExecNode *Suspect = Root;
   for (;;) {
     std::vector<const ExecNode *> Order;
-    for (const auto &C : Suspect->getChildren())
-      if (Active.count(C->getId()))
-        Order.push_back(C.get());
+    for (const ExecNode *C : Suspect->getChildren())
+      if (Active.contains(C->getId()))
+        Order.push_back(C);
     if (HeaviestFirst)
       std::stable_sort(Order.begin(), Order.end(),
                        [this](const ExecNode *A, const ExecNode *B) {
@@ -278,16 +384,16 @@ BugReport AlgorithmicDebugger::runDivideAndQuery(const ExecNode *Root) {
     // Gather the active proper descendants of the suspect.
     std::vector<const ExecNode *> Candidates;
     std::vector<const ExecNode *> Stack;
-    for (const auto &C : Suspect->getChildren())
-      Stack.push_back(C.get());
+    for (const ExecNode *C : Suspect->getChildren())
+      Stack.push_back(C);
     while (!Stack.empty()) {
       const ExecNode *N = Stack.back();
       Stack.pop_back();
-      if (!Active.count(N->getId()))
+      if (!Active.contains(N->getId()))
         continue;
       Candidates.push_back(N);
-      for (const auto &C : N->getChildren())
-        Stack.push_back(C.get());
+      for (const ExecNode *C : N->getChildren())
+        Stack.push_back(C);
     }
     if (Candidates.empty())
       return bugAt(Suspect);
@@ -314,38 +420,41 @@ BugReport AlgorithmicDebugger::runDivideAndQuery(const ExecNode *Root) {
       continue;
     }
     // Correct (or unanswerable): discard the whole subtree.
-    std::vector<const ExecNode *> Prune = {Pick};
-    while (!Prune.empty()) {
-      const ExecNode *N = Prune.back();
-      Prune.pop_back();
-      Active.erase(N->getId());
-      for (const auto &C : N->getChildren())
-        Prune.push_back(C.get());
-    }
+    Active.eraseRange(Pick->getId(), Pick->subtreeEnd());
   }
 }
 
 BugReport AlgorithmicDebugger::runBottomUp(const ExecNode *Root) {
   // Exhaustive postorder baseline: children are judged before parents, so
   // the first incorrect node has all-correct children and is the bug.
+  // Iterative with an explicit frame stack — recursion depth would equal
+  // tree depth.
   const ExecNode *Found = nullptr;
-  std::function<bool(const ExecNode *)> Visit =
-      [&](const ExecNode *N) -> bool {
-    if (!Active.count(N->getId()))
-      return false;
-    for (const auto &C : N->getChildren())
-      if (Visit(C.get()))
-        return true;
-    if (N == Root)
-      return false; // the root is assumed incorrect, not queried
-    Judgement J = ask(*N);
-    if (J.A == Answer::Incorrect) {
-      Found = N;
-      return true;
-    }
-    return false;
+  struct Frame {
+    const ExecNode *N;
+    const ExecNode *NextChild;
   };
-  if (Visit(Root) && Found)
+  std::vector<Frame> St;
+  if (Active.contains(Root->getId()))
+    St.push_back({Root, Root->firstChild()});
+  while (!St.empty() && !Found) {
+    Frame &F = St.back();
+    if (F.NextChild) {
+      const ExecNode *C = F.NextChild;
+      F.NextChild = C->nextSibling();
+      if (Active.contains(C->getId()))
+        St.push_back({C, C->firstChild()});
+      continue;
+    }
+    const ExecNode *N = F.N;
+    St.pop_back();
+    if (N == Root)
+      break; // the root is assumed incorrect, not queried
+    Judgement J = ask(*N);
+    if (J.A == Answer::Incorrect)
+      Found = N;
+  }
+  if (Found)
     return bugAt(Found);
   return bugAt(Root);
 }

@@ -27,12 +27,13 @@
 #include "analysis/SDG.h"
 #include "core/Oracle.h"
 #include "trace/ExecTree.h"
+#include "trace/NodeSet.h"
 
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
 
 namespace gadt {
 
@@ -43,11 +44,12 @@ class StaticSlice;
 namespace core {
 
 /// Supplies the static slice for (routine, output-variable) criteria. The
-/// batch runtime installs a provider backed by a shared cross-session memo;
-/// without one the debugger computes each slice itself. A provider may
-/// return null to fall back to local computation.
+/// batch runtime installs a provider backed by a shared cross-session memo
+/// (keyed on interned symbol ids); without one the debugger computes each
+/// slice itself. A provider may return null to fall back to local
+/// computation.
 using SliceProvider = std::function<std::shared_ptr<const slicing::StaticSlice>(
-    const pascal::RoutineDecl *, const std::string &)>;
+    const pascal::RoutineDecl *, support::Symbol)>;
 
 /// How the execution tree is searched.
 enum class SearchStrategy : uint8_t {
@@ -148,7 +150,7 @@ public:
   const SessionStats &stats() const { return Stats; }
 
   /// The ids still searchable after all slicing prunes (for inspection).
-  const std::set<uint32_t> &activeIds() const { return Active; }
+  const trace::NodeSet &activeIds() const { return Active; }
 
 private:
   Judgement ask(const trace::ExecNode &N);
@@ -171,8 +173,17 @@ private:
   DebuggerOptions Opts;
   const analysis::SDG *Sdg = nullptr;
   SliceProvider Slices;
-  std::set<uint32_t> Active;
-  std::map<std::string, Judgement> Memo; ///< keyed by node signature
+  trace::NodeSet Active;
+  /// Judgement memo. Two unit executions get one verdict when their
+  /// dialogue signatures coincide; instead of keying on the rendered
+  /// string, entries are hashed over the interned unit name, iteration
+  /// index and binding names/values, and verified structurally against a
+  /// representative node — no string keys, no tree rebalancing.
+  struct MemoEntry {
+    const trace::ExecNode *Rep;
+    Judgement J;
+  };
+  std::unordered_map<uint64_t, std::vector<MemoEntry>> Memo;
   /// Wrong-output variable recorded per judged-incorrect node.
   std::map<const trace::ExecNode *, std::string> WrongOutputOf;
   SessionStats Stats;

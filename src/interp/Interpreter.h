@@ -34,6 +34,7 @@
 #include "interp/Value.h"
 #include "pascal/AST.h"
 #include "support/SourceLoc.h"
+#include "support/Symbols.h"
 
 #include <cstdint>
 #include <memory>
@@ -54,9 +55,11 @@ struct RuntimeError {
 /// What kind of debugging unit an execution-tree node stands for.
 enum class UnitKind : uint8_t { Call, Loop, Iteration };
 
-/// A named value crossing a unit boundary.
+/// A named value crossing a unit boundary. The name is an interned symbol:
+/// one word per binding, and the execution tree's millions of bindings
+/// share a single copy of each distinct name.
 struct Binding {
-  std::string Name;
+  support::Symbol Name;
   Value V;
 };
 
@@ -65,8 +68,8 @@ struct UnitStart {
   uint32_t NodeId = 0;
   UnitKind Kind = UnitKind::Call;
   /// Routine name for calls; the loop's synthesized unit name for loops and
-  /// iterations.
-  std::string Name;
+  /// iterations. Interned — comparisons are integer compares.
+  support::Symbol Name;
   const pascal::RoutineDecl *Routine = nullptr; // calls only
   const pascal::Stmt *CallStmt = nullptr;  // statement-position call site
   const pascal::Expr *CallExpr = nullptr;  // expression-position call site

@@ -158,11 +158,12 @@ RuntimeContext::prepare(const std::string &Source,
     bool Transformed = Opts.Transform;
     Artifacts->Slices =
         [this, Sdg, Fingerprint,
-         Transformed](const pascal::RoutineDecl *R, const std::string &Out)
+         Transformed](const pascal::RoutineDecl *R, support::Symbol Out)
         -> std::shared_ptr<const slicing::StaticSlice> {
       if (!R)
         return nullptr;
-      SliceKey Key{Fingerprint, Transformed, R->getName(), Out};
+      SliceKey Key{Fingerprint, Transformed,
+                   support::Symbol(R->getName()).id(), Out.id()};
       obs::Span Span("cache.slice", "cache");
       bool WasMiss = false;
       std::shared_ptr<const slicing::StaticSlice> S = Slices.getOrBuild(

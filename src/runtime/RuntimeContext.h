@@ -107,9 +107,10 @@ public:
 private:
   struct ProgramEntry;
 
-  /// Key of the slice memo: (fingerprint, transformed?, routine name,
-  /// output variable).
-  using SliceKey = std::tuple<uint64_t, bool, std::string, std::string>;
+  /// Key of the slice memo: (fingerprint, transformed?, routine-name
+  /// symbol, output-variable symbol). Symbol ids are process-stable for
+  /// equal strings, so the key carries no string payload.
+  using SliceKey = std::tuple<uint64_t, bool, uint32_t, uint32_t>;
 
   OnceCache<uint64_t, ProgramEntry> Programs;        // by source-text hash
   OnceCache<uint64_t, TransformEntry> Transforms;    // by program fingerprint

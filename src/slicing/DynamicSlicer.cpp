@@ -9,25 +9,8 @@ using namespace gadt;
 using namespace gadt::slicing;
 using namespace gadt::trace;
 
-namespace {
-
-/// Marks nodes in \p N's subtree that are in \p Deps or have a marked
-/// descendant; returns whether anything below (or \p N itself) was marked.
-bool markRelevant(const ExecNode *N, const interp::DepSet &Deps,
-                  std::set<uint32_t> &Kept) {
-  bool Relevant = Deps.contains(N->getId());
-  for (const auto &C : N->getChildren())
-    if (markRelevant(C.get(), Deps, Kept))
-      Relevant = true;
-  if (Relevant)
-    Kept.insert(N->getId());
-  return Relevant;
-}
-
-} // namespace
-
-std::set<uint32_t> gadt::slicing::dynamicSlice(const ExecNode *Criterion,
-                                               const std::string &OutputName) {
+NodeSet gadt::slicing::dynamicSlice(const ExecNode *Criterion,
+                                    const std::string &OutputName) {
   obs::Span Span("slice", "slicing");
   if (Span.active()) {
     Span.arg("kind", "dynamic");
@@ -35,14 +18,25 @@ std::set<uint32_t> gadt::slicing::dynamicSlice(const ExecNode *Criterion,
                                     : std::string("<null>"));
     Span.arg("output", OutputName);
   }
-  std::set<uint32_t> Kept;
+  NodeSet Kept;
   if (!Criterion)
     return Kept;
-  Kept.insert(Criterion->getId());
-  const interp::Binding *B = Criterion->findOutput(OutputName);
-  if (B)
-    for (const auto &C : Criterion->getChildren())
-      markRelevant(C.get(), B->V.deps(), Kept);
+  uint32_t CritId = Criterion->getId();
+  uint32_t End = Criterion->subtreeEnd();
+  Kept = NodeSet(End);
+  Kept.insert(CritId);
+  if (const interp::Binding *B = Criterion->findOutput(OutputName)) {
+    // Relevant = dependence ids inside the subtree; close over ancestry by
+    // walking each one up until an already-marked ancestor. Each node is
+    // marked at most once, so the closure is linear in the slice size.
+    for (uint32_t DepId : B->V.deps().ids()) {
+      if (DepId <= CritId || DepId >= End)
+        continue; // dependence on a unit outside this subtree
+      for (uint32_t Id = DepId; !Kept.contains(Id);
+           Id = Criterion->nodeAt(Id)->getParentId())
+        Kept.insert(Id);
+    }
+  }
   Span.arg("kept", Kept.size());
   static obs::Counter &Slices =
       obs::Registry::global().counter("slicing.dynamic.slices");

@@ -23,9 +23,9 @@
 #define GADT_SLICING_DYNAMICSLICER_H
 
 #include "trace/ExecTree.h"
+#include "trace/NodeSet.h"
 
 #include <cstdint>
-#include <set>
 #include <string>
 
 namespace gadt {
@@ -37,8 +37,8 @@ namespace slicing {
 /// Requires the tree to have been built with dependence tracking; without
 /// it every output has an empty dependence set and only \p Criterion is
 /// retained.
-std::set<uint32_t> dynamicSlice(const trace::ExecNode *Criterion,
-                                const std::string &OutputName);
+trace::NodeSet dynamicSlice(const trace::ExecNode *Criterion,
+                            const std::string &OutputName);
 
 } // namespace slicing
 } // namespace gadt

@@ -29,50 +29,61 @@ bool siteInSlice(const ExecNode *N, const StaticSlice &Slice) {
   return false;
 }
 
-void pruneRec(const ExecNode *N, const StaticSlice &Slice,
-              std::set<uint32_t> &Kept) {
-  Kept.insert(N->getId());
-  for (const auto &C : N->getChildren())
-    if (siteInSlice(C.get(), Slice))
-      pruneRec(C.get(), Slice, Kept);
-}
-
-void renderRec(const ExecNode *N, const std::set<uint32_t> &Kept,
-               unsigned Depth, std::string &Out) {
-  if (!Kept.count(N->getId()))
-    return;
-  Out.append(Depth * 2, ' ');
-  Out += N->signature();
-  Out += '\n';
-  for (const auto &C : N->getChildren())
-    renderRec(C.get(), Kept, Depth + 1, Out);
-}
-
 } // namespace
 
-std::set<uint32_t>
-gadt::slicing::pruneByStaticSlice(const ExecNode *Root,
-                                  const StaticSlice &Slice) {
-  std::set<uint32_t> Kept;
-  if (Root)
-    pruneRec(Root, Slice, Kept);
+NodeSet gadt::slicing::pruneByStaticSlice(const ExecNode *Root,
+                                          const StaticSlice &Slice) {
+  NodeSet Kept;
+  if (!Root)
+    return Kept;
+  Kept = NodeSet(Root->subtreeEnd());
+  Kept.insert(Root->getId());
+  // Preorder interval scan: a node is retained iff its parent is and its
+  // own site is in the slice; a discarded node's whole subtree is skipped
+  // by jumping its interval.
+  uint32_t End = Root->subtreeEnd();
+  for (uint32_t Id = Root->getId() + 1; Id < End;) {
+    const ExecNode *N = Root->nodeAt(Id);
+    if (Kept.contains(N->getParentId()) && siteInSlice(N, Slice)) {
+      Kept.insert(Id);
+      ++Id;
+    } else {
+      Id += N->subtreeSize();
+    }
+  }
   return Kept;
 }
 
 unsigned gadt::slicing::countRetained(const ExecNode *Root,
-                                      const std::set<uint32_t> &Kept) {
-  if (!Root || !Kept.count(Root->getId()))
+                                      const NodeSet &Kept) {
+  if (!Root || !Kept.contains(Root->getId()))
     return 0;
-  unsigned N = 1;
-  for (const auto &C : Root->getChildren())
-    N += countRetained(C.get(), Kept);
-  return N;
+  return static_cast<unsigned>(
+      Kept.countRange(Root->getId(), Root->subtreeEnd()));
 }
 
 std::string gadt::slicing::renderPruned(const ExecNode *Root,
-                                        const std::set<uint32_t> &Kept) {
+                                        const NodeSet &Kept) {
   std::string Out;
-  if (Root)
-    renderRec(Root, Kept, 0, Out);
+  if (!Root || !Kept.contains(Root->getId()))
+    return Out;
+  // Same indented preorder rendering as ExecTree::str(), restricted to the
+  // retained chain; a non-retained node hides its whole subtree.
+  std::vector<uint32_t> OpenEnds;
+  uint32_t End = Root->subtreeEnd();
+  for (uint32_t Id = Root->getId(); Id < End;) {
+    const ExecNode *N = Root->nodeAt(Id);
+    if (!Kept.contains(Id)) {
+      Id += N->subtreeSize();
+      continue;
+    }
+    while (!OpenEnds.empty() && Id >= OpenEnds.back())
+      OpenEnds.pop_back();
+    Out.append(OpenEnds.size() * 2, ' ');
+    Out += N->signature();
+    Out += '\n';
+    OpenEnds.push_back(N->subtreeEnd());
+    ++Id;
+  }
   return Out;
 }

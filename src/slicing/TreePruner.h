@@ -13,7 +13,11 @@
 /// the *dynamic* dependences gathered during tracing (see DynamicSlicer).
 /// The result is a retained-id set; the tree itself is never mutated, so a
 /// session can re-slice repeatedly (paper: "a smaller and smaller set of
-/// procedures").
+/// procedures") and intersect successive slices.
+///
+/// Retained sets are chain-closed: a node is retained only if its parent
+/// is (the search never descends past a discarded node). That invariant is
+/// what makes popcount-over-interval counting exact.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,9 +26,9 @@
 
 #include "slicing/StaticSlicer.h"
 #include "trace/ExecTree.h"
+#include "trace/NodeSet.h"
 
 #include <cstdint>
-#include <set>
 
 namespace gadt {
 namespace slicing {
@@ -33,16 +37,20 @@ namespace slicing {
 /// plus every descendant whose chain of call sites lies entirely inside
 /// \p Slice. Loop/iteration nodes are retained when their loop statement is
 /// in the slice.
-std::set<uint32_t> pruneByStaticSlice(const trace::ExecNode *Root,
-                                      const StaticSlice &Slice);
+trace::NodeSet pruneByStaticSlice(const trace::ExecNode *Root,
+                                  const StaticSlice &Slice);
 
-/// Number of nodes in the subtree of \p Root retained by \p Kept.
+/// Number of nodes in the subtree of \p Root retained by \p Kept — a
+/// masked popcount over the subtree's id interval. \p Kept must be
+/// chain-closed within the subtree (every set produced by the pruner, the
+/// dynamic slicer, or their intersection is).
 unsigned countRetained(const trace::ExecNode *Root,
-                       const std::set<uint32_t> &Kept);
+                       const trace::NodeSet &Kept);
 
 /// Renders only the retained part of the subtree (paper Figures 8/9).
+/// Discarded subtrees are skipped by interval jump.
 std::string renderPruned(const trace::ExecNode *Root,
-                         const std::set<uint32_t> &Kept);
+                         const trace::NodeSet &Kept);
 
 } // namespace slicing
 } // namespace gadt

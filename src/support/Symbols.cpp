@@ -1,0 +1,95 @@
+//===- Symbols.cpp - Interned strings -------------------------------------===//
+
+#include "support/Symbols.h"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <shared_mutex>
+#include <unordered_map>
+
+using namespace gadt;
+using namespace gadt::support;
+
+namespace {
+
+/// The global pool. Strings live in fixed-size blocks published through
+/// atomic pointers: a block, once published, is never moved or freed, so
+/// str() is a lock-free double index and the references it returns stay
+/// valid for the process lifetime. The map guarding uniqueness is only
+/// touched by intern(), shared-locked for the (vastly dominant) hit case.
+struct Pool {
+  static constexpr uint32_t BlockBits = 12; // 4096 strings per block
+  static constexpr uint32_t BlockSize = 1u << BlockBits;
+  static constexpr uint32_t MaxBlocks = 1u << 12; // 16M distinct strings
+
+  std::atomic<std::string *> Blocks[MaxBlocks] = {};
+  std::shared_mutex M;
+  std::unordered_map<std::string_view, uint32_t> Ids; // views into blocks
+  uint32_t Count = 0;
+
+  Pool() { insertLocked(""); } // id 0 == ""
+
+  /// Requires the unique lock (or the constructor).
+  uint32_t insertLocked(std::string_view S) {
+    uint32_t Id = Count;
+    uint32_t B = Id >> BlockBits;
+    assert(B < MaxBlocks && "symbol pool exhausted");
+    std::string *Block = Blocks[B].load(std::memory_order_relaxed);
+    if (!Block) {
+      Block = new std::string[BlockSize];
+      Blocks[B].store(Block, std::memory_order_release);
+    }
+    Block[Id & (BlockSize - 1)] = std::string(S);
+    Ids.emplace(Block[Id & (BlockSize - 1)], Id);
+    ++Count;
+    return Id;
+  }
+
+  const std::string &at(uint32_t Id) const {
+    const std::string *Block =
+        Blocks[Id >> BlockBits].load(std::memory_order_acquire);
+    assert(Block && "symbol from a different process?");
+    return Block[Id & (BlockSize - 1)];
+  }
+
+  static Pool &get() {
+    static Pool P;
+    return P;
+  }
+};
+
+} // namespace
+
+uint32_t Symbol::intern(std::string_view S) {
+  if (S.empty())
+    return 0;
+  Pool &P = Pool::get();
+  {
+    std::shared_lock<std::shared_mutex> Lock(P.M);
+    auto It = P.Ids.find(S);
+    if (It != P.Ids.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Lock(P.M);
+  auto It = P.Ids.find(S); // re-check: another thread may have won the race
+  if (It != P.Ids.end())
+    return It->second;
+  return P.insertLocked(S);
+}
+
+const std::string &Symbol::str() const {
+  return Pool::get().at(Id);
+}
+
+std::ostream &support::operator<<(std::ostream &OS, Symbol S) {
+  return OS << S.str();
+}
+
+size_t support::symbolPoolSize() {
+  Pool &P = Pool::get();
+  std::shared_lock<std::shared_mutex> Lock(P.M);
+  return P.Count;
+}

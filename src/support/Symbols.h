@@ -1,0 +1,84 @@
+//===- Symbols.h - Interned strings -----------------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide string interner. A Symbol is a 4-byte handle to a unique,
+/// immutable string in a global pool: equality is an integer compare and a
+/// binding name costs one word instead of a heap string. The tracing layer
+/// stores every unit and binding name as a Symbol, so the millions of
+/// bindings a large execution tree carries share one copy of each name.
+///
+/// Interning is thread-safe (readers take a shared lock; the pool is
+/// read-mostly after warm-up) and ids are stable for the process lifetime,
+/// which lets cross-session caches key on them. Ids are *not* stable across
+/// processes or ordered lexicographically — anything user-visible must
+/// render via str().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_SYMBOLS_H
+#define GADT_SUPPORT_SYMBOLS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace gadt {
+namespace support {
+
+/// An interned string handle. Value-semantic, 4 bytes, trivially copyable.
+/// Id 0 is the empty string, so a default Symbol is "" (matching the
+/// default-constructed std::string it replaces).
+class Symbol {
+public:
+  Symbol() = default;
+  Symbol(std::string_view S) : Id(intern(S)) {}
+  Symbol(const std::string &S) : Id(intern(S)) {}
+  Symbol(const char *S) : Id(intern(S)) {}
+
+  /// The interned string; valid for the process lifetime.
+  const std::string &str() const;
+  /// Implicit view as the interned string, so call sites that pass or
+  /// assign names to std::string keep compiling unchanged.
+  operator const std::string &() const { return str(); }
+
+  bool empty() const { return Id == 0; }
+  uint32_t id() const { return Id; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Id == B.Id; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Id != B.Id; }
+  // Exact-match overloads against plain strings: interning the right-hand
+  // side of every comparison would be wasteful (and would grow the pool
+  // with transient probe strings), so compare content instead.
+  friend bool operator==(Symbol A, const std::string &B) {
+    return A.str() == B;
+  }
+  friend bool operator==(const std::string &A, Symbol B) {
+    return A == B.str();
+  }
+  friend bool operator==(Symbol A, const char *B) { return A.str() == B; }
+  friend bool operator==(const char *A, Symbol B) { return B.str() == A; }
+  friend bool operator!=(Symbol A, const std::string &B) { return !(A == B); }
+  friend bool operator!=(const std::string &A, Symbol B) { return !(A == B); }
+  friend bool operator!=(Symbol A, const char *B) { return !(A == B); }
+  friend bool operator!=(const char *A, Symbol B) { return !(A == B); }
+
+private:
+  static uint32_t intern(std::string_view S);
+
+  uint32_t Id = 0;
+};
+
+std::ostream &operator<<(std::ostream &OS, Symbol S);
+
+/// Number of distinct strings interned so far (diagnostics/tests).
+size_t symbolPoolSize();
+
+} // namespace support
+} // namespace gadt
+
+#endif // GADT_SUPPORT_SYMBOLS_H

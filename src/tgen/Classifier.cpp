@@ -19,14 +19,15 @@ ValueEnv gadt::tgen::extractFeatures(const std::vector<Binding> &Inputs) {
       continue;
     const ArrayVal &Arr = B.V.asArray();
     Env[B.Name] = B.V; // full array, for element classifiers
-    Env[B.Name + "_len"] =
+    const std::string &Name = B.Name.str();
+    Env[Name + "_len"] =
         Value::makeInt(static_cast<int64_t>(Arr.Elems.size()));
     if (!Arr.Elems.empty()) {
       auto [MinIt, MaxIt] =
           std::minmax_element(Arr.Elems.begin(), Arr.Elems.end());
-      Env[B.Name + "_min"] = Value::makeInt(*MinIt);
-      Env[B.Name + "_max"] = Value::makeInt(*MaxIt);
-      Env[B.Name + "_spread"] = Value::makeInt(*MaxIt - *MinIt);
+      Env[Name + "_min"] = Value::makeInt(*MinIt);
+      Env[Name + "_max"] = Value::makeInt(*MaxIt);
+      Env[Name + "_spread"] = Value::makeInt(*MaxIt - *MinIt);
     }
   }
   return Env;

@@ -38,7 +38,10 @@ std::string ExecNode::signature() const {
     if (!First)
       Out += ", ";
     First = false;
-    Out += "In " + B.Name + ": " + B.V.str();
+    Out += "In ";
+    Out += B.Name.str();
+    Out += ": ";
+    Out += B.V.str();
   }
   for (const Binding &B : Outputs) {
     if (&B == ResultBinding)
@@ -46,7 +49,10 @@ std::string ExecNode::signature() const {
     if (!First)
       Out += ", ";
     First = false;
-    Out += "Out " + B.Name + ": " + B.V.str();
+    Out += "Out ";
+    Out += B.Name.str();
+    Out += ": ";
+    Out += B.V.str();
   }
   Out += ")";
   if (ResultBinding)
@@ -54,55 +60,25 @@ std::string ExecNode::signature() const {
   return Out;
 }
 
-unsigned ExecNode::subtreeSize() const {
-  unsigned N = 1;
-  for (const auto &C : Children)
-    N += C->subtreeSize();
-  return N;
-}
-
-void ExecTree::setRoot(std::unique_ptr<ExecNode> R) {
-  Root = std::move(R);
-  if (Root)
-    registerNode(Root.get());
-}
-
-void ExecTree::registerNode(ExecNode *N) {
-  if (ById.size() <= N->getId())
-    ById.resize(N->getId() + 1, nullptr);
-  ById[N->getId()] = N;
-}
-
-ExecNode *ExecTree::node(uint32_t Id) const {
-  return Id < ById.size() ? ById[Id] : nullptr;
-}
-
 void ExecTree::forEachNode(const std::function<void(ExecNode *)> &Fn) const {
-  if (!Root)
-    return;
-  std::vector<ExecNode *> Stack = {Root.get()};
-  while (!Stack.empty()) {
-    ExecNode *N = Stack.back();
-    Stack.pop_back();
-    Fn(N);
-    const auto &Children = N->getChildren();
-    for (auto It = Children.rbegin(); It != Children.rend(); ++It)
-      Stack.push_back(It->get());
-  }
-}
-
-static void renderNode(const ExecNode *N, unsigned Depth, std::string &Out) {
-  Out.append(Depth * 2, ' ');
-  Out += N->signature();
-  Out += '\n';
-  for (const auto &C : N->getChildren())
-    renderNode(C.get(), Depth + 1, Out);
+  for (size_t I = 1; I < Nodes.size(); ++I)
+    Fn(const_cast<ExecNode *>(&Nodes[I]));
 }
 
 std::string ExecTree::str() const {
   std::string Out;
-  if (Root)
-    renderNode(Root.get(), 0, Out);
+  // Preorder is id order; depth is the number of enclosing subtree
+  // intervals still open, tracked on an explicit end-id stack.
+  std::vector<uint32_t> OpenEnds;
+  for (size_t I = 1; I < Nodes.size(); ++I) {
+    const ExecNode &N = Nodes[I];
+    while (!OpenEnds.empty() && N.getId() >= OpenEnds.back())
+      OpenEnds.pop_back();
+    Out.append(OpenEnds.size() * 2, ' ');
+    Out += N.signature();
+    Out += '\n';
+    OpenEnds.push_back(N.subtreeEnd());
+  }
   return Out;
 }
 
@@ -116,20 +92,36 @@ static std::string escapeDot(const std::string &S) {
   return Out;
 }
 
-std::string ExecTree::dot(const std::set<uint32_t> *Kept) const {
+std::string ExecTree::dot(const NodeSet *Kept) const {
   std::string Out = "digraph exectree {\n  node [shape=box, "
                     "fontname=\"monospace\"];\n";
-  forEachNode([&](ExecNode *N) {
-    bool Retained = !Kept || Kept->count(N->getId());
-    Out += "  n" + std::to_string(N->getId()) + " [label=\"" +
-           escapeDot(N->signature()) + "\"";
+  for (size_t I = 1; I < Nodes.size(); ++I) {
+    const ExecNode &N = Nodes[I];
+    bool Retained = !Kept || Kept->count(N.getId());
+    Out += "  n" + std::to_string(N.getId()) + " [label=\"" +
+           escapeDot(N.signature()) + "\"";
     if (!Retained)
       Out += ", style=dashed, color=grey, fontcolor=grey";
     Out += "];\n";
-    for (const auto &C : N->getChildren())
-      Out += "  n" + std::to_string(N->getId()) + " -> n" +
+    for (const ExecNode *C = N.firstChild(); C; C = C->nextSibling())
+      Out += "  n" + std::to_string(N.getId()) + " -> n" +
              std::to_string(C->getId()) + ";\n";
-  });
+  }
   Out += "}\n";
   return Out;
+}
+
+size_t ExecTree::memoryBytes() const {
+  size_t Bytes = Nodes.capacity() * sizeof(ExecNode);
+  for (const ExecNode &N : Nodes) {
+    Bytes += (N.getInputs().capacity() + N.getOutputs().capacity()) *
+             sizeof(Binding);
+    for (const Binding &B : N.getInputs())
+      if (B.V.isArray())
+        Bytes += B.V.asArray().Elems.capacity() * sizeof(int64_t);
+    for (const Binding &B : N.getOutputs())
+      if (B.V.isArray())
+        Bytes += B.V.asArray().Elems.capacity() * sizeof(int64_t);
+  }
+  return Bytes;
 }

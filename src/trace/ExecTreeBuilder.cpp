@@ -2,6 +2,7 @@
 
 #include "trace/ExecTreeBuilder.h"
 
+#include "obs/Metrics.h"
 #include "obs/Trace.h"
 
 #include <cassert>
@@ -11,38 +12,51 @@ using namespace gadt::trace;
 using namespace gadt::interp;
 
 void ExecTreeBuilder::enterUnit(const UnitStart &Start) {
-  auto Node = std::make_unique<ExecNode>(Start.NodeId, Start);
-  ExecNode *Raw = Node.get();
-  if (Stack.empty()) {
-    assert(!PendingRoot && "two roots in one trace");
-    PendingRoot = std::move(Node);
-  } else {
-    Stack.back()->addChild(std::move(Node));
-  }
-  Stack.push_back(Raw);
+  std::vector<ExecNode> &Nodes = Tree->Nodes;
+  if (Nodes.empty())
+    Nodes.emplace_back(); // dummy slot 0; ids are 1-based
+  assert(Start.NodeId == Nodes.size() &&
+         "unit ids must be dense and preorder");
+  Nodes.emplace_back();
+  ExecNode &N = Nodes.back();
+  N.Id = Start.NodeId;
+  N.ParentId = OpenIds.empty() ? 0 : OpenIds.back();
+  N.Kind = Start.Kind;
+  N.Name = Start.Name;
+  N.Routine = Start.Routine;
+  N.CallStmt = Start.CallStmt;
+  N.CallExpr = Start.CallExpr;
+  N.LoopStmt = Start.LoopStmt;
+  N.IterIndex = Start.IterIndex;
+  N.Loc = Start.Loc;
+  OpenIds.push_back(Start.NodeId);
 }
 
 void ExecTreeBuilder::exitUnit(uint32_t NodeId, std::vector<Binding> Inputs,
                                std::vector<Binding> Outputs) {
-  assert(!Stack.empty() && "exitUnit without matching enterUnit");
-  ExecNode *N = Stack.back();
-  assert(N->getId() == NodeId && "mismatched unit exit");
-  (void)NodeId;
-  N->setBindings(std::move(Inputs), std::move(Outputs));
-  Stack.pop_back();
-  if (Stack.empty()) {
-    Tree->setRoot(std::move(PendingRoot));
-    Tree->forEachNode([this](ExecNode *Node) { Tree->registerNode(Node); });
-  }
+  assert(!OpenIds.empty() && OpenIds.back() == NodeId &&
+         "exitUnit without matching enterUnit");
+  ExecNode &N = Tree->Nodes[NodeId];
+  N.Inputs = std::move(Inputs);
+  N.Outputs = std::move(Outputs);
+  // Every node allocated since this unit entered belongs to its subtree.
+  N.Size = static_cast<uint32_t>(Tree->Nodes.size()) - NodeId;
+  OpenIds.pop_back();
 }
 
 std::unique_ptr<ExecTree> ExecTreeBuilder::takeTree() {
-  // Tolerate an aborted run (runtime error mid-trace): attach whatever has
-  // been completed so far.
-  if (PendingRoot) {
-    Tree->setRoot(std::move(PendingRoot));
-    Tree->forEachNode([this](ExecNode *Node) { Tree->registerNode(Node); });
-    Stack.clear();
+  // Tolerate an aborted run (runtime error mid-trace): close the subtree
+  // intervals of units that never exited, keeping navigation well-formed.
+  for (auto It = OpenIds.rbegin(); It != OpenIds.rend(); ++It)
+    Tree->Nodes[*It].Size = static_cast<uint32_t>(Tree->Nodes.size()) - *It;
+  OpenIds.clear();
+  if (Tree->size() != 0) {
+    static obs::Counter &NodesC =
+        obs::Registry::global().counter("tree.nodes");
+    static obs::Counter &BytesC =
+        obs::Registry::global().counter("tree.bytes");
+    NodesC.add(Tree->size());
+    BytesC.add(Tree->memoryBytes());
   }
   return std::move(Tree);
 }

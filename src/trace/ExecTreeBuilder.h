@@ -8,6 +8,11 @@
 /// The canonical TraceListener: assembles an ExecTree from the
 /// interpreter's unit enter/exit events (the paper's tracing phase).
 ///
+/// The interpreter assigns unit ids densely in preorder (entry order), so
+/// enterUnit appends the node at index id of the arena and exitUnit fixes
+/// the subtree size as "nodes allocated since entry" — the interval
+/// [id, id + size) invariant costs nothing extra to establish.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GADT_TRACE_EXECTREEBUILDER_H
@@ -33,12 +38,15 @@ public:
                 std::vector<interp::Binding> Outputs) override;
 
   /// Hands over the finished tree (the builder is empty afterwards).
+  /// Tolerates an aborted run: units that never exited get their subtree
+  /// sizes closed off here, with whatever bindings were recorded.
   std::unique_ptr<ExecTree> takeTree();
 
 private:
   std::unique_ptr<ExecTree> Tree;
-  std::vector<ExecNode *> Stack;
-  std::unique_ptr<ExecNode> PendingRoot;
+  /// Ids (not pointers — the arena may reallocate) of entered-but-not-yet-
+  /// exited units, innermost last.
+  std::vector<uint32_t> OpenIds;
 };
 
 /// Convenience: runs \p P (with optional input) and returns the execution

@@ -1,0 +1,176 @@
+//===- NodeSet.h - Dense execution-tree node-id sets ------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The retained-node-id set flowing between the slicers, the tree pruner
+/// and the debugger. Execution-tree ids are dense (preorder, 1-based), so
+/// a bitset beats a balanced tree everywhere it was used: membership is one
+/// shift, counting a subtree is a popcount over its id interval (subtrees
+/// are contiguous — see ExecTree), and discarding a subtree is a masked
+/// word fill instead of per-node erases.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_TRACE_NODESET_H
+#define GADT_TRACE_NODESET_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace gadt {
+namespace trace {
+
+/// A set of execution-tree node ids, stored as a dense bitset. Grows on
+/// insert; ids out of range simply test as absent.
+class NodeSet {
+public:
+  NodeSet() = default;
+  /// Pre-sizes for ids in [0, UniverseEnd) — one allocation up front when
+  /// the caller knows the tree's id range.
+  explicit NodeSet(uint32_t UniverseEnd)
+      : Words((UniverseEnd + 63) / 64, 0) {}
+
+  bool contains(uint32_t Id) const {
+    size_t W = Id / 64;
+    return W < Words.size() && (Words[W] >> (Id % 64)) & 1;
+  }
+  /// std::set-compatible membership test (0 or 1).
+  size_t count(uint32_t Id) const { return contains(Id) ? 1 : 0; }
+
+  void insert(uint32_t Id) {
+    size_t W = Id / 64;
+    if (W >= Words.size())
+      Words.resize(W + 1, 0);
+    Words[W] |= uint64_t(1) << (Id % 64);
+  }
+  void erase(uint32_t Id) {
+    size_t W = Id / 64;
+    if (W < Words.size())
+      Words[W] &= ~(uint64_t(1) << (Id % 64));
+  }
+
+  bool empty() const {
+    for (uint64_t W : Words)
+      if (W)
+        return false;
+    return true;
+  }
+  /// Number of ids in the set (full popcount).
+  size_t size() const {
+    size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  /// Inserts every id in [B, E).
+  void insertRange(uint32_t B, uint32_t E) {
+    if (B >= E)
+      return;
+    size_t Need = (E + 63) / 64;
+    if (Need > Words.size())
+      Words.resize(Need, 0);
+    forRange(B, E, [this](size_t W, uint64_t M) { Words[W] |= M; });
+  }
+  /// Erases every id in [B, E).
+  void eraseRange(uint32_t B, uint32_t E) {
+    E = clampEnd(E);
+    if (B >= E)
+      return;
+    forRange(B, E, [this](size_t W, uint64_t M) { Words[W] &= ~M; });
+  }
+  /// Number of set ids in [B, E) — a masked popcount, O(interval/64). With
+  /// interval subtrees this is the O(1)-per-word subtree weight the search
+  /// strategies scan with.
+  size_t countRange(uint32_t B, uint32_t E) const {
+    E = clampEnd(E);
+    if (B >= E)
+      return 0;
+    size_t N = 0;
+    forRange(B, E, [this, &N](size_t W, uint64_t M) {
+      N += static_cast<size_t>(__builtin_popcountll(Words[W] & M));
+    });
+    return N;
+  }
+
+  /// Removes every id not in \p O (set intersection).
+  void intersectWith(const NodeSet &O) {
+    if (Words.size() > O.Words.size())
+      Words.resize(O.Words.size());
+    for (size_t I = 0; I != Words.size(); ++I)
+      Words[I] &= O.Words[I];
+  }
+  /// Within [B, E) only, removes every id not in \p O; ids outside the
+  /// interval are untouched. This is slicing's "restrict the active set
+  /// inside the suspect's subtree" in a few masked word ops.
+  void intersectRangeWith(const NodeSet &O, uint32_t B, uint32_t E) {
+    E = clampEnd(E);
+    if (B >= E)
+      return;
+    forRange(B, E, [this, &O](size_t W, uint64_t M) {
+      uint64_t Other = W < O.Words.size() ? O.Words[W] : 0;
+      Words[W] &= Other | ~M;
+    });
+  }
+
+  /// The ids in ascending order (tests, rendering, golden transcripts).
+  std::vector<uint32_t> ids() const {
+    std::vector<uint32_t> Out;
+    for (size_t W = 0; W != Words.size(); ++W)
+      for (uint64_t Bits = Words[W]; Bits; Bits &= Bits - 1)
+        Out.push_back(static_cast<uint32_t>(
+            W * 64 + static_cast<size_t>(__builtin_ctzll(Bits))));
+    return Out;
+  }
+
+  /// Set equality (capacity-insensitive).
+  friend bool operator==(const NodeSet &A, const NodeSet &B) {
+    size_t Common = std::min(A.Words.size(), B.Words.size());
+    for (size_t I = 0; I != Common; ++I)
+      if (A.Words[I] != B.Words[I])
+        return false;
+    const std::vector<uint64_t> &Rest =
+        A.Words.size() > B.Words.size() ? A.Words : B.Words;
+    for (size_t I = Common; I != Rest.size(); ++I)
+      if (Rest[I])
+        return false;
+    return true;
+  }
+  friend bool operator!=(const NodeSet &A, const NodeSet &B) {
+    return !(A == B);
+  }
+
+private:
+  uint32_t clampEnd(uint32_t E) const {
+    uint64_t Cap = static_cast<uint64_t>(Words.size()) * 64;
+    return E > Cap ? static_cast<uint32_t>(Cap) : E;
+  }
+
+  /// Applies \p Fn(word-index, mask) to every word overlapping [B, E);
+  /// the mask selects exactly the interval's bits in that word. Bounds
+  /// must already be clamped/resized by the caller.
+  template <typename FnT> void forRange(uint32_t B, uint32_t E, FnT Fn) const {
+    size_t WB = B / 64, WE = (E - 1) / 64;
+    uint64_t FirstMask = ~uint64_t(0) << (B % 64);
+    uint64_t LastMask = (E % 64) ? (~uint64_t(0) >> (64 - E % 64)) : ~uint64_t(0);
+    if (WB == WE) {
+      Fn(WB, FirstMask & LastMask);
+      return;
+    }
+    Fn(WB, FirstMask);
+    for (size_t W = WB + 1; W != WE; ++W)
+      Fn(W, ~uint64_t(0));
+    Fn(WE, LastMask);
+  }
+
+  std::vector<uint64_t> Words;
+};
+
+} // namespace trace
+} // namespace gadt
+
+#endif // GADT_TRACE_NODESET_H

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace gadt;
 using namespace gadt::interp;
 using namespace gadt::pascal;
@@ -218,12 +220,94 @@ TEST(ExecTreeTest, DotExport) {
   EXPECT_EQ(Edges, 13u);
 }
 
+TEST(ExecTreeTest, DotEscapesQuotesAndBackslashes) {
+  // Unit names flow into dot labels verbatim; quotes and backslashes must
+  // come out escaped or the digraph is syntactically broken.
+  ExecTreeBuilder B;
+  UnitStart S;
+  S.NodeId = 1;
+  S.Name = "we\"ird\\name";
+  B.enterUnit(S);
+  B.exitUnit(1, {}, {});
+  auto Tree = B.takeTree();
+  std::string Dot = Tree->dot();
+  EXPECT_NE(Dot.find("we\\\"ird\\\\name"), std::string::npos) << Dot;
+  EXPECT_EQ(Dot.find("we\"ird"), std::string::npos)
+      << "unescaped quote leaked into the label";
+}
+
+/// A pathological single chain of \p Depth nested units, built by replaying
+/// listener events (the interpreter's call-depth limit keeps real programs
+/// far shallower).
+std::unique_ptr<ExecTree> chainTree(uint32_t Depth) {
+  ExecTreeBuilder B;
+  for (uint32_t Id = 1; Id <= Depth; ++Id) {
+    UnitStart S;
+    S.NodeId = Id;
+    S.Name = "u";
+    B.enterUnit(S);
+  }
+  for (uint32_t Id = Depth; Id >= 1; --Id)
+    B.exitUnit(Id, {}, {});
+  return B.takeTree();
+}
+
+TEST(ExecTreeTest, DeepTreeTraversalsAreIterative) {
+  // 150k-deep chain: every traversal (forEachNode, dot, parent walk) and
+  // destruction must be iterative — any recursion over depth overflows the
+  // stack long before this.
+  constexpr uint32_t Depth = 150000;
+  auto Tree = chainTree(Depth);
+  ASSERT_TRUE(Tree->getRoot());
+  EXPECT_EQ(Tree->size(), Depth);
+  EXPECT_EQ(Tree->getRoot()->subtreeSize(), Depth);
+
+  unsigned Count = 0;
+  Tree->forEachNode([&](ExecNode *) { ++Count; });
+  EXPECT_EQ(Count, Depth);
+
+  // Walk leaf -> root.
+  const ExecNode *Leaf = Tree->node(Depth);
+  ASSERT_TRUE(Leaf);
+  unsigned Hops = 0;
+  for (const ExecNode *N = Leaf; N; N = N->getParent())
+    ++Hops;
+  EXPECT_EQ(Hops, Depth);
+
+  // dot() output is linear in the node count (constant indent), so it is
+  // safe to render at full depth; one label and one edge line per node.
+  std::string Dot = Tree->dot();
+  size_t Lines = static_cast<size_t>(
+      std::count(Dot.begin(), Dot.end(), '\n'));
+  // Two header lines, Depth labels, Depth-1 edges, one closing brace.
+  EXPECT_EQ(Lines, size_t(2) * Depth + 2);
+  // Destruction happens at scope exit; a recursive destructor would crash.
+}
+
+TEST(ExecTreeTest, DeepTreeStrRendersEveryLevel) {
+  // str() output is quadratic in depth (indentation), so correctness is
+  // checked at a depth that still defeats recursive implementations.
+  constexpr uint32_t Depth = 4096;
+  auto Tree = chainTree(Depth);
+  std::string Rendered = Tree->str();
+  size_t Lines = static_cast<size_t>(
+      std::count(Rendered.begin(), Rendered.end(), '\n'));
+  EXPECT_EQ(Lines, Depth);
+  // The last line is the deepest node at indent 2*(Depth-1).
+  size_t LastLine = Rendered.rfind("u()");
+  ASSERT_NE(LastLine, std::string::npos);
+  size_t PrevNl = Rendered.rfind('\n', LastLine);
+  ASSERT_NE(PrevNl, std::string::npos);
+  EXPECT_EQ(LastLine - PrevNl - 1, size_t(2) * (Depth - 1));
+}
+
 TEST(ExecTreeTest, DotExportMarksPrunedNodes) {
   auto Prog = compile(workload::Figure4Buggy);
   auto Tree = trace(*Prog);
   ExecNode *Computs = findNode(*Tree, "computs");
   ASSERT_TRUE(Computs);
-  std::set<uint32_t> Kept = {Computs->getId()};
+  NodeSet Kept(Tree->maxNodeId() + 1);
+  Kept.insert(Computs->getId());
   std::string Dot = Tree->dot(&Kept);
   EXPECT_NE(Dot.find("style=dashed"), std::string::npos);
 }

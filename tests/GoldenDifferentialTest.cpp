@@ -97,7 +97,7 @@ std::string renderRun(const pascal::Program &Prog, const InterpOptions &Opts) {
       for (const Binding &B : N->getOutputs()) {
         auto Kept = slicing::dynamicSlice(N, B.Name);
         Out << "slice " << Id << "." << B.Name << ":";
-        for (uint32_t K : Kept)
+        for (uint32_t K : Kept.ids())
           Out << " " << K;
         Out << "\n";
       }

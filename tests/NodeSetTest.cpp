@@ -1,0 +1,135 @@
+//===- NodeSetTest.cpp - Dense node-id bitset tests -----------------------===//
+
+#include "trace/NodeSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace gadt::trace;
+
+namespace {
+
+TEST(NodeSetTest, InsertContainsEraseAroundWordBoundary) {
+  NodeSet S;
+  for (uint32_t Id : {0u, 1u, 63u, 64u, 65u, 127u, 128u}) {
+    EXPECT_FALSE(S.contains(Id));
+    S.insert(Id);
+    EXPECT_TRUE(S.contains(Id));
+  }
+  EXPECT_EQ(S.size(), 7u);
+  S.erase(64);
+  EXPECT_FALSE(S.contains(64));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(65));
+  EXPECT_EQ(S.size(), 6u);
+}
+
+TEST(NodeSetTest, OutOfRangeIdsTestAbsent) {
+  NodeSet S(64);
+  EXPECT_FALSE(S.contains(1000000));
+  EXPECT_EQ(S.count(1000000), 0u);
+  S.erase(1000000); // no-op, must not grow or crash
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(NodeSetTest, InsertRangeSpansWords) {
+  NodeSet S;
+  S.insertRange(10, 200);
+  EXPECT_EQ(S.size(), 190u);
+  EXPECT_FALSE(S.contains(9));
+  EXPECT_TRUE(S.contains(10));
+  EXPECT_TRUE(S.contains(63));
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_TRUE(S.contains(199));
+  EXPECT_FALSE(S.contains(200));
+}
+
+TEST(NodeSetTest, RangeOpsWithinOneWord) {
+  NodeSet S;
+  S.insertRange(5, 9); // {5,6,7,8}
+  EXPECT_EQ(S.ids(), (std::vector<uint32_t>{5, 6, 7, 8}));
+  EXPECT_EQ(S.countRange(6, 8), 2u);
+  S.eraseRange(6, 8);
+  EXPECT_EQ(S.ids(), (std::vector<uint32_t>{5, 8}));
+}
+
+TEST(NodeSetTest, RangeEndOnWordBoundary) {
+  // E % 64 == 0 exercises the all-ones last mask.
+  NodeSet S;
+  S.insertRange(64, 128);
+  EXPECT_EQ(S.size(), 64u);
+  EXPECT_EQ(S.countRange(64, 128), 64u);
+  EXPECT_EQ(S.countRange(0, 64), 0u);
+  S.eraseRange(64, 128);
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(NodeSetTest, EmptyRangesAreNoOps) {
+  NodeSet S;
+  S.insertRange(50, 50);
+  S.insertRange(60, 50);
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.countRange(10, 10), 0u);
+}
+
+TEST(NodeSetTest, RangeOpsClampToCapacity) {
+  NodeSet S(70);
+  S.insertRange(0, 70);
+  // Erase and count past the allocated words: clamped, not resized.
+  S.eraseRange(65, 1000000);
+  EXPECT_EQ(S.countRange(0, 1000000), 65u);
+  EXPECT_TRUE(S.contains(64));
+  EXPECT_FALSE(S.contains(65));
+}
+
+TEST(NodeSetTest, IntersectWith) {
+  NodeSet A, B;
+  A.insertRange(0, 100);
+  B.insertRange(50, 150);
+  A.intersectWith(B);
+  EXPECT_EQ(A.countRange(0, 200), 50u);
+  EXPECT_FALSE(A.contains(49));
+  EXPECT_TRUE(A.contains(50));
+  EXPECT_TRUE(A.contains(99));
+  EXPECT_FALSE(A.contains(100));
+}
+
+TEST(NodeSetTest, IntersectRangeWithLeavesOutsideUntouched) {
+  NodeSet Active;
+  Active.insertRange(1, 300);
+  NodeSet Kept;
+  Kept.insert(100);
+  Kept.insert(150);
+  Active.intersectRangeWith(Kept, 100, 200);
+  EXPECT_EQ(Active.countRange(100, 200), 2u);
+  // Ids below 100 and from 200 on are untouched.
+  EXPECT_EQ(Active.countRange(1, 100), 99u);
+  EXPECT_EQ(Active.countRange(200, 300), 100u);
+}
+
+TEST(NodeSetTest, IntersectRangeWithSmallerOtherClearsTail) {
+  NodeSet Active;
+  Active.insertRange(0, 256);
+  NodeSet Tiny(32); // no bits set, one word allocated
+  Active.intersectRangeWith(Tiny, 64, 256);
+  EXPECT_EQ(Active.countRange(0, 256), 64u);
+}
+
+TEST(NodeSetTest, EqualityIsCapacityInsensitive) {
+  NodeSet A(1000), B;
+  A.insert(5);
+  B.insert(5);
+  EXPECT_EQ(A, B);
+  B.insert(700);
+  EXPECT_NE(A, B);
+  B.erase(700); // trailing zero words must not break equality
+  EXPECT_EQ(A, B);
+}
+
+TEST(NodeSetTest, IdsAscending) {
+  NodeSet S;
+  for (uint32_t Id : {200u, 3u, 64u, 63u, 1u})
+    S.insert(Id);
+  EXPECT_EQ(S.ids(), (std::vector<uint32_t>{1, 3, 63, 64, 200}));
+}
+
+} // namespace

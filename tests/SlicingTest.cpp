@@ -241,6 +241,97 @@ TEST(TreePrunerTest, PruningNeverDropsTheCriterionNode) {
   EXPECT_TRUE(Kept.count(Test->getId()));
 }
 
+TEST(TreePrunerTest, RootOnlyRetentionRendersJustTheRoot) {
+  Fig4Trace F;
+  ExecNode *Computs = findNode(*F.Tree, "computs");
+  ASSERT_TRUE(Computs);
+  StaticSlice Empty;
+  auto Kept = pruneByStaticSlice(Computs, Empty);
+  EXPECT_EQ(countRetained(Computs, Kept), 1u);
+  EXPECT_EQ(renderPruned(Computs, Kept),
+            "computs(In y: 3, Out r1: 12, Out r2: 9)\n");
+  // The set only speaks for Computs' subtree: counting from another root
+  // that is not retained yields zero.
+  ExecNode *Test = findNode(*F.Tree, "test");
+  ASSERT_TRUE(Test);
+  EXPECT_EQ(countRetained(Test, Kept), 0u);
+}
+
+TEST(TreePrunerTest, LoopNodeOutsideSliceDropsItsSubtree) {
+  // The for-loop (and the calls made inside it) only affects u; a slice on
+  // v must discard the loop unit together with everything under it.
+  auto Prog = compile(
+      "program p; var a, b, i: integer;"
+      "function inc(x: integer): integer; begin inc := x + 1; end;"
+      "procedure work(var u, v: integer);"
+      "begin u := 0; for i := 1 to 3 do u := inc(u); v := 5; end;"
+      "begin work(a, b); end.");
+  SDG G(*Prog);
+  InterpOptions Opts;
+  Opts.TraceLoops = true;
+  ExecResult Res;
+  auto Tree = buildExecTree(*Prog, Opts, {}, &Res);
+  ASSERT_TRUE(Res.Ok) << Res.Error.Message;
+  ExecNode *Work = findNode(*Tree, "work");
+  ASSERT_TRUE(Work);
+  ExecNode *Loop = findNode(*Tree, "work.for#1");
+  ASSERT_TRUE(Loop);
+  EXPECT_EQ(Loop->getChildren().size(), 3u); // the three inc calls
+
+  StaticSlice OnV = sliceOnRoutineOutput(
+      G, Prog->getMain()->findNested("work"), "v");
+  ASSERT_GT(OnV.size(), 0u);
+  auto Kept = pruneByStaticSlice(Work, OnV);
+  EXPECT_TRUE(Kept.count(Work->getId()));
+  EXPECT_FALSE(Kept.count(Loop->getId()));
+  for (const ExecNode *Inc : Loop->getChildren())
+    EXPECT_FALSE(Kept.count(Inc->getId()))
+        << "discarded loop must take its calls with it";
+  EXPECT_EQ(countRetained(Work, Kept), 1u);
+
+  // A slice on u keeps the loop and the calls.
+  StaticSlice OnU = sliceOnRoutineOutput(
+      G, Prog->getMain()->findNested("work"), "u");
+  auto KeptU = pruneByStaticSlice(Work, OnU);
+  EXPECT_TRUE(KeptU.count(Loop->getId()));
+  EXPECT_EQ(countRetained(Work, KeptU), 5u);
+}
+
+TEST(TreePrunerTest, ReslicingPrunedTreeIntersectsRetainedSets) {
+  // Debugger-style re-slicing: prune at computs on r1, then — inside the
+  // already-pruned tree — prune at partialsums on s2 and intersect within
+  // that subtree's interval. Successive slices only ever shrink the set.
+  Fig4Trace F;
+  ExecNode *Computs = findNode(*F.Tree, "computs");
+  ExecNode *Partialsums = findNode(*F.Tree, "partialsums");
+  ASSERT_TRUE(Computs && Partialsums);
+
+  auto Active = pruneByStaticSlice(
+      Computs, sliceOnRoutineOutput(
+                   *F.G, F.Prog->getMain()->findNested("computs"), "r1"));
+  ASSERT_EQ(countRetained(Computs, Active), 8u);
+
+  auto Second = pruneByStaticSlice(
+      Partialsums,
+      sliceOnRoutineOutput(
+          *F.G, F.Prog->getMain()->findNested("partialsums"), "s2"));
+  Active.intersectRangeWith(Second, Partialsums->getId(),
+                            Partialsums->subtreeEnd());
+
+  // sum1 and increment drop out of partialsums; the rest is untouched.
+  EXPECT_EQ(countRetained(Partialsums, Active), 3u);
+  EXPECT_EQ(countRetained(Computs, Active), 6u);
+  const char *Expected =
+      R"(computs(In y: 3, Out r1: 12, Out r2: 9)
+  comput1(In y: 3, Out r1: 12)
+    partialsums(In y: 3, Out s1: 6, Out s2: 6)
+      sum2(In y: 3, Out s2: 6)
+        decrement(In y: 3)=4
+    add(In s1: 6, In s2: 6, Out r1: 12)
+)";
+  EXPECT_EQ(renderPruned(Computs, Active), Expected);
+}
+
 //===----------------------------------------------------------------------===//
 // Dynamic slicing
 //===----------------------------------------------------------------------===//
@@ -346,11 +437,32 @@ TEST(DynamicSliceTest, WithoutTrackingOnlyCriterionRemains) {
 // dynamicSlice edge cases (hand-built trees)
 //===----------------------------------------------------------------------===//
 
-std::unique_ptr<ExecNode> syntheticNode(uint32_t Id, const std::string &Name) {
-  UnitStart S;
-  S.NodeId = Id;
-  S.Name = Name;
-  return std::make_unique<ExecNode>(Id, std::move(S));
+/// Hand-builds a tree by replaying enter/exit events: \p Parents[i] is the
+/// parent id of node i+1 (0 for the root). Children must follow parents in
+/// id (preorder) order, as the interpreter emits them.
+std::unique_ptr<ExecTree>
+syntheticTree(const std::vector<uint32_t> &Parents,
+              std::vector<Binding> RootOutputs = {}) {
+  ExecTreeBuilder B;
+  std::vector<uint32_t> Open; // entered-but-not-exited, innermost last
+  auto CloseTo = [&](uint32_t ParentId) {
+    while (!Open.empty() && Open.back() != ParentId) {
+      uint32_t Id = Open.back();
+      Open.pop_back();
+      B.exitUnit(Id, {}, Id == 1 ? std::move(RootOutputs)
+                                 : std::vector<Binding>{});
+    }
+  };
+  for (uint32_t I = 0; I < Parents.size(); ++I) {
+    CloseTo(Parents[I]);
+    UnitStart S;
+    S.NodeId = I + 1;
+    S.Name = "n" + std::to_string(I + 1);
+    B.enterUnit(S);
+    Open.push_back(I + 1);
+  }
+  CloseTo(0);
+  return B.takeTree();
 }
 
 TEST(DynamicSliceTest, NullCriterionYieldsEmptySlice) {
@@ -358,31 +470,23 @@ TEST(DynamicSliceTest, NullCriterionYieldsEmptySlice) {
 }
 
 TEST(DynamicSliceTest, UnknownOutputNameKeepsOnlyCriterion) {
-  auto Root = syntheticNode(1, "root");
-  Root->addChild(syntheticNode(2, "child"));
   Value V = Value::makeInt(7);
   V.deps().insert(2);
-  Root->setBindings({}, {{"y", V}});
-  auto Kept = dynamicSlice(Root.get(), "nosuch");
-  EXPECT_EQ(Kept, (std::set<uint32_t>{1}));
+  auto Tree = syntheticTree({0, 1}, {{"y", V}});
+  auto Kept = dynamicSlice(Tree->getRoot(), "nosuch");
+  EXPECT_EQ(Kept.ids(), (std::vector<uint32_t>{1}));
 }
 
 TEST(DynamicSliceTest, IntermediateKeptViaMarkedDescendant) {
   // root(1) -> mid(2) -> leaf(3), plus an irrelevant sibling other(4).
-  // The output depends only on leaf; mid must be retained purely because a
-  // descendant is marked (the ancestry-closure path in markRelevant), and
-  // other must not.
-  auto Root = syntheticNode(1, "root");
-  ExecNode *Mid = Root->addChild(syntheticNode(2, "mid"));
-  Mid->addChild(syntheticNode(3, "leaf"));
-  Root->addChild(syntheticNode(4, "other"));
-
+  // The output depends only on leaf; mid must be retained purely through
+  // the ancestry closure, and other must not.
   Value V = Value::makeInt(42);
   V.deps().insert(3);
-  Root->setBindings({}, {{"y", V}});
+  auto Tree = syntheticTree({0, 1, 2, 1}, {{"y", V}});
 
-  auto Kept = dynamicSlice(Root.get(), "y");
-  EXPECT_EQ(Kept, (std::set<uint32_t>{1, 2, 3}));
+  auto Kept = dynamicSlice(Tree->getRoot(), "y");
+  EXPECT_EQ(Kept.ids(), (std::vector<uint32_t>{1, 2, 3}));
   EXPECT_FALSE(Kept.count(4)) << "irrelevant sibling must be sliced away";
 }
 
