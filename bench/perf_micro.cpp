@@ -409,6 +409,71 @@ void BM_DynamicSliceChainDeps(benchmark::State &State) {
 }
 BENCHMARK(BM_DynamicSliceChainDeps)->Range(64, 512)->Complexity();
 
+//===--------------------------------------------------------------------===//
+// Static-analysis substrate benchmarks (X11): SDG construction, the
+// interprocedural summary-edge fixpoint, and two-phase slice queries over
+// workload-generated programs. These are the regression gate for the
+// analysis/slicing substrate.
+//===--------------------------------------------------------------------===//
+
+/// Whole-graph construction over the paper's Figure 5 shape at scale: many
+/// routines with one call site each, flow-dominated.
+void BM_SDGBuildWide(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::wideIrrelevantProgram(static_cast<unsigned>(State.range(0)))
+          .Fixed);
+  for (auto _ : State) {
+    analysis::SDG G(*Prog);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SDGBuildWide)->Range(64, 256)->Complexity();
+
+/// Whole-graph construction over the layered call mesh (4 layers x W
+/// routines, W^2 call sites per layer boundary): the interprocedural
+/// summary-edge fixpoint dominates, with a dense actual-in/actual-out
+/// frontier at every call site.
+void BM_SummaryEdgesMesh(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::summaryMeshProgram(4, static_cast<unsigned>(State.range(0)))
+          .Fixed);
+  for (auto _ : State) {
+    analysis::SDG G(*Prog);
+    benchmark::DoNotOptimize(G.numEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_SummaryEdgesMesh)->RangeMultiplier(2)->Range(2, 8)->Complexity();
+
+/// Backward slice from the top of the mesh: the two-phase walk descends
+/// through every layer over parameter and summary edges.
+void BM_StaticSliceMesh(benchmark::State &State) {
+  auto Prog = compileOrDie(workload::summaryMeshProgram(4, 6).Fixed);
+  analysis::SDG G(*Prog);
+  const pascal::RoutineDecl *Top = Prog->getMain()->findNested("m1_1");
+  for (auto _ : State) {
+    auto Slice = slicing::sliceOnRoutineOutput(G, Top, "u");
+    benchmark::DoNotOptimize(Slice.size());
+  }
+}
+BENCHMARK(BM_StaticSliceMesh);
+
+/// Backward slice down a long call chain: worst-case slice depth, every
+/// routine entered through its formal-out.
+void BM_StaticSliceChain(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::chainProgram(static_cast<unsigned>(State.range(0)), 1).Fixed);
+  analysis::SDG G(*Prog);
+  const pascal::RoutineDecl *P1 = Prog->getMain()->findNested("p1");
+  for (auto _ : State) {
+    auto Slice = slicing::sliceOnRoutineOutput(G, P1, "y");
+    benchmark::DoNotOptimize(Slice.size());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_StaticSliceChain)->Range(64, 256)->Complexity();
+
 /// The stock console reporter, additionally collecting every per-repetition
 /// run so main() can export min-of-N aggregates as machine-readable JSON.
 class CollectingReporter : public benchmark::ConsoleReporter {

@@ -2,48 +2,60 @@
 
 #include "analysis/ControlDep.h"
 
-#include <algorithm>
-
 using namespace gadt;
 using namespace gadt::analysis;
 
 ControlDependence::ControlDependence(const CFG &G) {
+  const size_t N = G.nodes().size();
+  RowWords = (N + 63) / 64;
+  const unsigned ExitId = G.exit()->getId();
+
   // Iterative postdominator computation: PostDom(Exit) = {Exit};
-  // PostDom(n) = {n} ∪ ⋂ PostDom(succ). Nodes start at "all nodes".
-  std::set<const CFGNode *> All;
-  for (const auto &N : G.nodes())
-    All.insert(N.get());
-  for (const auto &N : G.nodes())
-    PostDom[N.get()] = N.get() == G.exit()
-                           ? std::set<const CFGNode *>{G.exit()}
-                           : All;
+  // PostDom(n) = {n} ∪ ⋂ PostDom(succ). Nodes start at "all nodes", the
+  // top of the lattice, so the intersections only ever shrink rows.
+  PostDom.assign(N * RowWords, ~uint64_t(0));
+  if (N % 64) {
+    // Clear the bits beyond N in every row's last word.
+    uint64_t Tail = (~uint64_t(0)) >> (64 - N % 64);
+    for (size_t Row = 0; Row != N; ++Row)
+      PostDom[Row * RowWords + RowWords - 1] = Tail;
+  }
+  uint64_t *ExitRow = &PostDom[ExitId * RowWords];
+  for (size_t W = 0; W != RowWords; ++W)
+    ExitRow[W] = 0;
+  ExitRow[ExitId / 64] = uint64_t(1) << (ExitId % 64);
+
+  std::vector<uint64_t> Tmp(RowWords);
   bool Changed = true;
   while (Changed) {
     Changed = false;
     for (const auto &NPtr : G.nodes()) {
-      const CFGNode *N = NPtr.get();
-      if (N == G.exit())
+      const CFGNode *Node = NPtr.get();
+      if (Node->getId() == ExitId)
         continue;
-      std::set<const CFGNode *> NewSet;
       bool First = true;
-      for (const CFGNode *S : N->succs()) {
+      for (const CFGNode *S : Node->succs()) {
+        const uint64_t *SRow = &PostDom[size_t(S->getId()) * RowWords];
         if (First) {
-          NewSet = PostDom[S];
+          for (size_t W = 0; W != RowWords; ++W)
+            Tmp[W] = SRow[W];
           First = false;
-          continue;
+        } else {
+          for (size_t W = 0; W != RowWords; ++W)
+            Tmp[W] &= SRow[W];
         }
-        std::set<const CFGNode *> Inter;
-        std::set_intersection(NewSet.begin(), NewSet.end(),
-                              PostDom[S].begin(), PostDom[S].end(),
-                              std::inserter(Inter, Inter.begin()));
-        NewSet = std::move(Inter);
       }
       if (First)
-        NewSet.clear(); // no successors: cannot reach exit
-      NewSet.insert(N);
-      if (NewSet != PostDom[N]) {
-        PostDom[N] = std::move(NewSet);
-        Changed = true;
+        for (size_t W = 0; W != RowWords; ++W)
+          Tmp[W] = 0; // no successors: cannot reach exit
+      unsigned Id = Node->getId();
+      Tmp[Id / 64] |= uint64_t(1) << (Id % 64); // reflexive
+      uint64_t *Row = &PostDom[size_t(Id) * RowWords];
+      for (size_t W = 0; W != RowWords; ++W) {
+        if (Row[W] != Tmp[W]) {
+          Row[W] = Tmp[W];
+          Changed = true;
+        }
       }
     }
   }
@@ -51,37 +63,55 @@ ControlDependence::ControlDependence(const CFG &G) {
   // Ferrante-Ottenstein-Warren: for each edge A->B where B does not
   // postdominate A, every node in PostDom(B) \ PostDom(A) is control
   // dependent on A.
-  std::map<const CFGNode *, std::set<const CFGNode *>> CD;
+  std::vector<uint64_t> CD(N * RowWords, 0); // bit (X, A): X depends on A
   for (const auto &APtr : G.nodes()) {
     const CFGNode *A = APtr.get();
     if (A->succs().size() < 2)
       continue;
+    const uint64_t *ARow = &PostDom[size_t(A->getId()) * RowWords];
     for (const CFGNode *B : A->succs()) {
-      if (PostDom[A].count(B))
+      unsigned BId = B->getId();
+      if ((ARow[BId / 64] >> (BId % 64)) & 1)
         continue; // B postdominates A: taking this edge decides nothing
-      for (const CFGNode *X : PostDom[B])
-        if (!PostDom[A].count(X))
-          CD[X].insert(A);
+      const uint64_t *BRow = &PostDom[size_t(BId) * RowWords];
+      uint64_t ABit = uint64_t(1) << (A->getId() % 64);
+      size_t AWord = A->getId() / 64;
+      for (size_t W = 0; W != RowWords; ++W) {
+        for (uint64_t Bits = BRow[W] & ~ARow[W]; Bits; Bits &= Bits - 1) {
+          size_t X = W * 64 + static_cast<size_t>(__builtin_ctzll(Bits));
+          CD[X * RowWords + AWord] |= ABit;
+        }
+      }
     }
   }
+
+  Controllers.resize(N);
   for (const auto &NPtr : G.nodes()) {
-    const CFGNode *N = NPtr.get();
-    auto It = CD.find(N);
-    if (It != CD.end())
-      Controllers[N].assign(It->second.begin(), It->second.end());
-    else if (N != G.entry())
-      Controllers[N] = {G.entry()};
+    const CFGNode *Node = NPtr.get();
+    unsigned Id = Node->getId();
+    const uint64_t *Row = &CD[size_t(Id) * RowWords];
+    std::vector<const CFGNode *> &Out = Controllers[Id];
+    for (size_t W = 0; W != RowWords; ++W)
+      for (uint64_t Bits = Row[W]; Bits; Bits &= Bits - 1)
+        Out.push_back(
+            G.nodes()[W * 64 + static_cast<size_t>(__builtin_ctzll(Bits))]
+                .get());
+    if (Out.empty() && Node != G.entry())
+      Out.push_back(G.entry());
   }
 }
 
 const std::vector<const CFGNode *> &
 ControlDependence::controllersOf(const CFGNode *N) const {
-  auto It = Controllers.find(N);
-  return It == Controllers.end() ? Empty : It->second;
+  size_t Id = N->getId();
+  return Id < Controllers.size() ? Controllers[Id] : Empty;
 }
 
 bool ControlDependence::postDominates(const CFGNode *A,
                                       const CFGNode *B) const {
-  auto It = PostDom.find(B);
-  return It != PostDom.end() && It->second.count(A) != 0;
+  size_t BId = B->getId();
+  if (BId * RowWords >= PostDom.size())
+    return false;
+  unsigned AId = A->getId();
+  return (PostDom[BId * RowWords + AId / 64] >> (AId % 64)) & 1;
 }

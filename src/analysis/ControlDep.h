@@ -9,6 +9,12 @@
 /// over a routine CFG: node X is control dependent on branch node A when
 /// some edge out of A always leads to X while another may avoid it.
 ///
+/// CFG node ids are dense, so postdominator sets live in one flat bit
+/// matrix (node-count squared bits) and the fixpoint intersects whole
+/// words; controller lists come out in ascending id order, which keeps the
+/// dependence-graph build deterministic regardless of allocation order or
+/// the thread the routine was analyzed on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GADT_ANALYSIS_CONTROLDEP_H
@@ -16,8 +22,7 @@
 
 #include "analysis/CFG.h"
 
-#include <map>
-#include <set>
+#include <cstdint>
 #include <vector>
 
 namespace gadt {
@@ -28,17 +33,22 @@ class ControlDependence {
 public:
   explicit ControlDependence(const CFG &G);
 
-  /// Branch nodes that \p N is control dependent on. Nodes with no
-  /// controlling branch depend on the routine entry (returned as the CFG
-  /// entry node).
+  /// Branch nodes that \p N is control dependent on, in ascending CFG-id
+  /// order. Nodes with no controlling branch depend on the routine entry
+  /// (returned as the CFG entry node).
   const std::vector<const CFGNode *> &controllersOf(const CFGNode *N) const;
 
   /// True when \p A postdominates \p B (reflexive).
   bool postDominates(const CFGNode *A, const CFGNode *B) const;
 
 private:
-  std::map<const CFGNode *, std::set<const CFGNode *>> PostDom;
-  std::map<const CFGNode *, std::vector<const CFGNode *>> Controllers;
+  /// Words per postdominator row.
+  size_t RowWords = 0;
+  /// N rows of RowWords words each; bit (B*RowWords*64 + A) set when A
+  /// postdominates B.
+  std::vector<uint64_t> PostDom;
+  /// Controller lists indexed by CFG node id.
+  std::vector<std::vector<const CFGNode *>> Controllers;
   std::vector<const CFGNode *> Empty;
 };
 

@@ -91,50 +91,100 @@ bool stronglyDefines(const CFGNode *N, const VarDecl *V) {
 } // namespace
 
 ReachingDefs::ReachingDefs(const CFG &G, const SideEffectAnalysis &SEA) {
-  // Precompute gen sets and kill predicates.
-  std::map<const CFGNode *, std::set<Def>> Gen;
-  std::map<const CFGNode *, std::vector<const VarDecl *>> Strong;
-  for (const auto &N : G.nodes()) {
-    for (const VarDecl *V : effectiveDefs(N.get(), SEA)) {
-      Gen[N.get()].insert({V, N.get()});
-      if (stronglyDefines(N.get(), V))
-        Strong[N.get()].push_back(V);
+  const size_t N = G.nodes().size();
+
+  // Enumerate the definition universe in CFG-id order and precompute each
+  // node's gen bits, per-variable kill masks and strong-kill list.
+  std::vector<std::pair<uint32_t, uint32_t>> GenRange(N, {0, 0});
+  std::vector<std::vector<const VarDecl *>> Strong(N);
+  for (const auto &NPtr : G.nodes()) {
+    const CFGNode *Node = NPtr.get();
+    uint32_t Begin = static_cast<uint32_t>(Defs.size());
+    for (const VarDecl *V : effectiveDefs(Node, SEA)) {
+      ByVar[V].push_back(static_cast<uint32_t>(Defs.size()));
+      Defs.push_back({V, Node});
+      if (stronglyDefines(Node, V))
+        Strong[Node->getId()].push_back(V);
     }
+    GenRange[Node->getId()] = {Begin, static_cast<uint32_t>(Defs.size())};
+  }
+  const size_t D = Defs.size();
+  RowWords = (D + 63) / 64;
+  // All-defs-of-variable masks, for whole-row kills.
+  std::unordered_map<const VarDecl *, std::vector<uint64_t>> KillMask;
+  for (const auto &[V, Ids] : ByVar) {
+    std::vector<uint64_t> &M =
+        KillMask.emplace(V, std::vector<uint64_t>(RowWords, 0)).first->second;
+    for (uint32_t Id : Ids)
+      M[Id / 64] |= uint64_t(1) << (Id % 64);
   }
 
-  // Worklist iteration.
-  std::deque<const CFGNode *> Work;
-  for (const auto &N : G.nodes())
-    Work.push_back(N.get());
-  std::map<const CFGNode *, std::set<Def>> Out;
+  In.assign(N * RowWords, 0);
+  std::vector<uint64_t> Out(N * RowWords, 0);
+  std::vector<uint64_t> Tmp(RowWords);
+
+  // Worklist iteration over node ids.
+  std::deque<uint32_t> Work;
+  std::vector<char> Queued(N, 1);
+  for (const auto &NPtr : G.nodes())
+    Work.push_back(NPtr->getId());
   while (!Work.empty()) {
-    const CFGNode *N = Work.front();
+    uint32_t Id = Work.front();
     Work.pop_front();
-    std::set<Def> NewIn;
-    for (const CFGNode *P : N->preds())
-      NewIn.insert(Out[P].begin(), Out[P].end());
-    std::set<Def> NewOut = NewIn;
-    for (const VarDecl *V : Strong[N])
-      for (auto It = NewOut.begin(); It != NewOut.end();)
-        It = It->first == V ? NewOut.erase(It) : std::next(It);
-    NewOut.insert(Gen[N].begin(), Gen[N].end());
-    bool Changed = NewIn != In[N] || NewOut != Out[N];
-    In[N] = std::move(NewIn);
-    Out[N] = std::move(NewOut);
+    Queued[Id] = 0;
+    const CFGNode *Node = G.nodes()[Id].get();
+
+    // NewIn = union of predecessor outs.
+    for (size_t W = 0; W != RowWords; ++W)
+      Tmp[W] = 0;
+    for (const CFGNode *P : Node->preds()) {
+      const uint64_t *PRow = &Out[size_t(P->getId()) * RowWords];
+      for (size_t W = 0; W != RowWords; ++W)
+        Tmp[W] |= PRow[W];
+    }
+    uint64_t *InRow = &In[size_t(Id) * RowWords];
+    bool Changed = false;
+    for (size_t W = 0; W != RowWords; ++W) {
+      if (InRow[W] != Tmp[W]) {
+        InRow[W] = Tmp[W];
+        Changed = true;
+      }
+    }
+
+    // NewOut = (NewIn \ strong kills) ∪ gen.
+    for (const VarDecl *V : Strong[Id]) {
+      const std::vector<uint64_t> &M = KillMask[V];
+      for (size_t W = 0; W != RowWords; ++W)
+        Tmp[W] &= ~M[W];
+    }
+    for (uint32_t DefId = GenRange[Id].first; DefId != GenRange[Id].second;
+         ++DefId)
+      Tmp[DefId / 64] |= uint64_t(1) << (DefId % 64);
+    uint64_t *OutRow = &Out[size_t(Id) * RowWords];
+    for (size_t W = 0; W != RowWords; ++W) {
+      if (OutRow[W] != Tmp[W]) {
+        OutRow[W] = Tmp[W];
+        Changed = true;
+      }
+    }
     if (Changed)
-      for (const CFGNode *S : N->succs())
-        Work.push_back(S);
+      for (const CFGNode *S : Node->succs())
+        if (!Queued[S->getId()]) {
+          Queued[S->getId()] = 1;
+          Work.push_back(S->getId());
+        }
   }
 }
 
 std::vector<const CFGNode *>
 ReachingDefs::reachingIn(const CFGNode *N, const VarDecl *V) const {
   std::vector<const CFGNode *> Result;
-  auto It = In.find(N);
-  if (It == In.end())
+  auto It = ByVar.find(V);
+  if (It == ByVar.end() || size_t(N->getId()) * RowWords >= In.size())
     return Result;
-  for (const Def &D : It->second)
-    if (D.first == V)
-      Result.push_back(D.second);
+  const uint64_t *Row = &In[size_t(N->getId()) * RowWords];
+  for (uint32_t DefId : It->second)
+    if ((Row[DefId / 64] >> (DefId % 64)) & 1)
+      Result.push_back(Defs[DefId].Node);
   return Result;
 }

@@ -9,6 +9,13 @@
 /// effects resolved through the side-effect analysis. Feeds the flow
 /// (data-dependence) edges of the dependence graphs.
 ///
+/// The definition universe — every (variable, defining node) pair — is
+/// enumerated once in CFG-id order and the in/out sets are bit rows over
+/// it, so the transfer function is a handful of word ops (kill = clear the
+/// variable's mask, gen = set the node's bits) and reachingIn answers come
+/// back in deterministic enumeration order, independent of pointer values
+/// or the thread the routine was analyzed on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GADT_ANALYSIS_DATAFLOW_H
@@ -16,8 +23,8 @@
 
 #include "analysis/CFG.h"
 
-#include <map>
-#include <set>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 namespace gadt {
@@ -38,13 +45,22 @@ class ReachingDefs {
 public:
   ReachingDefs(const CFG &G, const SideEffectAnalysis &SEA);
 
-  /// Definitions of \p V reaching the *entry* of \p N.
+  /// Definitions of \p V reaching the *entry* of \p N, in ascending
+  /// defining-node id order.
   std::vector<const CFGNode *> reachingIn(const CFGNode *N,
                                           const pascal::VarDecl *V) const;
 
 private:
-  using Def = std::pair<const pascal::VarDecl *, const CFGNode *>;
-  std::map<const CFGNode *, std::set<Def>> In;
+  /// One entry of the definition universe.
+  struct Def {
+    const pascal::VarDecl *Var;
+    const CFGNode *Node;
+  };
+  std::vector<Def> Defs;         ///< universe, in CFG-id order
+  size_t RowWords = 0;           ///< words per in-set row
+  std::vector<uint64_t> In;      ///< node-count rows over the universe
+  /// Definition indices per variable, ascending (= ascending node id).
+  std::unordered_map<const pascal::VarDecl *, std::vector<uint32_t>> ByVar;
 };
 
 } // namespace analysis

@@ -2,57 +2,23 @@
 
 #include "analysis/SDG.h"
 
+#include "analysis/CFG.h"
+#include "analysis/ControlDep.h"
+#include "analysis/Dataflow.h"
+#include "analysis/DefUse.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Casting.h"
+#include "support/Parallel.h"
 
-#include <algorithm>
 #include <cassert>
 #include <deque>
-#include <set>
+#include <map>
+#include <unordered_set>
 
 using namespace gadt;
 using namespace gadt::analysis;
 using namespace gadt::pascal;
-
-//===----------------------------------------------------------------------===//
-// SDGCallRecord
-//===----------------------------------------------------------------------===//
-
-SDGNode *SDGCallRecord::actualInForArg(int Index) const {
-  for (SDGNode *N : ActualIns)
-    if (N->getArgIndex() == Index)
-      return N;
-  return nullptr;
-}
-
-SDGNode *SDGCallRecord::actualInForGlobal(const VarDecl *G) const {
-  for (SDGNode *N : ActualIns)
-    if (N->getArgIndex() < 0 && N->getVar() == G)
-      return N;
-  return nullptr;
-}
-
-SDGNode *SDGCallRecord::actualOutForArg(int Index) const {
-  for (SDGNode *N : ActualOuts)
-    if (N->getArgIndex() == Index)
-      return N;
-  return nullptr;
-}
-
-SDGNode *SDGCallRecord::actualOutForGlobal(const VarDecl *G) const {
-  for (SDGNode *N : ActualOuts)
-    if (N->getArgIndex() < 0 && !N->isResult() && N->getVar() == G)
-      return N;
-  return nullptr;
-}
-
-SDGNode *SDGCallRecord::actualOutForResult() const {
-  for (SDGNode *N : ActualOuts)
-    if (N->isResult())
-      return N;
-  return nullptr;
-}
 
 //===----------------------------------------------------------------------===//
 // SDGNode
@@ -88,59 +54,67 @@ std::string SDGNode::label() const {
 }
 
 //===----------------------------------------------------------------------===//
-// SDG construction
+// Builder
 //===----------------------------------------------------------------------===//
 
-SDG::~SDG() = default;
+namespace gadt {
+namespace analysis {
+namespace detail {
 
-SDGNode *SDG::newNode(SDGNode::Kind K, const RoutineDecl *R) {
-  Nodes.emplace_back(new SDGNode(K, static_cast<unsigned>(Nodes.size())));
-  Nodes.back()->Routine = R;
-  return Nodes.back().get();
-}
+/// One directed edge during construction, before the CSR finalize.
+struct PendingEdge {
+  SDGNodeId From, To;
+  SDGEdgeKind K;
+};
 
-bool SDG::hasEdge(const SDGNode *From, const SDGNode *To,
-                  SDGEdgeKind K) const {
-  for (const SDGNode::Edge &E : From->outs())
-    if (E.N == To && E.K == K)
-      return true;
-  return false;
-}
+/// The routine-local PDG one worker produces: nodes and edges under local
+/// ids (0-based within the routine), merged into the global arena with a
+/// per-routine base offset. Everything in here is routine-local state, so
+/// workers never touch shared data.
+struct RoutinePdg {
+  const RoutineDecl *R = nullptr;
+  std::vector<SDGNode> Nodes;       ///< local ids = index
+  std::vector<PendingEdge> Edges;   ///< local ids, chronological, deduped
+  std::vector<SDGCallRecord> Calls; ///< all vertex ids local
+  std::vector<std::pair<const Stmt *, uint32_t>> StmtNodes;
+  uint32_t EntryLocal = SDGNoNode;
+};
 
-void SDG::addEdge(SDGNode *From, SDGNode *To, SDGEdgeKind K) {
-  assert(From && To);
-  if (hasEdge(From, To, K))
-    return;
-  From->Out.push_back({To, K});
-  To->In.push_back({From, K});
-  ++NumEdges;
-  if (K == SDGEdgeKind::Summary)
-    ++NumSummary;
-}
+struct SDGBuilder {
+  SDG &G;
+  explicit SDGBuilder(SDG &G) : G(G) {}
 
-SDG::SDG(const Program &P)
-    : CG(std::make_unique<CallGraph>(P)),
-      SEA(std::make_unique<SideEffectAnalysis>(P, *CG)) {
-  obs::Span Span("sdg", "analysis");
-  for (const RoutineDecl *R : CG->routines())
-    CFGs[R] = std::make_unique<CFG>(R, *SEA);
-  for (const RoutineDecl *R : CG->routines())
-    buildRoutine(R);
-  buildCallLinkage();
-  computeSummaryEdges();
-  Span.arg("routines", CG->routines().size());
-  Span.arg("nodes", Nodes.size());
-  Span.arg("edges", NumEdges);
-  static obs::Counter &Builds =
-      obs::Registry::global().counter("analysis.sdg.builds");
-  static obs::Counter &NodeC =
-      obs::Registry::global().counter("analysis.sdg.nodes");
-  static obs::Counter &EdgeC =
-      obs::Registry::global().counter("analysis.sdg.edges");
-  Builds.add();
-  NodeC.add(Nodes.size());
-  EdgeC.add(NumEdges);
-}
+  /// Intra-routine edge dedup: (from, to) -> kind bitmask.
+  std::unordered_map<uint64_t, uint8_t> LocalSeen;
+
+  /// Formal ordinals and per-routine formal-out counts, computed during
+  /// call linkage and reused by the summary fixpoint.
+  std::vector<int32_t> FiOrdSaved, FoOrdSaved;
+  std::vector<uint32_t> FoCountSaved;
+
+  static uint64_t edgeKey(uint32_t From, uint32_t To) {
+    return (uint64_t(From) << 32) | To;
+  }
+
+  void addLocalEdge(RoutinePdg &P, uint32_t From, uint32_t To,
+                    SDGEdgeKind K) {
+    uint8_t Bit = uint8_t(1) << static_cast<uint8_t>(K);
+    uint8_t &Mask = LocalSeen[edgeKey(From, To)];
+    if (Mask & Bit)
+      return;
+    Mask |= Bit;
+    P.Edges.push_back({From, To, K});
+  }
+
+  /// Builds the program dependence graph of one routine into \p P.
+  void buildRoutine(const RoutineDecl *R, RoutinePdg &P);
+
+  /// Serial phases over the merged arena.
+  void merge(std::vector<RoutinePdg> &Locals);
+  void buildCallLinkage(std::vector<PendingEdge> &Edges);
+  void computeSummaryEdges(std::vector<PendingEdge> &Edges);
+  void finalizeCSR(const std::vector<PendingEdge> &Edges);
+};
 
 static int paramIndexIn(const RoutineDecl *R, const VarDecl *V) {
   const auto &Params = R->getParams();
@@ -150,350 +124,621 @@ static int paramIndexIn(const RoutineDecl *R, const VarDecl *V) {
   return -1;
 }
 
-void SDG::buildRoutine(const RoutineDecl *R) {
-  CFG &G = *CFGs[R];
-  ControlDependence CD(G);
-  ReachingDefs RD(G, *SEA);
+void SDGBuilder::buildRoutine(const RoutineDecl *R, RoutinePdg &P) {
+  P.R = R;
+  CFG Cfg(R, *G.SEA);
+  ControlDependence CD(Cfg);
+  ReachingDefs RD(Cfg, *G.SEA);
+
+  auto newNode = [&](SDGNode::Kind K) -> uint32_t {
+    uint32_t Id = static_cast<uint32_t>(P.Nodes.size());
+    P.Nodes.push_back(SDGNode(K, Id));
+    P.Nodes.back().Routine = R;
+    return Id;
+  };
 
   // --- Vertices mirroring CFG nodes.
-  for (const auto &NPtr : G.nodes()) {
+  std::vector<uint32_t> CfgToLocal(Cfg.nodes().size(), SDGNoNode);
+  for (const auto &NPtr : Cfg.nodes()) {
     const CFGNode *N = NPtr.get();
     switch (N->getKind()) {
-    case CFGNode::Kind::Entry: {
-      SDGNode *E = newNode(SDGNode::Kind::Entry, R);
-      Entries[R] = E;
-      CfgToSdg[N] = E;
+    case CFGNode::Kind::Entry:
+      P.EntryLocal = newNode(SDGNode::Kind::Entry);
+      CfgToLocal[N->getId()] = P.EntryLocal;
       break;
-    }
     case CFGNode::Kind::Exit:
       break;
     case CFGNode::Kind::FormalIn: {
-      SDGNode *F = newNode(SDGNode::Kind::FormalIn, R);
-      F->Var = N->getFormalVar();
-      F->ArgIndex = paramIndexIn(R, F->Var);
-      CfgToSdg[N] = F;
+      uint32_t F = newNode(SDGNode::Kind::FormalIn);
+      P.Nodes[F].Var = N->getFormalVar();
+      P.Nodes[F].ArgIndex = paramIndexIn(R, P.Nodes[F].Var);
+      CfgToLocal[N->getId()] = F;
       break;
     }
     case CFGNode::Kind::FormalOut: {
-      SDGNode *F = newNode(SDGNode::Kind::FormalOut, R);
-      F->Var = N->getFormalVar();
-      F->Result = N->isResultFormal();
-      F->ArgIndex = F->Var ? paramIndexIn(R, F->Var) : -1;
-      CfgToSdg[N] = F;
+      uint32_t F = newNode(SDGNode::Kind::FormalOut);
+      P.Nodes[F].Var = N->getFormalVar();
+      P.Nodes[F].Result = N->isResultFormal();
+      P.Nodes[F].ArgIndex =
+          P.Nodes[F].Var ? paramIndexIn(R, P.Nodes[F].Var) : -1;
+      CfgToLocal[N->getId()] = F;
       break;
     }
     case CFGNode::Kind::Statement:
     case CFGNode::Kind::Predicate: {
-      SDGNode *X = newNode(N->getKind() == CFGNode::Kind::Predicate
+      uint32_t X = newNode(N->getKind() == CFGNode::Kind::Predicate
                                ? SDGNode::Kind::Predicate
-                               : SDGNode::Kind::Stmt,
-                           R);
-      X->S = N->getStmt();
-      CfgToSdg[N] = X;
-      StmtNodes[N->getStmt()] = X;
+                               : SDGNode::Kind::Stmt);
+      P.Nodes[X].S = N->getStmt();
+      CfgToLocal[N->getId()] = X;
+      P.StmtNodes.push_back({N->getStmt(), X});
       break;
     }
     }
   }
+  std::unordered_map<const Stmt *, uint32_t> StmtToLocal(
+      P.StmtNodes.size() * 2);
+  for (const auto &[St, Id] : P.StmtNodes)
+    StmtToLocal.emplace(St, Id);
+  auto stmtLocal = [&](const Stmt *S) -> uint32_t {
+    auto It = StmtToLocal.find(S);
+    return It == StmtToLocal.end() ? SDGNoNode : It->second;
+  };
 
-  // --- Actual vertices per call site.
-  std::map<const Stmt *, std::vector<SDGCallRecord *>> CallsByStmt;
-  for (const CallSite &CS : CG->callSitesIn(R)) {
+  // --- Actual vertices per call site, grouped by site statement for the
+  // def-lookup and result-flow passes below.
+  std::map<const Stmt *, std::vector<uint32_t>> CallsByStmt;
+  for (const CallSite &CS : G.CG->callSitesIn(R)) {
     if (!CS.Callee)
       continue;
-    auto Rec = std::make_unique<SDGCallRecord>();
-    Rec->Site = CS;
-    Rec->CallVertex = StmtNodes[CS.AtStmt];
-    assert(Rec->CallVertex && "call site statement has no vertex");
-    const RoutineEffects &E = SEA->effects(CS.Callee);
+    uint32_t RecIdx = static_cast<uint32_t>(P.Calls.size());
+    P.Calls.emplace_back();
+    SDGCallRecord &Rec = P.Calls.back();
+    Rec.Site = CS;
+    Rec.CallVertex = stmtLocal(CS.AtStmt);
+    assert(Rec.CallVertex != SDGNoNode && "call site statement has no vertex");
+    const RoutineEffects &E = G.SEA->effects(CS.Callee);
     const auto &Params = CS.Callee->getParams();
     const auto &Args = CS.args();
-    for (size_t I = 0, N = std::min(Params.size(), Args.size()); I != N;
-         ++I) {
-      SDGNode *AI = newNode(SDGNode::Kind::ActualIn, R);
-      AI->S = CS.AtStmt;
-      AI->ArgIndex = static_cast<int>(I);
-      AI->Call = Rec.get();
+    size_t NumArgs = std::min(Params.size(), Args.size());
+    Rec.InByArg.assign(NumArgs, SDGNoNode);
+    Rec.OutByArg.assign(NumArgs, SDGNoNode);
+    for (size_t I = 0; I != NumArgs; ++I) {
+      uint32_t AI = newNode(SDGNode::Kind::ActualIn);
+      P.Nodes[AI].S = CS.AtStmt;
+      P.Nodes[AI].ArgIndex = static_cast<int>(I);
       if (Params[I]->isReference())
-        AI->Var = varArgDecl(Args[I].get());
-      Rec->ActualIns.push_back(AI);
-      addEdge(Rec->CallVertex, AI, SDGEdgeKind::Control);
+        P.Nodes[AI].Var = varArgDecl(Args[I].get());
+      Rec.ActualIns.push_back(AI);
+      Rec.InByArg[I] = AI;
+      addLocalEdge(P, Rec.CallVertex, AI, SDGEdgeKind::Control);
       if (Params[I]->isReference()) {
-        SDGNode *AO = newNode(SDGNode::Kind::ActualOut, R);
-        AO->S = CS.AtStmt;
-        AO->ArgIndex = static_cast<int>(I);
-        AO->Var = varArgDecl(Args[I].get());
-        AO->Call = Rec.get();
-        Rec->ActualOuts.push_back(AO);
-        addEdge(Rec->CallVertex, AO, SDGEdgeKind::Control);
+        uint32_t AO = newNode(SDGNode::Kind::ActualOut);
+        P.Nodes[AO].S = CS.AtStmt;
+        P.Nodes[AO].ArgIndex = static_cast<int>(I);
+        P.Nodes[AO].Var = varArgDecl(Args[I].get());
+        Rec.ActualOuts.push_back(AO);
+        Rec.OutByArg[I] = AO;
+        addLocalEdge(P, Rec.CallVertex, AO, SDGEdgeKind::Control);
       }
     }
     for (const VarDecl *Gl : E.GRef) {
-      SDGNode *AI = newNode(SDGNode::Kind::ActualIn, R);
-      AI->S = CS.AtStmt;
-      AI->Var = Gl;
-      AI->Call = Rec.get();
-      Rec->ActualIns.push_back(AI);
-      addEdge(Rec->CallVertex, AI, SDGEdgeKind::Control);
+      uint32_t AI = newNode(SDGNode::Kind::ActualIn);
+      P.Nodes[AI].S = CS.AtStmt;
+      P.Nodes[AI].Var = Gl;
+      Rec.ActualIns.push_back(AI);
+      Rec.InByGlobal.emplace(Gl, AI);
+      addLocalEdge(P, Rec.CallVertex, AI, SDGEdgeKind::Control);
     }
     for (const VarDecl *Gl : E.GMod) {
-      SDGNode *AO = newNode(SDGNode::Kind::ActualOut, R);
-      AO->S = CS.AtStmt;
-      AO->Var = Gl;
-      AO->Call = Rec.get();
-      Rec->ActualOuts.push_back(AO);
-      addEdge(Rec->CallVertex, AO, SDGEdgeKind::Control);
+      uint32_t AO = newNode(SDGNode::Kind::ActualOut);
+      P.Nodes[AO].S = CS.AtStmt;
+      P.Nodes[AO].Var = Gl;
+      Rec.ActualOuts.push_back(AO);
+      Rec.OutByGlobal.emplace(Gl, AO);
+      addLocalEdge(P, Rec.CallVertex, AO, SDGEdgeKind::Control);
     }
     if (CS.Callee->isFunction() && CS.CallExpr) {
-      SDGNode *AO = newNode(SDGNode::Kind::ActualOut, R);
-      AO->S = CS.AtStmt;
-      AO->Result = true;
-      AO->Call = Rec.get();
-      Rec->ActualOuts.push_back(AO);
-      addEdge(Rec->CallVertex, AO, SDGEdgeKind::Control);
+      uint32_t AO = newNode(SDGNode::Kind::ActualOut);
+      P.Nodes[AO].S = CS.AtStmt;
+      P.Nodes[AO].Result = true;
+      Rec.ActualOuts.push_back(AO);
+      Rec.ResultOut = AO;
+      addLocalEdge(P, Rec.CallVertex, AO, SDGEdgeKind::Control);
     }
-    CallsByStmt[CS.AtStmt].push_back(Rec.get());
-    Calls.push_back(std::move(Rec));
+    CallsByStmt[CS.AtStmt].push_back(RecIdx);
   }
 
   // --- Control-dependence edges.
-  for (const auto &NPtr : G.nodes()) {
+  for (const auto &NPtr : Cfg.nodes()) {
     const CFGNode *N = NPtr.get();
-    SDGNode *X = CfgToSdg.count(N) ? CfgToSdg[N] : nullptr;
-    if (!X || X->getKind() == SDGNode::Kind::Entry)
+    uint32_t X = CfgToLocal[N->getId()];
+    if (X == SDGNoNode || P.Nodes[X].getKind() == SDGNode::Kind::Entry)
       continue;
     for (const CFGNode *C : CD.controllersOf(N)) {
-      auto It = CfgToSdg.find(C);
-      if (It != CfgToSdg.end())
-        addEdge(It->second, X, SDGEdgeKind::Control);
+      uint32_t From = CfgToLocal[C->getId()];
+      if (From != SDGNoNode)
+        addLocalEdge(P, From, X, SDGEdgeKind::Control);
     }
   }
 
-  // --- Flow-dependence edges.
-  auto addUseEdges = [&](SDGNode *UseNode, const VarDecl *V,
+  // --- Flow-dependence edges. Definitions of V at CFG node D surface at
+  // the formal-in vertex, the statement vertex for direct defs, and the
+  // actual-out vertices of calls made by D's statement.
+  auto forEachDefVertex = [&](const CFGNode *D, const VarDecl *V,
+                              auto &&Fn) {
+    uint32_t X = CfgToLocal[D->getId()];
+    if (X == SDGNoNode)
+      return;
+    if (P.Nodes[X].getKind() == SDGNode::Kind::FormalIn) {
+      Fn(X);
+      return;
+    }
+    if (D->access().defs(V))
+      Fn(X);
+    auto It = CallsByStmt.find(D->getStmt());
+    if (It != CallsByStmt.end())
+      for (uint32_t RecIdx : It->second)
+        for (uint32_t AO : P.Calls[RecIdx].ActualOuts) {
+          const SDGNode &AONode = P.Nodes[AO];
+          if (!AONode.isResult() && AONode.getVar() == V)
+            Fn(AO);
+        }
+  };
+  auto addUseEdges = [&](uint32_t UseNode, const VarDecl *V,
                          const CFGNode *Anchor) {
     for (const CFGNode *D : RD.reachingIn(Anchor, V))
-      for (SDGNode *DefV : defVerticesAt(D, V))
-        addEdge(DefV, UseNode, SDGEdgeKind::Flow);
+      forEachDefVertex(D, V, [&](uint32_t DefV) {
+        addLocalEdge(P, DefV, UseNode, SDGEdgeKind::Flow);
+      });
   };
 
-  for (const auto &NPtr : G.nodes()) {
+  for (const auto &NPtr : Cfg.nodes()) {
     const CFGNode *N = NPtr.get();
-    auto It = CfgToSdg.find(N);
-    if (It == CfgToSdg.end())
-      continue;
-    SDGNode *X = It->second;
-    if (X->getKind() == SDGNode::Kind::Entry)
+    uint32_t X = CfgToLocal[N->getId()];
+    if (X == SDGNoNode || P.Nodes[X].getKind() == SDGNode::Kind::Entry)
       continue;
     for (const VarDecl *V : N->access().Uses)
       addUseEdges(X, V, N);
   }
 
   // Actual-in uses and result flow.
-  for (const auto &RecPtr : Calls) {
-    SDGCallRecord *Rec = RecPtr.get();
-    if (Rec->Site.Caller != R)
-      continue;
-    const CFGNode *Anchor = G.nodeFor(Rec->Site.AtStmt);
+  for (SDGCallRecord &Rec : P.Calls) {
+    const CFGNode *Anchor = Cfg.nodeFor(Rec.Site.AtStmt);
     assert(Anchor && "call site has no CFG node");
-    const auto &Args = Rec->Site.args();
-    for (SDGNode *AI : Rec->ActualIns) {
-      if (AI->getArgIndex() >= 0 && !AI->getVar()) {
+    const auto &Args = Rec.Site.args();
+    for (uint32_t AI : Rec.ActualIns) {
+      const SDGNode &AINode = P.Nodes[AI];
+      if (AINode.getArgIndex() >= 0 && !AINode.getVar()) {
         // Value argument: uses every variable in the argument expression.
-        forEachExprIn(const_cast<Expr *>(
-                          Args[static_cast<size_t>(AI->getArgIndex())].get()),
-                      [&](Expr *Sub) {
-                        if (auto *VR = dyn_cast<VarRefExpr>(Sub))
-                          addUseEdges(AI, VR->getDecl(), Anchor);
-                      });
-      } else if (AI->getVar()) {
-        addUseEdges(AI, AI->getVar(), Anchor);
+        forEachExprIn(
+            const_cast<Expr *>(
+                Args[static_cast<size_t>(AINode.getArgIndex())].get()),
+            [&](Expr *Sub) {
+              if (auto *VR = dyn_cast<VarRefExpr>(Sub))
+                addUseEdges(AI, VR->getDecl(), Anchor);
+            });
+      } else if (AINode.getVar()) {
+        addUseEdges(AI, AINode.getVar(), Anchor);
       }
     }
     // A function call's result flows into the innermost consumer: another
     // call's argument when nested, otherwise the site's statement vertex.
-    if (SDGNode *ResultAO = Rec->actualOutForResult()) {
-      SDGNode *Consumer = Rec->CallVertex;
-      for (const auto &OtherPtr : Calls) {
-        SDGCallRecord *Other = OtherPtr.get();
-        if (Other == Rec || Other->Site.AtStmt != Rec->Site.AtStmt)
+    if (Rec.ResultOut != SDGNoNode) {
+      uint32_t Consumer = Rec.CallVertex;
+      for (uint32_t OtherIdx : CallsByStmt[Rec.Site.AtStmt]) {
+        SDGCallRecord &Other = P.Calls[OtherIdx];
+        if (&Other == &Rec)
           continue;
-        const auto &OtherArgs = Other->Site.args();
+        const auto &OtherArgs = Other.Site.args();
         for (size_t I = 0; I != OtherArgs.size(); ++I) {
           bool Contains = false;
           forEachExprIn(const_cast<Expr *>(OtherArgs[I].get()),
                         [&](Expr *Sub) {
-                          if (Sub == Rec->Site.CallExpr)
+                          if (Sub == Rec.Site.CallExpr)
                             Contains = true;
                         });
           if (Contains) {
-            if (SDGNode *AI = Other->actualInForArg(static_cast<int>(I)))
+            uint32_t AI = Other.actualInForArg(static_cast<int>(I));
+            if (AI != SDGNoNode)
               Consumer = AI;
           }
         }
       }
-      addEdge(ResultAO, Consumer, SDGEdgeKind::Flow);
+      addLocalEdge(P, Rec.ResultOut, Consumer, SDGEdgeKind::Flow);
     }
   }
 }
 
-std::vector<SDGNode *> SDG::defVerticesAt(const CFGNode *D,
-                                          const VarDecl *V) const {
-  std::vector<SDGNode *> Out;
-  auto It = CfgToSdg.find(D);
-  if (It == CfgToSdg.end())
-    return Out;
-  SDGNode *X = It->second;
-  if (X->getKind() == SDGNode::Kind::FormalIn) {
-    Out.push_back(X);
-    return Out;
+void SDGBuilder::merge(std::vector<RoutinePdg> &Locals) {
+  // Prefix-sum the per-routine node counts into deterministic id bases —
+  // the order is CG->routines() (call-graph preorder), exactly the order
+  // the old serial build allocated ids in.
+  size_t TotalNodes = 0, TotalCalls = 0, TotalEdges = 0, TotalStmts = 0;
+  G.Ranges.resize(Locals.size());
+  for (size_t I = 0; I != Locals.size(); ++I) {
+    G.Ranges[I].Begin = static_cast<SDGNodeId>(TotalNodes);
+    TotalNodes += Locals[I].Nodes.size();
+    G.Ranges[I].End = static_cast<SDGNodeId>(TotalNodes);
+    TotalCalls += Locals[I].Calls.size();
+    TotalEdges += Locals[I].Edges.size();
+    TotalStmts += Locals[I].StmtNodes.size();
   }
-  if (D->access().defs(V))
-    Out.push_back(X);
-  // Call-mediated definitions surface at actual-out vertices.
-  for (const auto &RecPtr : Calls) {
-    const SDGCallRecord *Rec = RecPtr.get();
-    if (Rec->Site.AtStmt != D->getStmt())
-      continue;
-    for (SDGNode *AO : Rec->ActualOuts)
-      if (!AO->isResult() && AO->getVar() == V)
-        Out.push_back(AO);
+  G.NodesV.reserve(TotalNodes);
+  G.CallsV.reserve(TotalCalls);
+  G.StmtMap.reserve(TotalStmts);
+  G.RoutineIdx.reserve(Locals.size());
+
+  for (size_t I = 0; I != Locals.size(); ++I) {
+    RoutinePdg &P = Locals[I];
+    SDGNodeId Base = G.Ranges[I].Begin;
+    G.RoutineIdx.emplace(P.R, static_cast<uint32_t>(I));
+    for (SDGNode &N : P.Nodes) {
+      N.Id += Base;
+      G.NodesV.push_back(N);
+    }
+    assert(P.EntryLocal != SDGNoNode && "routine without entry vertex");
+    G.Entries.emplace(P.R, Base + P.EntryLocal);
+    for (const auto &[S, Local] : P.StmtNodes)
+      G.StmtMap.emplace(S, Base + Local);
+    for (SDGCallRecord &Rec : P.Calls) {
+      Rec.CallVertex += Base;
+      for (SDGNodeId &Id : Rec.ActualIns)
+        Id += Base;
+      for (SDGNodeId &Id : Rec.ActualOuts)
+        Id += Base;
+      for (SDGNodeId &Id : Rec.InByArg)
+        if (Id != SDGNoNode)
+          Id += Base;
+      for (SDGNodeId &Id : Rec.OutByArg)
+        if (Id != SDGNoNode)
+          Id += Base;
+      for (auto &[Var, Id] : Rec.InByGlobal)
+        Id += Base;
+      for (auto &[Var, Id] : Rec.OutByGlobal)
+        Id += Base;
+      if (Rec.ResultOut != SDGNoNode)
+        Rec.ResultOut += Base;
+      G.CallsV.push_back(std::move(Rec));
+    }
   }
-  return Out;
+  // Call-record addresses are stable now; point the actual vertices at
+  // their records.
+  for (const SDGCallRecord &Rec : G.CallsV) {
+    for (SDGNodeId Id : Rec.ActualIns)
+      G.NodesV[Id].Call = &Rec;
+    for (SDGNodeId Id : Rec.ActualOuts)
+      G.NodesV[Id].Call = &Rec;
+  }
 }
 
-void SDG::buildCallLinkage() {
-  for (const auto &RecPtr : Calls) {
-    SDGCallRecord *Rec = RecPtr.get();
-    const RoutineDecl *Callee = Rec->Site.Callee;
-    CFG &CalleeCFG = *CFGs.at(Callee);
-    addEdge(Rec->CallVertex, Entries.at(Callee), SDGEdgeKind::Call);
-
-    const auto &Params = Callee->getParams();
-    for (SDGNode *AI : Rec->ActualIns) {
-      const CFGNode *FI = nullptr;
-      if (AI->getArgIndex() >= 0)
-        FI = CalleeCFG.formalInFor(
-            Params[static_cast<size_t>(AI->getArgIndex())].get());
-      else
-        FI = CalleeCFG.formalInFor(AI->getVar());
-      if (FI)
-        addEdge(AI, CfgToSdg.at(FI), SDGEdgeKind::ParamIn);
+void SDGBuilder::buildCallLinkage(std::vector<PendingEdge> &Edges) {
+  // Formal ordinals: the k-th formal-in/out vertex of a routine, in id
+  // order. The linkage tables below map them straight to actuals, which is
+  // what the summary fixpoint pops against. FiByVar/FoByVar resolve the
+  // callee-side endpoint of param-in/out edges per formal variable.
+  const size_t NumRoutines = G.Ranges.size();
+  std::vector<int32_t> FiOrd(G.NodesV.size(), -1);
+  std::vector<int32_t> FoOrd(G.NodesV.size(), -1);
+  std::vector<uint32_t> FiCount(NumRoutines, 0);
+  std::vector<uint32_t> FoCount(NumRoutines, 0);
+  std::vector<std::unordered_map<const VarDecl *, SDGNodeId>>
+      FiByVar(NumRoutines), FoByVar(NumRoutines);
+  std::vector<SDGNodeId> FoResult(NumRoutines, SDGNoNode);
+  for (size_t R = 0; R != NumRoutines; ++R)
+    for (SDGNodeId Id = G.Ranges[R].Begin; Id != G.Ranges[R].End; ++Id) {
+      const SDGNode &N = G.NodesV[Id];
+      if (N.getKind() == SDGNode::Kind::FormalIn) {
+        FiOrd[Id] = static_cast<int32_t>(FiCount[R]++);
+        FiByVar[R].emplace(N.getVar(), Id);
+      } else if (N.getKind() == SDGNode::Kind::FormalOut) {
+        FoOrd[Id] = static_cast<int32_t>(FoCount[R]++);
+        if (N.isResult())
+          FoResult[R] = Id;
+        else
+          FoByVar[R].emplace(N.getVar(), Id);
+      }
     }
-    for (SDGNode *AO : Rec->ActualOuts) {
-      const CFGNode *FO = nullptr;
-      if (AO->isResult())
-        FO = CalleeCFG.resultFormalOut();
-      else if (AO->getArgIndex() >= 0)
-        FO = CalleeCFG.formalOutFor(
-            Params[static_cast<size_t>(AO->getArgIndex())].get());
-      else
-        FO = CalleeCFG.formalOutFor(AO->getVar());
-      if (FO)
-        addEdge(CfgToSdg.at(FO), AO, SDGEdgeKind::ParamOut);
-    }
-  }
-}
-
-void SDG::computeSummaryEdges() {
-  // Worklist of "path edges" (n, fo): vertex n reaches formal-out fo along
-  // a realizable same-level path within fo's routine.
-  using Pair = std::pair<SDGNode *, SDGNode *>;
-  std::set<Pair> PathEdges;
-  std::deque<Pair> Work;
-  std::map<SDGNode *, std::vector<SDGNode *>> FosReachedFrom;
-  std::map<const RoutineDecl *, std::vector<SDGCallRecord *>> CallsTo;
-  for (const auto &RecPtr : Calls)
-    CallsTo[RecPtr->Site.Callee].push_back(RecPtr.get());
-
-  auto addPair = [&](SDGNode *N, SDGNode *Fo) {
-    if (PathEdges.insert({N, Fo}).second) {
-      Work.push_back({N, Fo});
-      FosReachedFrom[N].push_back(Fo);
-    }
+  auto lookup =
+      [](const std::unordered_map<const VarDecl *, SDGNodeId> &Map,
+         const VarDecl *V) -> SDGNodeId {
+    auto It = Map.find(V);
+    return It == Map.end() ? SDGNoNode : It->second;
   };
 
-  for (const auto &NPtr : Nodes)
-    if (NPtr->getKind() == SDGNode::Kind::FormalOut)
-      addPair(NPtr.get(), NPtr.get());
+  // Two expression calls to the same callee inside one statement share
+  // their call vertex; emit the call edge only once.
+  std::unordered_set<uint64_t> CallEdgeSeen;
+  for (SDGCallRecord &Rec : G.CallsV) {
+    const RoutineDecl *Callee = Rec.Site.Callee;
+    uint32_t CalleeIdx = G.RoutineIdx.at(Callee);
+    SDGNodeId Entry = G.Entries.at(Callee);
+    if (CallEdgeSeen.insert((uint64_t(Rec.CallVertex) << 32) | Entry).second)
+      Edges.push_back({Rec.CallVertex, Entry, SDGEdgeKind::Call});
+    Rec.AIByFormalIn.assign(FiCount[CalleeIdx], SDGNoNode);
+    Rec.AOByFormalOut.assign(FoCount[CalleeIdx], SDGNoNode);
+
+    const auto &Params = Callee->getParams();
+    for (SDGNodeId AI : Rec.ActualIns) {
+      const SDGNode &AINode = G.NodesV[AI];
+      const VarDecl *V =
+          AINode.getArgIndex() >= 0
+              ? Params[static_cast<size_t>(AINode.getArgIndex())].get()
+              : AINode.getVar();
+      SDGNodeId FI = lookup(FiByVar[CalleeIdx], V);
+      if (FI != SDGNoNode) {
+        Edges.push_back({AI, FI, SDGEdgeKind::ParamIn});
+        Rec.AIByFormalIn[static_cast<size_t>(FiOrd[FI])] = AI;
+      }
+    }
+    for (SDGNodeId AO : Rec.ActualOuts) {
+      const SDGNode &AONode = G.NodesV[AO];
+      SDGNodeId FO =
+          AONode.isResult()
+              ? FoResult[CalleeIdx]
+              : lookup(FoByVar[CalleeIdx],
+                       AONode.getArgIndex() >= 0
+                           ? Params[static_cast<size_t>(AONode.getArgIndex())]
+                                 .get()
+                           : AONode.getVar());
+      if (FO != SDGNoNode) {
+        Edges.push_back({FO, AO, SDGEdgeKind::ParamOut});
+        Rec.AOByFormalOut[static_cast<size_t>(FoOrd[FO])] = AO;
+      }
+    }
+  }
+  FiOrdSaved = std::move(FiOrd);
+  FoOrdSaved = std::move(FoOrd);
+  FoCountSaved = std::move(FoCount);
+}
+
+void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges) {
+  // Worklist of "path edges" (n, fo): vertex n reaches formal-out fo along
+  // a realizable same-level path within fo's routine. Per vertex the
+  // reached formal-outs are one bitset row over the *owning routine's*
+  // formal-outs (dense local numbering), so membership is a bit test and
+  // the whole table is one arena allocation.
+  const size_t N = G.NodesV.size();
+  const std::vector<int32_t> &FiOrd = FiOrdSaved;
+  const std::vector<int32_t> &FoOrd = FoOrdSaved;
+  const std::vector<uint32_t> &FoCount = FoCountSaved;
+
+  // Routine index per node (ranges are contiguous) and per-node bit base.
+  std::vector<uint32_t> NodeRoutine(N);
+  for (size_t R = 0; R != G.Ranges.size(); ++R)
+    for (SDGNodeId Id = G.Ranges[R].Begin; Id != G.Ranges[R].End; ++Id)
+      NodeRoutine[Id] = static_cast<uint32_t>(R);
+  std::vector<uint64_t> BitBase(N + 1, 0);
+  for (size_t Id = 0; Id != N; ++Id)
+    BitBase[Id + 1] = BitBase[Id] + FoCount[NodeRoutine[Id]];
+  std::vector<uint64_t> Pairs((BitBase[N] + 63) / 64, 0);
+
+  // Calls per callee routine, in call-record order.
+  std::vector<std::vector<uint32_t>> CallsTo(G.Ranges.size());
+  for (size_t C = 0; C != G.CallsV.size(); ++C)
+    CallsTo[G.RoutineIdx.at(G.CallsV[C].Site.Callee)].push_back(
+        static_cast<uint32_t>(C));
+
+  // Formal-outs reached per vertex, in discovery order, plus the summary
+  // in-edges accumulated per actual-out (the CSR has no summary edges yet).
+  std::vector<std::vector<uint32_t>> FosReached(N);
+  std::vector<std::vector<SDGNodeId>> SummaryIns(N);
+  std::unordered_set<uint64_t> SummarySeen;
+  std::deque<std::pair<SDGNodeId, uint32_t>> Work;
+  uint64_t PathPairs = 0;
+
+  auto addPair = [&](SDGNodeId Node, uint32_t Fo) {
+    uint64_t Bit = BitBase[Node] + Fo;
+    uint64_t Mask = uint64_t(1) << (Bit % 64);
+    if (Pairs[Bit / 64] & Mask)
+      return;
+    Pairs[Bit / 64] |= Mask;
+    ++PathPairs;
+    Work.push_back({Node, Fo});
+    FosReached[Node].push_back(Fo);
+  };
+
+  for (SDGNodeId Id = 0; Id != N; ++Id)
+    if (FoOrd[Id] >= 0)
+      addPair(Id, static_cast<uint32_t>(FoOrd[Id]));
 
   while (!Work.empty()) {
-    auto [N, Fo] = Work.front();
+    auto [Node, Fo] = Work.front();
     Work.pop_front();
 
-    if (N->getKind() == SDGNode::Kind::FormalIn) {
+    if (G.NodesV[Node].getKind() == SDGNode::Kind::FormalIn) {
       // A same-level path fi ->* fo induces summary edges ai -> ao at every
       // call to this routine.
-      for (SDGCallRecord *Rec : CallsTo[N->getRoutine()]) {
-        SDGNode *AI = N->getArgIndex() >= 0
-                          ? Rec->actualInForArg(N->getArgIndex())
-                          : Rec->actualInForGlobal(N->getVar());
-        SDGNode *AO = Fo->isResult() ? Rec->actualOutForResult()
-                      : Fo->getArgIndex() >= 0
-                          ? Rec->actualOutForArg(Fo->getArgIndex())
-                          : Rec->actualOutForGlobal(Fo->getVar());
-        if (!AI || !AO || hasEdge(AI, AO, SDGEdgeKind::Summary))
+      uint32_t Fi = static_cast<uint32_t>(FiOrd[Node]);
+      for (uint32_t CallIdx : CallsTo[NodeRoutine[Node]]) {
+        const SDGCallRecord &Rec = G.CallsV[CallIdx];
+        SDGNodeId AI = Rec.AIByFormalIn[Fi];
+        SDGNodeId AO = Rec.AOByFormalOut[Fo];
+        if (AI == SDGNoNode || AO == SDGNoNode ||
+            !SummarySeen.insert((uint64_t(AI) << 32) | AO).second)
           continue;
-        addEdge(AI, AO, SDGEdgeKind::Summary);
+        Edges.push_back({AI, AO, SDGEdgeKind::Summary});
+        SummaryIns[AO].push_back(AI);
+        ++G.NumSummary;
         // The new edge extends any path already known to leave AO.
-        for (SDGNode *Fo2 : FosReachedFrom[AO])
+        for (uint32_t Fo2 : FosReached[AO])
           addPair(AI, Fo2);
       }
     }
 
-    for (const SDGNode::Edge &E : N->ins()) {
-      if (E.K != SDGEdgeKind::Control && E.K != SDGEdgeKind::Flow &&
-          E.K != SDGEdgeKind::Summary)
+    // Control, flow and summary in-edges stay within the routine, so every
+    // predecessor shares Fo's owner and the pair propagates unconditionally.
+    for (const SDGEdge &E : G.ins(Node)) {
+      if (E.K != SDGEdgeKind::Control && E.K != SDGEdgeKind::Flow)
         continue;
-      if (E.N->getRoutine() == Fo->getRoutine())
-        addPair(E.N, Fo);
+      assert(NodeRoutine[E.N] == NodeRoutine[Node]);
+      addPair(E.N, Fo);
     }
+    for (SDGNodeId AI : SummaryIns[Node])
+      addPair(AI, Fo);
   }
+
+  static obs::Counter &PairC =
+      obs::Registry::global().counter("analysis.sdg.summary.pairs");
+  PairC.add(PathPairs);
+}
+
+void SDGBuilder::finalizeCSR(const std::vector<PendingEdge> &Edges) {
+  // Stable counting sort by endpoint: per-vertex adjacency comes out in
+  // exactly the order the edges were recorded, matching the append order
+  // of the old pointer-graph representation.
+  const size_t N = G.NodesV.size();
+  G.OutOff.assign(N + 1, 0);
+  G.InOff.assign(N + 1, 0);
+  for (const PendingEdge &E : Edges) {
+    ++G.OutOff[E.From + 1];
+    ++G.InOff[E.To + 1];
+  }
+  for (size_t I = 0; I != N; ++I) {
+    G.OutOff[I + 1] += G.OutOff[I];
+    G.InOff[I + 1] += G.InOff[I];
+  }
+  G.OutE.resize(Edges.size());
+  G.InE.resize(Edges.size());
+  std::vector<uint32_t> OutCur(G.OutOff.begin(), G.OutOff.end() - 1);
+  std::vector<uint32_t> InCur(G.InOff.begin(), G.InOff.end() - 1);
+  for (const PendingEdge &E : Edges) {
+    G.OutE[OutCur[E.From]++] = {E.To, E.K};
+    G.InE[InCur[E.To]++] = {E.From, E.K};
+  }
+  G.NumEdges = static_cast<unsigned>(Edges.size());
+}
+
+} // namespace detail
+} // namespace analysis
+} // namespace gadt
+
+//===----------------------------------------------------------------------===//
+// SDG construction
+//===----------------------------------------------------------------------===//
+
+SDG::~SDG() = default;
+
+SDG::SDG(const Program &P, SDGBuildOptions Opts)
+    : CG(std::make_unique<CallGraph>(P)),
+      SEA(std::make_unique<SideEffectAnalysis>(P, *CG)) {
+  obs::Span Span("sdg", "analysis");
+  detail::SDGBuilder B(*this);
+
+  const std::vector<const RoutineDecl *> &Routines = CG->routines();
+  std::vector<detail::RoutinePdg> Locals(Routines.size());
+  unsigned Threads = support::resolveThreads(Opts.Threads);
+  {
+    obs::Span Pdg("sdg.pdg", "analysis");
+    Pdg.arg("threads", Threads);
+    // Routine-local phase: CFG, control deps, reaching defs and all
+    // intra-routine vertices/edges, under local ids. Safe to fan out —
+    // workers share only the immutable AST, call graph and effect sets.
+    // Each worker needs its own dedup map, so give every index a builder.
+    support::parallelFor(Threads, Routines.size(), [&](size_t I) {
+      detail::SDGBuilder Local(*this);
+      Local.buildRoutine(Routines[I], Locals[I]);
+    });
+  }
+
+  // Serial phases: deterministic id assignment + merge, interprocedural
+  // linkage, summary fixpoint, CSR finalize.
+  B.merge(Locals);
+  std::vector<detail::PendingEdge> Edges;
+  size_t IntraEdges = 0;
+  for (const detail::RoutinePdg &L : Locals)
+    IntraEdges += L.Edges.size();
+  Edges.reserve(IntraEdges);
+  for (size_t I = 0; I != Locals.size(); ++I) {
+    SDGNodeId Base = Ranges[I].Begin;
+    for (const detail::PendingEdge &E : Locals[I].Edges)
+      Edges.push_back({E.From + Base, E.To + Base, E.K});
+  }
+  B.buildCallLinkage(Edges);
+  B.finalizeCSR(Edges);
+  {
+    obs::Span Summary("sdg.summary", "analysis");
+    B.computeSummaryEdges(Edges);
+    Summary.arg("summary", NumSummary);
+  }
+  B.finalizeCSR(Edges);
+
+  Span.arg("routines", Routines.size());
+  Span.arg("nodes", NodesV.size());
+  Span.arg("edges", NumEdges);
+  static obs::Counter &Builds =
+      obs::Registry::global().counter("analysis.sdg.builds");
+  static obs::Counter &NodeC =
+      obs::Registry::global().counter("analysis.sdg.nodes");
+  static obs::Counter &EdgeC =
+      obs::Registry::global().counter("analysis.sdg.edges");
+  Builds.add();
+  NodeC.add(NodesV.size());
+  EdgeC.add(NumEdges);
 }
 
 //===----------------------------------------------------------------------===//
 // Lookup and rendering
 //===----------------------------------------------------------------------===//
 
-SDGNode *SDG::entryOf(const RoutineDecl *R) const {
+bool SDG::hasEdge(SDGNodeId From, SDGNodeId To, SDGEdgeKind K) const {
+  for (const SDGEdge &E : outs(From))
+    if (E.N == To && E.K == K)
+      return true;
+  return false;
+}
+
+SDGNodeId SDG::entryOf(const RoutineDecl *R) const {
   auto It = Entries.find(R);
-  return It == Entries.end() ? nullptr : It->second;
+  return It == Entries.end() ? SDGNoNode : It->second;
 }
 
-SDGNode *SDG::stmtNode(const Stmt *S) const {
-  auto It = StmtNodes.find(S);
-  return It == StmtNodes.end() ? nullptr : It->second;
+SDGNodeId SDG::stmtNode(const Stmt *S) const {
+  auto It = StmtMap.find(S);
+  return It == StmtMap.end() ? SDGNoNode : It->second;
 }
 
-SDGNode *SDG::formalOut(const RoutineDecl *R, const std::string &Name) const {
-  for (const auto &N : Nodes)
-    if (N->getKind() == SDGNode::Kind::FormalOut && N->getRoutine() == R &&
-        N->getVar() && N->getVar()->getName() == Name)
-      return N.get();
-  return nullptr;
+SDGNodeId SDG::formalOut(const RoutineDecl *R, const std::string &Name) const {
+  auto It = RoutineIdx.find(R);
+  if (It == RoutineIdx.end())
+    return SDGNoNode;
+  const RoutineRange &Range = Ranges[It->second];
+  for (SDGNodeId Id = Range.Begin; Id != Range.End; ++Id)
+    if (NodesV[Id].getKind() == SDGNode::Kind::FormalOut &&
+        NodesV[Id].getVar() && NodesV[Id].getVar()->getName() == Name)
+      return Id;
+  return SDGNoNode;
 }
 
-SDGNode *SDG::formalOutResult(const RoutineDecl *R) const {
-  for (const auto &N : Nodes)
-    if (N->getKind() == SDGNode::Kind::FormalOut && N->getRoutine() == R &&
-        N->isResult())
-      return N.get();
-  return nullptr;
+SDGNodeId SDG::formalOutResult(const RoutineDecl *R) const {
+  auto It = RoutineIdx.find(R);
+  if (It == RoutineIdx.end())
+    return SDGNoNode;
+  const RoutineRange &Range = Ranges[It->second];
+  for (SDGNodeId Id = Range.Begin; Id != Range.End; ++Id)
+    if (NodesV[Id].getKind() == SDGNode::Kind::FormalOut &&
+        NodesV[Id].isResult())
+      return Id;
+  return SDGNoNode;
 }
 
-SDGNode *SDG::formalIn(const RoutineDecl *R, const std::string &Name) const {
-  for (const auto &N : Nodes)
-    if (N->getKind() == SDGNode::Kind::FormalIn && N->getRoutine() == R &&
-        N->getVar() && N->getVar()->getName() == Name)
-      return N.get();
-  return nullptr;
+SDGNodeId SDG::formalIn(const RoutineDecl *R, const std::string &Name) const {
+  auto It = RoutineIdx.find(R);
+  if (It == RoutineIdx.end())
+    return SDGNoNode;
+  const RoutineRange &Range = Ranges[It->second];
+  for (SDGNodeId Id = Range.Begin; Id != Range.End; ++Id)
+    if (NodesV[Id].getKind() == SDGNode::Kind::FormalIn &&
+        NodesV[Id].getVar() && NodesV[Id].getVar()->getName() == Name)
+      return Id;
+  return SDGNoNode;
 }
 
 std::string SDG::str() const {
   std::string Out;
-  for (const auto &N : Nodes) {
-    Out += std::to_string(N->getId()) + ": " + N->label() + "\n";
-    for (const SDGNode::Edge &E : N->outs()) {
+  for (const SDGNode &N : NodesV) {
+    Out += std::to_string(N.getId()) + ": " + N.label() + "\n";
+    for (const SDGEdge &E : outs(N.getId())) {
       const char *K = "";
       switch (E.K) {
       case SDGEdgeKind::Control:
@@ -515,8 +760,7 @@ std::string SDG::str() const {
         K = "sum";
         break;
       }
-      Out += "  -" + std::string(K) + "-> " + std::to_string(E.N->getId()) +
-             "\n";
+      Out += "  -" + std::string(K) + "-> " + std::to_string(E.N) + "\n";
     }
   }
   return Out;
@@ -535,23 +779,22 @@ static std::string escapeDotLabel(const std::string &S) {
 std::string SDG::dot() const {
   std::string Out = "digraph sdg {\n  node [shape=box, "
                     "fontname=\"monospace\", fontsize=10];\n";
-  // Cluster vertices per routine.
-  std::map<const RoutineDecl *, std::vector<const SDGNode *>> ByRoutine;
-  for (const auto &N : Nodes)
-    ByRoutine[N->getRoutine()].push_back(N.get());
-  unsigned Cluster = 0;
-  for (const auto &[R, Members] : ByRoutine) {
-    Out += "  subgraph cluster_" + std::to_string(Cluster++) + " {\n";
-    Out += "    label=\"" + escapeDotLabel(R->qualifiedName()) + "\";\n";
-    for (const SDGNode *N : Members)
-      Out += "    v" + std::to_string(N->getId()) + " [label=\"" +
-             escapeDotLabel(N->label()) + "\"];\n";
+  // Cluster vertices per routine: each routine's ids are one contiguous
+  // range, emitted in call-graph preorder.
+  const std::vector<const RoutineDecl *> &Routines = CG->routines();
+  for (size_t R = 0; R != Ranges.size(); ++R) {
+    Out += "  subgraph cluster_" + std::to_string(R) + " {\n";
+    Out += "    label=\"" + escapeDotLabel(Routines[R]->qualifiedName()) +
+           "\";\n";
+    for (SDGNodeId Id = Ranges[R].Begin; Id != Ranges[R].End; ++Id)
+      Out += "    v" + std::to_string(Id) + " [label=\"" +
+             escapeDotLabel(NodesV[Id].label()) + "\"];\n";
     Out += "  }\n";
   }
-  for (const auto &N : Nodes)
-    for (const SDGNode::Edge &E : N->outs()) {
-      Out += "  v" + std::to_string(N->getId()) + " -> v" +
-             std::to_string(E.N->getId());
+  for (const SDGNode &N : NodesV)
+    for (const SDGEdge &E : outs(N.getId())) {
+      Out += "  v" + std::to_string(N.getId()) + " -> v" +
+             std::to_string(E.N);
       switch (E.K) {
       case SDGEdgeKind::Control:
         break;

@@ -17,21 +17,29 @@
 /// *summary edges* (actual-in -> actual-out) computed with the standard
 /// worklist algorithm, which make the two-phase slicer context-sensitive.
 ///
+/// Storage is an arena/CSR layout: every vertex is a dense `uint32_t` id
+/// into one flat node array, each routine owning a contiguous id range
+/// (per-routine bases are assigned up front in call-graph preorder, so ids
+/// are deterministic no matter how many threads built the per-routine
+/// PDGs), and the in/out adjacency lives in kind-tagged compressed arrays
+/// produced by a finalize pass that preserves per-vertex insertion order.
+/// Per-routine PDG construction (CFG, control dependence, reaching defs,
+/// intra-routine edges) is embarrassingly parallel; call linkage and the
+/// summary-edge fixpoint then run serially over the merged arena, so a
+/// parallel build is bit-for-bit identical to a serial one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GADT_ANALYSIS_SDG_H
 #define GADT_ANALYSIS_SDG_H
 
-#include "analysis/CFG.h"
 #include "analysis/CallGraph.h"
-#include "analysis/ControlDep.h"
-#include "analysis/Dataflow.h"
 #include "analysis/SideEffects.h"
 #include "pascal/AST.h"
 
-#include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace gadt {
@@ -39,6 +47,14 @@ namespace analysis {
 
 class SDG;
 struct SDGCallRecord;
+namespace detail {
+struct SDGBuilder;
+}
+
+/// Dense SDG vertex id: an index into SDG::nodes().
+using SDGNodeId = uint32_t;
+/// Sentinel for "no such vertex".
+inline constexpr SDGNodeId SDGNoNode = 0xFFFFFFFFu;
 
 /// Dependence edge kinds.
 enum class SDGEdgeKind : uint8_t {
@@ -50,7 +66,28 @@ enum class SDGEdgeKind : uint8_t {
   Summary,  ///< actual-in -> actual-out (transitive callee dependence)
 };
 
-/// One SDG vertex.
+/// One adjacency entry: the far endpoint plus the edge kind.
+struct SDGEdge {
+  SDGNodeId N;
+  SDGEdgeKind K;
+};
+
+/// A contiguous, non-owning run of adjacency entries (one vertex's ins or
+/// outs inside the CSR arrays).
+class SDGEdgeList {
+public:
+  SDGEdgeList(const SDGEdge *B, const SDGEdge *E) : Begin(B), End_(E) {}
+  const SDGEdge *begin() const { return Begin; }
+  const SDGEdge *end() const { return End_; }
+  size_t size() const { return static_cast<size_t>(End_ - Begin); }
+  bool empty() const { return Begin == End_; }
+  const SDGEdge &operator[](size_t I) const { return Begin[I]; }
+
+private:
+  const SDGEdge *Begin, *End_;
+};
+
+/// One SDG vertex — a plain value in the SDG's flat node array.
 class SDGNode {
 public:
   enum class Kind : uint8_t {
@@ -63,13 +100,8 @@ public:
     ActualOut,
   };
 
-  struct Edge {
-    SDGNode *N;
-    SDGEdgeKind K;
-  };
-
   Kind getKind() const { return K; }
-  unsigned getId() const { return Id; }
+  SDGNodeId getId() const { return Id; }
   const pascal::RoutineDecl *getRoutine() const { return Routine; }
   /// The source statement this vertex belongs to: the statement itself for
   /// Stmt/Predicate, the call-site statement for actuals, null for entry
@@ -82,67 +114,110 @@ public:
   bool isResult() const { return Result; }
   const SDGCallRecord *getCall() const { return Call; }
 
-  const std::vector<Edge> &outs() const { return Out; }
-  const std::vector<Edge> &ins() const { return In; }
-
   /// Human-readable label for dumps and tests.
   std::string label() const;
 
 private:
   friend class SDG;
-  SDGNode(Kind K, unsigned Id) : K(K), Id(Id) {}
+  friend struct detail::SDGBuilder;
+  SDGNode(Kind K, SDGNodeId Id) : K(K), Id(Id) {}
 
   Kind K;
-  unsigned Id;
+  SDGNodeId Id;
   const pascal::RoutineDecl *Routine = nullptr;
   const pascal::Stmt *S = nullptr;
   const pascal::VarDecl *Var = nullptr;
   int ArgIndex = -1;
   bool Result = false;
   const SDGCallRecord *Call = nullptr;
-  std::vector<Edge> Out;
-  std::vector<Edge> In;
 };
 
-/// Book-keeping for one call site's actual vertices.
+/// Book-keeping for one call site's actual vertices. All formal/actual
+/// correspondences are precomputed index tables, so the summary-edge
+/// worklist and the slicer resolve them in O(1).
 struct SDGCallRecord {
   CallSite Site;
-  SDGNode *CallVertex = nullptr; // the Stmt/Predicate vertex of the site
-  std::vector<SDGNode *> ActualIns;
-  std::vector<SDGNode *> ActualOuts;
+  SDGNodeId CallVertex = SDGNoNode; // the Stmt/Predicate vertex of the site
+  std::vector<SDGNodeId> ActualIns;
+  std::vector<SDGNodeId> ActualOuts;
 
-  SDGNode *actualInForArg(int Index) const;
-  SDGNode *actualInForGlobal(const pascal::VarDecl *G) const;
-  SDGNode *actualOutForArg(int Index) const;
-  SDGNode *actualOutForGlobal(const pascal::VarDecl *G) const;
-  SDGNode *actualOutForResult() const;
+  /// Actual-in/out per parameter position (SDGNoNode when absent).
+  std::vector<SDGNodeId> InByArg;
+  std::vector<SDGNodeId> OutByArg;
+  /// Actual-in/out per global variable modeled as a parameter.
+  std::unordered_map<const pascal::VarDecl *, SDGNodeId> InByGlobal;
+  std::unordered_map<const pascal::VarDecl *, SDGNodeId> OutByGlobal;
+  /// Actual-out of the function result (SDGNoNode for procedures).
+  SDGNodeId ResultOut = SDGNoNode;
+  /// Callee formal ordinal -> actual id, filled during call linkage; the
+  /// summary fixpoint indexes these on every worklist pop.
+  std::vector<SDGNodeId> AIByFormalIn;
+  std::vector<SDGNodeId> AOByFormalOut;
+
+  SDGNodeId actualInForArg(int Index) const {
+    return Index >= 0 && static_cast<size_t>(Index) < InByArg.size()
+               ? InByArg[static_cast<size_t>(Index)]
+               : SDGNoNode;
+  }
+  SDGNodeId actualInForGlobal(const pascal::VarDecl *G) const {
+    auto It = InByGlobal.find(G);
+    return It == InByGlobal.end() ? SDGNoNode : It->second;
+  }
+  SDGNodeId actualOutForArg(int Index) const {
+    return Index >= 0 && static_cast<size_t>(Index) < OutByArg.size()
+               ? OutByArg[static_cast<size_t>(Index)]
+               : SDGNoNode;
+  }
+  SDGNodeId actualOutForGlobal(const pascal::VarDecl *G) const {
+    auto It = OutByGlobal.find(G);
+    return It == OutByGlobal.end() ? SDGNoNode : It->second;
+  }
+  SDGNodeId actualOutForResult() const { return ResultOut; }
+};
+
+/// Construction options.
+struct SDGBuildOptions {
+  /// Worker threads for the per-routine PDG phase: 1 builds serially on
+  /// the calling thread (the default), 0 uses one thread per hardware
+  /// thread. Node ids, edges and all renderings are identical for every
+  /// value — linkage and summary edges always run serially.
+  unsigned Threads = 1;
 };
 
 /// The whole-program dependence graph.
 class SDG {
 public:
-  explicit SDG(const pascal::Program &P);
+  explicit SDG(const pascal::Program &P, SDGBuildOptions Opts = {});
   ~SDG();
 
   SDG(const SDG &) = delete;
   SDG &operator=(const SDG &) = delete;
 
-  const std::vector<std::unique_ptr<SDGNode>> &nodes() const { return Nodes; }
-  const std::vector<std::unique_ptr<SDGCallRecord>> &calls() const {
-    return Calls;
-  }
+  const std::vector<SDGNode> &nodes() const { return NodesV; }
+  const SDGNode &node(SDGNodeId Id) const { return NodesV[Id]; }
+  const std::vector<SDGCallRecord> &calls() const { return CallsV; }
 
-  SDGNode *entryOf(const pascal::RoutineDecl *R) const;
-  /// The vertex of the atomic part of \p S; null for compound/labeled.
-  SDGNode *stmtNode(const pascal::Stmt *S) const;
+  /// Outgoing/incoming adjacency of \p Id (CSR slices; insertion order).
+  SDGEdgeList outs(SDGNodeId Id) const {
+    return {OutE.data() + OutOff[Id], OutE.data() + OutOff[Id + 1]};
+  }
+  SDGEdgeList ins(SDGNodeId Id) const {
+    return {InE.data() + InOff[Id], InE.data() + InOff[Id + 1]};
+  }
+  /// Membership test over the CSR out-slice of \p From.
+  bool hasEdge(SDGNodeId From, SDGNodeId To, SDGEdgeKind K) const;
+
+  SDGNodeId entryOf(const pascal::RoutineDecl *R) const;
+  /// The vertex of the atomic part of \p S; SDGNoNode for compound/labeled.
+  SDGNodeId stmtNode(const pascal::Stmt *S) const;
   /// Formal-out vertex of variable \p Name (parameter or global) of \p R.
-  SDGNode *formalOut(const pascal::RoutineDecl *R,
-                     const std::string &Name) const;
+  SDGNodeId formalOut(const pascal::RoutineDecl *R,
+                      const std::string &Name) const;
   /// Formal-out vertex of the function result of \p R.
-  SDGNode *formalOutResult(const pascal::RoutineDecl *R) const;
+  SDGNodeId formalOutResult(const pascal::RoutineDecl *R) const;
   /// Formal-in vertex of variable \p Name of \p R.
-  SDGNode *formalIn(const pascal::RoutineDecl *R,
-                    const std::string &Name) const;
+  SDGNodeId formalIn(const pascal::RoutineDecl *R,
+                     const std::string &Name) const;
 
   const CallGraph &callGraph() const { return *CG; }
   const SideEffectAnalysis &sideEffects() const { return *SEA; }
@@ -159,26 +234,26 @@ public:
   std::string dot() const;
 
 private:
-  SDGNode *newNode(SDGNode::Kind K, const pascal::RoutineDecl *R);
-  void addEdge(SDGNode *From, SDGNode *To, SDGEdgeKind K);
-  bool hasEdge(const SDGNode *From, const SDGNode *To, SDGEdgeKind K) const;
-  void buildRoutine(const pascal::RoutineDecl *R);
-  void buildCallLinkage();
-  void computeSummaryEdges();
+  friend struct detail::SDGBuilder;
 
-  /// Vertices that *define* variable \p V at CFG node \p D (the statement
-  /// vertex for direct defs, actual-out vertices for call-mediated defs).
-  std::vector<SDGNode *> defVerticesAt(const CFGNode *D,
-                                       const pascal::VarDecl *V) const;
+  /// The contiguous id range a routine's vertices occupy.
+  struct RoutineRange {
+    SDGNodeId Begin = 0, End = 0;
+  };
 
   std::unique_ptr<CallGraph> CG;
   std::unique_ptr<SideEffectAnalysis> SEA;
-  std::vector<std::unique_ptr<SDGNode>> Nodes;
-  std::vector<std::unique_ptr<SDGCallRecord>> Calls;
-  std::map<const pascal::RoutineDecl *, std::unique_ptr<CFG>> CFGs;
-  std::map<const pascal::RoutineDecl *, SDGNode *> Entries;
-  std::map<const pascal::Stmt *, SDGNode *> StmtNodes;
-  std::map<const CFGNode *, SDGNode *> CfgToSdg;
+  std::vector<SDGNode> NodesV;
+  std::vector<SDGCallRecord> CallsV;
+  /// Ranges parallel to CG->routines(), plus the routine -> index map.
+  std::vector<RoutineRange> Ranges;
+  std::unordered_map<const pascal::RoutineDecl *, uint32_t> RoutineIdx;
+  std::unordered_map<const pascal::RoutineDecl *, SDGNodeId> Entries;
+  std::unordered_map<const pascal::Stmt *, SDGNodeId> StmtMap;
+  /// CSR adjacency: per-vertex offset arrays (size nodes+1) into the flat
+  /// edge arrays, built by a stable counting-sort finalize pass.
+  std::vector<uint32_t> OutOff, InOff;
+  std::vector<SDGEdge> OutE, InE;
   unsigned NumEdges = 0;
   unsigned NumSummary = 0;
 };

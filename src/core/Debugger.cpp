@@ -240,7 +240,7 @@ AlgorithmicDebugger::staticSliceFor(const pascal::RoutineDecl *R,
 
 void AlgorithmicDebugger::applySliceIfPossible(
     const ExecNode &N, const std::string &WrongOutput) {
-  trace::NodeSet Kept;
+  support::NodeSet Kept;
   switch (Opts.Slicing) {
   case SliceMode::None:
     return;

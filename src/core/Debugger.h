@@ -27,7 +27,7 @@
 #include "analysis/SDG.h"
 #include "core/Oracle.h"
 #include "trace/ExecTree.h"
-#include "trace/NodeSet.h"
+#include "support/NodeSet.h"
 
 #include <functional>
 #include <map>
@@ -150,7 +150,7 @@ public:
   const SessionStats &stats() const { return Stats; }
 
   /// The ids still searchable after all slicing prunes (for inspection).
-  const trace::NodeSet &activeIds() const { return Active; }
+  const support::NodeSet &activeIds() const { return Active; }
 
 private:
   Judgement ask(const trace::ExecNode &N);
@@ -173,7 +173,7 @@ private:
   DebuggerOptions Opts;
   const analysis::SDG *Sdg = nullptr;
   SliceProvider Slices;
-  trace::NodeSet Active;
+  support::NodeSet Active;
   /// Judgement memo. Two unit executions get one verdict when their
   /// dialogue signatures coincide; instead of keying on the rendered
   /// string, entries are hashed over the interned unit name, iteration

@@ -139,7 +139,10 @@ RuntimeContext::prepare(const std::string &Source,
           auto Entry = std::make_shared<SdgEntry>();
           Entry->Prepared = Prepared;
           Entry->OriginalPin = Pin;
-          Entry->Graph = std::make_unique<const analysis::SDG>(*Prepared);
+          // Ids are identical for any thread count, so the parallel
+          // per-routine build is safe to use under the shared cache.
+          Entry->Graph = std::make_unique<const analysis::SDG>(
+              *Prepared, analysis::SDGBuildOptions{0});
           return Entry;
         },
         &WasMiss);

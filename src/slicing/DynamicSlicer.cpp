@@ -9,7 +9,7 @@ using namespace gadt;
 using namespace gadt::slicing;
 using namespace gadt::trace;
 
-NodeSet gadt::slicing::dynamicSlice(const ExecNode *Criterion,
+support::NodeSet gadt::slicing::dynamicSlice(const ExecNode *Criterion,
                                     const std::string &OutputName) {
   obs::Span Span("slice", "slicing");
   if (Span.active()) {
@@ -18,12 +18,12 @@ NodeSet gadt::slicing::dynamicSlice(const ExecNode *Criterion,
                                     : std::string("<null>"));
     Span.arg("output", OutputName);
   }
-  NodeSet Kept;
+  support::NodeSet Kept;
   if (!Criterion)
     return Kept;
   uint32_t CritId = Criterion->getId();
   uint32_t End = Criterion->subtreeEnd();
-  Kept = NodeSet(End);
+  Kept = support::NodeSet(End);
   Kept.insert(CritId);
   if (const interp::Binding *B = Criterion->findOutput(OutputName)) {
     // Relevant = dependence ids inside the subtree; close over ancestry by

@@ -23,7 +23,7 @@
 #define GADT_SLICING_DYNAMICSLICER_H
 
 #include "trace/ExecTree.h"
-#include "trace/NodeSet.h"
+#include "support/NodeSet.h"
 
 #include <cstdint>
 #include <string>
@@ -37,7 +37,7 @@ namespace slicing {
 /// Requires the tree to have been built with dependence tracking; without
 /// it every output has an empty dependence set and only \p Criterion is
 /// retained.
-trace::NodeSet dynamicSlice(const trace::ExecNode *Criterion,
+support::NodeSet dynamicSlice(const trace::ExecNode *Criterion,
                             const std::string &OutputName);
 
 } // namespace slicing

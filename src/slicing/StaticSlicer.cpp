@@ -2,74 +2,97 @@
 
 #include "slicing/StaticSlicer.h"
 
-#include "analysis/Dataflow.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
-
-#include <deque>
 
 using namespace gadt;
 using namespace gadt::slicing;
 using namespace gadt::analysis;
 using namespace gadt::pascal;
 
-namespace {
-
-/// Marks everything backward-reachable from \p Seeds over edges whose kind
-/// passes \p Follow, adding discoveries to \p Mark.
-template <typename Pred>
-void backwardReach(const std::vector<const SDGNode *> &Seeds,
-                   std::set<const SDGNode *> &Mark, Pred Follow) {
-  std::deque<const SDGNode *> Work(Seeds.begin(), Seeds.end());
-  for (const SDGNode *S : Seeds)
-    Mark.insert(S);
-  while (!Work.empty()) {
-    const SDGNode *N = Work.front();
-    Work.pop_front();
-    for (const SDGNode::Edge &E : N->ins()) {
-      if (!Follow(E.K))
-        continue;
-      if (Mark.insert(E.N).second)
-        Work.push_back(E.N);
+const StaticSlice::Views &StaticSlice::materializeViews() const {
+  static const Views Empty;
+  if (!Cache)
+    return Empty;
+  std::call_once(Cache->Once, [this] {
+    Views &V = Cache->V;
+    for (uint32_t Id : Ids.ids()) {
+      const SDGNode &N = G->node(Id);
+      if (N.getStmt())
+        V.Stmts.insert(N.getStmt());
+      if (N.getRoutine())
+        V.Routines.insert(N.getRoutine());
+      if (N.getVar())
+        V.Vars.insert(N.getVar());
+      if (N.getCall() && N.getCall()->Site.CallExpr)
+        V.CallExprs.insert(N.getCall()->Site.CallExpr);
     }
-  }
+    Cache->Ready.store(true, std::memory_order_release);
+  });
+  return Cache->V;
 }
 
-} // namespace
-
-StaticSlice gadt::slicing::backwardSlice(
-    const SDG &G, std::vector<const SDGNode *> Criteria) {
+StaticSlice
+gadt::slicing::backwardSlice(const SDG &G,
+                             const std::vector<SDGNodeId> &Criteria) {
   StaticSlice Result;
   if (Criteria.empty())
     return Result;
 
+  // One visited bitset serves both phases (the final slice is the union);
+  // Order doubles as the BFS queue and records discovery order, so the
+  // phase-2 sweep re-scans the phase-1 frontier without a set copy.
+  support::NodeSet Mark(static_cast<uint32_t>(G.nodes().size()));
+  std::vector<SDGNodeId> Order;
+  Order.reserve(Criteria.size());
+  for (SDGNodeId C : Criteria)
+    if (!Mark.contains(C)) {
+      Mark.insert(C);
+      Order.push_back(C);
+    }
+
   // Phase 1: ascend to callers; summary edges stand in for callees.
-  std::set<const SDGNode *> Phase1;
-  backwardReach(Criteria, Phase1, [](SDGEdgeKind K) {
-    return K != SDGEdgeKind::ParamOut;
-  });
+  for (size_t Head = 0; Head != Order.size(); ++Head)
+    for (const SDGEdge &E : G.ins(Order[Head])) {
+      if (E.K == SDGEdgeKind::ParamOut || Mark.contains(E.N))
+        continue;
+      Mark.insert(E.N);
+      Order.push_back(E.N);
+    }
 
-  // Phase 2: descend into callees; never re-ascend.
-  std::set<const SDGNode *> All = Phase1;
-  std::vector<const SDGNode *> Seeds(Phase1.begin(), Phase1.end());
-  backwardReach(Seeds, All, [](SDGEdgeKind K) {
-    return K != SDGEdgeKind::ParamIn && K != SDGEdgeKind::Call;
-  });
+  // Phase 2: descend into callees from everything phase 1 marked; never
+  // re-ascend.
+  for (size_t Head = 0; Head != Order.size(); ++Head)
+    for (const SDGEdge &E : G.ins(Order[Head])) {
+      if (E.K == SDGEdgeKind::ParamIn || E.K == SDGEdgeKind::Call ||
+          Mark.contains(E.N))
+        continue;
+      Mark.insert(E.N);
+      Order.push_back(E.N);
+    }
 
-  Result.Nodes = std::move(All);
-  for (const SDGNode *N : Result.Nodes) {
-    if (N->getStmt())
-      Result.Stmts.insert(N->getStmt());
-    if (N->getRoutine())
-      Result.Routines.insert(N->getRoutine());
-    if (N->getVar())
-      Result.Vars.insert(N->getVar());
-    if (N->getCall() && N->getCall()->Site.CallExpr)
-      Result.CallExprs.insert(N->getCall()->Site.CallExpr);
-  }
-  (void)G;
+  Result.G = &G;
+  Result.Ids = std::move(Mark);
+  Result.Count = Order.size();
+  Result.Cache = std::make_shared<StaticSlice::Lazy>();
   return Result;
 }
+
+namespace {
+
+/// Shared epilogue of the criterion helpers: per-slice span arg + the
+/// static-slicing counters, registered once.
+void recordSlice(obs::Span &Span, const StaticSlice &S) {
+  Span.arg("nodes", S.size());
+  static obs::Counter &Slices =
+      obs::Registry::global().counter("slicing.static.slices");
+  static obs::Counter &Nodes =
+      obs::Registry::global().counter("slicing.static.nodes");
+  Slices.add();
+  Nodes.add(S.size());
+}
+
+} // namespace
 
 StaticSlice gadt::slicing::sliceOnRoutineOutput(const SDG &G,
                                                 const RoutineDecl *R,
@@ -80,19 +103,13 @@ StaticSlice gadt::slicing::sliceOnRoutineOutput(const SDG &G,
     Span.arg("routine", R ? R->getName() : std::string("<null>"));
     Span.arg("output", VarName);
   }
-  const SDGNode *Criterion = G.formalOut(R, VarName);
-  if (!Criterion && R->isFunction() && VarName == R->getName())
+  SDGNodeId Criterion = G.formalOut(R, VarName);
+  if (Criterion == SDGNoNode && R->isFunction() && VarName == R->getName())
     Criterion = G.formalOutResult(R);
-  if (!Criterion)
+  if (Criterion == SDGNoNode)
     return StaticSlice();
   StaticSlice S = backwardSlice(G, {Criterion});
-  Span.arg("nodes", S.size());
-  static obs::Counter &Slices =
-      obs::Registry::global().counter("slicing.static.slices");
-  static obs::Counter &Nodes =
-      obs::Registry::global().counter("slicing.static.nodes");
-  Slices.add();
-  Nodes.add(S.size());
+  recordSlice(Span, S);
   return S;
 }
 
@@ -103,16 +120,10 @@ StaticSlice gadt::slicing::sliceOnProgramVar(const SDG &G, const Program &P,
     Span.arg("kind", "static");
     Span.arg("output", VarName);
   }
-  const SDGNode *Criterion = G.formalOut(P.getMain(), VarName);
-  if (!Criterion)
+  SDGNodeId Criterion = G.formalOut(P.getMain(), VarName);
+  if (Criterion == SDGNoNode)
     return StaticSlice();
   StaticSlice S = backwardSlice(G, {Criterion});
-  Span.arg("nodes", S.size());
-  static obs::Counter &Slices =
-      obs::Registry::global().counter("slicing.static.slices");
-  static obs::Counter &Nodes =
-      obs::Registry::global().counter("slicing.static.nodes");
-  Slices.add();
-  Nodes.add(S.size());
+  recordSlice(Span, S);
   return S;
 }

@@ -12,71 +12,112 @@
 /// context-sensitive static slice — the machinery behind the paper's
 /// Section 4 and Section 7.
 ///
+/// Both phases run over the SDG's CSR in-edge arrays with a dense id
+/// bitset for the visited set, so a slice costs two adjacency sweeps and
+/// no node allocations. A StaticSlice therefore holds just the id set;
+/// the statement/routine/variable views consumers filter with are
+/// materialized lazily (and thread-safely) on first access.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GADT_SLICING_STATICSLICER_H
 #define GADT_SLICING_STATICSLICER_H
 
 #include "analysis/SDG.h"
+#include "support/NodeSet.h"
 
-#include <set>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
+#include <vector>
 
 namespace gadt {
 namespace slicing {
 
-/// The result of a slice: the SDG vertices in the slice, with convenience
-/// views at statement and routine granularity.
+/// The result of a slice: the SDG vertex ids in the slice, with lazy
+/// convenience views at statement and routine granularity. Copies are
+/// cheap and share the materialized views.
 class StaticSlice {
 public:
-  const std::set<const analysis::SDGNode *> &nodes() const { return Nodes; }
+  /// An empty slice attached to no graph.
+  StaticSlice() = default;
 
-  bool containsNode(const analysis::SDGNode *N) const {
-    return Nodes.count(N) != 0;
-  }
+  bool containsNode(analysis::SDGNodeId Id) const { return Ids.contains(Id); }
   /// True when any vertex of \p S (statement, predicate or one of its
   /// actuals) is in the slice.
   bool containsStmt(const pascal::Stmt *S) const {
-    return Stmts.count(S) != 0;
+    return views().Stmts.count(S) != 0;
   }
   /// True when any vertex of routine \p R is in the slice.
   bool containsRoutine(const pascal::RoutineDecl *R) const {
-    return Routines.count(R) != 0;
+    return views().Routines.count(R) != 0;
   }
-  /// True when variable \p V appears as a formal/actual vertex or in the
-  /// def/use set of some sliced statement (used to retain declarations when
-  /// projecting).
+  /// True when variable \p V appears as a formal/actual vertex of some
+  /// sliced node (used to retain declarations when projecting).
   bool mentionsVar(const pascal::VarDecl *V) const {
-    return Vars.count(V) != 0;
+    return views().Vars.count(V) != 0;
   }
-
-  const std::set<const pascal::Stmt *> &stmts() const { return Stmts; }
-  const std::set<const pascal::RoutineDecl *> &routines() const {
-    return Routines;
-  }
-
   /// True when the specific expression-position call \p E has a vertex in
   /// the slice (finer-grained than containsStmt for statements that make
   /// several calls).
   bool containsCallExpr(const pascal::Expr *E) const {
-    return CallExprs.count(E) != 0;
+    return views().CallExprs.count(E) != 0;
   }
 
-  size_t size() const { return Nodes.size(); }
+  /// The sliced vertex ids (indices into graph()->nodes()).
+  const support::NodeSet &nodes() const { return Ids; }
+  /// The SDG the ids refer to; null for a default-constructed slice.
+  const analysis::SDG *graph() const { return G; }
+
+  const std::unordered_set<const pascal::Stmt *> &stmts() const {
+    return views().Stmts;
+  }
+  const std::unordered_set<const pascal::RoutineDecl *> &routines() const {
+    return views().Routines;
+  }
+
+  size_t size() const { return Count; }
 
 private:
-  friend StaticSlice backwardSlice(const analysis::SDG &,
-                                   std::vector<const analysis::SDGNode *>);
-  std::set<const analysis::SDGNode *> Nodes;
-  std::set<const pascal::Stmt *> Stmts;
-  std::set<const pascal::RoutineDecl *> Routines;
-  std::set<const pascal::VarDecl *> Vars;
-  std::set<const pascal::Expr *> CallExprs;
+  friend StaticSlice
+  backwardSlice(const analysis::SDG &,
+                const std::vector<analysis::SDGNodeId> &);
+
+  struct Views {
+    std::unordered_set<const pascal::Stmt *> Stmts;
+    std::unordered_set<const pascal::RoutineDecl *> Routines;
+    std::unordered_set<const pascal::VarDecl *> Vars;
+    std::unordered_set<const pascal::Expr *> CallExprs;
+  };
+  /// Heap cell behind a shared_ptr so slices stay copyable/movable and
+  /// copies share one materialization; call_once makes first access safe
+  /// when a cached const slice is read from several debugger threads.
+  /// Ready mirrors the once_flag so the per-query fast path is an inlined
+  /// acquire load instead of a library call — containsStmt sits in the
+  /// tree pruner's per-node loop.
+  struct Lazy {
+    std::once_flag Once;
+    std::atomic<bool> Ready{false};
+    Views V;
+  };
+  const Views &views() const {
+    if (Cache && Cache->Ready.load(std::memory_order_acquire))
+      return Cache->V;
+    return materializeViews();
+  }
+  const Views &materializeViews() const;
+
+  const analysis::SDG *G = nullptr;
+  support::NodeSet Ids;
+  size_t Count = 0;
+  std::shared_ptr<Lazy> Cache;
 };
 
 /// Computes the backward slice of \p G from \p Criteria.
 StaticSlice backwardSlice(const analysis::SDG &G,
-                          std::vector<const analysis::SDGNode *> Criteria);
+                          const std::vector<analysis::SDGNodeId> &Criteria);
 
 /// Slice with respect to output variable \p VarName of routine \p R — the
 /// criterion the debugger produces when the user flags one erroneous output

@@ -31,12 +31,12 @@ bool siteInSlice(const ExecNode *N, const StaticSlice &Slice) {
 
 } // namespace
 
-NodeSet gadt::slicing::pruneByStaticSlice(const ExecNode *Root,
+support::NodeSet gadt::slicing::pruneByStaticSlice(const ExecNode *Root,
                                           const StaticSlice &Slice) {
-  NodeSet Kept;
+  support::NodeSet Kept;
   if (!Root)
     return Kept;
-  Kept = NodeSet(Root->subtreeEnd());
+  Kept = support::NodeSet(Root->subtreeEnd());
   Kept.insert(Root->getId());
   // Preorder interval scan: a node is retained iff its parent is and its
   // own site is in the slice; a discarded node's whole subtree is skipped
@@ -55,7 +55,7 @@ NodeSet gadt::slicing::pruneByStaticSlice(const ExecNode *Root,
 }
 
 unsigned gadt::slicing::countRetained(const ExecNode *Root,
-                                      const NodeSet &Kept) {
+                                      const support::NodeSet &Kept) {
   if (!Root || !Kept.contains(Root->getId()))
     return 0;
   return static_cast<unsigned>(
@@ -63,7 +63,7 @@ unsigned gadt::slicing::countRetained(const ExecNode *Root,
 }
 
 std::string gadt::slicing::renderPruned(const ExecNode *Root,
-                                        const NodeSet &Kept) {
+                                        const support::NodeSet &Kept) {
   std::string Out;
   if (!Root || !Kept.contains(Root->getId()))
     return Out;

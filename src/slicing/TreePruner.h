@@ -26,7 +26,7 @@
 
 #include "slicing/StaticSlicer.h"
 #include "trace/ExecTree.h"
-#include "trace/NodeSet.h"
+#include "support/NodeSet.h"
 
 #include <cstdint>
 
@@ -37,7 +37,7 @@ namespace slicing {
 /// plus every descendant whose chain of call sites lies entirely inside
 /// \p Slice. Loop/iteration nodes are retained when their loop statement is
 /// in the slice.
-trace::NodeSet pruneByStaticSlice(const trace::ExecNode *Root,
+support::NodeSet pruneByStaticSlice(const trace::ExecNode *Root,
                                   const StaticSlice &Slice);
 
 /// Number of nodes in the subtree of \p Root retained by \p Kept — a
@@ -45,12 +45,12 @@ trace::NodeSet pruneByStaticSlice(const trace::ExecNode *Root,
 /// chain-closed within the subtree (every set produced by the pruner, the
 /// dynamic slicer, or their intersection is).
 unsigned countRetained(const trace::ExecNode *Root,
-                       const trace::NodeSet &Kept);
+                       const support::NodeSet &Kept);
 
 /// Renders only the retained part of the subtree (paper Figures 8/9).
 /// Discarded subtrees are skipped by interval jump.
 std::string renderPruned(const trace::ExecNode *Root,
-                         const trace::NodeSet &Kept);
+                         const support::NodeSet &Kept);
 
 } // namespace slicing
 } // namespace gadt

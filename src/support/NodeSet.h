@@ -1,31 +1,33 @@
-//===- NodeSet.h - Dense execution-tree node-id sets ------------*- C++ -*-===//
+//===- NodeSet.h - Dense node-id bitsets ------------------------*- C++ -*-===//
 //
 // Part of the GADT project (PLDI'91 GADT reproduction).
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The retained-node-id set flowing between the slicers, the tree pruner
-/// and the debugger. Execution-tree ids are dense (preorder, 1-based), so
-/// a bitset beats a balanced tree everywhere it was used: membership is one
-/// shift, counting a subtree is a popcount over its id interval (subtrees
-/// are contiguous — see ExecTree), and discarding a subtree is a masked
-/// word fill instead of per-node erases.
+/// Dense id-set used across the substrate layers: execution-tree node ids
+/// flowing between the slicers, the tree pruner and the debugger, and SDG
+/// vertex ids inside the static analysis. Both id spaces are dense (tree:
+/// preorder, 1-based; SDG: arena order), so a bitset beats a balanced tree
+/// everywhere one was used: membership is one shift, counting a subtree is
+/// a popcount over its id interval (subtrees are contiguous — see
+/// ExecTree), and discarding a subtree is a masked word fill instead of
+/// per-node erases.
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef GADT_TRACE_NODESET_H
-#define GADT_TRACE_NODESET_H
+#ifndef GADT_SUPPORT_NODESET_H
+#define GADT_SUPPORT_NODESET_H
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
 
 namespace gadt {
-namespace trace {
+namespace support {
 
-/// A set of execution-tree node ids, stored as a dense bitset. Grows on
-/// insert; ids out of range simply test as absent.
+/// A set of dense node ids, stored as a bitset. Grows on insert; ids out
+/// of range simply test as absent.
 class NodeSet {
 public:
   NodeSet() = default;
@@ -170,7 +172,7 @@ private:
   std::vector<uint64_t> Words;
 };
 
-} // namespace trace
+} // namespace support
 } // namespace gadt
 
-#endif // GADT_TRACE_NODESET_H
+#endif // GADT_SUPPORT_NODESET_H

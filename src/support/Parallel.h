@@ -1,0 +1,85 @@
+//===- Parallel.h - Minimal parallel-for helper -----------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny header-only fork-join helper for layers that cannot depend on the
+/// runtime's BatchRunner pool (the analysis layer sits below it). Workers
+/// pull indices from a shared atomic counter, so irregular per-item costs
+/// balance automatically; the call returns only after every index has been
+/// processed. Exceptions from the body are rethrown on the caller thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_SUPPORT_PARALLEL_H
+#define GADT_SUPPORT_PARALLEL_H
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gadt {
+namespace support {
+
+/// Resolves a thread-count request: 0 means "one per hardware thread",
+/// anything else is taken literally. Always at least 1.
+inline unsigned resolveThreads(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+/// Runs Fn(I) for every I in [0, N) using up to \p Threads workers (after
+/// resolveThreads). With one worker — or one item — everything runs inline
+/// on the calling thread, so serial callers pay no thread setup. \p Fn must
+/// be safe to invoke concurrently on distinct indices.
+template <typename FnT>
+void parallelFor(unsigned Threads, size_t N, FnT Fn) {
+  Threads = resolveThreads(Threads);
+  if (Threads > N)
+    Threads = static_cast<unsigned>(N);
+  if (N == 0)
+    return;
+  if (Threads <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  std::exception_ptr Error;
+  std::mutex ErrorMu;
+  auto Worker = [&] {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Fn(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ErrorMu);
+        if (!Error)
+          Error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> Pool;
+  Pool.reserve(Threads - 1);
+  for (unsigned T = 1; T != Threads; ++T)
+    Pool.emplace_back(Worker);
+  Worker();
+  for (std::thread &T : Pool)
+    T.join();
+  if (Error)
+    std::rethrow_exception(Error);
+}
+
+} // namespace support
+} // namespace gadt
+
+#endif // GADT_SUPPORT_PARALLEL_H

@@ -92,7 +92,7 @@ static std::string escapeDot(const std::string &S) {
   return Out;
 }
 
-std::string ExecTree::dot(const NodeSet *Kept) const {
+std::string ExecTree::dot(const support::NodeSet *Kept) const {
   std::string Out = "digraph exectree {\n  node [shape=box, "
                     "fontname=\"monospace\"];\n";
   for (size_t I = 1; I < Nodes.size(); ++I) {

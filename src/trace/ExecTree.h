@@ -24,7 +24,7 @@
 #define GADT_TRACE_EXECTREE_H
 
 #include "interp/Interpreter.h"
-#include "trace/NodeSet.h"
+#include "support/NodeSet.h"
 
 #include <functional>
 #include <string>
@@ -203,7 +203,7 @@ public:
   /// nodes outside the set are drawn dashed/grey — visualizing exactly what
   /// a slice pruned (Figures 8/9 as pictures). Signatures are escaped, so
   /// string-valued bindings produce valid DOT.
-  std::string dot(const NodeSet *Kept = nullptr) const;
+  std::string dot(const support::NodeSet *Kept = nullptr) const;
 
   /// Approximate heap footprint of the arena and its bindings, for the
   /// tree.bytes gauge.

@@ -98,6 +98,47 @@ ProgramPair gadt::workload::wideIrrelevantProgram(unsigned N) {
 }
 
 //===----------------------------------------------------------------------===//
+// Summary mesh
+//===----------------------------------------------------------------------===//
+
+ProgramPair gadt::workload::summaryMeshProgram(unsigned Layers,
+                                               unsigned Width) {
+  assert(Layers >= 1 && Width >= 1);
+  auto Name = [](unsigned L, unsigned W) {
+    return "m" + std::to_string(L) + "_" + std::to_string(W);
+  };
+  auto Emit = [&](bool Buggy) {
+    std::string S = "program mesh;\nvar g1, g2, r1, r2: integer;\n";
+    // Bottom-up so every callee is declared before its callers.
+    for (unsigned L = Layers; L >= 1; --L) {
+      for (unsigned W = 1; W <= Width; ++W) {
+        bool Bug = Buggy && L == Layers && W == 1;
+        S += "procedure " + Name(L, W) +
+             "(a, b: integer; var u, v: integer);\n";
+        if (L == Layers) {
+          S += "begin\n  u := a + b + " + std::to_string(W) +
+               (Bug ? " + 1" : "") + ";\n  v := a - b;\n  g1 := g1 + a;\nend;\n";
+        } else {
+          S += "var t1, t2, s1, s2: integer;\nbegin\n  t1 := a;\n  t2 := b;\n";
+          for (unsigned C = 1; C <= Width; ++C) {
+            S += "  " + Name(L + 1, C) + "(t1 + " + std::to_string(C) +
+                 ", t2, s1, s2);\n  t1 := t1 + s1;\n  t2 := t2 + s2;\n";
+          }
+          S += "  u := t1;\n  v := t2 + g2;\n  g2 := g2 + b;\nend;\n";
+        }
+      }
+    }
+    S += "begin\n  g1 := 1;\n  g2 := 2;\n";
+    for (unsigned W = 1; W <= Width; ++W)
+      S += "  " + Name(1, W) + "(" + std::to_string(W) +
+           ", 2, r1, r2);\n  g1 := g1 + r1 + r2;\n";
+    S += "  writeln(g1, ' ', g2);\nend.\n";
+    return S;
+  };
+  return {Emit(false), Emit(true), Name(Layers, 1)};
+}
+
+//===----------------------------------------------------------------------===//
 // Random structured programs
 //===----------------------------------------------------------------------===//
 

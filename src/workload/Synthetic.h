@@ -60,6 +60,16 @@ struct SyntheticOptions {
 /// never fault.
 ProgramPair randomProgram(const SyntheticOptions &Opts);
 
+/// A layered call mesh that stresses interprocedural summary-edge
+/// computation: \p Layers layers of \p Width procedures each, every
+/// procedure of layer l calling *all* Width procedures of layer l+1
+/// (Width^2 call sites per layer boundary). Each procedure takes two value
+/// and two var parameters and reads/writes a global, so every call site
+/// carries a dense actual-in/actual-out frontier and the transitive
+/// formal-in -> formal-out closure must be propagated through every layer.
+/// The bug is planted in the first bottom-layer procedure.
+ProgramPair summaryMeshProgram(unsigned Layers, unsigned Width);
+
 } // namespace workload
 } // namespace gadt
 

@@ -306,7 +306,7 @@ TEST(ExecTreeTest, DotExportMarksPrunedNodes) {
   auto Tree = trace(*Prog);
   ExecNode *Computs = findNode(*Tree, "computs");
   ASSERT_TRUE(Computs);
-  NodeSet Kept(Tree->maxNodeId() + 1);
+  support::NodeSet Kept(Tree->maxNodeId() + 1);
   Kept.insert(Computs->getId());
   std::string Dot = Tree->dot(&Kept);
   EXPECT_NE(Dot.find("style=dashed"), std::string::npos);

@@ -1,10 +1,10 @@
 //===- NodeSetTest.cpp - Dense node-id bitset tests -----------------------===//
 
-#include "trace/NodeSet.h"
+#include "support/NodeSet.h"
 
 #include <gtest/gtest.h>
 
-using namespace gadt::trace;
+using namespace gadt::support;
 
 namespace {
 

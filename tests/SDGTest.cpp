@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace gadt;
 using namespace gadt::analysis;
 using namespace gadt::pascal;
@@ -20,25 +22,18 @@ std::unique_ptr<Program> compile(std::string_view Src) {
   return Prog;
 }
 
-bool hasEdgeOfKind(const SDGNode *From, const SDGNode *To, SDGEdgeKind K) {
-  for (const SDGNode::Edge &E : From->outs())
-    if (E.N == To && E.K == K)
-      return true;
-  return false;
-}
-
-/// True when \p To is backward-reachable from \p From over any edges.
-bool reaches(const SDGNode *From, const SDGNode *To) {
-  std::set<const SDGNode *> Seen;
-  std::vector<const SDGNode *> Stack = {From};
+/// True when \p To is forward-reachable from \p From over any edges.
+bool reaches(const SDG &G, SDGNodeId From, SDGNodeId To) {
+  std::set<SDGNodeId> Seen;
+  std::vector<SDGNodeId> Stack = {From};
   while (!Stack.empty()) {
-    const SDGNode *N = Stack.back();
+    SDGNodeId N = Stack.back();
     Stack.pop_back();
     if (N == To)
       return true;
     if (!Seen.insert(N).second)
       continue;
-    for (const SDGNode::Edge &E : N->outs())
+    for (const SDGEdge &E : G.outs(N))
       Stack.push_back(E.N);
   }
   return false;
@@ -48,46 +43,48 @@ TEST(SDGTest, EntryAndFormalVertices) {
   auto Prog = compile(workload::Section6Globals);
   SDG G(*Prog);
   const RoutineDecl *P = Prog->getMain()->findNested("p");
-  EXPECT_TRUE(G.entryOf(P));
-  EXPECT_TRUE(G.formalIn(P, "y"));
-  EXPECT_TRUE(G.formalIn(P, "x")) << "GRef global x becomes a formal-in";
-  EXPECT_TRUE(G.formalOut(P, "y"));
-  EXPECT_TRUE(G.formalOut(P, "z")) << "GMod global z becomes a formal-out";
+  EXPECT_NE(G.entryOf(P), SDGNoNode);
+  EXPECT_NE(G.formalIn(P, "y"), SDGNoNode);
+  EXPECT_NE(G.formalIn(P, "x"), SDGNoNode)
+      << "GRef global x becomes a formal-in";
+  EXPECT_NE(G.formalOut(P, "y"), SDGNoNode);
+  EXPECT_NE(G.formalOut(P, "z"), SDGNoNode)
+      << "GMod global z becomes a formal-out";
 }
 
 TEST(SDGTest, ProgramRoutineHasFormalOutPerGlobal) {
   auto Prog = compile(workload::Figure2);
   SDG G(*Prog);
-  EXPECT_TRUE(G.formalOut(Prog->getMain(), "mul"));
-  EXPECT_TRUE(G.formalOut(Prog->getMain(), "sum"));
+  EXPECT_NE(G.formalOut(Prog->getMain(), "mul"), SDGNoNode);
+  EXPECT_NE(G.formalOut(Prog->getMain(), "sum"), SDGNoNode);
 }
 
 TEST(SDGTest, CallSiteGetsActualVertices) {
   auto Prog = compile(workload::Section6Globals);
   SDG G(*Prog);
   ASSERT_EQ(G.calls().size(), 1u);
-  const SDGCallRecord &Rec = *G.calls()[0];
+  const SDGCallRecord &Rec = G.calls()[0];
   // actual-ins: arg w (var param), global x. actual-outs: w, global z.
   EXPECT_EQ(Rec.ActualIns.size(), 2u);
   EXPECT_EQ(Rec.ActualOuts.size(), 2u);
-  EXPECT_TRUE(Rec.actualInForArg(0));
-  EXPECT_TRUE(Rec.actualOutForArg(0));
+  EXPECT_NE(Rec.actualInForArg(0), SDGNoNode);
+  EXPECT_NE(Rec.actualOutForArg(0), SDGNoNode);
   const VarDecl *X = Prog->getMain()->findLocal("x");
   const VarDecl *Z = Prog->getMain()->findLocal("z");
-  EXPECT_TRUE(Rec.actualInForGlobal(X));
-  EXPECT_TRUE(Rec.actualOutForGlobal(Z));
+  EXPECT_NE(Rec.actualInForGlobal(X), SDGNoNode);
+  EXPECT_NE(Rec.actualOutForGlobal(Z), SDGNoNode);
 }
 
 TEST(SDGTest, ParamLinkageEdges) {
   auto Prog = compile(workload::Section6Globals);
   SDG G(*Prog);
-  const SDGCallRecord &Rec = *G.calls()[0];
+  const SDGCallRecord &Rec = G.calls()[0];
   const RoutineDecl *P = Prog->getMain()->findNested("p");
-  EXPECT_TRUE(hasEdgeOfKind(Rec.CallVertex, G.entryOf(P), SDGEdgeKind::Call));
-  EXPECT_TRUE(hasEdgeOfKind(Rec.actualInForArg(0), G.formalIn(P, "y"),
-                            SDGEdgeKind::ParamIn));
-  EXPECT_TRUE(hasEdgeOfKind(G.formalOut(P, "y"), Rec.actualOutForArg(0),
-                            SDGEdgeKind::ParamOut));
+  EXPECT_TRUE(G.hasEdge(Rec.CallVertex, G.entryOf(P), SDGEdgeKind::Call));
+  EXPECT_TRUE(G.hasEdge(Rec.actualInForArg(0), G.formalIn(P, "y"),
+                        SDGEdgeKind::ParamIn));
+  EXPECT_TRUE(G.hasEdge(G.formalOut(P, "y"), Rec.actualOutForArg(0),
+                        SDGEdgeKind::ParamOut));
 }
 
 TEST(SDGTest, SummaryEdgesConnectActualInToActualOut) {
@@ -97,9 +94,9 @@ TEST(SDGTest, SummaryEdgesConnectActualInToActualOut) {
                       "begin a := 1; copy(a, b); end.");
   SDG G(*Prog);
   ASSERT_EQ(G.calls().size(), 1u);
-  const SDGCallRecord &Rec = *G.calls()[0];
-  EXPECT_TRUE(hasEdgeOfKind(Rec.actualInForArg(0), Rec.actualOutForArg(1),
-                            SDGEdgeKind::Summary))
+  const SDGCallRecord &Rec = G.calls()[0];
+  EXPECT_TRUE(G.hasEdge(Rec.actualInForArg(0), Rec.actualOutForArg(1),
+                        SDGEdgeKind::Summary))
       << "dst depends on src inside copy";
   EXPECT_GT(G.numSummaryEdges(), 0u);
 }
@@ -110,9 +107,9 @@ TEST(SDGTest, NoSummaryEdgeWhenOutputIndependentOfInput) {
                       "begin dst := 42; end;"
                       "begin a := 1; konst(a, b); end.");
   SDG G(*Prog);
-  const SDGCallRecord &Rec = *G.calls()[0];
-  EXPECT_FALSE(hasEdgeOfKind(Rec.actualInForArg(0), Rec.actualOutForArg(1),
-                             SDGEdgeKind::Summary))
+  const SDGCallRecord &Rec = G.calls()[0];
+  EXPECT_FALSE(G.hasEdge(Rec.actualInForArg(0), Rec.actualOutForArg(1),
+                         SDGEdgeKind::Summary))
       << "dst := 42 ignores src";
 }
 
@@ -124,13 +121,12 @@ TEST(SDGTest, SummaryEdgesThroughTransitiveCalls) {
       "begin a := 1; outer(a, b); end.");
   SDG G(*Prog);
   const SDGCallRecord *OuterCall = nullptr;
-  for (const auto &Rec : G.calls())
-    if (Rec->Site.Callee->getName() == "outer")
-      OuterCall = Rec.get();
+  for (const SDGCallRecord &Rec : G.calls())
+    if (Rec.Site.Callee->getName() == "outer")
+      OuterCall = &Rec;
   ASSERT_TRUE(OuterCall);
-  EXPECT_TRUE(hasEdgeOfKind(OuterCall->actualInForArg(0),
-                            OuterCall->actualOutForArg(1),
-                            SDGEdgeKind::Summary));
+  EXPECT_TRUE(G.hasEdge(OuterCall->actualInForArg(0),
+                        OuterCall->actualOutForArg(1), SDGEdgeKind::Summary));
 }
 
 TEST(SDGTest, FunctionResultFlowsIntoConsumingStatement) {
@@ -139,13 +135,13 @@ TEST(SDGTest, FunctionResultFlowsIntoConsumingStatement) {
                       "begin r := f(3); end.");
   SDG G(*Prog);
   ASSERT_EQ(G.calls().size(), 1u);
-  const SDGCallRecord &Rec = *G.calls()[0];
-  SDGNode *AO = Rec.actualOutForResult();
-  ASSERT_TRUE(AO);
-  EXPECT_TRUE(hasEdgeOfKind(AO, Rec.CallVertex, SDGEdgeKind::Flow));
+  const SDGCallRecord &Rec = G.calls()[0];
+  SDGNodeId AO = Rec.actualOutForResult();
+  ASSERT_NE(AO, SDGNoNode);
+  EXPECT_TRUE(G.hasEdge(AO, Rec.CallVertex, SDGEdgeKind::Flow));
   const RoutineDecl *F = Prog->getMain()->findNested("f");
-  ASSERT_TRUE(G.formalOutResult(F));
-  EXPECT_TRUE(hasEdgeOfKind(G.formalOutResult(F), AO, SDGEdgeKind::ParamOut));
+  ASSERT_NE(G.formalOutResult(F), SDGNoNode);
+  EXPECT_TRUE(G.hasEdge(G.formalOutResult(F), AO, SDGEdgeKind::ParamOut));
 }
 
 TEST(SDGTest, NestedCallResultFeedsOuterActualIn) {
@@ -156,15 +152,15 @@ TEST(SDGTest, NestedCallResultFeedsOuterActualIn) {
       "begin r := f(g(5)); end.");
   SDG G(*Prog);
   const SDGCallRecord *FCall = nullptr, *GCall = nullptr;
-  for (const auto &Rec : G.calls()) {
-    if (Rec->Site.Callee->getName() == "f")
-      FCall = Rec.get();
-    if (Rec->Site.Callee->getName() == "g")
-      GCall = Rec.get();
+  for (const SDGCallRecord &Rec : G.calls()) {
+    if (Rec.Site.Callee->getName() == "f")
+      FCall = &Rec;
+    if (Rec.Site.Callee->getName() == "g")
+      GCall = &Rec;
   }
   ASSERT_TRUE(FCall && GCall);
-  EXPECT_TRUE(hasEdgeOfKind(GCall->actualOutForResult(),
-                            FCall->actualInForArg(0), SDGEdgeKind::Flow));
+  EXPECT_TRUE(G.hasEdge(GCall->actualOutForResult(), FCall->actualInForArg(0),
+                        SDGEdgeKind::Flow));
 }
 
 TEST(SDGTest, Figure4GraphIsConnectedFromCriterionToBugSite) {
@@ -172,14 +168,14 @@ TEST(SDGTest, Figure4GraphIsConnectedFromCriterionToBugSite) {
   SDG G(*Prog);
   const RoutineDecl *Computs = Prog->getMain()->findNested("computs");
   const RoutineDecl *Decrement = Prog->getMain()->findNested("decrement");
-  SDGNode *Criterion = G.formalOut(Computs, "r1");
-  ASSERT_TRUE(Criterion);
+  SDGNodeId Criterion = G.formalOut(Computs, "r1");
+  ASSERT_NE(Criterion, SDGNoNode);
   // Backward reachability (forward over reversed edges): check the bug site
   // reaches the criterion.
   bool Found = false;
-  for (const auto &N : G.nodes())
-    if (N->getRoutine() == Decrement && N->getKind() == SDGNode::Kind::Stmt)
-      Found = Found || reaches(N.get(), Criterion);
+  for (const SDGNode &N : G.nodes())
+    if (N.getRoutine() == Decrement && N.getKind() == SDGNode::Kind::Stmt)
+      Found = Found || reaches(G, N.getId(), Criterion);
   EXPECT_TRUE(Found) << "decrement's body influences computs output r1";
 }
 
@@ -190,6 +186,104 @@ TEST(SDGTest, GraphStatisticsAreSane) {
   EXPECT_GT(G.numEdges(), G.nodes().size());
   EXPECT_GT(G.numSummaryEdges(), 5u);
   EXPECT_FALSE(G.str().empty());
+}
+
+TEST(SDGTest, NodeIdsAreDenseAndRoutineContiguous) {
+  auto Prog = compile(workload::Figure4Buggy);
+  SDG G(*Prog);
+  // Ids are the arena index, and each routine's vertices occupy one
+  // contiguous id run (switching routines never switches back).
+  std::vector<const RoutineDecl *> RunOrder;
+  for (const SDGNode &N : G.nodes()) {
+    EXPECT_EQ(&N, &G.node(N.getId()));
+    if (RunOrder.empty() || RunOrder.back() != N.getRoutine())
+      RunOrder.push_back(N.getRoutine());
+  }
+  std::set<const RoutineDecl *> Unique(RunOrder.begin(), RunOrder.end());
+  EXPECT_EQ(Unique.size(), RunOrder.size());
+}
+
+TEST(SDGTest, TwoCallSitesGetIndependentSummaries) {
+  // Two calls to the same routine: each site's actual-out depends on its
+  // own actual-in only — the summary edges must not cross sites.
+  auto Prog = compile("program p; var a, b, c, d: integer;"
+                      "procedure copy(src: integer; var dst: integer);"
+                      "begin dst := src; end;"
+                      "begin a := 1; c := 2; copy(a, b); copy(c, d); end.");
+  SDG G(*Prog);
+  ASSERT_EQ(G.calls().size(), 2u);
+  const SDGCallRecord &First = G.calls()[0];
+  const SDGCallRecord &Second = G.calls()[1];
+  EXPECT_TRUE(G.hasEdge(First.actualInForArg(0), First.actualOutForArg(1),
+                        SDGEdgeKind::Summary));
+  EXPECT_TRUE(G.hasEdge(Second.actualInForArg(0), Second.actualOutForArg(1),
+                        SDGEdgeKind::Summary));
+  EXPECT_FALSE(G.hasEdge(First.actualInForArg(0), Second.actualOutForArg(1),
+                         SDGEdgeKind::Summary))
+      << "summary edges are per call site";
+  EXPECT_FALSE(G.hasEdge(Second.actualInForArg(0), First.actualOutForArg(1),
+                         SDGEdgeKind::Summary));
+}
+
+TEST(SDGTest, RecursiveSummaryFixpointConverges) {
+  auto Prog = compile(
+      "program p; var a, b: integer;"
+      "procedure down(n: integer; var acc: integer);"
+      "begin if n > 0 then begin acc := acc + n; down(n - 1, acc); end; end;"
+      "begin a := 5; b := 0; down(a, b); end.");
+  SDG G(*Prog);
+  const SDGCallRecord *TopCall = nullptr;
+  for (const SDGCallRecord &Rec : G.calls())
+    if (Rec.Site.Caller == Prog->getMain())
+      TopCall = &Rec;
+  ASSERT_TRUE(TopCall);
+  EXPECT_TRUE(G.hasEdge(TopCall->actualInForArg(0),
+                        TopCall->actualOutForArg(1), SDGEdgeKind::Summary))
+      << "acc depends on n through the recursion";
+  EXPECT_TRUE(G.hasEdge(TopCall->actualInForArg(1),
+                        TopCall->actualOutForArg(1), SDGEdgeKind::Summary))
+      << "acc depends on its incoming value";
+}
+
+TEST(SDGTest, MutuallyRecursiveSummaryFixpointConverges) {
+  auto Prog = compile(
+      "program p; var a, b: integer;"
+      "procedure even(n: integer; var r: integer); forward;"
+      "procedure odd(n: integer; var r: integer);"
+      "begin if n = 0 then r := 0 else even(n - 1, r); end;"
+      "procedure even(n: integer; var r: integer);"
+      "begin if n = 0 then r := 1 else odd(n - 1, r); end;"
+      "begin a := 4; even(a, b); end.");
+  ASSERT_TRUE(Prog);
+  SDG G(*Prog);
+  const SDGCallRecord *TopCall = nullptr;
+  for (const SDGCallRecord &Rec : G.calls())
+    if (Rec.Site.Caller == Prog->getMain())
+      TopCall = &Rec;
+  ASSERT_TRUE(TopCall);
+  EXPECT_TRUE(G.hasEdge(TopCall->actualInForArg(0),
+                        TopCall->actualOutForArg(1), SDGEdgeKind::Summary))
+      << "r depends on n through the even/odd cycle";
+}
+
+TEST(SDGTest, ParallelBuildIsBitIdenticalToSerial) {
+  for (std::string_view Src :
+       {std::string_view(workload::Figure4Buggy),
+        std::string_view(workload::Figure2),
+        std::string_view(workload::Section6Globals)}) {
+    auto Prog = compile(Src);
+    SDG Serial(*Prog, SDGBuildOptions{1});
+    SDG Par2(*Prog, SDGBuildOptions{2});
+    SDG ParHw(*Prog, SDGBuildOptions{0});
+    ASSERT_EQ(Serial.nodes().size(), Par2.nodes().size());
+    EXPECT_EQ(Serial.numEdges(), Par2.numEdges());
+    EXPECT_EQ(Serial.numSummaryEdges(), Par2.numSummaryEdges());
+    // Byte-identical renderings pin down node ids, labels, adjacency and
+    // its per-vertex ordering.
+    EXPECT_EQ(Serial.str(), Par2.str());
+    EXPECT_EQ(Serial.str(), ParHw.str());
+    EXPECT_EQ(Serial.dot(), ParHw.dot());
+  }
 }
 
 } // namespace
