@@ -17,6 +17,8 @@
 #include "analysis/SDG.h"
 #include "core/Debugger.h"
 #include "interp/Interpreter.h"
+#include "obs/Log.h"
+#include "obs/Trace.h"
 #include "pascal/Frontend.h"
 #include "slicing/DynamicSlicer.h"
 #include "slicing/StaticSlicer.h"
@@ -473,6 +475,28 @@ void BM_StaticSliceChain(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 BENCHMARK(BM_StaticSliceChain)->Range(64, 256)->Complexity();
+
+/// Disabled-mode telemetry overhead (EXPERIMENTS.md X11): with no tracer,
+/// profiler or log active, a span must cost one relaxed atomic load and a
+/// branch, and a log call one load and a compare. These pin that contract
+/// so telemetry growth cannot silently tax the production path.
+void BM_SpanDisabledOverhead(benchmark::State &State) {
+  if (obs::spansActive())
+    State.SkipWithError("telemetry is active; disabled-cost bench is void");
+  for (auto _ : State) {
+    obs::Span S("bench.span", "bench");
+    benchmark::DoNotOptimize(S);
+  }
+}
+BENCHMARK(BM_SpanDisabledOverhead);
+
+void BM_LogDisabledOverhead(benchmark::State &State) {
+  for (auto _ : State) {
+    obs::logInfo("bench", "never emitted");
+    benchmark::DoNotOptimize(obs::Log::global());
+  }
+}
+BENCHMARK(BM_LogDisabledOverhead);
 
 /// The stock console reporter, additionally collecting every per-repetition
 /// run so main() can export min-of-N aggregates as machine-readable JSON.

@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "workload/ArrsumFixture.h"
 #include "workload/PaperPrograms.h"
 #include "workload/Payroll.h"
@@ -26,8 +27,8 @@ int main(int argc, char **argv) {
   std::error_code EC;
   std::filesystem::create_directories(Dir, EC);
   if (EC) {
-    std::fprintf(stderr, "error: cannot create %s: %s\n", Dir.c_str(),
-                 EC.message().c_str());
+    obs::logError("export_samples",
+                  "cannot create " + Dir + ": " + EC.message());
     return 1;
   }
 
@@ -53,7 +54,7 @@ int main(int argc, char **argv) {
     std::string Path = Dir + "/" + S.Name;
     std::ofstream Out(Path);
     if (!Out) {
-      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      obs::logError("export_samples", "cannot write " + Path);
       return 1;
     }
     Out << S.Text;

@@ -28,6 +28,7 @@
 #include "core/GADT.h"
 #include "core/InteractiveOracle.h"
 #include "core/ReferenceOracle.h"
+#include "obs/Log.h"
 #include "pascal/Frontend.h"
 #include "tgen/Generator.h"
 #include "tgen/SpecParser.h"
@@ -48,7 +49,7 @@ namespace {
 bool readFile(const std::string &Path, std::string &Out) {
   std::ifstream File(Path);
   if (!File) {
-    std::fprintf(stderr, "error: cannot open %s\n", Path.c_str());
+    obs::logError("gadt_session", "cannot open " + Path);
     return false;
   }
   std::ostringstream Buf;
@@ -128,7 +129,7 @@ int main(int argc, char **argv) {
   DiagnosticsEngine Diags;
   auto Prog = pascal::parseAndCheck(Source, Diags);
   if (!Prog) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("gadt_session", Diags.str());
     return 1;
   }
 
@@ -139,21 +140,21 @@ int main(int argc, char **argv) {
       return 1;
     Intended = pascal::parseAndCheck(Text, Diags);
     if (!Intended) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
+      obs::logError("gadt_session", Diags.str());
       return 1;
     }
   }
 
   core::GADTSession Session(*Prog, Opts, Diags);
   if (!Session.valid()) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("gadt_session", Diags.str());
     return 1;
   }
   for (const auto &[Unit, Expr] : AssertionArgs)
     if (!Session.assertions().addAssertion(
             Unit, Expr, core::AssertionOracle::Strength::Specification,
             Diags)) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
+      obs::logError("gadt_session", Diags.str());
       return 1;
     }
 
@@ -166,13 +167,13 @@ int main(int argc, char **argv) {
     std::shared_ptr<tgen::TestSpec> Spec =
         tgen::parseSpec(SpecText, Diags);
     if (!Spec) {
-      std::fprintf(stderr, "%s", Diags.str().c_str());
+      obs::logError("gadt_session", Diags.str());
       return 1;
     }
     if (!Spec->hasGenerators()) {
-      std::fprintf(stderr, "error: %s has no params/gen clauses, cannot "
-                           "instantiate test cases\n",
-                   SpecPath.c_str());
+      obs::logError("gadt_session",
+                    SpecPath + " has no params/gen clauses, cannot "
+                               "instantiate test cases");
       return 1;
     }
     const pascal::Program *Reference = Intended.get();
@@ -182,14 +183,15 @@ int main(int argc, char **argv) {
         return 1;
       TestedBy = pascal::parseAndCheck(Text, Diags);
       if (!TestedBy) {
-        std::fprintf(stderr, "%s", Diags.str().c_str());
+        obs::logError("gadt_session", Diags.str());
         return 1;
       }
       Reference = TestedBy.get();
     }
     if (!Reference) {
-      std::fprintf(stderr, "error: --spec needs --tested-by or --intended "
-                           "as the reference for expected outcomes\n");
+      obs::logError("gadt_session",
+                    "--spec needs --tested-by or --intended as the "
+                    "reference for expected outcomes");
       return 1;
     }
     tgen::FrameSet Frames = tgen::generateFrames(*Spec);

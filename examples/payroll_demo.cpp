@@ -19,6 +19,7 @@
 
 #include "core/GADT.h"
 #include "core/ReferenceOracle.h"
+#include "obs/Log.h"
 #include "pascal/Frontend.h"
 #include "pascal/PrettyPrinter.h"
 #include "tgen/FrameGen.h"
@@ -36,7 +37,7 @@ int main() {
   auto Buggy = pascal::parseAndCheck(workload::PayrollTaxBug, Diags);
   auto Intended = pascal::parseAndCheck(workload::PayrollCorrect, Diags);
   if (!Buggy || !Intended) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("payroll_demo", Diags.str());
     return 1;
   }
 
@@ -52,7 +53,7 @@ int main() {
   std::shared_ptr<tgen::TestSpec> OtSpec =
       tgen::parseSpec(workload::OvertimeSpec, Diags);
   if (!OtSpec) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("payroll_demo", Diags.str());
     return 1;
   }
   tgen::FrameSet Frames = tgen::generateFrames(*OtSpec);
@@ -78,7 +79,7 @@ int main() {
   // Debug.
   GADTSession Session(*Buggy, GADTOptions(), Diags);
   if (!Session.valid()) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("payroll_demo", Diags.str());
     return 1;
   }
   Session.addTestDatabase(OtSpec, OtDB);

@@ -12,6 +12,7 @@
 
 #include "core/GADT.h"
 #include "core/ReferenceOracle.h"
+#include "obs/Log.h"
 #include "pascal/Frontend.h"
 #include "pascal/PrettyPrinter.h"
 #include "workload/PaperPrograms.h"
@@ -25,13 +26,13 @@ int main() {
   auto Buggy = pascal::parseAndCheck(workload::Figure4Buggy, Diags);
   auto Fixed = pascal::parseAndCheck(workload::Figure4Fixed, Diags);
   if (!Buggy || !Fixed) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("quickstart", Diags.str());
     return 1;
   }
 
   core::GADTSession Session(*Buggy, core::GADTOptions(), Diags);
   if (!Session.valid()) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("quickstart", Diags.str());
     return 1;
   }
 

@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/SDG.h"
+#include "obs/Log.h"
 #include "pascal/Frontend.h"
 #include "pascal/PrettyPrinter.h"
 #include "slicing/ProgramProjection.h"
@@ -31,14 +32,14 @@ int main() {
   // --- Figure 2: slice program p on variable mul at the end.
   auto P = pascal::parseAndCheck(workload::Figure2, Diags);
   if (!P) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("slicing_demo", Diags.str());
     return 1;
   }
   analysis::SDG G(*P);
   StaticSlice Slice = sliceOnProgramVar(G, *P, "mul");
   auto Projected = projectSlice(*P, Slice, Diags);
   if (!Projected) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("slicing_demo", Diags.str());
     return 1;
   }
   std::printf("=== original program ===\n%s\n",

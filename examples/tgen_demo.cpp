@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "pascal/Frontend.h"
 #include "tgen/FrameGen.h"
 #include "tgen/ReportDB.h"
@@ -32,7 +33,7 @@ int main(int argc, char **argv) {
   DiagnosticsEngine Diags;
   auto Spec = parseSpec(workload::ArrsumSpec, Diags);
   if (!Spec) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("tgen_demo", Diags.str());
     return 1;
   }
   std::printf("specification: test %s, %zu categories\n",
@@ -67,7 +68,7 @@ int main(int argc, char **argv) {
   }
   auto Prog = pascal::parseAndCheck(Source, Diags);
   if (!Prog) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("tgen_demo", Diags.str());
     return 1;
   }
 

@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "pascal/Frontend.h"
 #include "pascal/PrettyPrinter.h"
 #include "support/StringUtils.h"
@@ -22,12 +23,12 @@ static int showTransformation(const char *Title, const char *Source) {
   DiagnosticsEngine Diags;
   auto Prog = pascal::parseAndCheck(Source, Diags);
   if (!Prog) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("transform_demo", Diags.str());
     return 1;
   }
   transform::TransformResult R = transform::transformProgram(*Prog, Diags);
   if (!R.Transformed) {
-    std::fprintf(stderr, "%s", Diags.str().c_str());
+    obs::logError("transform_demo", Diags.str());
     return 1;
   }
   std::string Before = pascal::printProgram(*Prog);

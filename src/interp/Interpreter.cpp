@@ -3,6 +3,7 @@
 #include "interp/Interpreter.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -1265,7 +1266,10 @@ void Interpreter::setInput(std::vector<int64_t> Input) {
 void Interpreter::setListener(TraceListener *L) { P->Listener = L; }
 
 ExecResult Interpreter::run() {
+  obs::Span Span("interp.run", "interp");
   ExecResult R = P->run();
+  Span.arg("steps", R.Steps);
+  Span.arg("units", R.UnitsExecuted);
   // Per-run execution profile, unified in the central registry. The
   // references are resolved once; subsequent runs pay three relaxed adds.
   static obs::Counter &Runs = obs::Registry::global().counter("interp.runs");

@@ -1,0 +1,228 @@
+//===- Exporter.cpp - Periodic metrics export -----------------------------===//
+
+#include "obs/Exporter.h"
+
+#include "obs/Trace.h"
+#include "support/JSON.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace gadt;
+using namespace gadt::obs;
+
+Exporter::Exporter() {
+  // Pin construction order: the tracer (shared epoch) and registry must
+  // outlive the flusher thread, so force both into existence first.
+  (void)Tracer::global();
+  (void)Registry::global();
+}
+
+Exporter::~Exporter() { stop(); }
+
+Exporter &Exporter::global() {
+  static Exporter E;
+  return E;
+}
+
+void Exporter::start(std::string OutPath, uint64_t PeriodMillis) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Running.load(std::memory_order_relaxed))
+    return;
+  PeriodMs = PeriodMillis < 10 ? 10
+                               : (PeriodMillis > 600000 ? 600000
+                                                        : PeriodMillis);
+  Path = std::move(OutPath);
+  FileStarted = false;
+  Prev = Registry::SnapshotData();
+  Running.store(true, std::memory_order_release);
+  Thread = std::thread([this] { flusherLoop(); });
+}
+
+void Exporter::stop() {
+  std::thread T;
+  std::string PromPath;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Running.load(std::memory_order_relaxed)) {
+      if (Thread.joinable())
+        T = std::move(Thread);
+    } else {
+      Running.store(false, std::memory_order_release);
+      T = std::move(Thread);
+      PromPath = Path + ".prom";
+    }
+  }
+  CV.notify_all();
+  if (T.joinable())
+    T.join();
+  if (PromPath.empty())
+    return;
+  flushNow(); // final partial-period record
+  std::ofstream(PromPath, std::ios::trunc) << prometheusText();
+}
+
+void Exporter::flushNow() {
+  Registry::SnapshotData Now = Registry::global().snapshotData();
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Line = renderRecord(Prev, Now);
+  Prev = std::move(Now);
+  Flushes.fetch_add(1, std::memory_order_relaxed);
+  if (Path.empty())
+    return;
+  std::ofstream Out(Path, FileStarted ? std::ios::app : std::ios::trunc);
+  FileStarted = true;
+  Out << Line << '\n';
+}
+
+void Exporter::flusherLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      CV.wait_for(Lock, std::chrono::milliseconds(PeriodMs), [this] {
+        return !Running.load(std::memory_order_relaxed);
+      });
+      if (!Running.load(std::memory_order_relaxed))
+        return; // stop() flushes the final record after the join
+    }
+    flushNow();
+  }
+}
+
+std::string
+Exporter::renderRecord(Registry::SnapshotData &Prev,
+                       const Registry::SnapshotData &Now) const {
+  auto PrevOf = [](const auto &Vec, const std::string &Name) ->
+      typename std::decay_t<decltype(Vec)>::value_type::second_type {
+    for (const auto &[N, V] : Vec)
+      if (N == Name)
+        return V;
+    return {};
+  };
+
+  uint64_t TsNanos = Tracer::global().nowNanos();
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  char Ts[48];
+  std::snprintf(Ts, sizeof(Ts), "%llu.%03u",
+                static_cast<unsigned long long>(TsNanos / 1000),
+                static_cast<unsigned>(TsNanos % 1000));
+  W.key("ts").raw(Ts);
+  W.key("counters").beginObject();
+  for (const auto &[Name, V] : Now.Counters) {
+    W.key(Name).beginObject();
+    W.key("total").value(V);
+    W.key("delta").value(V - PrevOf(Prev.Counters, Name));
+    W.endObject();
+  }
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const auto &[Name, V] : Now.Gauges)
+    W.key(Name).value(V);
+  W.endObject();
+  W.key("histograms").beginObject();
+  for (const auto &[Name, H] : Now.Histograms) {
+    W.key(Name).beginObject();
+    W.key("count").value(H.Count);
+    W.key("delta").value(H.Count - PrevOf(Prev.Histograms, Name).Count);
+    W.key("sum").value(H.Sum);
+    W.key("p50").value(H.P50);
+    W.key("p95").value(H.P95);
+    W.key("p99").value(H.P99);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return Out;
+}
+
+namespace {
+
+/// "runtime.cache.sdg.entries" → "gadt_runtime_cache_sdg_entries".
+std::string promName(const std::string &Name) {
+  std::string Out = "gadt_";
+  for (char C : Name)
+    Out += (C == '.' || C == '-') ? '_' : C;
+  return Out;
+}
+
+void promLine(std::string &Out, const std::string &Name, const char *Type,
+              const std::string &Sample) {
+  Out += "# TYPE ";
+  Out += Name;
+  Out += ' ';
+  Out += Type;
+  Out += '\n';
+  Out += Sample;
+}
+
+} // namespace
+
+std::string Exporter::prometheusText() {
+  Registry::SnapshotData S = Registry::global().snapshotData();
+  std::string Out;
+  char Buf[128];
+  for (const auto &[Name, V] : S.Counters) {
+    std::string N = promName(Name);
+    std::snprintf(Buf, sizeof(Buf), "%s %llu\n", N.c_str(),
+                  static_cast<unsigned long long>(V));
+    promLine(Out, N, "counter", Buf);
+  }
+  for (const auto &[Name, V] : S.Gauges) {
+    std::string N = promName(Name);
+    std::snprintf(Buf, sizeof(Buf), "%s %lld\n", N.c_str(),
+                  static_cast<long long>(V));
+    promLine(Out, N, "gauge", Buf);
+  }
+  for (const auto &[Name, H] : S.Histograms) {
+    std::string N = promName(Name);
+    std::string Sample;
+    static const struct {
+      const char *Label;
+      double Registry::HistogramStats::*Field;
+    } Qs[] = {{"0.5", &Registry::HistogramStats::P50},
+              {"0.95", &Registry::HistogramStats::P95},
+              {"0.99", &Registry::HistogramStats::P99}};
+    for (const auto &Q : Qs) {
+      std::snprintf(Buf, sizeof(Buf), "%s{quantile=\"%s\"} %g\n", N.c_str(),
+                    Q.Label, H.*(Q.Field));
+      Sample += Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "%s_sum %llu\n%s_count %llu\n",
+                  N.c_str(), static_cast<unsigned long long>(H.Sum),
+                  N.c_str(), static_cast<unsigned long long>(H.Count));
+    Sample += Buf;
+    promLine(Out, N, "summary", Sample);
+  }
+  return Out;
+}
+
+namespace {
+
+/// Reads GADT_METRICS=<path>[:period_ms]; a final record and the .prom
+/// exposition land at process exit (global destructor → stop()).
+struct ExpEnvInit {
+  ExpEnvInit() {
+    const char *Spec = std::getenv("GADT_METRICS");
+    if (!Spec || !*Spec)
+      return;
+    std::string Path(Spec);
+    uint64_t PeriodMs = 1000;
+    size_t Colon = Path.rfind(':');
+    if (Colon != std::string::npos && Colon + 1 < Path.size() &&
+        Path.find_first_not_of("0123456789", Colon + 1) ==
+            std::string::npos) {
+      PeriodMs = std::strtoull(Path.c_str() + Colon + 1, nullptr, 10);
+      Path.resize(Colon);
+    }
+    if (!Path.empty())
+      Exporter::global().start(Path, PeriodMs);
+  }
+};
+
+} // namespace
+
+void Exporter::envInit() { static ExpEnvInit Once; }

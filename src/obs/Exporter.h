@@ -1,0 +1,109 @@
+//===- Exporter.h - Periodic metrics export -------------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Periodic export of the global metrics registry: a background thread
+/// wakes every period, snapshots every counter/gauge/histogram, and
+/// appends one JSONL record per tick with both absolute values and deltas
+/// since the previous tick:
+///
+///   {"ts":1234567.8,"counters":{"runtime.sessions":{"total":12,"delta":3}},
+///    "gauges":{"runtime.cache.sdg.entries":4},
+///    "histograms":{"runtime.session_micros":{"count":12,"delta":3,
+///      "sum":4567,"p50":310.0,"p95":820.0,"p99":990.0}}}
+///
+/// Timestamps are fractional microseconds on the global tracer's epoch, so
+/// the series lines up with trace spans and log records. On stop() (and
+/// process exit) a Prometheus-style text exposition of the final snapshot
+/// is written next to the series as <path>.prom — counters and gauges as
+/// single samples, histograms as summaries with p50/p95/p99 quantile
+/// labels. Metric names are mangled dots-to-underscores under a `gadt_`
+/// prefix, per Prometheus conventions.
+///
+/// Enable with GADT_METRICS=<path>[:period_ms] (default 1000 ms), or from
+/// code with Exporter::global().start(path, ms). Zero cost when off: no
+/// thread exists and nothing in the hot path checks for it — instruments
+/// are already lock-free atomics; the exporter only reads them.
+///
+/// Thread-safety: start/stop serialize on a mutex; the ticker waits on a
+/// condition variable so stop() interrupts a sleeping tick immediately.
+/// Snapshots race instrument updates benignly (relaxed atomic reads — a
+/// tick observes values at-or-before its timestamp). TSan-clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_OBS_EXPORTER_H
+#define GADT_OBS_EXPORTER_H
+
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace gadt {
+namespace obs {
+
+class Exporter {
+public:
+  Exporter();
+  ~Exporter();
+
+  Exporter(const Exporter &) = delete;
+  Exporter &operator=(const Exporter &) = delete;
+
+  /// The process-wide exporter (the one GADT_METRICS starts).
+  static Exporter &global();
+
+  /// Applies GADT_METRICS=<path>[:period_ms] to the global exporter, once.
+  /// Called from the tracer's environment init so this translation unit is
+  /// kept by static-library links even when nothing names an Exporter.
+  static void envInit();
+
+  /// Starts the flusher thread appending one record to \p Path every
+  /// \p PeriodMillis (clamped to [10, 600000]). No-op when running.
+  void start(std::string Path, uint64_t PeriodMillis = 1000);
+  /// Stops the flusher after one final flush, then writes the Prometheus
+  /// exposition of the final snapshot to <path>.prom.
+  void stop();
+  bool isRunning() const { return Running.load(std::memory_order_acquire); }
+
+  /// Takes one snapshot and appends one record now (works whether or not
+  /// the thread is running — tests drive the exporter with this).
+  void flushNow();
+
+  /// Ticks flushed since construction.
+  uint64_t flushCount() const {
+    return Flushes.load(std::memory_order_relaxed);
+  }
+
+  /// Prometheus text exposition of the registry's current state.
+  static std::string prometheusText();
+
+private:
+  void flusherLoop();
+  /// Renders one series record against \p Prev and advances it.
+  std::string renderRecord(Registry::SnapshotData &Prev,
+                           const Registry::SnapshotData &Now) const;
+
+  std::mutex M; ///< guards Thread/Path/Prev and start/stop transitions
+  std::condition_variable CV;
+  std::atomic<bool> Running{false};
+  std::atomic<uint64_t> Flushes{0};
+  uint64_t PeriodMs = 1000;
+  std::thread Thread;
+  std::string Path;
+  bool FileStarted = false;
+  Registry::SnapshotData Prev; ///< previous tick, for deltas
+};
+
+} // namespace obs
+} // namespace gadt
+
+#endif // GADT_OBS_EXPORTER_H

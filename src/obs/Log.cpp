@@ -1,0 +1,187 @@
+//===- Log.cpp - Structured leveled JSONL logging -------------------------===//
+
+#include "obs/Log.h"
+
+#include "support/JSON.h"
+
+#include <cstdlib>
+#include <fstream>
+
+using namespace gadt;
+using namespace gadt::obs;
+
+const char *gadt::obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  }
+  return "info";
+}
+
+bool gadt::obs::parseLogLevel(std::string_view S, LogLevel &Out) {
+  if (S == "debug")
+    Out = LogLevel::Debug;
+  else if (S == "info")
+    Out = LogLevel::Info;
+  else if (S == "warn")
+    Out = LogLevel::Warn;
+  else if (S == "error")
+    Out = LogLevel::Error;
+  else
+    return false;
+  return true;
+}
+
+Log::Log() = default;
+
+Log::~Log() { flush(); }
+
+Log &Log::global() {
+  static Log L;
+  return L;
+}
+
+void Log::enableToFile(std::string Path, LogLevel Min) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    FilePath = std::move(Path);
+    FileStarted = false;
+  }
+  Threshold.store(static_cast<uint8_t>(Min), std::memory_order_relaxed);
+}
+
+void Log::enable(LogLevel Min) {
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    FilePath.clear();
+    FileStarted = false;
+  }
+  Threshold.store(static_cast<uint8_t>(Min), std::memory_order_relaxed);
+}
+
+void Log::disable() {
+  Threshold.store(255, std::memory_order_relaxed);
+  flush();
+}
+
+void Log::write(LogLevel L, const char *Component, std::string_view Msg,
+                std::vector<TraceArg> Fields) {
+  if (!enabledFor(L))
+    return;
+  // Trim one trailing newline so multi-line diagnostic dumps render as one
+  // record without an empty tail line.
+  while (!Msg.empty() && (Msg.back() == '\n' || Msg.back() == '\r'))
+    Msg.remove_suffix(1);
+
+  // Render outside the sink lock: only the append is serialized.
+  uint64_t TsNanos = Tracer::global().nowNanos();
+  uint32_t Tid = Tracer::global().threadId();
+  std::string Line;
+  Line.reserve(96 + Msg.size());
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "{\"ts\":%llu.%03u",
+                static_cast<unsigned long long>(TsNanos / 1000),
+                static_cast<unsigned>(TsNanos % 1000));
+  Line += Buf;
+  Line += ",\"level\":\"";
+  Line += logLevelName(L);
+  Line += "\",\"component\":\"";
+  Line += json::escape(Component);
+  Line += "\",\"tid\":";
+  std::snprintf(Buf, sizeof(Buf), "%u", Tid);
+  Line += Buf;
+  Line += ",\"msg\":\"";
+  Line += json::escape(Msg);
+  Line += '"';
+  if (!Fields.empty()) {
+    Line += ",\"fields\":{";
+    bool First = true;
+    for (const TraceArg &F : Fields) {
+      if (!First)
+        Line += ',';
+      First = false;
+      Line += '"';
+      Line += json::escape(F.Key);
+      Line += "\":";
+      if (F.Quote) {
+        Line += '"';
+        Line += json::escape(F.Val);
+        Line += '"';
+      } else {
+        Line += F.Val;
+      }
+    }
+    Line += '}';
+  }
+  Line += '}';
+
+  Records.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(M);
+  Buffer.push_back(std::move(Line));
+  // Warnings and errors hit the file immediately; lower levels batch.
+  if (!FilePath.empty() &&
+      (L >= LogLevel::Warn || Buffer.size() >= 64))
+    flushLocked();
+}
+
+std::string Log::drain() {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+  for (const std::string &L : Buffer) {
+    Out += L;
+    Out += '\n';
+  }
+  Buffer.clear();
+  return Out;
+}
+
+void Log::flush() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!FilePath.empty())
+    flushLocked();
+}
+
+void Log::flushLocked() {
+  if (Buffer.empty())
+    return;
+  std::ofstream Out(FilePath,
+                    FileStarted ? std::ios::app : std::ios::trunc);
+  FileStarted = true;
+  for (const std::string &L : Buffer) {
+    Out << L;
+    Out << '\n';
+  }
+  Buffer.clear();
+}
+
+namespace {
+
+/// Reads GADT_LOG=<path>[:level] at static-initialization time.
+struct LogEnvInit {
+  LogEnvInit() {
+    const char *Spec = std::getenv("GADT_LOG");
+    if (!Spec || !*Spec)
+      return;
+    std::string Path(Spec);
+    LogLevel Min = LogLevel::Info;
+    size_t Colon = Path.rfind(':');
+    if (Colon != std::string::npos) {
+      LogLevel Parsed;
+      if (parseLogLevel(std::string_view(Path).substr(Colon + 1), Parsed)) {
+        Min = Parsed;
+        Path.resize(Colon);
+      }
+    }
+    if (!Path.empty())
+      Log::global().enableToFile(Path, Min);
+  }
+};
+LogEnvInit TheLogEnvInit;
+
+} // namespace

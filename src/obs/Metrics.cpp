@@ -73,6 +73,9 @@ std::string Registry::jsonSnapshot() const {
     W.key("sum").value(H->sum());
     W.key("min").value(H->min());
     W.key("max").value(H->max());
+    W.key("p50").value(H->approxQuantile(0.50));
+    W.key("p95").value(H->approxQuantile(0.95));
+    W.key("p99").value(H->approxQuantile(0.99));
     W.key("buckets").beginArray();
     for (unsigned I = 0; I < Histogram::NumBuckets; ++I) {
       uint64_t N = H->bucket(I);
@@ -111,11 +114,44 @@ std::string Registry::str() const {
     Line(Name, std::to_string(G->value()));
   for (const auto &[Name, H] : Histograms) {
     uint64_t N = H->count();
-    Line(Name, "count " + std::to_string(N) + " sum " +
-                   std::to_string(H->sum()) + " min " +
-                   std::to_string(H->min()) + " max " +
-                   std::to_string(H->max()) +
-                   (N ? " avg " + std::to_string(H->sum() / N) : ""));
+    std::string Val = "count " + std::to_string(N) + " sum " +
+                      std::to_string(H->sum()) + " min " +
+                      std::to_string(H->min()) + " max " +
+                      std::to_string(H->max());
+    if (N) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf),
+                    " avg %llu p50 %.1f p95 %.1f p99 %.1f",
+                    static_cast<unsigned long long>(H->sum() / N),
+                    H->approxQuantile(0.50), H->approxQuantile(0.95),
+                    H->approxQuantile(0.99));
+      Val += Buf;
+    }
+    Line(Name, Val);
   }
   return Out;
+}
+
+Registry::SnapshotData Registry::snapshotData() const {
+  std::lock_guard<std::mutex> Lock(M);
+  SnapshotData S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.emplace_back(Name, C->value());
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.emplace_back(Name, G->value());
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramStats St;
+    St.Count = H->count();
+    St.Sum = H->sum();
+    St.Min = H->min();
+    St.Max = H->max();
+    St.P50 = H->approxQuantile(0.50);
+    St.P95 = H->approxQuantile(0.95);
+    St.P99 = H->approxQuantile(0.99);
+    S.Histograms.emplace_back(Name, St);
+  }
+  return S;
 }

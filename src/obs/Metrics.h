@@ -36,6 +36,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace gadt {
 namespace obs {
@@ -92,6 +94,47 @@ public:
   static uint64_t bucketBound(unsigned I) {
     return I == 0 ? 0 : (I >= 64 ? UINT64_MAX : (uint64_t(1) << I) - 1);
   }
+  /// Inclusive lower bound of bucket \p I.
+  static uint64_t bucketLowerBound(unsigned I) {
+    return I <= 1 ? I : uint64_t(1) << (I - 1);
+  }
+
+  /// Approximate quantile by linear interpolation inside the bucket where
+  /// the rank ceil(Q*count) lands, clamped to the exact observed [min,max]
+  /// — so single-bucket populations (and Q=0/Q=1) come out exact. Returns
+  /// 0 on an empty histogram. \p Q is clamped to [0,1].
+  double approxQuantile(double Q) const {
+    uint64_t N = count();
+    if (N == 0)
+      return 0.0;
+    if (Q < 0.0)
+      Q = 0.0;
+    if (Q > 1.0)
+      Q = 1.0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(N));
+    if (Rank * 1.0 < Q * static_cast<double>(N)) // ceil without <cmath>
+      ++Rank;
+    if (Rank == 0)
+      Rank = 1;
+    uint64_t Cum = 0;
+    for (unsigned I = 0; I < NumBuckets; ++I) {
+      uint64_t B = bucket(I);
+      if (B == 0)
+        continue;
+      if (Cum + B >= Rank) {
+        double Lo = static_cast<double>(bucketLowerBound(I));
+        double Hi = static_cast<double>(bucketBound(I));
+        double Frac = static_cast<double>(Rank - Cum) /
+                      static_cast<double>(B);
+        double V = Lo + Frac * (Hi - Lo);
+        double Mn = static_cast<double>(min());
+        double Mx = static_cast<double>(max());
+        return V < Mn ? Mn : (V > Mx ? Mx : V);
+      }
+      Cum += B;
+    }
+    return static_cast<double>(max());
+  }
 
   static unsigned bucketOf(uint64_t V) {
     unsigned W = 0;
@@ -143,12 +186,26 @@ public:
   int64_t gaugeValue(std::string_view Name) const;
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
-  /// Histograms render count/sum/min/max plus non-empty [bound,count]
-  /// bucket pairs.
+  /// Histograms render count/sum/min/max, approximate p50/p95/p99, and the
+  /// non-empty [bound,count] bucket pairs.
   std::string jsonSnapshot() const;
 
   /// Aligned "name value" lines, counters then gauges then histograms.
   std::string str() const;
+
+  /// A point-in-time copy of every instrument's value, name-sorted — the
+  /// exporter diffs two of these to emit deltas, and renders the latest
+  /// as the Prometheus exposition.
+  struct HistogramStats {
+    uint64_t Count = 0, Sum = 0, Min = 0, Max = 0;
+    double P50 = 0, P95 = 0, P99 = 0;
+  };
+  struct SnapshotData {
+    std::vector<std::pair<std::string, uint64_t>> Counters;
+    std::vector<std::pair<std::string, int64_t>> Gauges;
+    std::vector<std::pair<std::string, HistogramStats>> Histograms;
+  };
+  SnapshotData snapshotData() const;
 
 private:
   mutable std::mutex M;

@@ -1,0 +1,179 @@
+//===- Profiler.cpp - Sampling span-stack profiler ------------------------===//
+
+#include "obs/Profiler.h"
+
+#include "obs/Trace.h"
+#include "support/JSON.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+using namespace gadt;
+using namespace gadt::obs;
+
+Profiler::Profiler() = default;
+
+Profiler::~Profiler() { stop(); }
+
+Profiler &Profiler::global() {
+  static Profiler P;
+  return P;
+}
+
+void Profiler::start(double RequestedHz) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Running.load(std::memory_order_relaxed))
+    return;
+  Hz = RequestedHz < 1.0 ? 1.0 : (RequestedHz > 10000.0 ? 10000.0
+                                                        : RequestedHz);
+  IntervalNanos.store(static_cast<uint64_t>(1e9 / Hz),
+                      std::memory_order_relaxed);
+  Running.store(true, std::memory_order_release);
+  detail::ActiveModes.fetch_or(detail::ModeProfile,
+                               std::memory_order_relaxed);
+  Thread = std::thread([this] { samplerLoop(); });
+}
+
+void Profiler::stop() {
+  std::thread T;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (!Running.load(std::memory_order_relaxed)) {
+      if (Thread.joinable())
+        T = std::move(Thread);
+    } else {
+      Running.store(false, std::memory_order_release);
+      detail::ActiveModes.fetch_and(~detail::ModeProfile,
+                                    std::memory_order_relaxed);
+      T = std::move(Thread);
+    }
+  }
+  if (T.joinable())
+    T.join();
+
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Path = OutPath;
+  }
+  if (!Path.empty()) {
+    std::ofstream(Path, std::ios::trunc) << collapsed();
+    std::ofstream(Path + ".json", std::ios::trunc) << jsonProfile()
+                                                   << '\n';
+  }
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (Running.load(std::memory_order_relaxed))
+    return;
+  Paths.clear();
+  Samples.store(0, std::memory_order_relaxed);
+  IdleSamples.store(0, std::memory_order_relaxed);
+}
+
+void Profiler::setOutputPath(std::string Path) {
+  std::lock_guard<std::mutex> Lock(M);
+  OutPath = std::move(Path);
+}
+
+void Profiler::samplerLoop() {
+  std::string Path; // reused across samples
+  while (Running.load(std::memory_order_acquire)) {
+    // Sleep the sampling interval in small slices so stop() never waits
+    // longer than ~2ms for the join.
+    uint64_t Remaining = IntervalNanos.load(std::memory_order_relaxed);
+    while (Remaining > 0 && Running.load(std::memory_order_acquire)) {
+      uint64_t Chunk = Remaining < 2000000 ? Remaining : 2000000;
+      std::this_thread::sleep_for(std::chrono::nanoseconds(Chunk));
+      Remaining -= Chunk;
+    }
+    if (!Running.load(std::memory_order_acquire))
+      break;
+
+    for (const std::shared_ptr<SpanStack> &S : detail::allSpanStacks()) {
+      uint32_t D = S->Depth.load(std::memory_order_acquire);
+      if (D > SpanStack::MaxDepth)
+        D = SpanStack::MaxDepth;
+      if (D == 0) {
+        IdleSamples.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Path.clear();
+      for (uint32_t I = 0; I < D; ++I) {
+        const char *Name = S->Names[I].load(std::memory_order_relaxed);
+        if (!Name) // racing a push; attribute to the frames already set
+          break;
+        if (!Path.empty())
+          Path += ';';
+        Path += Name;
+      }
+      if (Path.empty()) {
+        IdleSamples.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Samples.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> Lock(M);
+      ++Paths[Path];
+    }
+  }
+}
+
+std::string Profiler::collapsed() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+  for (const auto &[Path, N] : Paths) {
+    Out += Path;
+    Out += ' ';
+    Out += std::to_string(N);
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string Profiler::jsonProfile() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::string Out;
+  json::Writer W(Out);
+  W.beginObject();
+  W.key("hz").value(Hz);
+  W.key("samples").value(Samples.load(std::memory_order_relaxed));
+  W.key("idle_samples").value(IdleSamples.load(std::memory_order_relaxed));
+  W.key("stacks").beginObject();
+  for (const auto &[Path, N] : Paths)
+    W.key(Path).value(N);
+  W.endObject();
+  W.endObject();
+  return Out;
+}
+
+namespace {
+
+/// Reads GADT_PROFILE=<path>[:hz]; the profile is written at process exit
+/// (global destructor → stop()).
+struct ProfEnvInit {
+  ProfEnvInit() {
+    const char *Spec = std::getenv("GADT_PROFILE");
+    if (!Spec || !*Spec)
+      return;
+    std::string Path(Spec);
+    double Hz = 97.0;
+    size_t Colon = Path.rfind(':');
+    if (Colon != std::string::npos && Colon + 1 < Path.size() &&
+        Path.find_first_not_of("0123456789", Colon + 1) ==
+            std::string::npos) {
+      Hz = static_cast<double>(
+          std::strtoull(Path.c_str() + Colon + 1, nullptr, 10));
+      Path.resize(Colon);
+    }
+    if (Path.empty())
+      return;
+    Profiler::global().setOutputPath(Path);
+    Profiler::global().start(Hz);
+  }
+};
+
+} // namespace
+
+void Profiler::envInit() { static ProfEnvInit Once; }

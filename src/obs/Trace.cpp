@@ -2,6 +2,9 @@
 
 #include "obs/Trace.h"
 
+#include "obs/Exporter.h"
+#include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "support/JSON.h"
 
 #include <algorithm>
@@ -12,11 +15,29 @@
 using namespace gadt;
 using namespace gadt::obs;
 
-std::atomic<bool> gadt::obs::detail::GloballyEnabled{false};
+std::atomic<uint32_t> gadt::obs::detail::ActiveModes{0};
 
 namespace {
 
 std::atomic<uint64_t> NextTracerId{1};
+std::atomic<uint64_t> NextSpanId{1};
+std::atomic<uint64_t> NextFlowId{1};
+
+thread_local uint64_t CurrentFlowId = 0;
+
+/// All live threads' span stacks, for the profiler. Holds weak_ptrs so a
+/// thread's stack dies with the thread; allSpanStacks() prunes expired
+/// entries. Immortal (leaked) so sampler threads racing process exit never
+/// touch a destroyed registry.
+struct StackRegistry {
+  std::mutex M;
+  std::vector<std::weak_ptr<SpanStack>> Stacks;
+};
+
+StackRegistry &stackRegistry() {
+  static StackRegistry *R = new StackRegistry;
+  return *R;
+}
 
 /// Renders one event as a Chrome Trace Event Format JSON object.
 /// Timestamps are microseconds with nanosecond precision (ts/dur are
@@ -46,6 +67,25 @@ std::string renderEvent(const TraceEvent &E) {
   }
   if (E.Phase == 'i')
     Line += ",\"s\":\"t\""; // thread-scoped instant
+  if (E.Phase == 's' || E.Phase == 't' || E.Phase == 'f') {
+    std::snprintf(Buf, sizeof(Buf), ",\"id\":%llu",
+                  static_cast<unsigned long long>(E.FlowId));
+    Line += Buf;
+    if (E.Phase == 'f')
+      Line += ",\"bp\":\"e\""; // bind to the enclosing slice
+  }
+  // Span hierarchy: custom fields, ignored by viewers, consumed by
+  // gadt_report and tests.
+  if (E.SpanId) {
+    std::snprintf(Buf, sizeof(Buf), ",\"sid\":%llu",
+                  static_cast<unsigned long long>(E.SpanId));
+    Line += Buf;
+  }
+  if (E.ParentId) {
+    std::snprintf(Buf, sizeof(Buf), ",\"psid\":%llu",
+                  static_cast<unsigned long long>(E.ParentId));
+    Line += Buf;
+  }
   if (!E.Args.empty()) {
     Line += ",\"args\":{";
     bool First = true;
@@ -71,6 +111,66 @@ std::string renderEvent(const TraceEvent &E) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Span stacks and flow context
+//===----------------------------------------------------------------------===//
+
+SpanStack &gadt::obs::detail::threadSpanStack() {
+  // The holder's destructor runs at thread exit; the registry's weak_ptr
+  // then expires and the next allSpanStacks() prunes it.
+  thread_local std::shared_ptr<SpanStack> Stack = [] {
+    auto S = std::make_shared<SpanStack>();
+    StackRegistry &R = stackRegistry();
+    std::lock_guard<std::mutex> Lock(R.M);
+    R.Stacks.push_back(S);
+    return S;
+  }();
+  return *Stack;
+}
+
+std::vector<std::shared_ptr<SpanStack>> gadt::obs::detail::allSpanStacks() {
+  StackRegistry &R = stackRegistry();
+  std::lock_guard<std::mutex> Lock(R.M);
+  std::vector<std::shared_ptr<SpanStack>> Out;
+  Out.reserve(R.Stacks.size());
+  for (size_t I = 0; I < R.Stacks.size();) {
+    if (std::shared_ptr<SpanStack> S = R.Stacks[I].lock()) {
+      Out.push_back(std::move(S));
+      ++I;
+    } else {
+      R.Stacks[I] = std::move(R.Stacks.back());
+      R.Stacks.pop_back();
+    }
+  }
+  return Out;
+}
+
+uint64_t gadt::obs::detail::currentSpanId() {
+  SpanStack &S = threadSpanStack();
+  uint32_t D = S.Depth.load(std::memory_order_relaxed);
+  if (D == 0)
+    return 0;
+  if (D > SpanStack::MaxDepth)
+    D = SpanStack::MaxDepth;
+  return S.Ids[D - 1].load(std::memory_order_relaxed);
+}
+
+uint64_t FlowContext::current() { return CurrentFlowId; }
+
+uint64_t FlowContext::nextId() {
+  return NextFlowId.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlowContext::Scope::Scope(uint64_t Id) : Prev(CurrentFlowId) {
+  CurrentFlowId = Id;
+}
+
+FlowContext::Scope::~Scope() { CurrentFlowId = Prev; }
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
 
 Tracer::Tracer()
     : Id(NextTracerId.fetch_add(1, std::memory_order_relaxed)),
@@ -99,13 +199,15 @@ void Tracer::enableToFile(std::string Path) {
 void Tracer::enable() {
   Enabled.store(true, std::memory_order_relaxed);
   if (this == &global())
-    detail::GloballyEnabled.store(true, std::memory_order_relaxed);
+    detail::ActiveModes.fetch_or(detail::ModeTrace,
+                                 std::memory_order_relaxed);
 }
 
 void Tracer::disable() {
   Enabled.store(false, std::memory_order_relaxed);
   if (this == &global())
-    detail::GloballyEnabled.store(false, std::memory_order_relaxed);
+    detail::ActiveModes.fetch_and(~detail::ModeTrace,
+                                  std::memory_order_relaxed);
 }
 
 uint64_t Tracer::nowNanos() const {
@@ -136,10 +238,21 @@ Tracer::ThreadBuf &Tracer::threadBuf() {
   return *Slot;
 }
 
+uint32_t Tracer::threadId() { return threadBuf().Tid; }
+
 void Tracer::record(TraceEvent E) {
   ThreadBuf &B = threadBuf();
   E.Tid = B.Tid;
-  std::lock_guard<std::mutex> Lock(B.M);
+  size_t Max = MaxEventsPerThread.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> Lock(B.M);
+  if (B.Events.size() >= Max) {
+    Lock.unlock();
+    // The global counter survives the tracer and is cheap to resolve once.
+    static Counter &Dropped =
+        Registry::global().counter("obs.trace.dropped");
+    Dropped.add();
+    return;
+  }
   B.Events.push_back(std::move(E));
 }
 
@@ -163,7 +276,30 @@ void Tracer::instant(const char *Name, const char *Cat,
   E.Cat = Cat;
   E.Phase = 'i';
   E.TsNanos = nowNanos();
+  E.ParentId = detail::currentSpanId();
   E.Args = std::move(Args);
+  record(std::move(E));
+}
+
+void Tracer::flowEvent(char Phase, const char *Name, const char *Cat,
+                       uint64_t FlowId) {
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Phase = Phase;
+  E.TsNanos = nowNanos();
+  E.FlowId = FlowId;
+  E.ParentId = detail::currentSpanId();
+  record(std::move(E));
+}
+
+void Tracer::setThreadName(const char *Name) {
+  TraceEvent E;
+  E.Name = "thread_name";
+  E.Cat = "__metadata";
+  E.Phase = 'M';
+  E.TsNanos = 0;
+  E.Args.push_back({"name", Name, /*Quote=*/true});
   record(std::move(E));
 }
 
@@ -216,14 +352,41 @@ void Tracer::flush() {
   Out << Lines;
 }
 
-void Span::begin(const char *N, const char *C) {
+//===----------------------------------------------------------------------===//
+// Span
+//===----------------------------------------------------------------------===//
+
+void Span::begin(const char *N, const char *C, uint32_t Modes) {
   Live = true;
+  Rec = Modes & detail::ModeTrace;
   Name = N;
   Cat = C;
-  StartNanos = Tracer::global().nowNanos();
+  SpanStack &S = detail::threadSpanStack();
+  uint32_t D = S.Depth.load(std::memory_order_relaxed);
+  if (D > 0 && D <= SpanStack::MaxDepth)
+    ParentId = S.Ids[D - 1].load(std::memory_order_relaxed);
+  SpanId = NextSpanId.fetch_add(1, std::memory_order_relaxed);
+  if (D < SpanStack::MaxDepth) {
+    // Name before Depth (release) so a sampler that observes the new depth
+    // also observes the name.
+    S.Names[D].store(N, std::memory_order_relaxed);
+    S.Ids[D].store(SpanId, std::memory_order_relaxed);
+    S.Depth.store(D + 1, std::memory_order_release);
+    Pushed = true;
+  }
+  if (Rec)
+    StartNanos = Tracer::global().nowNanos();
 }
 
 void Span::end() {
+  if (Pushed) {
+    SpanStack &S = detail::threadSpanStack();
+    uint32_t D = S.Depth.load(std::memory_order_relaxed);
+    if (D > 0)
+      S.Depth.store(D - 1, std::memory_order_release);
+  }
+  if (!Rec)
+    return;
   Tracer &T = Tracer::global();
   TraceEvent E;
   E.Name = Name;
@@ -232,6 +395,8 @@ void Span::end() {
   E.TsNanos = StartNanos;
   uint64_t Now = T.nowNanos();
   E.DurNanos = Now > StartNanos ? Now - StartNanos : 0;
+  E.SpanId = SpanId;
+  E.ParentId = ParentId;
   E.Args = std::move(Args);
   T.record(std::move(E));
 }
@@ -239,12 +404,29 @@ void Span::end() {
 namespace {
 
 /// Reads GADT_TRACE at static-initialization time so tracing covers the
-/// whole program without any code change in the traced binary.
+/// whole program without any code change in the traced binary. An optional
+/// ":<n>" suffix (all digits) caps buffered events per thread. Also kicks
+/// the profiler's and exporter's env inits: the explicit calls keep their
+/// translation units in static-library links (an unreferenced object file
+/// is dropped by the archive linker, env-init globals and all).
 struct EnvInit {
   EnvInit() {
-    if (const char *Path = std::getenv("GADT_TRACE"))
-      if (*Path)
-        Tracer::global().enableToFile(Path);
+    Profiler::envInit();
+    Exporter::envInit();
+    const char *Spec = std::getenv("GADT_TRACE");
+    if (!Spec || !*Spec)
+      return;
+    std::string Path(Spec);
+    size_t Colon = Path.rfind(':');
+    if (Colon != std::string::npos && Colon + 1 < Path.size() &&
+        Path.find_first_not_of("0123456789", Colon + 1) ==
+            std::string::npos) {
+      Tracer::global().setMaxEventsPerThread(
+          std::strtoull(Path.c_str() + Colon + 1, nullptr, 10));
+      Path.resize(Colon);
+    }
+    if (!Path.empty())
+      Tracer::global().enableToFile(Path);
   }
 };
 EnvInit TheEnvInit;

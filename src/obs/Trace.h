@@ -14,19 +14,37 @@
 /// Perfetto after wrapping the lines in a JSON array (see README,
 /// "Observability").
 ///
-/// Tracing is off by default and costs a single relaxed atomic load plus a
-/// branch per span when disabled — no allocation, no clock read, no lock.
-/// Enable it by either:
+/// Spans form a hierarchy: each thread keeps a stack of its open spans, so
+/// every exported event carries a span id (`sid`) and its parent's id
+/// (`psid`), and instants (judgement events, log marks) attach to the span
+/// they occurred under. The same stack is what obs::Profiler samples. A
+/// FlowContext carries a logical-flow id across threads (e.g. one batch
+/// session from the enqueuing thread to the worker that runs it); flows
+/// render as Chrome-Trace flow events ('s'/'t'/'f'), which Perfetto draws
+/// as arrows connecting the slices of one session across worker threads.
 ///
-///  - setting GADT_TRACE=<path> in the environment: every process-lifetime
-///    event is flushed to <path> at exit (and on explicit flush()), or
+/// Tracing is off by default and costs a single relaxed atomic load plus a
+/// branch per span when disabled — no allocation, no clock read, no lock,
+/// no stack maintenance. Enable it by either:
+///
+///  - setting GADT_TRACE=<path>[:cap] in the environment: every
+///    process-lifetime event is flushed to <path> at exit (and on explicit
+///    flush()); the optional numeric suffix caps buffered events per
+///    thread, or
 ///  - calling Tracer::global().enableToFile(path) / enable() from code
 ///    (the latter buffers only; drain with exportJsonl()).
 ///
+/// Per-thread buffers are bounded (setMaxEventsPerThread, default 2^20):
+/// once a thread's buffer is full, further events are dropped and counted
+/// on the global registry's `obs.trace.dropped` counter instead of growing
+/// without limit under long traced batch runs.
+///
 /// Threading: each thread appends to its own buffer under its own
 /// (uncontended) mutex; the exporter takes the buffer-list lock and each
-/// buffer lock briefly. Safe to use concurrently from any number of
-/// threads, including under ThreadSanitizer.
+/// buffer lock briefly. The span stack is written with release stores and
+/// read by the profiler with acquire loads; names must be static string
+/// literals. Safe to use concurrently from any number of threads,
+/// including under ThreadSanitizer.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,15 +65,26 @@ namespace gadt {
 namespace obs {
 
 namespace detail {
-/// The global on/off switch, read on every span open. Lives outside the
-/// Tracer so the disabled-path check needs no function-local-static guard.
-extern std::atomic<bool> GloballyEnabled;
+/// Which telemetry modes want spans maintained, read on every span open.
+/// Bit 0: the global tracer is recording events; bit 1: the profiler is
+/// sampling span stacks. Lives outside the Tracer so the disabled-path
+/// check needs no function-local-static guard.
+constexpr uint32_t ModeTrace = 1u;
+constexpr uint32_t ModeProfile = 2u;
+extern std::atomic<uint32_t> ActiveModes;
 } // namespace detail
 
 /// True when the global tracer is collecting events. The one branch paid on
-/// the hot path when tracing is off.
+/// the hot path when all telemetry is off.
 inline bool enabled() {
-  return detail::GloballyEnabled.load(std::memory_order_relaxed);
+  return detail::ActiveModes.load(std::memory_order_relaxed) &
+         detail::ModeTrace;
+}
+
+/// True when spans must maintain the per-thread stack (tracing needs it for
+/// parent ids, the profiler for samples).
+inline bool spansActive() {
+  return detail::ActiveModes.load(std::memory_order_relaxed) != 0;
 }
 
 /// One key/value annotation on an event. \c Quote distinguishes string
@@ -70,11 +99,57 @@ struct TraceArg {
 struct TraceEvent {
   const char *Name = ""; ///< static string: span names are literals
   const char *Cat = "";
-  char Phase = 'X';      ///< 'X' complete (has Dur), 'i' instant
+  char Phase = 'X';      ///< 'X' complete, 'i' instant, 's'/'t'/'f' flow
   uint64_t TsNanos = 0;  ///< since tracer epoch
   uint64_t DurNanos = 0; ///< complete events only
   uint32_t Tid = 0;
+  uint64_t SpanId = 0;   ///< rendered as "sid" (complete events)
+  uint64_t ParentId = 0; ///< rendered as "psid" (enclosing span)
+  uint64_t FlowId = 0;   ///< rendered as "id" (flow events only)
   std::vector<TraceArg> Args;
+};
+
+/// The fixed-depth stack of spans a thread currently has open, readable by
+/// the profiler thread while the owner pushes and pops. Slots only ever
+/// hold nullptr or static string literals, so a stale read during a pop is
+/// still a valid name (it is simply attributed to the previous sample).
+struct SpanStack {
+  static constexpr unsigned MaxDepth = 64;
+  std::atomic<const char *> Names[MaxDepth] = {};
+  std::atomic<uint64_t> Ids[MaxDepth] = {};
+  std::atomic<uint32_t> Depth{0};
+};
+
+namespace detail {
+/// The calling thread's span stack, registered for profiling on first use.
+SpanStack &threadSpanStack();
+/// Stacks of all threads that ever opened a span (dead threads pruned).
+std::vector<std::shared_ptr<SpanStack>> allSpanStacks();
+/// Id of the innermost open span on this thread, 0 when none.
+uint64_t currentSpanId();
+} // namespace detail
+
+/// A logical-flow id carried across threads, connecting the spans of one
+/// unit of work (a batch session) from the thread that enqueued it to the
+/// worker that executes it. Thread-local; see BatchRunner.
+class FlowContext {
+public:
+  /// This thread's active flow id, 0 when none.
+  static uint64_t current();
+  /// A fresh process-unique flow id (never 0).
+  static uint64_t nextId();
+
+  /// RAII: installs \p Id as the thread's flow for the scope's lifetime.
+  class Scope {
+  public:
+    explicit Scope(uint64_t Id);
+    ~Scope();
+    Scope(const Scope &) = delete;
+    Scope &operator=(const Scope &) = delete;
+
+  private:
+    uint64_t Prev;
+  };
 };
 
 class Span;
@@ -102,6 +177,15 @@ public:
   void disable();
   bool isEnabled() const { return Enabled.load(std::memory_order_relaxed); }
 
+  /// Caps each thread's event buffer; once full, events are dropped and
+  /// counted on the global registry's `obs.trace.dropped` counter.
+  void setMaxEventsPerThread(size_t N) {
+    MaxEventsPerThread.store(N, std::memory_order_relaxed);
+  }
+  size_t maxEventsPerThread() const {
+    return MaxEventsPerThread.load(std::memory_order_relaxed);
+  }
+
   /// Drains all buffered events, rendered one JSON object per line.
   std::string exportJsonl();
 
@@ -113,8 +197,13 @@ public:
   uint64_t eventCount() const;
 
   /// Nanoseconds since this tracer's epoch (plain clock read; works whether
-  /// or not tracing is enabled).
+  /// or not tracing is enabled). obs::Log shares this epoch so logs and
+  /// spans interleave on one timeline.
   uint64_t nowNanos() const;
+
+  /// The calling thread's dense tracer thread id (assigned on first use;
+  /// also stamped on log records so they join the trace timeline).
+  uint32_t threadId();
 
   /// Appends \p E (stamped by the caller) to the calling thread's buffer.
   void record(TraceEvent E);
@@ -123,9 +212,20 @@ public:
   void completeEvent(const char *Name, const char *Cat, uint64_t TsNanos,
                      uint64_t DurNanos, std::vector<TraceArg> Args = {});
 
-  /// Records an instant event at now.
+  /// Records an instant event at now, attached to the calling thread's
+  /// innermost open span.
   void instant(const char *Name, const char *Cat,
                std::vector<TraceArg> Args = {});
+
+  /// Records a flow event: \p Phase is 's' (start), 't' (step) or 'f'
+  /// (finish, rendered with binding point "e" so it attaches to the
+  /// enclosing slice). Events of one flow share \p FlowId.
+  void flowEvent(char Phase, const char *Name, const char *Cat,
+                 uint64_t FlowId);
+
+  /// Records a thread-name metadata event ('M') so trace viewers label the
+  /// calling thread's track.
+  void setThreadName(const char *Name);
 
 private:
   friend class Span;
@@ -143,6 +243,7 @@ private:
   const uint64_t Id;
 
   std::atomic<bool> Enabled{false};
+  std::atomic<size_t> MaxEventsPerThread{size_t(1) << 20};
   const std::chrono::steady_clock::time_point Epoch;
 
   mutable std::mutex BufsM;
@@ -154,15 +255,17 @@ private:
   bool FileStarted = false;
 };
 
-/// RAII span: opens on construction, records a complete event on
-/// destruction. When tracing is disabled, construction is a relaxed atomic
-/// load and a branch; nothing else runs and nothing is allocated.
+/// RAII span: opens on construction, pushes itself on the thread's span
+/// stack, and records a complete event on destruction. When all telemetry
+/// is disabled, construction is a relaxed atomic load and a branch;
+/// nothing else runs and nothing is allocated.
 class Span {
 public:
   explicit Span(const char *Name, const char *Cat = "gadt") {
-    if (!obs::enabled())
+    uint32_t Modes = detail::ActiveModes.load(std::memory_order_relaxed);
+    if (!Modes)
       return;
-    begin(Name, Cat);
+    begin(Name, Cat, Modes);
   }
   ~Span() {
     if (Live)
@@ -173,37 +276,46 @@ public:
   Span &operator=(const Span &) = delete;
 
   /// Annotates the span (shows under "args" in trace viewers). No-ops when
-  /// the span is inactive, so callers need not re-check enabled().
+  /// the span is not being recorded, so callers need not re-check
+  /// enabled().
   void arg(const char *K, std::string V) {
-    if (Live)
+    if (Rec)
       Args.push_back({K, std::move(V), /*Quote=*/true});
   }
   void arg(const char *K, const char *V) { arg(K, std::string(V)); }
   void arg(const char *K, uint64_t V) {
-    if (Live)
+    if (Rec)
       Args.push_back({K, std::to_string(V), /*Quote=*/false});
   }
   void arg(const char *K, int64_t V) {
-    if (Live)
+    if (Rec)
       Args.push_back({K, std::to_string(V), /*Quote=*/false});
   }
   void arg(const char *K, unsigned V) { arg(K, static_cast<uint64_t>(V)); }
   void arg(const char *K, int V) { arg(K, static_cast<int64_t>(V)); }
   void arg(const char *K, bool V) {
-    if (Live)
+    if (Rec)
       Args.push_back({K, V ? "true" : "false", /*Quote=*/false});
   }
 
+  /// True when the span is live on the thread's span stack (some telemetry
+  /// mode is active).
   bool active() const { return Live; }
+  /// This span's id (0 when not live).
+  uint64_t id() const { return SpanId; }
 
 private:
-  void begin(const char *Name, const char *Cat);
+  void begin(const char *Name, const char *Cat, uint32_t Modes);
   void end();
 
-  bool Live = false;
+  bool Live = false;   ///< pushed on the span stack
+  bool Rec = false;    ///< tracing was on at open: record an event at close
+  bool Pushed = false; ///< false when the stack saturated at MaxDepth
   const char *Name = nullptr;
   const char *Cat = nullptr;
   uint64_t StartNanos = 0;
+  uint64_t SpanId = 0;
+  uint64_t ParentId = 0;
   std::vector<TraceArg> Args;
 };
 

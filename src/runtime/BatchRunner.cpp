@@ -7,6 +7,7 @@
 #include "support/Hashing.h"
 
 #include <atomic>
+#include <cstdio>
 
 using namespace gadt;
 using namespace gadt::core;
@@ -36,6 +37,13 @@ SessionResult gadt::runtime::runSession(RuntimeContext &Ctx,
   // is off.
   uint64_t StartNs = obs::Tracer::global().nowNanos();
   obs::Span Span("session", "runtime");
+  // Close the flow opened at enqueue time: the finish event binds to this
+  // session slice ("bp":"e"), so Perfetto draws the arrow from the
+  // enqueuing thread's slice into this one.
+  if (uint64_t Flow = obs::FlowContext::current(); Flow && obs::enabled()) {
+    obs::Tracer::global().flowEvent('f', "session.flow", "runtime", Flow);
+    Span.arg("flow", Flow);
+  }
   SessionResult Res;
   DiagnosticsEngine Diags;
 
@@ -109,7 +117,7 @@ BatchRunner::BatchRunner(std::shared_ptr<RuntimeContext> Ctx,
                          : std::max(1u, std::thread::hardware_concurrency());
   Workers.reserve(Threads);
   for (unsigned I = 0; I < Threads; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 BatchRunner::~BatchRunner() {
@@ -122,7 +130,12 @@ BatchRunner::~BatchRunner() {
     W.join();
 }
 
-void BatchRunner::workerLoop() {
+void BatchRunner::workerLoop(unsigned Index) {
+  if (obs::enabled()) {
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "gadt-worker-%u", Index);
+    obs::Tracer::global().setThreadName(Name);
+  }
   for (;;) {
     std::function<void()> Job;
     {
@@ -149,7 +162,21 @@ BatchRunner::run(const std::vector<SessionRequest> &Requests) {
     std::lock_guard<std::mutex> Lock(M);
     for (size_t I = 0; I < Requests.size(); ++I) {
       uint64_t EnqueuedNs = obs::Tracer::global().nowNanos();
-      Queue.push_back([this, State, &Requests, &Results, I, EnqueuedNs] {
+      // Each request gets a flow id linking its spans across threads: the
+      // enqueue slice here starts the flow, the worker steps it at pickup
+      // and the session span finishes it.
+      uint64_t FlowId = 0;
+      if (obs::enabled()) {
+        FlowId = obs::FlowContext::nextId();
+        obs::Span Enq("enqueue", "runtime");
+        Enq.arg("flow", FlowId);
+        Enq.arg("request", static_cast<uint64_t>(I));
+        obs::Tracer::global().flowEvent('s', "session.flow", "runtime",
+                                        FlowId);
+      }
+      Queue.push_back([this, State, &Requests, &Results, I, EnqueuedNs,
+                       FlowId] {
+        obs::FlowContext::Scope FlowScope(FlowId);
         // Time between enqueue and a worker picking the job up: the
         // batch's queueing delay, visible per job in the trace and as a
         // histogram in the context's registry.
@@ -157,9 +184,13 @@ BatchRunner::run(const std::vector<SessionRequest> &Requests) {
         Ctx->metrics()
             .histogram("runtime.queue_wait.micros")
             .observe(WaitNs / 1000);
-        if (obs::enabled())
-          obs::Tracer::global().completeEvent("queue.wait", "runtime",
-                                              EnqueuedNs, WaitNs);
+        if (obs::enabled()) {
+          obs::Tracer::global().completeEvent(
+              "queue.wait", "runtime", EnqueuedNs, WaitNs,
+              {{"flow", std::to_string(FlowId), /*Quote=*/false}});
+          obs::Tracer::global().flowEvent('t', "session.flow", "runtime",
+                                          FlowId);
+        }
         Results[I] = runSession(*Ctx, Requests[I]);
         std::lock_guard<std::mutex> BatchLock(State->M);
         if (--State->Remaining == 0)

@@ -17,6 +17,13 @@
 /// a request's outcome is a pure function of the request, so any thread
 /// count (including 1) produces byte-identical results.
 ///
+/// Under tracing, every request carries an obs::FlowContext id from the
+/// enqueuing thread to the worker that executes it: the enqueue slice
+/// emits a flow-start, the worker a flow-step at pickup, and the session
+/// span a flow-finish — Perfetto renders the three as arrows stitching one
+/// session's slices across threads. Workers name their trace tracks
+/// "gadt-worker-<n>".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GADT_RUNTIME_BATCHRUNNER_H
@@ -98,7 +105,7 @@ public:
 
 private:
   struct Batch;
-  void workerLoop();
+  void workerLoop(unsigned Index);
 
   std::shared_ptr<RuntimeContext> Ctx;
   unsigned Threads;

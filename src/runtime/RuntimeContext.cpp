@@ -4,6 +4,7 @@
 
 #include "obs/Trace.h"
 #include "pascal/Frontend.h"
+#include "pascal/PrettyPrinter.h"
 #include "slicing/StaticSlicer.h"
 #include "support/Hashing.h"
 
@@ -39,7 +40,15 @@ RuntimeContext::RuntimeContext(obs::Registry *Metrics)
       SdgC{Reg.counter("runtime.cache.sdg.hits"),
            Reg.counter("runtime.cache.sdg.misses")},
       SliceC{Reg.counter("runtime.cache.slice.hits"),
-             Reg.counter("runtime.cache.slice.misses")} {}
+             Reg.counter("runtime.cache.slice.misses")},
+      ProgramG{Reg.gauge("runtime.cache.program.entries"),
+               Reg.gauge("runtime.cache.program.bytes")},
+      TransformG{Reg.gauge("runtime.cache.transform.entries"),
+                 Reg.gauge("runtime.cache.transform.bytes")},
+      SdgG{Reg.gauge("runtime.cache.sdg.entries"),
+           Reg.gauge("runtime.cache.sdg.bytes")},
+      SliceG{Reg.gauge("runtime.cache.slice.entries"),
+             Reg.gauge("runtime.cache.slice.bytes")} {}
 
 RuntimeContext::~RuntimeContext() = default;
 
@@ -49,6 +58,19 @@ template <typename Counters>
 void noteLookup(Counters &C, obs::Span &Span, bool WasMiss) {
   (WasMiss ? C.Misses : C.Hits).add();
   Span.arg("hit", !WasMiss);
+}
+
+/// Publishes a cache's occupancy after a lookup: \p NewBytes (nonzero only
+/// on a miss) accumulates into \p Total, and both gauges are refreshed.
+template <typename Gauges>
+void noteOccupancy(Gauges &G, std::atomic<uint64_t> &Total, size_t Entries,
+                   uint64_t NewBytes) {
+  uint64_t Bytes =
+      NewBytes ? Total.fetch_add(NewBytes, std::memory_order_relaxed) +
+                     NewBytes
+               : Total.load(std::memory_order_relaxed);
+  G.Entries.set(static_cast<int64_t>(Entries));
+  G.Bytes.set(static_cast<int64_t>(Bytes));
 }
 } // namespace
 
@@ -72,6 +94,10 @@ RuntimeContext::internProgram(const std::string &Source,
       },
       &WasMiss);
   noteLookup(ProgramC, Span, WasMiss);
+  noteOccupancy(ProgramG, ProgramBytes, Programs.size(),
+                WasMiss ? Source.size() + E->Errors.size() +
+                              sizeof(ProgramEntry)
+                        : 0);
   if (!E->Program)
     Diags.error(SourceLoc(), "batch runtime: cached parse failure: " +
                                  E->Errors);
@@ -113,6 +139,13 @@ RuntimeContext::prepare(const std::string &Source,
         },
         &WasMiss);
     noteLookup(TransformC, Span, WasMiss);
+    uint64_t NewBytes = 0;
+    if (WasMiss) {
+      NewBytes = sizeof(TransformEntry) + X->Errors.size();
+      if (X->Transformed)
+        NewBytes += pascal::printProgram(*X->Transformed).size();
+    }
+    noteOccupancy(TransformG, TransformBytes, Transforms.size(), NewBytes);
     Reg.gauge("runtime.subjects").set(static_cast<int64_t>(Transforms.size()));
     if (!X->Transformed) {
       Diags.error(SourceLoc(), "batch runtime: cached transform failure: " +
@@ -147,6 +180,12 @@ RuntimeContext::prepare(const std::string &Source,
         },
         &WasMiss);
     noteLookup(SdgC, Span, WasMiss);
+    noteOccupancy(SdgG, SdgBytes, Sdgs.size(),
+                  WasMiss ? sizeof(SdgEntry) +
+                                G->Graph->nodes().size() *
+                                    sizeof(analysis::SDGNode) +
+                                uint64_t(G->Graph->numEdges()) * 8
+                          : 0);
     // Alias the SDG's lifetime to its cache entry, and debug the exact
     // program object the graph was built over — textual variants of one
     // fingerprint intern as distinct ASTs, but slices resolve by pointer.
@@ -177,6 +216,9 @@ RuntimeContext::prepare(const std::string &Source,
           },
           &WasMiss);
       noteLookup(SliceC, Span, WasMiss);
+      noteOccupancy(SliceG, SliceBytes, Slices.size(),
+                    WasMiss ? sizeof(slicing::StaticSlice) + S->size() * 4
+                            : 0);
       return S;
     };
   }

@@ -35,6 +35,7 @@
 #include "obs/Metrics.h"
 #include "support/OnceCache.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -125,6 +126,17 @@ private:
     obs::Counter &Hits, &Misses;
   };
   CacheCounters ProgramC, TransformC, SdgC, SliceC;
+
+  /// `runtime.cache.<cache>.{entries,bytes}` occupancy gauges, refreshed on
+  /// every lookup. Bytes are an estimate of what an entry retains (source
+  /// text, canonical print, graph nodes+edges, slice payload) — good enough
+  /// to watch growth under long batch runs, not an allocator measurement.
+  struct CacheGauges {
+    obs::Gauge &Entries, &Bytes;
+  };
+  CacheGauges ProgramG, TransformG, SdgG, SliceG;
+  std::atomic<uint64_t> ProgramBytes{0}, TransformBytes{0}, SdgBytes{0},
+      SliceBytes{0};
 };
 
 } // namespace runtime

@@ -8,11 +8,20 @@
 //  - the metrics registry counts exactly, and its totals equal the sums of
 //    the per-session/per-context stats structs (no drift);
 //  - a traced BatchRunner run covers every pipeline phase and every line
-//    of its export is independently parseable.
+//    of its export is independently parseable;
+//  - events carry the span hierarchy (sid/psid) and batch sessions carry
+//    flow ids from the enqueuing thread to the worker that ran them;
+//  - per-thread trace buffers are bounded and overflow is counted, not
+//    grown; histogram quantiles are exact where exactness is possible;
+//  - the profiler, structured log and metrics exporter stay correct (and
+//    TSan-clean) when raced from many threads.
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Exporter.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
+#include "obs/Profiler.h"
 #include "obs/Trace.h"
 
 #include "runtime/BatchRunner.h"
@@ -23,6 +32,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +40,7 @@
 #include <new>
 #include <set>
 #include <sstream>
+#include <thread>
 
 using namespace gadt;
 using namespace gadt::core;
@@ -190,6 +201,66 @@ TEST(MetricsTest, JsonSnapshotParses) {
   EXPECT_EQ(H->getNumber("sum"), 3.0);
 }
 
+TEST(MetricsTest, ApproxQuantileExactCases) {
+  obs::Histogram Empty;
+  EXPECT_EQ(Empty.approxQuantile(0.5), 0.0);
+
+  // A single repeated value is exact at every quantile: the [min,max]
+  // clamp collapses the bucket's interpolation range to a point.
+  obs::Histogram Point;
+  for (int I = 0; I < 100; ++I)
+    Point.observe(10);
+  for (double Q : {0.0, 0.5, 0.95, 0.99, 1.0})
+    EXPECT_EQ(Point.approxQuantile(Q), 10.0) << "q=" << Q;
+
+  // Out-of-range Q clamps instead of misbehaving.
+  EXPECT_EQ(Point.approxQuantile(-3.0), 10.0);
+  EXPECT_EQ(Point.approxQuantile(7.0), 10.0);
+
+  // Ranks that land in a single-width bucket (0 or 1) are exact even with
+  // a mixed population: 0, 1, 1000 → the median is exactly 1.
+  obs::Histogram Mixed;
+  for (uint64_t V : {0ull, 1ull, 1000ull})
+    Mixed.observe(V);
+  EXPECT_EQ(Mixed.approxQuantile(0.5), 1.0);
+  EXPECT_EQ(Mixed.approxQuantile(0.0), 0.0);
+  EXPECT_EQ(Mixed.approxQuantile(1.0), 1000.0);
+}
+
+TEST(MetricsTest, ApproxQuantileInterpolatesWithinBucket) {
+  // Two values in bucket 4 (range [8,15]): rank 1 of 2 interpolates to the
+  // bucket midpoint 8 + (1/2)*(15-8) = 11.5; rank 2 reaches the top, which
+  // the max-clamp pins to the observed 15.
+  obs::Histogram H;
+  H.observe(8);
+  H.observe(15);
+  EXPECT_DOUBLE_EQ(H.approxQuantile(0.5), 11.5);
+  EXPECT_DOUBLE_EQ(H.approxQuantile(1.0), 15.0);
+  // The min-clamp keeps low quantiles at or above the observed minimum.
+  EXPECT_GE(H.approxQuantile(0.01), 8.0);
+}
+
+TEST(MetricsTest, SnapshotsCarryQuantiles) {
+  obs::Registry Reg;
+  obs::Histogram &H = Reg.histogram("q.micros");
+  for (int I = 0; I < 50; ++I)
+    H.observe(64);
+  std::optional<json::Value> V = json::parse(Reg.jsonSnapshot());
+  ASSERT_TRUE(V.has_value()) << Reg.jsonSnapshot();
+  const json::Value *HJ = V->find("histograms")->find("q.micros");
+  ASSERT_NE(HJ, nullptr);
+  EXPECT_EQ(HJ->getNumber("p50"), 64.0);
+  EXPECT_EQ(HJ->getNumber("p95"), 64.0);
+  EXPECT_EQ(HJ->getNumber("p99"), 64.0);
+
+  obs::Registry::SnapshotData S = Reg.snapshotData();
+  ASSERT_EQ(S.Histograms.size(), 1u);
+  EXPECT_EQ(S.Histograms[0].first, "q.micros");
+  EXPECT_EQ(S.Histograms[0].second.Count, 50u);
+  EXPECT_EQ(S.Histograms[0].second.P50, 64.0);
+  EXPECT_EQ(S.Histograms[0].second.P99, 64.0);
+}
+
 //===----------------------------------------------------------------------===//
 // Span tracing
 //===----------------------------------------------------------------------===//
@@ -323,6 +394,66 @@ TEST(TracerTest, FlushWritesJsonlFile) {
   EXPECT_EQ(Phase->getNumber("dur"), 2.0);
   EXPECT_NE(findEvent(Events, "tick"), nullptr);
   std::remove(Path.c_str());
+}
+
+TEST(TracerTest, BoundedBuffersCountDroppedEvents) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.exportJsonl();
+  size_t DefaultCap = T.maxEventsPerThread();
+  uint64_t DroppedBefore =
+      obs::Registry::global().counterValue("obs.trace.dropped");
+
+  T.setMaxEventsPerThread(4);
+  T.enable();
+  for (int I = 0; I < 10; ++I)
+    obs::instant("overflow", "test");
+  T.disable();
+  T.setMaxEventsPerThread(DefaultCap);
+
+  EXPECT_EQ(T.eventCount(), 4u);
+  EXPECT_EQ(obs::Registry::global().counterValue("obs.trace.dropped"),
+            DroppedBefore + 6);
+
+  // The surviving events are intact and the buffer drains normally.
+  std::vector<json::Value> Events = parseLines(T.exportJsonl());
+  EXPECT_EQ(Events.size(), 4u);
+  for (const json::Value &E : Events)
+    EXPECT_EQ(E.getString("name"), "overflow");
+}
+
+TEST(TracerTest, SidPsidLinkTheSpanHierarchy) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.exportJsonl();
+  T.enable();
+  {
+    obs::Span Outer("h.outer", "test");
+    {
+      obs::Span Inner("h.inner", "test");
+      obs::instant("h.mark", "test");
+    }
+  }
+  T.disable();
+
+  std::vector<json::Value> Events = parseLines(T.exportJsonl());
+  ASSERT_EQ(Events.size(), 3u);
+  const json::Value *Outer = findEvent(Events, "h.outer");
+  const json::Value *Inner = findEvent(Events, "h.inner");
+  const json::Value *Mark = findEvent(Events, "h.mark");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  ASSERT_NE(Mark, nullptr);
+
+  // Every complete event names itself; roots have no psid field at all.
+  double OuterSid = Outer->getNumber("sid");
+  double InnerSid = Inner->getNumber("sid");
+  EXPECT_GT(OuterSid, 0.0);
+  EXPECT_GT(InnerSid, 0.0);
+  EXPECT_NE(OuterSid, InnerSid);
+  EXPECT_EQ(Outer->find("psid"), nullptr);
+
+  // The child points at its parent, and the instant at its enclosing span.
+  EXPECT_EQ(Inner->getNumber("psid"), OuterSid);
+  EXPECT_EQ(Mark->getNumber("psid"), InnerSid);
 }
 
 //===----------------------------------------------------------------------===//
@@ -483,6 +614,254 @@ TEST(ObservabilityTest, BatchRunnerTraceCoversPipeline) {
   // The private registry saw the batch too.
   EXPECT_EQ(Reg.counterValue("runtime.sessions"), Reqs.size());
   EXPECT_EQ(Reg.histogram("runtime.queue_wait.micros").count(), Reqs.size());
+}
+
+TEST(ObservabilityTest, FlowsLinkEnqueueToWorkerAcrossThreads) {
+  obs::Tracer &T = obs::Tracer::global();
+  T.exportJsonl();
+  T.enable();
+
+  obs::Registry Reg;
+  auto Ctx = std::make_shared<RuntimeContext>(&Reg);
+  BatchRunner Runner(Ctx, {3});
+  std::vector<SessionRequest> Reqs = smallWorkload(5);
+  std::vector<SessionResult> Rs = Runner.run(Reqs);
+  T.disable();
+  ASSERT_EQ(Rs.size(), Reqs.size());
+
+  // Collect flow events ('s' start at enqueue, 't' step at pickup, 'f'
+  // finish inside the session) keyed by flow id.
+  struct Flow {
+    double StartTid = -1, StepTid = -1, FinishTid = -1;
+  };
+  std::map<double, Flow> Flows;
+  std::vector<json::Value> Events = parseLines(T.exportJsonl());
+  for (const json::Value &E : Events) {
+    if (E.getString("name") != "session.flow")
+      continue;
+    Flow &F = Flows[E.getNumber("id")];
+    std::string Ph = E.getString("ph");
+    if (Ph == "s")
+      F.StartTid = E.getNumber("tid");
+    else if (Ph == "t")
+      F.StepTid = E.getNumber("tid");
+    else if (Ph == "f") {
+      F.FinishTid = E.getNumber("tid");
+      // Finish events bind to the enclosing session slice.
+      EXPECT_EQ(E.getString("bp"), "e");
+    }
+  }
+
+  // One complete flow per request, each crossing from the enqueuing
+  // thread to a worker (the enqueuing thread never runs sessions).
+  ASSERT_EQ(Flows.size(), Reqs.size());
+  for (const auto &[Id, F] : Flows) {
+    EXPECT_GT(Id, 0.0);
+    EXPECT_GE(F.StartTid, 0.0) << "flow " << Id << " missing 's'";
+    EXPECT_GE(F.StepTid, 0.0) << "flow " << Id << " missing 't'";
+    EXPECT_GE(F.FinishTid, 0.0) << "flow " << Id << " missing 'f'";
+    EXPECT_NE(F.StartTid, F.FinishTid) << "flow " << Id << " never crossed";
+    EXPECT_EQ(F.StepTid, F.FinishTid) << "pickup and run on one worker";
+  }
+
+  // Session spans carry their flow id as an arg, matching a seen flow.
+  for (const json::Value &E : Events) {
+    if (E.getString("name") != "session")
+      continue;
+    const json::Value *Args = E.find("args");
+    ASSERT_NE(Args, nullptr);
+    EXPECT_TRUE(Flows.count(Args->getNumber("flow")));
+  }
+}
+
+TEST(ObservabilityTest, CacheGaugesTrackOccupancy) {
+  obs::Registry Reg;
+  RuntimeContext Ctx(&Reg);
+  for (const SessionRequest &R : smallWorkload(6)) {
+    SessionResult Res = runSession(Ctx, R);
+    ASSERT_TRUE(Res.Prepared) << Res.Message;
+  }
+
+  // Caches never evict, so entry gauges equal the miss counters (every
+  // miss inserts exactly one entry), and each entry banked some bytes.
+  RuntimeStats S = Ctx.stats();
+  struct {
+    const char *Name;
+    uint64_t Misses;
+  } Caches[] = {{"program", S.ProgramMisses},
+                {"transform", S.TransformMisses},
+                {"sdg", S.SdgMisses},
+                {"slice", S.SliceMisses}};
+  for (const auto &C : Caches) {
+    std::string Base = std::string("runtime.cache.") + C.Name;
+    EXPECT_EQ(static_cast<uint64_t>(Reg.gaugeValue(Base + ".entries")),
+              C.Misses)
+        << Base;
+    EXPECT_GT(Reg.gaugeValue(Base + ".bytes"), 0) << Base;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: profiler, log and exporter raced from many threads. These
+// run under TSan in CI; the assertions here are deliberately structural
+// (counts and formats), the sanitizer checks the memory model.
+//===----------------------------------------------------------------------===//
+
+TEST(ObsConcurrencyTest, ProfilerStartStopRacesSpanTraffic) {
+  obs::Profiler P;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Workers;
+  for (int W = 0; W < 4; ++W)
+    Workers.emplace_back([&Stop] {
+      while (!Stop.load(std::memory_order_relaxed)) {
+        obs::Span Outer("conc.outer", "test");
+        obs::Span Inner("conc.inner", "test");
+      }
+    });
+
+  // Cycle the sampler against live span traffic.
+  for (int Cycle = 0; Cycle < 3; ++Cycle) {
+    P.start(2000);
+    EXPECT_TRUE(P.isRunning());
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    P.stop();
+    EXPECT_FALSE(P.isRunning());
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  for (std::thread &W : Workers)
+    W.join();
+
+  // Every attributed sample appears in the collapsed profile, every line
+  // of which is "span;path count".
+  uint64_t InProfile = 0;
+  std::istringstream In(P.collapsed());
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    EXPECT_EQ(Line.find("conc.outer"), 0u) << Line;
+    InProfile += std::strtoull(Line.c_str() + Space + 1, nullptr, 10);
+  }
+  EXPECT_EQ(InProfile, P.sampleCount());
+
+  // The JSON form parses and agrees on the totals.
+  std::optional<json::Value> V = json::parse(P.jsonProfile());
+  ASSERT_TRUE(V.has_value()) << P.jsonProfile();
+  EXPECT_EQ(V->getNumber("samples"),
+            static_cast<double>(P.sampleCount()));
+
+  // clear() refuses while running, works when stopped.
+  P.clear();
+  EXPECT_EQ(P.sampleCount(), 0u);
+  EXPECT_EQ(P.collapsed(), "");
+}
+
+TEST(ObsConcurrencyTest, LogManyThreads) {
+  obs::Log L;
+  L.enable(obs::LogLevel::Debug);
+  constexpr int NumThreads = 8, PerThread = 250;
+  std::vector<std::thread> Writers;
+  for (int W = 0; W < NumThreads; ++W)
+    Writers.emplace_back([&L, W] {
+      for (int I = 0; I < PerThread; ++I)
+        L.write(obs::LogLevel::Info, "conc", "message",
+                {{"writer", std::to_string(W), /*Quote=*/false},
+                 {"i", std::to_string(I), /*Quote=*/false}});
+    });
+  for (std::thread &W : Writers)
+    W.join();
+  L.disable();
+
+  EXPECT_EQ(L.recordCount(),
+            static_cast<uint64_t>(NumThreads * PerThread));
+  std::vector<json::Value> Records = parseLines(L.drain());
+  ASSERT_EQ(Records.size(), static_cast<size_t>(NumThreads * PerThread));
+
+  // Each record is complete: every (writer, i) pair arrived exactly once.
+  std::set<std::pair<int, int>> Seen;
+  for (const json::Value &R : Records) {
+    EXPECT_EQ(R.getString("level"), "info");
+    EXPECT_EQ(R.getString("component"), "conc");
+    EXPECT_EQ(R.getString("msg"), "message");
+    const json::Value *F = R.find("fields");
+    ASSERT_NE(F, nullptr);
+    Seen.insert({static_cast<int>(F->getNumber("writer")),
+                 static_cast<int>(F->getNumber("i"))});
+  }
+  EXPECT_EQ(Seen.size(), static_cast<size_t>(NumThreads * PerThread));
+}
+
+TEST(ObsConcurrencyTest, ExporterFlushRacesIncrements) {
+  obs::Counter &C = obs::Registry::global().counter("conc.exporter.races");
+  uint64_t Before = C.value();
+
+  obs::Exporter E; // no path: flushNow() renders in memory only
+  std::atomic<bool> Stop{false};
+  std::thread Flusher([&E, &Stop] {
+    while (!Stop.load(std::memory_order_relaxed))
+      E.flushNow();
+  });
+  constexpr int NumThreads = 4, PerThread = 20000;
+  std::vector<std::thread> Bumpers;
+  for (int W = 0; W < NumThreads; ++W)
+    Bumpers.emplace_back([&C] {
+      for (int I = 0; I < PerThread; ++I)
+        C.add();
+    });
+  for (std::thread &W : Bumpers)
+    W.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Flusher.join();
+
+  // No increment was lost and flushes really happened.
+  EXPECT_EQ(C.value(), Before + NumThreads * PerThread);
+  EXPECT_GT(E.flushCount(), 0u);
+
+  // The final exposition carries the settled value.
+  std::string Prom = obs::Exporter::prometheusText();
+  std::string Want = "gadt_conc_exporter_races " +
+                     std::to_string(Before + NumThreads * PerThread) + "\n";
+  EXPECT_NE(Prom.find(Want), std::string::npos) << Prom;
+  EXPECT_NE(Prom.find("# TYPE gadt_conc_exporter_races counter"),
+            std::string::npos);
+}
+
+TEST(ObsConcurrencyTest, ExporterPeriodicSeriesAndProm) {
+  std::string Path = ::testing::TempDir() + "gadt_obs_exporter_test.jsonl";
+  obs::Registry::global().counter("conc.exporter.series").add(3);
+  obs::Exporter E;
+  E.start(Path, 10);
+  EXPECT_TRUE(E.isRunning());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  E.stop(); // final flush + .prom exposition
+  EXPECT_FALSE(E.isRunning());
+
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::string Content((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+  std::vector<json::Value> Ticks = parseLines(Content);
+  ASSERT_FALSE(Ticks.empty());
+  for (const json::Value &Tick : Ticks) {
+    EXPECT_NE(Tick.find("ts"), nullptr);
+    const json::Value *Counters = Tick.find("counters");
+    ASSERT_NE(Counters, nullptr);
+    const json::Value *C = Counters->find("conc.exporter.series");
+    ASSERT_NE(C, nullptr);
+    EXPECT_GE(C->getNumber("total"), 3.0);
+  }
+  // First tick's delta equals its total (the series starts from zero).
+  const json::Value *First =
+      Ticks.front().find("counters")->find("conc.exporter.series");
+  EXPECT_EQ(First->getNumber("delta"), First->getNumber("total"));
+
+  std::ifstream PromIn(Path + ".prom");
+  ASSERT_TRUE(PromIn.good());
+  std::string Prom((std::istreambuf_iterator<char>(PromIn)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(Prom.find("gadt_conc_exporter_series"), std::string::npos);
+  std::remove(Path.c_str());
+  std::remove((Path + ".prom").c_str());
 }
 
 } // namespace
