@@ -16,6 +16,10 @@ Options:
                        the same file before comparing. This cancels the
                        absolute speed of the machine, which makes a committed
                        baseline meaningful on different hardware (CI).
+  --geomean            Append a summary row with the geometric mean of the
+                       gated ratios (the single number to quote for a
+                       many-benchmark comparison; unlike the arithmetic
+                       mean it is symmetric in speedups and slowdowns).
 
 Accepted file shapes:
   * a raw perf_micro export: {"bench": "perf_micro", "results": [...]}
@@ -27,6 +31,7 @@ Exit status: 0 when no gated benchmark regressed past the threshold,
 
 import argparse
 import json
+import math
 import re
 import sys
 
@@ -56,6 +61,7 @@ def main():
     ap.add_argument("--filter", default=None)
     ap.add_argument("--metric", default="cpu_ns")
     ap.add_argument("--normalize", default=None)
+    ap.add_argument("--geomean", action="store_true")
     args = ap.parse_args()
 
     base = load_results(args.baseline, args.metric)
@@ -79,20 +85,31 @@ def main():
     print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
           f"{'ratio':>7}  verdict   [{args.metric}, {unit}]")
     failed = []
+    gated_ratios = []
     for name in common:
         ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
         gated = gate is None or gate.search(name)
         if not gated:
             verdict = "info"
-        elif ratio > args.max_regression:
-            verdict = "REGRESSED"
-            failed.append(name)
-        elif ratio < 1 / args.max_regression:
-            verdict = "improved"
         else:
-            verdict = "ok"
+            gated_ratios.append(ratio)
+            if ratio > args.max_regression:
+                verdict = "REGRESSED"
+                failed.append(name)
+            elif ratio < 1 / args.max_regression:
+                verdict = "improved"
+            else:
+                verdict = "ok"
         print(f"{name:<{width}}  {base[name]:>12.1f}  {cur[name]:>12.1f}  "
               f"{ratio:>6.2f}x  {verdict}")
+
+    if args.geomean and gated_ratios:
+        finite = [r for r in gated_ratios if 0 < r < float("inf")]
+        if finite:
+            gm = math.exp(sum(math.log(r) for r in finite) / len(finite))
+            label = "geomean (gated)"
+            print(f"{label:<{width}}  {'':>12}  {'':>12}  {gm:>6.2f}x  "
+                  f"over {len(finite)} benchmark(s)")
 
     only_base = sorted(set(base) - set(cur))
     only_cur = sorted(set(cur) - set(base))

@@ -15,11 +15,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/SDG.h"
+#include "bytecode/Bytecode.h"
 #include "core/Debugger.h"
+#include "core/GADT.h"
 #include "interp/Interpreter.h"
 #include "obs/Log.h"
 #include "obs/Trace.h"
 #include "pascal/Frontend.h"
+#include "runtime/RuntimeContext.h"
 #include "slicing/DynamicSlicer.h"
 #include "slicing/StaticSlicer.h"
 #include "slicing/TreePruner.h"
@@ -182,6 +185,103 @@ void BM_TraceSyntheticLoopsItersDeps(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TraceSyntheticLoopsItersDeps);
+
+//===--------------------------------------------------------------------===//
+// Execution-tier benchmarks (X12): the bytecode VM against the tree
+// walker on the dependence-tracking hot path. The interpreter is
+// constructed ONCE outside the timing loop, so bytecode compilation is
+// excluded and the numbers isolate execution. GADT_EXEC_TIER switches the
+// tier for A/B captures (see EXPERIMENTS.md X12 and compare_bench.py).
+//===--------------------------------------------------------------------===//
+
+/// Dependence tracking down a deep call chain, warm interpreter: DepSet
+/// merges, pooled cell stores and unit events with no listener attached.
+void BM_TrackDepsChain(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::chainProgram(static_cast<unsigned>(State.range(0)), 1)
+          .Fixed);
+  interp::InterpOptions Opts;
+  Opts.TrackDeps = true;
+  interp::Interpreter I(*Prog, Opts);
+  for (auto _ : State) {
+    auto R = I.run();
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_TrackDepsChain)->Range(8, 256)->Complexity();
+
+/// Dependence tracking over the loop-heavy synthetic subject, warm
+/// interpreter — loop control flow rather than call depth.
+void BM_TrackDepsSynthetic(benchmark::State &State) {
+  auto Prog = compileOrDie(syntheticSubject().Fixed);
+  interp::InterpOptions Opts;
+  Opts.TrackDeps = true;
+  interp::Interpreter I(*Prog, Opts);
+  for (auto _ : State) {
+    auto R = I.run();
+    benchmark::DoNotOptimize(R.Ok);
+  }
+}
+BENCHMARK(BM_TrackDepsSynthetic);
+
+/// Plain execution (no dependence tracking, no listener) with a warm
+/// interpreter: the floor the dispatch loop itself sets.
+void BM_TrackDepsOffChain(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::chainProgram(static_cast<unsigned>(State.range(0)), 1)
+          .Fixed);
+  interp::Interpreter I(*Prog);
+  for (auto _ : State) {
+    auto R = I.run();
+    benchmark::DoNotOptimize(R.Ok);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_TrackDepsOffChain)->Range(8, 256)->Complexity();
+
+/// Bytecode compilation cost on the chain — what the RuntimeContext code
+/// cache amortizes away (one compile serves every session of a subject).
+void BM_BytecodeCompileChain(benchmark::State &State) {
+  auto Prog = compileOrDie(
+      workload::chainProgram(static_cast<unsigned>(State.range(0)), 1)
+          .Fixed);
+  for (auto _ : State) {
+    auto Code = bytecode::compile(*Prog, /*Checked=*/false);
+    benchmark::DoNotOptimize(Code);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_BytecodeCompileChain)->Range(8, 256)->Complexity();
+
+/// Serial batch-session proxy in the compare_bench schema: warm
+/// RuntimeContext (program/transform/code caches hit), one full debug
+/// session per subject per iteration. The parallel version lives in
+/// bench/batch_throughput.cpp; this serial proxy is the per-session cost
+/// the A/B gate watches.
+void BM_BatchThroughputSerial(benchmark::State &State) {
+  std::vector<std::string> Sources = {
+      workload::Figure4Buggy, workload::Figure4Fixed,
+      workload::chainProgram(32, 1).Fixed, syntheticSubject().Fixed};
+  obs::Registry Reg;
+  runtime::RuntimeContext Ctx(&Reg);
+  core::GADTOptions Opts;
+  core::LambdaOracle O(
+      [](const trace::ExecNode &) {
+        return core::Judgement::correct("bench");
+      },
+      "bench");
+  for (auto _ : State) {
+    for (const std::string &Src : Sources) {
+      DiagnosticsEngine Diags;
+      auto Artifacts = Ctx.prepare(Src, Opts, Diags);
+      core::GADTSession S(Artifacts, Opts, Diags);
+      auto R = S.debug(O, {});
+      benchmark::DoNotOptimize(R.Found);
+    }
+  }
+}
+BENCHMARK(BM_BatchThroughputSerial);
 
 void BM_TransformGotoProgram(benchmark::State &State) {
   auto Prog = compileOrDie(workload::Section6GlobalGoto);

@@ -1,0 +1,221 @@
+//===- Bytecode.h - Slot-addressed register bytecode ------------*- C++ -*-===//
+//
+// Part of the GADT project (PLDI'91 GADT reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiled form of a Pascal-subset program: flat, slot-addressed
+/// register bytecode executed by bytecode/VM.cpp under the same tracing
+/// substrate (interp/ExecState.h) as the tree walker.
+///
+/// Design notes (see DESIGN.md "Execution tiers"):
+///
+///  - *Fused operands.* Every value-consuming instruction field is a 16-bit
+///    operand that addresses a register, a frame cell ((hops, slot) in the
+///    static-link chain — PR 3's storage layout), or a constant-pool entry.
+///    Fetching a cell operand performs the same observeRead the tree
+///    walker's VarRef evaluation would, so dynamic input sets and DepSet
+///    flows are identical; the compiler only fuses a cell operand where the
+///    fetch point coincides with the tree walker's evaluation order (it
+///    materializes the left operand into a register whenever the right
+///    operand's expression emits code of its own).
+///
+///  - *Events are opcodes.* Unit enter/exit, per-iteration control-dep
+///    pushes, step accounting and dependence merges are dedicated opcodes
+///    (Step, LoopEnter, IterBegin, ...) that call into the shared
+///    ExecState, so a bytecode execution raises the exact event sequence
+///    the tree walker raises — including on runtime failure, where the VM
+///    unwinds loop and call units in the same order the recursive walker's
+///    stack unwinding produces.
+///
+///  - *Fallback, not partiality.* The compiler either translates the whole
+///    program or reports it unsupported (non-local gotos, missing type
+///    annotations on hand-built ASTs, encoding overflows); the interpreter
+///    then runs the tree tier. There are no mixed-tier executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GADT_BYTECODE_BYTECODE_H
+#define GADT_BYTECODE_BYTECODE_H
+
+#include "interp/Value.h"
+#include "pascal/AST.h"
+#include "support/SourceLoc.h"
+#include "support/Symbols.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gadt {
+namespace bytecode {
+
+//===----------------------------------------------------------------------===//
+// Operand encoding
+//===----------------------------------------------------------------------===//
+
+/// A 16-bit operand: bits 15-14 select the addressing mode, the rest
+/// identify the register / (hops, slot) cell / constant.
+constexpr uint16_t OpModeMask = 0xC000;
+constexpr uint16_t OpReg = 0x0000;   ///< frame-relative register index
+constexpr uint16_t OpCell = 0x4000;  ///< bits 13-11 hops, bits 10-0 slot
+constexpr uint16_t OpConst = 0x8000; ///< constant-pool index
+
+constexpr unsigned CellHopsShift = 11;
+constexpr uint16_t CellSlotMask = 0x07FF;
+constexpr unsigned MaxCellHops = 7;
+constexpr uint16_t MaxSlot = CellSlotMask;
+constexpr uint16_t MaxRegOrConst = 0x3FFF;
+
+/// "No destination register" marker (procedure-statement calls).
+constexpr uint16_t NoDest = 0xFFFF;
+
+inline uint16_t makeRegOperand(uint16_t R) { return OpReg | R; }
+inline uint16_t makeCellOperand(unsigned Hops, unsigned Slot) {
+  return static_cast<uint16_t>(OpCell | (Hops << CellHopsShift) | Slot);
+}
+inline uint16_t makeConstOperand(uint16_t Idx) { return OpConst | Idx; }
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+enum class Op : uint16_t {
+  // Bookkeeping.
+  Step,        ///< countStep; Aux = debug index (statement location)
+  // Data movement.
+  Load,        ///< reg[A] = fetch(B)
+  LoadChecked, ///< reg[A] = cell(B) with use-before-assign check; Aux = dbg
+  Store,       ///< storeCell(cell(A), fetch(B))
+  LoadIdx,     ///< reg[A] = cell(B)[fetch(C)]; Aux = dbg
+  StoreIdx,    ///< cell(A)[fetch(B)] = fetch(C); Aux = dbg
+  ArrayLit,    ///< reg[A] = array of regs [B, B+C)
+  // Arithmetic / comparison / logic; A = dest reg, B/C operands.
+  Add, Sub, Mul,
+  DivOp,       ///< Aux = dbg (division-by-zero location)
+  ModOp,       ///< Aux = dbg
+  EqI, NeI, EqB, NeB, Lt, Le, Gt, Ge,
+  AndB, OrB,
+  NotB,        ///< reg[A] = !fetch(B)
+  NegI,        ///< reg[A] = -fetch(B)
+  // Control flow.
+  Jmp,         ///< pc = Aux
+  IfBr,        ///< pushCtrl(fetch(A).deps); if (!bool) pc = Aux
+  PopCtrl,
+  // Loop units. Aux = loop index for *Enter/Begin/Prep/Iter, else a target.
+  LoopEnter,   ///< push loop state + enter loop unit
+  WhileTest,   ///< accumulate fetch(A).deps; if (!bool) pc = Aux
+  IterBegin,   ///< ++iter, step, enter iteration unit, pushCtrl(accum)
+  IterEnd,     ///< popCtrl, exit iteration unit, pc = Aux
+  RepeatTest,  ///< accumulate fetch(A).deps; if (!bool) pc = Aux (loop again)
+  ForPrep,     ///< bind loop var cell, bounds from fetch(A)/fetch(B), pushCtrl
+  ForTest,     ///< if (loop var out of range) pc = Aux
+  ForIter,     ///< ++iter, step, store loop var, enter iteration unit
+  ForEnd,      ///< exit iteration unit, advance loop var, pc = Aux
+  LoopExit,    ///< exit loop unit, pop loop state (while/repeat)
+  ForExit,     ///< popCtrl, exit loop unit, pop loop state
+  // Calls.
+  CallGuard,   ///< fail if the call-depth limit is hit; Aux = dbg. Emitted
+               ///< before argument evaluation — the tree walker refuses a
+               ///< too-deep call before evaluating its arguments.
+  Call,        ///< invoke Sites[Aux]; A = dest reg or NoDest
+  Ret,
+  // I/O.
+  ReadFetch,   ///< reg[A] = next program input; Aux = dbg
+  WriteVal,    ///< append fetch(A) to the output text
+  WriteNl,     ///< append '\n'
+};
+
+struct Instr {
+  Op Code;
+  uint16_t A = 0;
+  uint16_t B = 0;
+  uint16_t C = 0;
+  uint32_t Aux = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Side tables
+//===----------------------------------------------------------------------===//
+
+/// Location/name payload for instructions that can raise runtime errors.
+/// Deduplicated; errors are cold, so this stays out of the Instr encoding.
+struct DebugInfo {
+  SourceLoc Loc;
+  std::string Name; ///< variable name for unset/bounds messages
+  bool InRead = false; ///< bounds message variant for read statements
+};
+
+/// One call site, fully resolved at compile time.
+struct ArgDesc {
+  bool IsRef = false;
+  /// Ref: cell operand for the caller-side variable. Value: register
+  /// (caller frame) holding the evaluated argument.
+  uint16_t Operand = 0;
+  const pascal::VarDecl *Param = nullptr;
+  support::Symbol Name; ///< interned parameter name (entry-input bindings)
+};
+
+struct CallSiteInfo {
+  const pascal::RoutineDecl *Callee = nullptr;
+  uint32_t RoutineIdx = 0;
+  /// Static-link hops from the caller's activation; -1 = no static parent.
+  int32_t LinkHops = -1;
+  const pascal::Stmt *CallStmt = nullptr;
+  const pascal::Expr *CallExpr = nullptr;
+  SourceLoc Loc;
+  /// Argument descriptors live in CompiledProgram::ArgPool, rows
+  /// [ArgStart, ArgStart + ArgCount) — one flat allocation for the whole
+  /// program instead of a heap vector per site.
+  uint32_t ArgStart = 0;
+  uint32_t ArgCount = 0;
+};
+
+/// One compiled loop statement.
+struct LoopInfo {
+  enum class Kind : uint8_t { While, Repeat, For } K = Kind::While;
+  const pascal::Stmt *Stmt = nullptr;
+  support::Symbol UnitName;
+  SourceLoc Loc;
+  bool Down = false;        ///< for-loops: downto
+  uint16_t VarOperand = 0;  ///< for-loops: loop-variable cell operand
+};
+
+struct CompiledRoutine {
+  const pascal::RoutineDecl *Routine = nullptr;
+  std::vector<Instr> Code;
+  uint32_t NumRegs = 0;
+};
+
+/// A whole compiled program. Immutable after compilation; safe to share
+/// across threads and cache per program fingerprint. References the AST it
+/// was compiled from — the program must outlive it.
+struct CompiledProgram {
+  const pascal::Program *Prog = nullptr;
+  /// Compiled with use-before-assign checking (InterpOptions::
+  /// DetectUninitialized); codegen differs, so checked and unchecked runs
+  /// need separate compilations.
+  bool Checked = false;
+  std::vector<CompiledRoutine> Routines; ///< [0] = the main program
+  std::vector<interp::Value> Consts;
+  std::vector<CallSiteInfo> Sites;
+  std::vector<ArgDesc> ArgPool; ///< flat storage indexed by CallSiteInfo
+  std::vector<LoopInfo> Loops;
+  std::vector<DebugInfo> Debug;
+
+  /// Rough retained-size estimate for cache occupancy gauges.
+  size_t memoryBytes() const;
+};
+
+/// Compiles \p P (which must have storage slots assigned) to bytecode.
+/// Returns null when the program uses a construct the bytecode tier does
+/// not support; \p WhyNot (optional) receives the first reason.
+std::shared_ptr<const CompiledProgram>
+compile(const pascal::Program &P, bool Checked, std::string *WhyNot = nullptr);
+
+} // namespace bytecode
+} // namespace gadt
+
+#endif // GADT_BYTECODE_BYTECODE_H

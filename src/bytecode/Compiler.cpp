@@ -1,0 +1,727 @@
+//===- Compiler.cpp - AST -> register bytecode ----------------------------===//
+//
+// Translates a storage-slotted pascal::Program into the flat register form
+// of Bytecode.h. The hard requirement is *event equivalence* with the tree
+// walker: every cell read/write, dependence merge, unit event and step must
+// happen in the same order. Two rules carry that burden:
+//
+//  1. Code for subexpressions is emitted in the tree walker's evaluation
+//     order (left before right, value before index in assignments, bounds
+//     before body in for loops).
+//
+//  2. A cell operand may only be fused into a consuming instruction when no
+//     code runs between the tree walker's read point and the instruction.
+//     Concretely: for a binary node, if the right operand's expression
+//     emits instructions, the left operand is first materialized into a
+//     register (Op::Load performs its read at the correct point); purely
+//     operand-shaped right-hand sides (registers, cells, constants) fetch
+//     inside the consuming instruction, in left-to-right order.
+//
+// Unsupported constructs (gotos/labels, ASTs without Sema type annotations,
+// encoding overflows) reject the whole program — the interpreter then runs
+// the tree tier. Rejection is per-program, never per-routine: mixed-tier
+// executions would make the event streams impossible to reason about.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+
+#include "support/Casting.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace gadt;
+using namespace gadt::bytecode;
+using namespace gadt::pascal;
+
+size_t CompiledProgram::memoryBytes() const {
+  size_t Bytes = sizeof(CompiledProgram);
+  for (const CompiledRoutine &R : Routines)
+    Bytes += sizeof(CompiledRoutine) + R.Code.size() * sizeof(Instr);
+  Bytes += Consts.size() * sizeof(interp::Value);
+  Bytes += Sites.size() * sizeof(CallSiteInfo);
+  Bytes += ArgPool.size() * sizeof(ArgDesc);
+  Bytes += Loops.size() * sizeof(LoopInfo);
+  for (const DebugInfo &D : Debug)
+    Bytes += sizeof(DebugInfo) + D.Name.size();
+  return Bytes;
+}
+
+namespace {
+
+/// A compile-time operand: the encoded 16-bit field plus whether producing
+/// it emitted instructions (register results do; fused cells/consts don't).
+struct COperand {
+  uint16_t Enc = 0;
+  bool IsReg = false;
+};
+
+class Compiler {
+public:
+  Compiler(const Program &P, bool Checked)
+      : Prog(P), Checked(Checked) {}
+
+  std::shared_ptr<const CompiledProgram> run(std::string *WhyNot) {
+    auto CP = std::make_shared<CompiledProgram>();
+    Out = CP.get();
+    Out->Prog = &Prog;
+    Out->Checked = Checked;
+    if (!Prog.areSlotsAssigned())
+      bail("program has no storage slots");
+    // Pre-size the hash tables: incremental rehashing shows up in compile
+    // profiles, and compile latency is the cold-start cost of this tier.
+    RoutineIdx.reserve(64);
+    ScalarConsts.reserve(64);
+    indexRoutines(Prog.getMain());
+    for (size_t I = 0; I != RoutineList.size() && Ok; ++I)
+      compileRoutine(I);
+    if (!Ok) {
+      if (WhyNot)
+        *WhyNot = Why;
+      return nullptr;
+    }
+    return CP;
+  }
+
+private:
+  const Program &Prog;
+  bool Checked;
+  CompiledProgram *Out = nullptr;
+
+  bool Ok = true;
+  std::string Why;
+
+  std::vector<const RoutineDecl *> RoutineList;
+  std::unordered_map<const RoutineDecl *, uint32_t> RoutineIdx;
+
+  // Per-routine compile state.
+  const RoutineDecl *Cur = nullptr;
+  std::vector<Instr> Code;
+  uint16_t RegTop = 0;
+  uint32_t NumRegs = 0;
+
+  // Constant pools with dedup. The debug table is append-only: a dedup map
+  // keyed on (loc, name) costs more at compile time than the duplicate
+  // entries cost in memory, and compile latency is what a cold Interpreter
+  // construction pays before its first run.
+  std::unordered_map<uint64_t, uint16_t> ScalarConsts;
+  std::map<std::string, uint16_t> StrConsts;
+  /// Staging area for call-site argument descriptors. Nested calls in
+  /// argument position stage and flush in strict stack discipline, so one
+  /// shared vector (saved/restored by high-water mark) replaces a heap
+  /// allocation per call site.
+  std::vector<ArgDesc> ArgScratch;
+
+  void bail(std::string Reason) {
+    if (Ok) {
+      Ok = false;
+      Why = std::move(Reason);
+    }
+  }
+
+  void indexRoutines(const RoutineDecl *R) {
+    RoutineIdx[R] = static_cast<uint32_t>(RoutineList.size());
+    RoutineList.push_back(R);
+    for (const auto &N : R->getNested())
+      indexRoutines(N.get());
+  }
+
+  //===------------------------------------------------------------------===//
+  // Emission helpers
+  //===------------------------------------------------------------------===//
+
+  uint32_t emit(Op O, uint16_t A = 0, uint16_t B = 0, uint16_t C = 0,
+                uint32_t Aux = 0) {
+    Code.push_back({O, A, B, C, Aux});
+    return static_cast<uint32_t>(Code.size() - 1);
+  }
+
+  uint32_t here() const { return static_cast<uint32_t>(Code.size()); }
+  void patch(uint32_t At, uint32_t Target) { Code[At].Aux = Target; }
+
+  uint16_t allocReg() {
+    if (RegTop > MaxRegOrConst) {
+      bail("register file overflow");
+      return 0;
+    }
+    uint16_t R = RegTop++;
+    if (RegTop > NumRegs)
+      NumRegs = RegTop;
+    return R;
+  }
+
+  uint32_t dbg(SourceLoc Loc, std::string Name = "", bool InRead = false) {
+    uint32_t Idx = static_cast<uint32_t>(Out->Debug.size());
+    Out->Debug.push_back({Loc, std::move(Name), InRead});
+    return Idx;
+  }
+
+  /// KindTag 0 = integer, 1 = boolean. The pooled Value is only built on a
+  /// dedup miss — literals repeat, and Value construction is not free. The
+  /// dedup key packs (payload, tag) injectively into 64 bits (tag is one
+  /// bit wide; the shift wraps, which is fine for a hash-map key).
+  uint16_t constIdx(int KindTag, int64_t Payload) {
+    uint64_t Key = (static_cast<uint64_t>(Payload) << 1) |
+                   static_cast<uint64_t>(KindTag);
+    auto It = ScalarConsts.find(Key);
+    if (It != ScalarConsts.end())
+      return It->second;
+    if (Out->Consts.size() > MaxRegOrConst) {
+      bail("constant pool overflow");
+      return 0;
+    }
+    uint16_t Idx = static_cast<uint16_t>(Out->Consts.size());
+    Out->Consts.push_back(KindTag == 0 ? interp::Value::makeInt(Payload)
+                                       : interp::Value::makeBool(Payload != 0));
+    ScalarConsts.emplace(Key, Idx);
+    return Idx;
+  }
+
+  uint16_t strConstIdx(const std::string &S) {
+    auto It = StrConsts.find(S);
+    if (It != StrConsts.end())
+      return It->second;
+    if (Out->Consts.size() > MaxRegOrConst) {
+      bail("constant pool overflow");
+      return 0;
+    }
+    uint16_t Idx = static_cast<uint16_t>(Out->Consts.size());
+    Out->Consts.push_back(interp::Value::makeStr(S));
+    StrConsts.emplace(S, Idx);
+    return Idx;
+  }
+
+  /// Encodes direct frame addressing for \p D from the current routine.
+  uint16_t cellOperand(const VarDecl *D) {
+    uint32_t Hops = Cur->getStorageDepth() - D->getDepth();
+    if (Hops > MaxCellHops) {
+      bail("static nesting too deep for cell encoding");
+      return 0;
+    }
+    if (D->getSlot() > MaxSlot) {
+      bail("frame slot index too large for cell encoding");
+      return 0;
+    }
+    return makeCellOperand(Hops, D->getSlot());
+  }
+
+  //===------------------------------------------------------------------===//
+  // Expression compilation
+  //===------------------------------------------------------------------===//
+
+  /// Whether compiling \p E will emit instructions (as opposed to reducing
+  /// to a fused cell/const operand). Drives operand-order materialization.
+  bool emitsCode(const Expr *E) const {
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+    case Expr::Kind::BoolLiteral:
+    case Expr::Kind::StringLiteral:
+      return false;
+    case Expr::Kind::VarRef:
+      return Checked; // checked loads are explicit instructions
+    default:
+      return true;
+    }
+  }
+
+  /// Forces \p O into a register (no-op when it already is one). For cell
+  /// operands this emits the read at the current code position.
+  COperand materialize(COperand O, SourceLoc Loc, const std::string &Name) {
+    if (O.IsReg)
+      return O;
+    uint16_t R = allocReg();
+    (void)Loc;
+    (void)Name;
+    emit(Op::Load, R, O.Enc);
+    return {makeRegOperand(R), true};
+  }
+
+  /// Compiles \p E; the result is a fused operand or a register. Registers
+  /// are stack-allocated: the caller is responsible for restoring RegTop
+  /// once the consumers have been emitted.
+  COperand compileExpr(const Expr *E) {
+    if (!Ok)
+      return {};
+    switch (E->getKind()) {
+    case Expr::Kind::IntLiteral:
+      return {makeConstOperand(
+                  constIdx(0, cast<IntLiteralExpr>(E)->getValue())),
+              false};
+    case Expr::Kind::BoolLiteral:
+      return {makeConstOperand(
+                  constIdx(1, cast<BoolLiteralExpr>(E)->getValue() ? 1 : 0)),
+              false};
+    case Expr::Kind::StringLiteral:
+      return {makeConstOperand(
+                  strConstIdx(cast<StringLiteralExpr>(E)->getValue())),
+              false};
+
+    case Expr::Kind::VarRef: {
+      const auto *VR = cast<VarRefExpr>(E);
+      uint16_t Cell = cellOperand(VR->getDecl());
+      if (!Ok)
+        return {};
+      if (!Checked)
+        return {Cell, false};
+      // Strict mode: the read is an explicit, checked instruction.
+      uint16_t R = allocReg();
+      emit(Op::LoadChecked, R, Cell, 0, dbg(VR->getLoc(), VR->getName()));
+      return {makeRegOperand(R), true};
+    }
+
+    case Expr::Kind::Index: {
+      const auto *IE = cast<IndexExpr>(E);
+      const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
+      uint16_t Base = cellOperand(BaseRef->getDecl());
+      if (!Ok)
+        return {};
+      COperand Idx = compileExpr(IE->getIndex());
+      if (!Ok)
+        return {};
+      uint16_t R = Idx.IsReg ? static_cast<uint16_t>(Idx.Enc & ~OpModeMask)
+                             : allocReg();
+      emit(Op::LoadIdx, R, Base, Idx.Enc,
+           dbg(IE->getLoc(), BaseRef->getName()));
+      return {makeRegOperand(R), true};
+    }
+
+    case Expr::Kind::ArrayLiteral: {
+      const auto *AL = cast<ArrayLiteralExpr>(E);
+      if (AL->getElements().size() > MaxRegOrConst) {
+        bail("array literal too long");
+        return {};
+      }
+      uint16_t Base = RegTop;
+      for (const ExprPtr &Elem : AL->getElements()) {
+        uint16_t Slot = RegTop;
+        COperand O = compileExpr(Elem.get());
+        if (!Ok)
+          return {};
+        forceIntoReg(O, Slot);
+      }
+      RegTop = Base;
+      uint16_t R = allocReg();
+      emit(Op::ArrayLit, R, Base,
+           static_cast<uint16_t>(AL->getElements().size()));
+      return {makeRegOperand(R), true};
+    }
+
+    case Expr::Kind::Call: {
+      const auto *CE = cast<CallExpr>(E);
+      return compileCall(CE->getCallee(), CE->getArgs(), nullptr, CE,
+                         CE->getLoc(), /*WantResult=*/true);
+    }
+
+    case Expr::Kind::Unary: {
+      const auto *UE = cast<UnaryExpr>(E);
+      COperand V = compileExpr(UE->getOperand());
+      if (!Ok)
+        return {};
+      uint16_t R = V.IsReg ? static_cast<uint16_t>(V.Enc & ~OpModeMask)
+                           : allocReg();
+      emit(UE->getOp() == UnaryOp::Neg ? Op::NegI : Op::NotB, R, V.Enc);
+      return {makeRegOperand(R), true};
+    }
+
+    case Expr::Kind::Binary: {
+      const auto *BE = cast<BinaryExpr>(E);
+      uint16_t Watermark = RegTop;
+      COperand L = compileExpr(BE->getLHS());
+      if (!Ok)
+        return {};
+      // Rule 2 (file comment): keep the left read ahead of any right-hand
+      // code.
+      if (!L.IsReg && (L.Enc & OpModeMask) == OpCell &&
+          emitsCode(BE->getRHS()))
+        L = materialize(L, BE->getLoc(), "");
+      COperand R = compileExpr(BE->getRHS());
+      if (!Ok)
+        return {};
+      Op O;
+      switch (BE->getOp()) {
+      case BinaryOp::Add: O = Op::Add; break;
+      case BinaryOp::Sub: O = Op::Sub; break;
+      case BinaryOp::Mul: O = Op::Mul; break;
+      case BinaryOp::Div: O = Op::DivOp; break;
+      case BinaryOp::Mod: O = Op::ModOp; break;
+      case BinaryOp::Eq:
+      case BinaryOp::Ne: {
+        const Type *LTy = BE->getLHS()->getType();
+        if (!LTy) {
+          bail("expression without a type annotation");
+          return {};
+        }
+        bool IsB = LTy->isBoolean();
+        O = BE->getOp() == BinaryOp::Eq ? (IsB ? Op::EqB : Op::EqI)
+                                        : (IsB ? Op::NeB : Op::NeI);
+        break;
+      }
+      case BinaryOp::Lt: O = Op::Lt; break;
+      case BinaryOp::Le: O = Op::Le; break;
+      case BinaryOp::Gt: O = Op::Gt; break;
+      case BinaryOp::Ge: O = Op::Ge; break;
+      case BinaryOp::And: O = Op::AndB; break;
+      case BinaryOp::Or: O = Op::OrB; break;
+      }
+      RegTop = Watermark;
+      uint16_t Dest = allocReg();
+      uint32_t Aux = 0;
+      if (O == Op::DivOp || O == Op::ModOp)
+        Aux = dbg(BE->getLoc());
+      emit(O, Dest, L.Enc, R.Enc, Aux);
+      return {makeRegOperand(Dest), true};
+    }
+    }
+    bail("unknown expression kind");
+    return {};
+  }
+
+  /// Compiles \p E directly into register \p Slot (which must be the
+  /// current RegTop), for consumers that need contiguous registers.
+  void forceIntoReg(COperand O, uint16_t Slot) {
+    if (O.IsReg && (O.Enc & ~OpModeMask) == Slot) {
+      if (RegTop <= Slot)
+        RegTop = static_cast<uint16_t>(Slot + 1);
+      if (RegTop > NumRegs)
+        NumRegs = RegTop;
+      return;
+    }
+    RegTop = Slot;
+    uint16_t R = allocReg();
+    emit(Op::Load, R, O.Enc);
+  }
+
+  /// Compiles argument evaluation plus the Call instruction. Value
+  /// arguments are materialized into registers in parameter order (the
+  /// tree walker's evaluation order); reference arguments are resolved by
+  /// the VM at call time, which performs no reads.
+  COperand compileCall(const RoutineDecl *Callee,
+                       const std::vector<ExprPtr> &Args, const Stmt *CallStmt,
+                       const Expr *CallExpr, SourceLoc Loc, bool WantResult) {
+    if (!Callee) {
+      bail("unresolved call");
+      return {};
+    }
+    auto It = RoutineIdx.find(Callee);
+    if (It == RoutineIdx.end()) {
+      bail("call to a routine outside the program");
+      return {};
+    }
+    CallSiteInfo Site;
+    Site.Callee = Callee;
+    Site.RoutineIdx = It->second;
+    Site.CallStmt = CallStmt;
+    Site.CallExpr = CallExpr;
+    Site.Loc = Loc;
+    // Static link: hops up the caller's chain to the activation of the
+    // callee's lexical parent (or none when calling the program routine).
+    Site.LinkHops = -1;
+    int32_t Hops = 0;
+    for (const RoutineDecl *R = Cur; R; R = R->getParent(), ++Hops)
+      if (R == Callee->getParent()) {
+        Site.LinkHops = Hops;
+        break;
+      }
+
+    uint16_t Watermark = RegTop;
+    const auto &Params = Callee->getParams();
+    if (Args.size() != Params.size()) {
+      bail("argument count mismatch");
+      return {};
+    }
+    emit(Op::CallGuard, 0, 0, 0, dbg(Loc, Callee->getName()));
+    size_t ScratchBase = ArgScratch.size();
+    for (size_t I = 0, N = Params.size(); I != N; ++I) {
+      const VarDecl *P = Params[I].get();
+      ArgDesc AD;
+      AD.Param = P;
+      AD.Name = support::Symbol(P->getName());
+      if (P->isReference()) {
+        AD.IsRef = true;
+        const auto *VR = dyn_cast<VarRefExpr>(Args[I].get());
+        if (!VR) {
+          bail("reference argument is not a variable");
+          return {};
+        }
+        AD.Operand = cellOperand(VR->getDecl());
+        if (!Ok)
+          return {};
+      } else {
+        uint16_t Slot = RegTop;
+        COperand O = compileExpr(Args[I].get());
+        if (!Ok)
+          return {};
+        forceIntoReg(O, Slot);
+        AD.Operand = Slot; // raw register index
+      }
+      ArgScratch.push_back(AD);
+    }
+    // Flush this site's descriptors to the flat pool. Nested calls compiled
+    // above (as argument expressions) have already flushed and truncated
+    // their own ranges, so [ScratchBase, end) is exactly this site's args.
+    Site.ArgStart = static_cast<uint32_t>(Out->ArgPool.size());
+    Site.ArgCount = static_cast<uint32_t>(ArgScratch.size() - ScratchBase);
+    Out->ArgPool.insert(Out->ArgPool.end(), ArgScratch.begin() + ScratchBase,
+                        ArgScratch.end());
+    ArgScratch.resize(ScratchBase);
+    Out->Sites.push_back(std::move(Site));
+    uint32_t SiteIdx = static_cast<uint32_t>(Out->Sites.size() - 1);
+
+    RegTop = Watermark;
+    uint16_t Dest = NoDest;
+    if (WantResult)
+      Dest = allocReg();
+    emit(Op::Call, Dest, 0, 0, SiteIdx);
+    if (!WantResult)
+      return {};
+    return {makeRegOperand(Dest), true};
+  }
+
+  //===------------------------------------------------------------------===//
+  // Statement compilation
+  //===------------------------------------------------------------------===//
+
+  void compileStmt(const Stmt *S) {
+    if (!Ok)
+      return;
+    RegTop = 0; // expression temporaries never live across statements
+    emit(Op::Step, 0, 0, 0, dbg(S->getLoc()));
+
+    switch (S->getKind()) {
+    case Stmt::Kind::Compound:
+      for (const StmtPtr &Sub : cast<CompoundStmt>(S)->getBody())
+        compileStmt(Sub.get());
+      return;
+
+    case Stmt::Kind::Assign:
+      compileAssign(cast<AssignStmt>(S));
+      return;
+
+    case Stmt::Kind::If: {
+      const auto *IS = cast<IfStmt>(S);
+      COperand Cond = compileExpr(IS->getCond());
+      if (!Ok)
+        return;
+      uint32_t Br = emit(Op::IfBr, Cond.Enc);
+      compileStmt(IS->getThen());
+      if (IS->getElse()) {
+        uint32_t JmpEnd = emit(Op::Jmp);
+        patch(Br, here());
+        compileStmt(IS->getElse());
+        patch(JmpEnd, here());
+      } else {
+        patch(Br, here());
+      }
+      emit(Op::PopCtrl);
+      return;
+    }
+
+    case Stmt::Kind::While:
+      compileWhile(cast<WhileStmt>(S));
+      return;
+    case Stmt::Kind::Repeat:
+      compileRepeat(cast<RepeatStmt>(S));
+      return;
+    case Stmt::Kind::For:
+      compileFor(cast<ForStmt>(S));
+      return;
+
+    case Stmt::Kind::ProcCall: {
+      const auto *PC = cast<ProcCallStmt>(S);
+      compileCall(PC->getCallee(), PC->getArgs(), PC, nullptr, PC->getLoc(),
+                  /*WantResult=*/false);
+      return;
+    }
+
+    case Stmt::Kind::Goto:
+    case Stmt::Kind::Labeled:
+      bail("gotos/labels execute on the tree tier");
+      return;
+
+    case Stmt::Kind::Read:
+      compileRead(cast<ReadStmt>(S));
+      return;
+    case Stmt::Kind::Write:
+      compileWrite(cast<WriteStmt>(S));
+      return;
+    case Stmt::Kind::Empty:
+      return;
+    }
+    bail("unknown statement kind");
+  }
+
+  void compileAssign(const AssignStmt *AS) {
+    if (const auto *VR = dyn_cast<VarRefExpr>(AS->getTarget())) {
+      COperand V = compileExpr(AS->getValue());
+      if (!Ok)
+        return;
+      uint16_t Target = cellOperand(VR->getDecl());
+      if (!Ok)
+        return;
+      emit(Op::Store, Target, V.Enc);
+      return;
+    }
+    const auto *IE = cast<IndexExpr>(AS->getTarget());
+    const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
+    COperand V = compileExpr(AS->getValue());
+    if (!Ok)
+      return;
+    // The value is evaluated before the index (tree-walker order); fused
+    // cell values must not let index code run first.
+    if (!V.IsReg && (V.Enc & OpModeMask) == OpCell && emitsCode(IE->getIndex()))
+      V = materialize(V, AS->getLoc(), "");
+    COperand Idx = compileExpr(IE->getIndex());
+    if (!Ok)
+      return;
+    uint16_t Base = cellOperand(BaseRef->getDecl());
+    if (!Ok)
+      return;
+    emit(Op::StoreIdx, Base, Idx.Enc, V.Enc,
+         dbg(IE->getLoc(), BaseRef->getName()));
+  }
+
+  void compileWhile(const WhileStmt *WS) {
+    uint32_t LoopIdx = addLoop(LoopInfo::Kind::While, WS, WS->getUnitName(),
+                               WS->getLoc());
+    emit(Op::LoopEnter, 0, 0, 0, LoopIdx);
+    uint32_t Top = here();
+    RegTop = 0;
+    COperand Cond = compileExpr(WS->getCond());
+    if (!Ok)
+      return;
+    uint32_t Test = emit(Op::WhileTest, Cond.Enc);
+    emit(Op::IterBegin, 0, 0, 0, LoopIdx);
+    compileStmt(WS->getBody());
+    emit(Op::IterEnd, 0, 0, 0, Top);
+    patch(Test, here());
+    emit(Op::LoopExit, 0, 0, 0, LoopIdx);
+  }
+
+  void compileRepeat(const RepeatStmt *RS) {
+    uint32_t LoopIdx = addLoop(LoopInfo::Kind::Repeat, RS, RS->getUnitName(),
+                               RS->getLoc());
+    emit(Op::LoopEnter, 0, 0, 0, LoopIdx);
+    uint32_t Top = here();
+    emit(Op::IterBegin, 0, 0, 0, LoopIdx);
+    for (const StmtPtr &Sub : RS->getBody())
+      compileStmt(Sub.get());
+    emit(Op::IterEnd, 0, 0, 0, here() + 1); // fall through to the test
+    RegTop = 0;
+    COperand Cond = compileExpr(RS->getCond());
+    if (!Ok)
+      return;
+    emit(Op::RepeatTest, Cond.Enc, 0, 0, Top);
+    emit(Op::LoopExit, 0, 0, 0, LoopIdx);
+  }
+
+  void compileFor(const ForStmt *FS) {
+    const auto *VR = cast<VarRefExpr>(FS->getLoopVar());
+    uint32_t LoopIdx = addLoop(LoopInfo::Kind::For, FS, FS->getUnitName(),
+                               FS->getLoc());
+    if (!Ok)
+      return;
+    Out->Loops[LoopIdx].Down = FS->isDownward();
+    Out->Loops[LoopIdx].VarOperand = cellOperand(VR->getDecl());
+    if (!Ok)
+      return;
+    emit(Op::LoopEnter, 0, 0, 0, LoopIdx);
+    RegTop = 0;
+    COperand From = compileExpr(FS->getFrom());
+    if (!Ok)
+      return;
+    if (!From.IsReg && (From.Enc & OpModeMask) == OpCell &&
+        emitsCode(FS->getTo()))
+      From = materialize(From, FS->getLoc(), "");
+    COperand To = compileExpr(FS->getTo());
+    if (!Ok)
+      return;
+    emit(Op::ForPrep, From.Enc, To.Enc, 0, LoopIdx);
+    uint32_t Test = emit(Op::ForTest, 0, 0, 0, 0);
+    emit(Op::ForIter, 0, 0, 0, LoopIdx);
+    compileStmt(FS->getBody());
+    emit(Op::ForEnd, 0, 0, 0, Test);
+    patch(Test, here());
+    emit(Op::ForExit, 0, 0, 0, LoopIdx);
+  }
+
+  void compileRead(const ReadStmt *RS) {
+    for (const ExprPtr &T : RS->getTargets()) {
+      RegTop = 0;
+      uint16_t RV = allocReg();
+      emit(Op::ReadFetch, RV, 0, 0, dbg(RS->getLoc()));
+      if (const auto *VR = dyn_cast<VarRefExpr>(T.get())) {
+        uint16_t Target = cellOperand(VR->getDecl());
+        if (!Ok)
+          return;
+        emit(Op::Store, Target, makeRegOperand(RV));
+        continue;
+      }
+      const auto *IE = cast<IndexExpr>(T.get());
+      const auto *BaseRef = cast<VarRefExpr>(IE->getBase());
+      COperand Idx = compileExpr(IE->getIndex());
+      if (!Ok)
+        return;
+      uint16_t Base = cellOperand(BaseRef->getDecl());
+      if (!Ok)
+        return;
+      emit(Op::StoreIdx, Base, Idx.Enc, makeRegOperand(RV),
+           dbg(IE->getLoc(), BaseRef->getName(), /*InRead=*/true));
+    }
+  }
+
+  void compileWrite(const WriteStmt *WS) {
+    for (const ExprPtr &Arg : WS->getArgs()) {
+      RegTop = 0;
+      COperand O = compileExpr(Arg.get());
+      if (!Ok)
+        return;
+      emit(Op::WriteVal, O.Enc);
+    }
+    if (WS->isWriteln())
+      emit(Op::WriteNl);
+  }
+
+  uint32_t addLoop(LoopInfo::Kind K, const Stmt *S, const std::string &Name,
+                   SourceLoc Loc) {
+    LoopInfo LI;
+    LI.K = K;
+    LI.Stmt = S;
+    LI.UnitName = support::Symbol(Name);
+    LI.Loc = Loc;
+    Out->Loops.push_back(LI);
+    return static_cast<uint32_t>(Out->Loops.size() - 1);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Routine compilation
+  //===------------------------------------------------------------------===//
+
+  void compileRoutine(size_t Idx) {
+    Cur = RoutineList[Idx];
+    Code.clear();
+    RegTop = 0;
+    NumRegs = 0;
+    if (Cur->getNumSlots() > MaxSlot + 1) {
+      bail("routine frame too large for cell encoding");
+      return;
+    }
+    if (Cur->getBody())
+      compileStmt(Cur->getBody());
+    emit(Op::Ret);
+    if (!Ok)
+      return;
+    CompiledRoutine CR;
+    CR.Routine = Cur;
+    CR.Code = std::move(Code);
+    CR.NumRegs = NumRegs;
+    Out->Routines.push_back(std::move(CR));
+  }
+};
+
+} // namespace
+
+std::shared_ptr<const CompiledProgram>
+bytecode::compile(const Program &P, bool Checked, std::string *WhyNot) {
+  return Compiler(P, Checked).run(WhyNot);
+}

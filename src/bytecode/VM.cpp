@@ -1,0 +1,786 @@
+//===- VM.cpp - Bytecode dispatch loop ------------------------------------===//
+//
+// Executes bytecode::CompiledProgram over interp::ExecState. Every handler
+// is a transliteration of the corresponding tree-walker step (see
+// interp/Interpreter.cpp) — reads, writes, dependence merges and unit
+// events happen in the same order, which keeps transcripts byte-identical.
+//
+// On a runtime failure the VM unwinds its frame stack top-down, raising the
+// same iteration/loop/call exit events the recursive walker's early returns
+// produce (the walker still runs every exitLoopUnit/finishCallUnit on its
+// way out).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/VM.h"
+
+using namespace gadt;
+using namespace gadt::bytecode;
+using namespace gadt::interp;
+
+namespace {
+
+/// A loop statement currently executing (while/repeat/for).
+struct LoopState {
+  const LoopInfo *LI = nullptr;
+  uint32_t LoopNode = 0; ///< loop unit node id (0 = untraced)
+  uint32_t IterNode = 0; ///< current iteration unit (0 = between iterations)
+  uint32_t Iter = 0;
+  /// While/repeat: accumulated condition deps; for: the bound deps.
+  DepSet CondAccum;
+  CellRef ForCell = NoCell;
+  int64_t I = 0;
+  int64_t Limit = 0;
+  /// Ctrl-stack depths to restore when unwinding out of an iteration /
+  /// out of the loop (mirrors where the tree walker's popCtrl calls sit).
+  uint32_t CtrlIterDepth = 0;
+  uint32_t CtrlLoopDepth = 0;
+};
+
+/// One VM call frame.
+struct VMFrame {
+  uint32_t RoutineIdx = 0;
+  uint32_t PC = 0;
+  uint32_t RegBase = 0;
+  uint32_t NodeId = 0;
+  uint16_t Dest = NoDest; ///< caller register receiving the result
+  Activation *Act = nullptr;
+  Activation *CallerAct = nullptr;
+  size_t LoopBase = 0; ///< VMState::Loops size at frame entry
+  const pascal::RoutineDecl *Callee = nullptr;
+  std::vector<Binding> EntryInputs;
+};
+
+} // namespace
+
+namespace gadt {
+namespace bytecode {
+
+/// Stacks reused across runs (capacity stays warm, mirroring the pooled
+/// cell arena). Frames/activations are indexed, never popped, so their
+/// vectors keep their capacity and the activation pointers stay stable.
+struct VMState {
+  std::vector<Value> Regs;
+  std::vector<VMFrame> Frames;
+  size_t Depth = 0;
+  std::vector<std::unique_ptr<Activation>> ActPool;
+  std::vector<LoopState> Loops;
+  std::vector<CellRef> RefScratch;
+
+  VMFrame &frameAt(size_t I) {
+    if (Frames.size() <= I)
+      Frames.resize(I + 1);
+    return Frames[I];
+  }
+  Activation &actAt(size_t I) {
+    while (ActPool.size() <= I)
+      ActPool.push_back(std::make_unique<Activation>());
+    return *ActPool[I];
+  }
+};
+
+VMState *createVMState() { return new VMState(); }
+void destroyVMState(VMState *VS) { delete VS; }
+
+} // namespace bytecode
+} // namespace gadt
+
+namespace {
+
+/// Resolves a cell operand against \p A's static chain. Does not observe.
+/// Failures here mirror the tree walker's getCell "internal:" error — they
+/// cannot occur for analyzed programs.
+CellRef resolveCell(ExecState &S, Activation *A, uint16_t Operand) {
+  unsigned Hops = (Operand >> CellHopsShift) & MaxCellHops;
+  unsigned Slot = Operand & CellSlotMask;
+  Activation *Cur = A;
+  for (; Hops && Cur; --Hops)
+    Cur = Cur->StaticLink;
+  if (Cur && Slot < Cur->Slots.size()) {
+    CellRef H = Cur->Slots[Slot];
+    if (H != NoCell)
+      return H;
+  }
+  std::string Name =
+      Cur && Slot < Cur->R->getSlotDecls().size()
+          ? Cur->R->getSlotDecls()[Slot]->getName()
+          : std::string("<slot>");
+  S.fail(SourceLoc(), "internal: no storage for variable '" + Name + "'");
+  return NoCell;
+}
+
+/// Fetches a source operand: a register, a constant, or a frame cell (the
+/// cell path performs the observeRead the tree walker's VarRef evaluation
+/// would). Returns null after a resolution failure.
+const Value *fetchSrc(ExecState &S, const CompiledProgram &CP,
+                      Activation *Act, Value *Regs, uint16_t Operand) {
+  switch (Operand & OpModeMask) {
+  case OpReg:
+    return &Regs[Operand];
+  case OpConst:
+    return &CP.Consts[Operand & ~OpModeMask];
+  default: {
+    CellRef H = resolveCell(S, Act, Operand);
+    if (H == NoCell)
+      return nullptr;
+    S.observeRead(H);
+    return &S.Arena[H].V;
+  }
+  }
+}
+
+/// Raises the exit events a failure abandons in the current frame:
+/// innermost loops first, iteration before loop, with the control stack
+/// truncated to where each tree-walker popCtrl would have left it.
+void unwindLoops(ExecState &S, VMState &VS, VMFrame &F) {
+  while (VS.Loops.size() > F.LoopBase) {
+    LoopState &LS = VS.Loops.back();
+    Activation &A = *F.Act;
+    if (S.Opts.TrackDeps && A.CtrlStack.size() > LS.CtrlIterDepth)
+      A.CtrlStack.resize(LS.CtrlIterDepth);
+    S.exitLoopUnit(LS.IterNode, A);
+    if (S.Opts.TrackDeps && A.CtrlStack.size() > LS.CtrlLoopDepth)
+      A.CtrlStack.resize(LS.CtrlLoopDepth);
+    S.exitLoopUnit(LS.LoopNode, A);
+    VS.Loops.pop_back();
+  }
+}
+
+template <bool TrackDeps>
+void dispatch(ExecState &S, const CompiledProgram &CP, VMState &VS) {
+  VMFrame *F = &VS.Frames[VS.Depth - 1];
+  const Instr *Code = CP.Routines[F->RoutineIdx].Code.data();
+  uint32_t PC = F->PC;
+  Value *Regs = VS.Regs.data() + F->RegBase;
+  Activation *Act = F->Act;
+
+  auto reload = [&] {
+    F = &VS.Frames[VS.Depth - 1];
+    Code = CP.Routines[F->RoutineIdx].Code.data();
+    PC = F->PC;
+    Regs = VS.Regs.data() + F->RegBase;
+    Act = F->Act;
+  };
+
+  for (;;) {
+    if (S.Failed) [[unlikely]] {
+      // Unwind: finish abandoned loops and calls exactly as the recursive
+      // walker's early returns would, innermost first.
+      for (;;) {
+        unwindLoops(S, VS, *F);
+        if (VS.Depth == 1)
+          return; // run() closes the root unit
+        --S.CallDepth;
+        Value Result;
+        S.finishCallUnit(*F->Act, F->Callee, std::move(F->EntryInputs),
+                         F->NodeId, F->CallerAct, nullptr, &Result);
+        S.freeActivationCells(*F->Act);
+        --VS.Depth;
+        F = &VS.Frames[VS.Depth - 1];
+      }
+    }
+
+    const Instr &I = Code[PC++];
+    switch (I.Code) {
+    case Op::Step:
+      S.countStep(CP.Debug[I.Aux].Loc);
+      break;
+
+    case Op::Load: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.B);
+      if (!V)
+        break;
+      Regs[I.A] = *V;
+      break;
+    }
+
+    case Op::LoadChecked: {
+      CellRef H = resolveCell(S, Act, I.B);
+      if (H == NoCell)
+        break;
+      const DebugInfo &DI = CP.Debug[I.Aux];
+      if (S.Arena[H].V.isUnset()) {
+        S.fail(DI.Loc,
+               "variable '" + DI.Name + "' is used before it is assigned");
+        break;
+      }
+      S.observeRead(H);
+      Regs[I.A] = S.Arena[H].V;
+      break;
+    }
+
+    case Op::Store: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.B);
+      if (!V)
+        break;
+      CellRef H = resolveCell(S, Act, I.A);
+      if (H == NoCell)
+        break;
+      if ((I.B & OpModeMask) == OpReg)
+        S.storeCell(*Act, H, std::move(Regs[I.B]));
+      else
+        S.storeCell(*Act, H, Value(*V));
+      break;
+    }
+
+    case Op::LoadIdx: {
+      const Value *Idx = fetchSrc(S, CP, Act, Regs, I.C);
+      if (!Idx)
+        break;
+      CellRef H = resolveCell(S, Act, I.B);
+      if (H == NoCell)
+        break;
+      S.observeRead(H);
+      const Value &AV = S.Arena[H].V;
+      const ArrayVal &Arr = AV.asArray();
+      int64_t Ix = Idx->asInt();
+      if (!Arr.inBounds(Ix)) {
+        const DebugInfo &DI = CP.Debug[I.Aux];
+        S.fail(DI.Loc, "array index " + std::to_string(Ix) +
+                           " out of bounds [" + std::to_string(Arr.Lo) +
+                           ".." + std::to_string(Arr.Hi) + "] for '" +
+                           DI.Name + "'");
+        break;
+      }
+      if (TrackDeps) {
+        Value Out = Value::makeInt(Arr.at(Ix));
+        Out.deps().mergeWith(AV.deps());
+        Out.deps().mergeWith(Idx->deps());
+        Regs[I.A] = std::move(Out);
+      } else {
+        Regs[I.A].setInt(Arr.at(Ix));
+      }
+      break;
+    }
+
+    case Op::StoreIdx: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.C);
+      if (!V)
+        break;
+      const Value *Idx = fetchSrc(S, CP, Act, Regs, I.B);
+      if (!Idx)
+        break;
+      CellRef H = resolveCell(S, Act, I.A);
+      if (H == NoCell)
+        break;
+      // Writing one element both reads and writes the array as a whole.
+      S.observeRead(H);
+      S.observeWrite(H);
+      ArrayVal &Arr = S.Arena[H].V.asArray();
+      int64_t Ix = Idx->asInt();
+      if (!Arr.inBounds(Ix)) {
+        const DebugInfo &DI = CP.Debug[I.Aux];
+        if (DI.InRead)
+          S.fail(DI.Loc, "array index " + std::to_string(Ix) +
+                             " out of bounds in read");
+        else
+          S.fail(DI.Loc, "array index " + std::to_string(Ix) +
+                             " out of bounds [" + std::to_string(Arr.Lo) +
+                             ".." + std::to_string(Arr.Hi) + "] for '" +
+                             DI.Name + "'");
+        break;
+      }
+      Arr.at(Ix) = V->asInt();
+      if (TrackDeps) {
+        Value &AV = S.Arena[H].V;
+        AV.deps().mergeWith(V->deps());
+        AV.deps().mergeWith(Idx->deps());
+        if (const DepSet *Ctrl = Act->activeCtrlDeps())
+          AV.deps().mergeWith(*Ctrl);
+      }
+      break;
+    }
+
+    case Op::ArrayLit: {
+      ArrayVal Arr;
+      Arr.Lo = 1;
+      Arr.Hi = I.C;
+      Arr.Elems.reserve(I.C);
+      DepSet Deps;
+      for (uint16_t K = 0; K != I.C; ++K) {
+        Value &E = Regs[I.B + K];
+        Arr.Elems.push_back(E.asInt());
+        if (TrackDeps)
+          Deps.mergeWith(E.deps());
+      }
+      Value Out = Value::makeArray(std::move(Arr));
+      Out.deps() = std::move(Deps);
+      Regs[I.A] = std::move(Out);
+      break;
+    }
+
+#define GADT_VM_FETCH_LR()                                                   \
+  const Value *L = fetchSrc(S, CP, Act, Regs, I.B);                          \
+  if (!L)                                                                    \
+    break;                                                                   \
+  const Value *R = fetchSrc(S, CP, Act, Regs, I.C);                          \
+  if (!R)                                                                    \
+    break;                                                                   \
+  Value &D = Regs[I.A];                                                      \
+  (void)D
+
+#define GADT_VM_MERGE_LR()                                                   \
+  do {                                                                       \
+    if (TrackDeps) {                                                         \
+      if (&D == L)                                                           \
+        D.deps().mergeWith(R->deps());                                       \
+      else if (&D == R)                                                      \
+        D.deps().mergeWith(L->deps());                                       \
+      else {                                                                 \
+        D.deps() = L->deps();                                                \
+        D.deps().mergeWith(R->deps());                                       \
+      }                                                                      \
+    }                                                                        \
+  } while (0)
+
+    case Op::Add: {
+      GADT_VM_FETCH_LR();
+      int64_t Res = L->asInt() + R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setInt(Res);
+      break;
+    }
+    case Op::Sub: {
+      GADT_VM_FETCH_LR();
+      int64_t Res = L->asInt() - R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setInt(Res);
+      break;
+    }
+    case Op::Mul: {
+      GADT_VM_FETCH_LR();
+      int64_t Res = L->asInt() * R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setInt(Res);
+      break;
+    }
+    case Op::DivOp: {
+      GADT_VM_FETCH_LR();
+      if (R->asInt() == 0) {
+        S.fail(CP.Debug[I.Aux].Loc, "division by zero");
+        break;
+      }
+      int64_t Res = L->asInt() / R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setInt(Res);
+      break;
+    }
+    case Op::ModOp: {
+      GADT_VM_FETCH_LR();
+      if (R->asInt() == 0) {
+        S.fail(CP.Debug[I.Aux].Loc, "modulo by zero");
+        break;
+      }
+      int64_t Res = L->asInt() % R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setInt(Res);
+      break;
+    }
+    case Op::EqI: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asInt() == R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::NeI: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asInt() != R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::EqB: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asBool() == R->asBool();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::NeB: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asBool() != R->asBool();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::Lt: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asInt() < R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::Le: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asInt() <= R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::Gt: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asInt() > R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::Ge: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asInt() >= R->asInt();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::AndB: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asBool() && R->asBool();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+    case Op::OrB: {
+      GADT_VM_FETCH_LR();
+      bool Res = L->asBool() || R->asBool();
+      GADT_VM_MERGE_LR();
+      D.setBool(Res);
+      break;
+    }
+#undef GADT_VM_FETCH_LR
+#undef GADT_VM_MERGE_LR
+
+    case Op::NotB: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.B);
+      if (!V)
+        break;
+      Value &D = Regs[I.A];
+      bool Res = !V->asBool();
+      if (TrackDeps && &D != V)
+        D.deps() = V->deps();
+      D.setBool(Res);
+      break;
+    }
+    case Op::NegI: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.B);
+      if (!V)
+        break;
+      Value &D = Regs[I.A];
+      int64_t Res = -V->asInt();
+      if (TrackDeps && &D != V)
+        D.deps() = V->deps();
+      D.setInt(Res);
+      break;
+    }
+
+    case Op::Jmp:
+      PC = I.Aux;
+      break;
+
+    case Op::IfBr: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.A);
+      if (!V)
+        break;
+      S.pushCtrl(*Act, V->deps());
+      if (!V->asBool())
+        PC = I.Aux;
+      break;
+    }
+    case Op::PopCtrl:
+      S.popCtrl(*Act);
+      break;
+
+    case Op::LoopEnter: {
+      const LoopInfo &LI = CP.Loops[I.Aux];
+      LoopState LS;
+      LS.LI = &LI;
+      LS.LoopNode = S.enterLoopUnit(UnitKind::Loop, LI.UnitName, LI.Stmt, 0,
+                                    LI.Loc, *Act);
+      LS.CtrlIterDepth = static_cast<uint32_t>(Act->CtrlStack.size());
+      LS.CtrlLoopDepth = LS.CtrlIterDepth;
+      VS.Loops.push_back(std::move(LS));
+      break;
+    }
+    case Op::WhileTest: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.A);
+      if (!V)
+        break;
+      if (TrackDeps)
+        VS.Loops.back().CondAccum.mergeWith(V->deps());
+      if (!V->asBool())
+        PC = I.Aux;
+      break;
+    }
+    case Op::IterBegin: {
+      LoopState &LS = VS.Loops.back();
+      const LoopInfo &LI = *LS.LI;
+      ++LS.Iter;
+      if (!S.countStep(LI.Loc))
+        break;
+      LS.IterNode = S.enterLoopUnit(UnitKind::Iteration, LI.UnitName,
+                                    LI.Stmt, LS.Iter, LI.Loc, *Act);
+      S.pushCtrl(*Act, LS.CondAccum);
+      break;
+    }
+    case Op::IterEnd: {
+      LoopState &LS = VS.Loops.back();
+      S.popCtrl(*Act);
+      S.exitLoopUnit(LS.IterNode, *Act);
+      LS.IterNode = 0;
+      PC = I.Aux;
+      break;
+    }
+    case Op::RepeatTest: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.A);
+      if (!V)
+        break;
+      if (TrackDeps)
+        VS.Loops.back().CondAccum.mergeWith(V->deps());
+      if (!V->asBool())
+        PC = I.Aux;
+      break;
+    }
+    case Op::ForPrep: {
+      LoopState &LS = VS.Loops.back();
+      const LoopInfo &LI = *LS.LI;
+      LS.ForCell = resolveCell(S, Act, LI.VarOperand);
+      if (LS.ForCell == NoCell)
+        break;
+      const Value *From = fetchSrc(S, CP, Act, Regs, I.A);
+      if (!From)
+        break;
+      const Value *To = fetchSrc(S, CP, Act, Regs, I.B);
+      if (!To)
+        break;
+      if (TrackDeps) {
+        LS.CondAccum.mergeWith(From->deps());
+        LS.CondAccum.mergeWith(To->deps());
+      }
+      LS.I = From->asInt();
+      LS.Limit = To->asInt();
+      LS.CtrlLoopDepth = static_cast<uint32_t>(Act->CtrlStack.size());
+      S.pushCtrl(*Act, LS.CondAccum);
+      LS.CtrlIterDepth = static_cast<uint32_t>(Act->CtrlStack.size());
+      break;
+    }
+    case Op::ForTest: {
+      LoopState &LS = VS.Loops.back();
+      if (!(LS.LI->Down ? LS.I >= LS.Limit : LS.I <= LS.Limit))
+        PC = I.Aux;
+      break;
+    }
+    case Op::ForIter: {
+      LoopState &LS = VS.Loops.back();
+      const LoopInfo &LI = *LS.LI;
+      ++LS.Iter;
+      if (!S.countStep(LI.Loc))
+        break;
+      Value IV = Value::makeInt(LS.I);
+      if (TrackDeps)
+        IV.deps() = LS.CondAccum;
+      // The loop-variable store precedes the iteration unit (the write is
+      // charged to the loop, not the iteration — tree-walker order).
+      S.storeCell(*Act, LS.ForCell, std::move(IV));
+      LS.IterNode = S.enterLoopUnit(UnitKind::Iteration, LI.UnitName,
+                                    LI.Stmt, LS.Iter, LI.Loc, *Act);
+      break;
+    }
+    case Op::ForEnd: {
+      LoopState &LS = VS.Loops.back();
+      S.exitLoopUnit(LS.IterNode, *Act);
+      LS.IterNode = 0;
+      LS.I += LS.LI->Down ? -1 : 1;
+      PC = I.Aux;
+      break;
+    }
+    case Op::LoopExit: {
+      LoopState &LS = VS.Loops.back();
+      S.exitLoopUnit(LS.LoopNode, *Act);
+      VS.Loops.pop_back();
+      break;
+    }
+    case Op::ForExit: {
+      LoopState &LS = VS.Loops.back();
+      S.popCtrl(*Act);
+      S.exitLoopUnit(LS.LoopNode, *Act);
+      VS.Loops.pop_back();
+      break;
+    }
+
+    case Op::CallGuard: {
+      if (S.CallDepth >= S.Opts.MaxCallDepth) {
+        const DebugInfo &DI = CP.Debug[I.Aux];
+        S.fail(DI.Loc, "call depth limit exceeded (runaway recursion in '" +
+                           DI.Name + "')");
+      }
+      break;
+    }
+
+    case Op::Call: {
+      const CallSiteInfo &Site = CP.Sites[I.Aux];
+      const ArgDesc *SiteArgs = CP.ArgPool.data() + Site.ArgStart;
+      const ArgDesc *SiteArgsEnd = SiteArgs + Site.ArgCount;
+      // Resolve reference arguments first; a resolution failure aborts the
+      // call before any state is created.
+      VS.RefScratch.clear();
+      bool RefFail = false;
+      for (const ArgDesc *ADP = SiteArgs; ADP != SiteArgsEnd; ++ADP) {
+        const ArgDesc &AD = *ADP;
+        if (AD.IsRef) {
+          CellRef C = resolveCell(S, Act, AD.Operand);
+          if (C == NoCell) {
+            RefFail = true;
+            break;
+          }
+          VS.RefScratch.push_back(C);
+        }
+      }
+      if (RefFail)
+        break;
+
+      // Growing Frames/Regs may reallocate; compute what we need from the
+      // caller frame first, then refresh the invalidated pointers.
+      const CompiledRoutine &CR = CP.Routines[Site.RoutineIdx];
+      uint32_t CallerBase = F->RegBase;
+      uint32_t NewBase = CallerBase + CP.Routines[F->RoutineIdx].NumRegs;
+      VMFrame &NF = VS.frameAt(VS.Depth);
+      Activation &NA = VS.actAt(VS.Depth);
+      if (VS.Regs.size() < NewBase + CR.NumRegs)
+        VS.Regs.resize(NewBase + CR.NumRegs);
+      F = &VS.Frames[VS.Depth - 1];
+      Regs = VS.Regs.data() + CallerBase;
+
+      NA.R = Site.Callee;
+      NA.StaticLink = Act;
+      for (int32_t Hops = Site.LinkHops; Hops > 0; --Hops)
+        NA.StaticLink = NA.StaticLink->StaticLink;
+      if (Site.LinkHops < 0)
+        NA.StaticLink = nullptr;
+
+      NF.EntryInputs.clear();
+      if (S.Listener)
+        for (const ArgDesc *ADP = SiteArgs; ADP != SiteArgsEnd; ++ADP)
+          if (!ADP->IsRef)
+            NF.EntryInputs.push_back({ADP->Name, Regs[ADP->Operand]});
+
+      // Cells created from here on are local to the callee's unit frame —
+      // and owned by its activation (freed when the call returns).
+      uint64_t Watermark = S.CellSerial + 1;
+      NA.Watermark = Watermark;
+      NA.Slots.assign(Site.Callee->getNumSlots(), NoCell);
+      NA.CtrlStack.clear();
+      size_t RefIdx = 0;
+      for (const ArgDesc *ADP = SiteArgs; ADP != SiteArgsEnd; ++ADP)
+        NA.Slots[ADP->Param->getSlot()] =
+            ADP->IsRef ? VS.RefScratch[RefIdx++]
+                       : S.newCell(ADP->Param, std::move(Regs[ADP->Operand]));
+      for (const auto &Lc : Site.Callee->getLocals())
+        NA.Slots[Lc->getSlot()] =
+            S.newCell(Lc.get(), S.initialValue(Lc->getType()));
+      if (Site.Callee->isFunction()) {
+        const pascal::VarDecl *RV = Site.Callee->getResultVar();
+        NA.Slots[RV->getSlot()] =
+            S.newCell(RV, S.initialValue(Site.Callee->getReturnType()));
+      }
+
+      NF.RoutineIdx = Site.RoutineIdx;
+      NF.PC = 0;
+      NF.RegBase = NewBase;
+      NF.Dest = I.A;
+      NF.Act = &NA;
+      NF.CallerAct = Act;
+      NF.LoopBase = VS.Loops.size();
+      NF.Callee = Site.Callee;
+      NF.NodeId = S.beginCallUnit(NA, Site.Callee, Site.CallStmt,
+                                  Site.CallExpr, Site.Loc, Watermark);
+      ++S.CallDepth;
+      F->PC = PC;
+      ++VS.Depth;
+      reload();
+      break;
+    }
+
+    case Op::Ret: {
+      if (VS.Depth == 1) {
+        F->PC = PC;
+        return;
+      }
+      VMFrame &RF = *F;
+      --S.CallDepth;
+      Value Result;
+      S.finishCallUnit(*RF.Act, RF.Callee, std::move(RF.EntryInputs),
+                       RF.NodeId, RF.CallerAct, nullptr, &Result);
+      S.freeActivationCells(*RF.Act);
+      uint16_t Dest = RF.Dest;
+      --VS.Depth;
+      reload();
+      if (Dest != NoDest)
+        Regs[Dest] = std::move(Result);
+      break;
+    }
+
+    case Op::ReadFetch: {
+      if (S.InputPos >= S.Input.size()) {
+        S.fail(CP.Debug[I.Aux].Loc, "read past end of program input");
+        break;
+      }
+      Regs[I.A] = Value::makeInt(S.Input[S.InputPos++]);
+      break;
+    }
+    case Op::WriteVal: {
+      const Value *V = fetchSrc(S, CP, Act, Regs, I.A);
+      if (!V)
+        break;
+      if (V->isStr())
+        S.Output += V->asStr();
+      else
+        S.Output += V->str();
+      break;
+    }
+    case Op::WriteNl:
+      S.Output += '\n';
+      break;
+    }
+  }
+}
+
+} // namespace
+
+ExecResult bytecode::run(ExecState &S, const CompiledProgram &CP,
+                         VMState &VS) {
+  S.reset();
+  VS.Depth = 1;
+  VS.Loops.clear();
+  ExecResult Res;
+
+  Activation &Main = VS.actAt(0);
+  S.setUpMainActivation(Main);
+  uint32_t RootId = S.enterRoot(Main);
+
+  VMFrame &MF = VS.frameAt(0);
+  MF.RoutineIdx = 0;
+  MF.PC = 0;
+  MF.RegBase = 0;
+  MF.Dest = NoDest;
+  MF.Act = &Main;
+  MF.CallerAct = nullptr;
+  MF.LoopBase = 0;
+  MF.Callee = CP.Routines[0].Routine;
+  MF.NodeId = RootId;
+  MF.EntryInputs.clear();
+  if (VS.Regs.size() < CP.Routines[0].NumRegs)
+    VS.Regs.resize(CP.Routines[0].NumRegs);
+
+  if (S.Opts.TrackDeps)
+    dispatch<true>(S, CP, VS);
+  else
+    dispatch<false>(S, CP, VS);
+
+  S.exitRoot(RootId, Main, Res);
+  Res.Ok = !S.Failed;
+  Res.Error = S.Error;
+  Res.Output = S.Output;
+  Res.Steps = S.Steps;
+  Res.UnitsExecuted = S.NodeCounter;
+  S.flushPoolStats();
+  return Res;
+}

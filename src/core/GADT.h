@@ -72,6 +72,11 @@ struct SessionArtifacts {
   std::shared_ptr<const analysis::SDG> Sdg;
   /// Shared static-slice memo over \c Sdg; may be null.
   SliceProvider Slices;
+  /// Bytecode compiled from \c Prepared (src/bytecode); null when the
+  /// program is unsupported by the bytecode tier or the artifacts were
+  /// prepared without the shared code cache. Sessions hand this to the
+  /// interpreter so repeated runs skip compilation.
+  std::shared_ptr<const bytecode::CompiledProgram> Code;
 };
 
 /// One debugging session over one subject program. The session owns the

@@ -2,11 +2,16 @@
 
 #include "interp/Interpreter.h"
 
+#include "bytecode/Bytecode.h"
+#include "bytecode/VM.h"
+#include "interp/ExecState.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/Casting.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 using namespace gadt;
 using namespace gadt::interp;
@@ -35,85 +40,9 @@ Value gadt::interp::defaultValue(const Type *Ty) {
   return Value();
 }
 
-namespace {
-
-/// Index of a cell in the interpreter's arena. Cells are pooled: handles of
-/// dead activations return to a free list and are reissued with a fresh
-/// serial, so a handle is only meaningful while its cell is live — which
-/// the watermark discipline guarantees for every handle the interpreter
-/// retains (see observeRead/freeActivationCells).
-using CellRef = uint32_t;
-constexpr CellRef NoCell = UINT32_MAX;
-
-/// A storage location. Var parameters alias cells across activations, so
-/// cells live in a shared arena and are identified by a serial number that
-/// orders them by creation time (used to decide locality relative to a
-/// unit). ReadUpTo/WriteUpTo are observation stamps: every live unit frame
-/// whose FrameId is at or below the stamp has already recorded this cell
-/// (or the cell is local to it), so observation walks touch each cell a
-/// constant number of times per event instead of once per active frame.
-struct Cell {
-  Value V;
-  uint64_t Serial = 0;
-  uint64_t ReadUpTo = 0;
-  uint64_t WriteUpTo = 0;
-  /// Declaration the cell was created for (naming fallback).
-  const VarDecl *Decl = nullptr;
-};
-
-/// One routine activation: a flat frame of cell handles indexed by the
-/// slots Sema assigned (params, then locals, then the function result).
-struct Activation {
-  const RoutineDecl *R = nullptr;
-  Activation *StaticLink = nullptr;
-  /// Cells with Serial >= Watermark were created by (and die with) this
-  /// activation; below it they are aliased from the caller.
-  uint64_t Watermark = 0;
-  std::vector<CellRef> Slots;
-  /// Stack of *merged* control-dependence sets; back() is the set of deps
-  /// governing any store performed right now.
-  std::vector<DepSet> CtrlStack;
-
-  const DepSet *activeCtrlDeps() const {
-    return CtrlStack.empty() ? nullptr : &CtrlStack.back();
-  }
-};
-
-/// Dynamic input/output observation for one executing unit.
-struct UnitFrame {
-  uint32_t NodeId = 0;
-  UnitKind Kind = UnitKind::Call;
-  /// Cells created at or after this serial are local to the unit.
-  uint64_t Watermark = 0;
-  /// Monotonic push id; cell stamps reference it.
-  uint64_t FrameId = 0;
-  Activation *Act = nullptr;
-  std::vector<std::pair<CellRef, Value>> FirstReads;
-  std::vector<CellRef> Writes;
-};
-
-} // namespace
-
-struct Interpreter::Impl {
-  const Program &Prog;
-  InterpOptions Opts;
-  TraceListener *Listener = nullptr;
-  std::vector<int64_t> Input;
-
-  // Per-run state.
-  bool Failed = false;
-  RuntimeError Error;
-  std::string Output;
-  uint64_t Steps = 0;
-  uint32_t NodeCounter = 0;
-  uint64_t CellSerial = 0;
-  uint64_t FrameCounter = 0;
-  uint64_t PooledReuses = 0;
-  size_t InputPos = 0;
-  unsigned CallDepth = 0;
-  std::vector<Cell> Arena;
-  std::vector<CellRef> FreeList;
-  std::vector<UnitFrame> Frames;
+struct Interpreter::Impl : ExecState {
+  /// Non-local goto in flight (tree tier only; the bytecode compiler
+  /// rejects programs with gotos).
   struct {
     bool Active = false;
     int Label = 0;
@@ -121,161 +50,22 @@ struct Interpreter::Impl {
     SourceLoc Loc;
   } Goto;
 
-  Impl(const Program &Prog, InterpOptions Opts) : Prog(Prog), Opts(Opts) {}
+  // Bytecode tier: lazily compiled code (when none was injected through
+  // InterpOptions::Code) and the VM's reusable stacks.
+  std::shared_ptr<const bytecode::CompiledProgram> OwnCode;
+  bool CompileAttempted = false;
+  bytecode::VMState *VS = nullptr;
 
-  void reset() {
-    Failed = false;
-    Error = RuntimeError();
-    Output.clear();
-    Steps = 0;
-    NodeCounter = 0;
-    CellSerial = 0;
-    FrameCounter = 0;
-    InputPos = 0;
-    CallDepth = 0;
-    Arena.clear();
-    FreeList.clear();
-    Frames.clear();
+  Impl(const Program &Prog, InterpOptions Opts)
+      : ExecState(Prog, Opts) {}
+  ~Impl() {
+    if (VS)
+      bytecode::destroyVMState(VS);
+  }
+
+  void resetRun() {
+    reset();
     Goto.Active = false;
-  }
-
-  /// Publishes per-run pool statistics; called at the end of each entry
-  /// point so hot paths pay plain increments, not atomics.
-  void flushPoolStats() {
-    if (PooledReuses == 0)
-      return;
-    static obs::Counter &Pooled =
-        obs::Registry::global().counter("interp.cells.pooled");
-    Pooled.add(PooledReuses);
-    PooledReuses = 0;
-  }
-
-  void fail(SourceLoc Loc, std::string Msg) {
-    if (Failed)
-      return;
-    Failed = true;
-    Error.Loc = Loc;
-    Error.Message = std::move(Msg);
-  }
-
-  CellRef newCell(const VarDecl *Decl, Value V) {
-    CellRef H;
-    if (!FreeList.empty()) {
-      H = FreeList.back();
-      FreeList.pop_back();
-      ++PooledReuses;
-    } else {
-      H = static_cast<CellRef>(Arena.size());
-      Arena.emplace_back();
-    }
-    Cell &C = Arena[H];
-    C.V = std::move(V);
-    C.Serial = ++CellSerial;
-    C.ReadUpTo = 0;
-    C.WriteUpTo = 0;
-    C.Decl = Decl;
-    return H;
-  }
-
-  /// Returns the cells this activation created to the pool. Safe because no
-  /// retained handle can reach them afterwards: enclosing unit frames only
-  /// record cells below their watermark, which is at or below this
-  /// activation's, and the activation's own frames are popped first.
-  void freeActivationCells(Activation &Act) {
-    for (CellRef H : Act.Slots) {
-      if (H == NoCell)
-        continue;
-      Cell &C = Arena[H];
-      if (C.Serial < Act.Watermark)
-        continue; // aliased from the caller
-      C.V = Value();
-      FreeList.push_back(H);
-    }
-  }
-
-  /// Initial value of a freshly declared variable: in strict mode scalars
-  /// stay unset so use-before-assignment is detectable.
-  Value initialValue(const Type *Ty) {
-    if (Opts.DetectUninitialized && Ty && !Ty->isArray())
-      return Value();
-    return defaultValue(Ty);
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Cell access with unit-frame observation
-  //===--------------------------------------------------------------------===//
-
-  // Watermarks are non-decreasing with frame-stack depth, so the frames a
-  // cell is non-local to form a suffix of the stack; so do the frames above
-  // a cell's stamp. Observation therefore walks from the top of the stack
-  // and stops at the first frame that is already covered — each event costs
-  // O(frames actually recording), not O(live frames).
-
-  /// Records a read of \p H in every active unit frame to which the cell is
-  /// non-local and not already read or written. Call *before* using the
-  /// value.
-  void observeRead(CellRef H) {
-    if (Frames.empty())
-      return;
-    Cell &C = Arena[H];
-    uint64_t Stamp = std::max(C.ReadUpTo, C.WriteUpTo);
-    for (size_t I = Frames.size(); I-- > 0;) {
-      UnitFrame &F = Frames[I];
-      if (F.FrameId <= Stamp || C.Serial >= F.Watermark)
-        break;
-      F.FirstReads.push_back({H, C.V});
-    }
-    if (C.ReadUpTo < Frames.back().FrameId)
-      C.ReadUpTo = Frames.back().FrameId;
-  }
-
-  /// Records a write of \p H in every active unit frame to which the cell
-  /// is non-local.
-  void observeWrite(CellRef H) {
-    if (Frames.empty())
-      return;
-    Cell &C = Arena[H];
-    for (size_t I = Frames.size(); I-- > 0;) {
-      UnitFrame &F = Frames[I];
-      if (F.FrameId <= C.WriteUpTo || C.Serial >= F.Watermark)
-        break;
-      F.Writes.push_back(H);
-    }
-    if (C.WriteUpTo < Frames.back().FrameId)
-      C.WriteUpTo = Frames.back().FrameId;
-  }
-
-  /// Whether \p H was write-recorded in \p F (valid right after \p F was
-  /// popped, before any new frame is pushed).
-  bool writtenInFrame(const UnitFrame &F, CellRef H) const {
-    return Arena[H].WriteUpTo >= F.FrameId && Arena[H].Serial < F.Watermark;
-  }
-
-  /// Full store: observes the write and applies active control deps.
-  void storeCell(Activation &A, CellRef H, Value V) {
-    observeWrite(H);
-    if (Opts.TrackDeps)
-      if (const DepSet *Ctrl = A.activeCtrlDeps())
-        V.deps().mergeWith(*Ctrl);
-    Arena[H].V = std::move(V);
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Name / cell resolution
-  //===--------------------------------------------------------------------===//
-
-  CellRef getCell(Activation &A, const VarDecl *D, SourceLoc Loc) {
-    Activation *Cur = &A;
-    for (uint32_t Hops = Cur->R->getStorageDepth() - D->getDepth();
-         Hops && Cur; --Hops)
-      Cur = Cur->StaticLink;
-    if (Cur && D->getSlot() < Cur->Slots.size()) {
-      CellRef H = Cur->Slots[D->getSlot()];
-      if (H != NoCell)
-        return H;
-    }
-    fail(Loc, "internal: no storage for variable '" + D->getName() + "'");
-    return NoCell;
   }
 
   //===--------------------------------------------------------------------===//
@@ -447,19 +237,6 @@ struct Interpreter::Impl {
     return nullptr;
   }
 
-  /// The parameter declaration whose frame slot holds \p H, or null. When
-  /// two reference parameters alias one cell, the last one wins (matching
-  /// the map-based attribution this replaced).
-  const VarDecl *paramOfCell(const Activation &Act, const RoutineDecl *Callee,
-                             CellRef H) const {
-    const VarDecl *Found = nullptr;
-    size_t NumParams = Callee->getParams().size();
-    for (size_t I = 0; I != NumParams; ++I)
-      if (Act.Slots[I] == H)
-        Found = Callee->getParams()[I].get();
-    return Found;
-  }
-
   /// Shared tail of performCall/callRoutine: raises unit events, executes
   /// the body, and collects input/output bindings.
   ///
@@ -475,26 +252,8 @@ struct Interpreter::Impl {
                        SourceLoc Loc, Activation *Caller,
                        std::vector<Binding> *OutputsOut, Value *Result,
                        uint64_t Watermark) {
-    uint32_t NodeId = ++NodeCounter;
-    if (Listener) {
-      UnitStart Start;
-      Start.NodeId = NodeId;
-      Start.Kind = UnitKind::Call;
-      Start.Name = Callee->getName();
-      Start.Routine = Callee;
-      Start.CallStmt = CallStmt;
-      Start.CallExpr = CallExpr;
-      Start.Loc = Loc;
-      Listener->enterUnit(Start);
-    }
-    Frames.push_back(UnitFrame());
-    UnitFrame &F = Frames.back();
-    F.NodeId = NodeId;
-    F.Kind = UnitKind::Call;
-    F.Watermark = Watermark;
-    F.FrameId = ++FrameCounter;
-    F.Act = &Act;
-    size_t FrameIndex = Frames.size() - 1;
+    uint32_t NodeId =
+        beginCallUnit(Act, Callee, CallStmt, CallExpr, Loc, Watermark);
 
     ++CallDepth;
     if (Callee->getBody())
@@ -510,83 +269,8 @@ struct Interpreter::Impl {
       Goto.Active = false;
     }
 
-    UnitFrame Frame = std::move(Frames[FrameIndex]);
-    Frames.pop_back();
-
-    bool WantOut = Listener || OutputsOut;
-
-    // Assemble inputs: declared-order parameters first, then true global
-    // side reads. Pure bookkeeping for the listener — skipped entirely
-    // when no one is listening.
-    std::vector<Binding> Inputs;
-    if (Listener) {
-      Inputs = std::move(EntryInputs);
-      // var parameters that were read before being written.
-      for (const auto &[C, V] : Frame.FirstReads)
-        if (const VarDecl *P = paramOfCell(Act, Callee, C))
-          Inputs.push_back({P->getName(), V});
-      // Global (non-parameter) reads.
-      for (const auto &[C, V] : Frame.FirstReads)
-        if (!paramOfCell(Act, Callee, C))
-          Inputs.push_back({nameOfCell(&Act, C), V});
-    }
-
-    // Outputs: var/out parameters in declared order, then global writes,
-    // then the function result. The dependence merges are semantics (they
-    // persist in the written cells), so they run with or without bindings.
-    std::vector<Binding> Outputs;
-    DepSet OutDeps;
-    if (Opts.TrackDeps) {
-      OutDeps.insert(NodeId);
-      if (Caller)
-        if (const DepSet *Ctrl = Caller->activeCtrlDeps())
-          OutDeps.mergeWith(*Ctrl);
-    }
-    auto finalizeOut = [&](Value &V) {
-      if (Opts.TrackDeps)
-        V.deps().mergeWith(OutDeps);
-    };
-    for (const auto &P : Callee->getParams()) {
-      if (!P->isReference())
-        continue;
-      CellRef C = Act.Slots[P->getSlot()];
-      if (C == NoCell)
-        continue;
-      if (writtenInFrame(Frame, C) || P->getMode() == ParamMode::Out) {
-        finalizeOut(Arena[C].V);
-        if (WantOut)
-          Outputs.push_back({P->getName(), Arena[C].V});
-      }
-    }
-    for (CellRef C : Frame.Writes)
-      if (!paramOfCell(Act, Callee, C)) {
-        finalizeOut(Arena[C].V);
-        if (WantOut)
-          Outputs.push_back({nameOfCell(&Act, C), Arena[C].V});
-      }
-    if (Callee->isFunction()) {
-      CellRef C = Act.Slots[Callee->getResultVar()->getSlot()];
-      if (C != NoCell) {
-        if (Opts.DetectUninitialized && Arena[C].V.isUnset() && !Failed)
-          fail(Callee->getLoc(), "function '" + Callee->getName() +
-                                     "' returns without assigning its "
-                                     "result");
-        finalizeOut(Arena[C].V);
-        if (WantOut)
-          Outputs.push_back({Callee->getName(), Arena[C].V});
-        if (Result)
-          *Result = std::move(Arena[C].V);
-      }
-    }
-
-    if (Listener) {
-      if (OutputsOut)
-        Listener->exitUnit(NodeId, std::move(Inputs), Outputs);
-      else
-        Listener->exitUnit(NodeId, std::move(Inputs), std::move(Outputs));
-    }
-    if (OutputsOut)
-      *OutputsOut = std::move(Outputs);
+    finishCallUnit(Act, Callee, std::move(EntryInputs), NodeId, Caller,
+                   OutputsOut, Result);
   }
 
   Value performCall(Activation &Caller, const RoutineDecl *Callee,
@@ -661,84 +345,9 @@ struct Interpreter::Impl {
   // Loop units
   //===--------------------------------------------------------------------===//
 
-  /// Pushes a frame + listener event for a loop or iteration unit; returns
-  /// the node id (0 when this unit kind is not traced).
-  uint32_t enterLoopUnit(UnitKind Kind, const std::string &Name,
-                         const Stmt *LoopStmt, uint32_t IterIndex,
-                         SourceLoc Loc, Activation &A) {
-    if (!Opts.TraceLoops)
-      return 0;
-    if (Kind == UnitKind::Iteration && !Opts.TraceIterations)
-      return 0;
-    uint32_t NodeId = ++NodeCounter;
-    if (Listener) {
-      UnitStart Start;
-      Start.NodeId = NodeId;
-      Start.Kind = Kind;
-      Start.Name = Name;
-      Start.LoopStmt = LoopStmt;
-      Start.IterIndex = IterIndex;
-      Start.Loc = Loc;
-      Listener->enterUnit(Start);
-    }
-    Frames.push_back(UnitFrame());
-    UnitFrame &F = Frames.back();
-    F.NodeId = NodeId;
-    F.Kind = Kind;
-    F.Watermark = CellSerial + 1;
-    F.FrameId = ++FrameCounter;
-    F.Act = &A;
-    return NodeId;
-  }
-
-  /// Returns the name under which \p H is visible from activation \p A
-  /// (var parameters alias caller cells whose creation name differs from
-  /// the local parameter name). Falls back to the creation name.
-  std::string nameOfCell(Activation *A, CellRef H) {
-    for (Activation *Cur = A; Cur; Cur = Cur->StaticLink)
-      for (size_t I = 0, N = Cur->Slots.size(); I != N; ++I)
-        if (Cur->Slots[I] == H)
-          return Cur->R->getSlotDecls()[I]->getName();
-    const VarDecl *D = Arena[H].Decl;
-    return D ? D->getName() : std::string("<cell>");
-  }
-
-  void exitLoopUnit(uint32_t NodeId, Activation &A) {
-    if (NodeId == 0)
-      return;
-    UnitFrame Frame = std::move(Frames.back());
-    Frames.pop_back();
-    std::vector<Binding> Inputs, Outputs;
-    if (Listener)
-      for (const auto &[C, V] : Frame.FirstReads)
-        Inputs.push_back({nameOfCell(&A, C), V});
-    DepSet OutDeps;
-    if (Opts.TrackDeps) {
-      OutDeps.insert(NodeId);
-      if (const DepSet *Ctrl = A.activeCtrlDeps())
-        OutDeps.mergeWith(*Ctrl);
-    }
-    for (CellRef C : Frame.Writes) {
-      if (Opts.TrackDeps)
-        Arena[C].V.deps().mergeWith(OutDeps);
-      if (Listener)
-        Outputs.push_back({nameOfCell(&A, C), Arena[C].V});
-    }
-    if (Listener)
-      Listener->exitUnit(NodeId, std::move(Inputs), std::move(Outputs));
-  }
-
   //===--------------------------------------------------------------------===//
   // Statement execution
   //===--------------------------------------------------------------------===//
-
-  bool countStep(SourceLoc Loc) {
-    if (++Steps > Opts.MaxSteps) [[unlikely]] {
-      fail(Loc, "step limit exceeded (possible non-termination)");
-      return false;
-    }
-    return true;
-  }
 
   void execStmt(Activation &A, const Stmt *S) {
     if (Failed || Goto.Active)
@@ -884,21 +493,6 @@ struct Interpreter::Impl {
       if (const DepSet *Ctrl = A.activeCtrlDeps())
         Arena[C].V.deps().mergeWith(*Ctrl);
     }
-  }
-
-  void pushCtrl(Activation &A, const DepSet &CondDeps) {
-    if (!Opts.TrackDeps)
-      return;
-    DepSet Merged = CondDeps;
-    if (const DepSet *Active = A.activeCtrlDeps())
-      Merged.mergeWith(*Active);
-    A.CtrlStack.push_back(std::move(Merged));
-  }
-
-  void popCtrl(Activation &A) {
-    if (!Opts.TrackDeps)
-      return;
-    A.CtrlStack.pop_back();
   }
 
   void execWhile(Activation &A, const WhileStmt *WS) {
@@ -1078,26 +672,11 @@ struct Interpreter::Impl {
     return Main;
   }
 
-  ExecResult run() {
-    reset();
+  ExecResult runTree() {
+    resetRun();
     ExecResult Res;
     Activation Main = makeMainActivation();
-
-    uint32_t RootId = ++NodeCounter;
-    if (Listener) {
-      UnitStart Start;
-      Start.NodeId = RootId;
-      Start.Kind = UnitKind::Call;
-      Start.Name = Prog.getMain()->getName();
-      Start.Routine = Prog.getMain();
-      Start.Loc = Prog.getMain()->getLoc();
-      Listener->enterUnit(Start);
-    }
-    Frames.push_back(UnitFrame());
-    Frames.back().NodeId = RootId;
-    Frames.back().Watermark = CellSerial + 1;
-    Frames.back().FrameId = ++FrameCounter;
-    Frames.back().Act = &Main;
+    uint32_t RootId = enterRoot(Main);
 
     if (Prog.getMain()->getBody())
       execStmt(Main, Prog.getMain()->getBody());
@@ -1107,17 +686,7 @@ struct Interpreter::Impl {
       Goto.Active = false;
     }
 
-    Frames.pop_back();
-    for (const auto &G : Prog.getMain()->getLocals())
-      Res.FinalGlobals.push_back(
-          {G->getName(), Arena[Main.Slots[G->getSlot()]].V});
-    if (Listener) {
-      std::vector<Binding> Outputs = Res.FinalGlobals;
-      if (!Output.empty())
-        Outputs.push_back({"<output>", Value::makeStr(Output)});
-      Listener->exitUnit(RootId, {}, std::move(Outputs));
-    }
-
+    exitRoot(RootId, Main, Res);
     Res.Ok = !Failed;
     Res.Error = Error;
     Res.Output = Output;
@@ -1125,6 +694,53 @@ struct Interpreter::Impl {
     Res.UnitsExecuted = NodeCounter;
     flushPoolStats();
     return Res;
+  }
+
+  /// Selected execution tier for this process (cached env lookup). The
+  /// environment can only force the tree tier; bytecode is the default.
+  static ExecTier envTier() {
+    static ExecTier T = [] {
+      const char *E = std::getenv("GADT_EXEC_TIER");
+      if (E && std::string_view(E) == "tree")
+        return ExecTier::Tree;
+      return ExecTier::Bytecode;
+    }();
+    return T;
+  }
+
+  /// The compiled unit to run, preferring code injected via InterpOptions
+  /// (the RuntimeContext cache) when it matches this program and checking
+  /// mode; otherwise compiles once. Null = unsupported, run the tree.
+  const bytecode::CompiledProgram *resolveCode() {
+    if (Opts.Code && Opts.Code->Prog == &Prog &&
+        Opts.Code->Checked == Opts.DetectUninitialized)
+      return Opts.Code.get();
+    if (!CompileAttempted) {
+      CompileAttempted = true;
+      OwnCode = bytecode::compile(Prog, Opts.DetectUninitialized);
+    }
+    return OwnCode.get();
+  }
+
+  ExecResult run() {
+    ExecTier Tier = Opts.Tier != ExecTier::Auto ? Opts.Tier : envTier();
+    if (Tier == ExecTier::Bytecode) {
+      if (const bytecode::CompiledProgram *CP = resolveCode()) {
+        static obs::Counter &TierBc =
+            obs::Registry::global().counter("interp.tier.bytecode");
+        TierBc.add();
+        if (!VS)
+          VS = bytecode::createVMState();
+        return bytecode::run(*this, *CP, *VS);
+      }
+      static obs::Counter &TierFb =
+          obs::Registry::global().counter("interp.tier.fallback");
+      TierFb.add();
+    }
+    static obs::Counter &TierTree =
+        obs::Registry::global().counter("interp.tier.tree");
+    TierTree.add();
+    return runTree();
   }
 
   const RoutineDecl *findRoutineByName(const RoutineDecl *Root,
@@ -1139,7 +755,7 @@ struct Interpreter::Impl {
 
   CallOutcome callRoutine(const std::string &Name, std::vector<Value> Args,
                           const std::vector<Binding> &GlobalPresets) {
-    reset();
+    resetRun();
     CallOutcome Out;
     const RoutineDecl *Callee = findRoutineByName(Prog.getMain(), Name);
     if (!Callee) {

@@ -44,7 +44,18 @@
 #include <vector>
 
 namespace gadt {
+namespace bytecode {
+struct CompiledProgram;
+} // namespace bytecode
 namespace interp {
+
+/// Which executor runs the program. Both tiers raise identical events and
+/// produce byte-identical results; the bytecode tier is simply faster.
+/// `Auto` defers to the `GADT_EXEC_TIER` environment variable
+/// (`tree`/`bytecode`) and defaults to bytecode. Programs the bytecode
+/// compiler cannot handle (non-local gotos, un-annotated hand-built ASTs,
+/// encoding overflows) automatically fall back to the tree walker.
+enum class ExecTier : uint8_t { Auto, Tree, Bytecode };
 
 /// A fatal condition encountered while executing the subject program.
 struct RuntimeError {
@@ -107,6 +118,14 @@ struct InterpOptions {
   /// tracking is out of scope.) Off by default — standard Pascal leaves
   /// such reads undefined, and the paper's programs do not rely on them.
   bool DetectUninitialized = false;
+  /// Executor selection; see ExecTier.
+  ExecTier Tier = ExecTier::Auto;
+  /// Precompiled bytecode for the program being run (e.g. from the
+  /// RuntimeContext code cache). Used only when it matches the program and
+  /// the DetectUninitialized mode; otherwise the interpreter compiles (or
+  /// falls back) on its own. The referenced program must stay alive for as
+  /// long as this compiled unit is used.
+  std::shared_ptr<const bytecode::CompiledProgram> Code;
 };
 
 /// Result of running a whole program.

@@ -13,7 +13,7 @@ using namespace gadt::interp;
 namespace {
 
 using HeapVec = std::vector<uint32_t>;
-using HeapPtr = std::shared_ptr<const HeapVec>;
+using HeapPtr = std::shared_ptr<HeapVec>;
 
 uint64_t hashIds(const uint32_t *P, size_t N) {
   uint64_t H = 1469598103934665603ull; // FNV-1a
@@ -53,7 +53,7 @@ HeapPtr internVec(HeapVec V) {
       Hits.add();
       return C;
     }
-  Cands.push_back(std::make_shared<const HeapVec>(std::move(V)));
+  Cands.push_back(std::make_shared<HeapVec>(std::move(V)));
   ++T.Entries;
   return Cands.back();
 }
@@ -75,7 +75,7 @@ void DepSet::adopt(HeapVec V) {
   constexpr size_t InternMax = 16;
   Heap = V.size() <= InternMax
              ? internVec(std::move(V))
-             : std::make_shared<const HeapVec>(std::move(V));
+             : std::make_shared<HeapVec>(std::move(V));
   Count = 0;
 }
 
@@ -132,6 +132,16 @@ void DepSet::mergeWith(const DepSet &Other) {
   // node id into accumulated deps constantly — that union is plain
   // concatenation, no element-wise walk needed.
   if (A[N - 1] < B[0] || B[ON - 1] < A[0]) {
+    // Sole owner of an uninterned heap vector (the growing tip of a merge
+    // chain): extend it in place. Geometric capacity growth turns the
+    // one-allocation-per-merge pattern into O(log n) allocations.
+    if (Heap && Heap.use_count() == 1 && N > InlineCap) {
+      if (A[N - 1] < B[0])
+        Heap->insert(Heap->end(), B, B + ON);
+      else
+        Heap->insert(Heap->begin(), B, B + ON);
+      return;
+    }
     const uint32_t *Lo = A[N - 1] < B[0] ? A : B;
     size_t LoN = Lo == A ? N : ON;
     const uint32_t *Hi = Lo == A ? B : A;

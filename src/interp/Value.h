@@ -32,15 +32,20 @@ namespace interp {
 ///
 ///  - up to InlineCap ids live inline (no allocation at all; the common
 ///    case for short def-use chains), and
-///  - larger sets are a shared, immutable heap vector. Copying a DepSet is
-///    then a refcount bump, mergeWith can adopt the other side's handle
-///    outright when one set subsumes the other, and identical large sets
-///    are hash-consed into one allocation per thread (see Value.cpp).
+///  - larger sets are a shared heap vector. Copying a DepSet is then a
+///    refcount bump, mergeWith can adopt the other side's handle outright
+///    when one set subsumes the other, and identical large sets are
+///    hash-consed into one allocation per thread (see Value.cpp).
 ///
-/// Mutation is copy-on-write: heap storage is never edited in place, so
-/// handles may be shared freely across values, the execution tree, and the
-/// slicer. The intern table is thread-local, which keeps BatchRunner
-/// threads from contending (or racing) on it.
+/// Mutation is copy-on-write with one exception: when this set is the
+/// *sole* owner of its heap vector (use_count == 1 — notably never true
+/// for interned vectors, since the intern table itself holds a reference),
+/// a disjoint merge extends the vector in place instead of reallocating.
+/// Sets under construction are confined to the executing thread, so the
+/// uniqueness check is race-free; once a handle has been shared — into the
+/// execution tree, the slicer, another value — the count exceeds one and
+/// the storage is never edited again. The intern table is thread-local,
+/// which keeps BatchRunner threads from contending (or racing) on it.
 class DepSet {
 public:
   DepSet() = default;
@@ -56,6 +61,13 @@ public:
   bool contains(uint32_t Id) const;
   void insert(uint32_t Id);
   void mergeWith(const DepSet &Other);
+
+  /// Empties the set: drops the heap handle (refcount decrement at most)
+  /// or just zeroes the inline count.
+  void clear() {
+    Heap.reset();
+    Count = 0;
+  }
 
   friend bool operator==(const DepSet &A, const DepSet &B) {
     size_t N = A.size();
@@ -82,7 +94,9 @@ private:
 
   uint32_t Small[InlineCap] = {};
   uint32_t Count = 0; // meaningful only when !Heap
-  std::shared_ptr<const std::vector<uint32_t>> Heap;
+  /// Logically immutable once shared; see the class comment for the
+  /// unique-owner in-place extension.
+  std::shared_ptr<std::vector<uint32_t>> Heap;
 };
 
 /// An array value: inclusive bounds plus elements. Pascal arrays have value
@@ -133,6 +147,40 @@ public:
     Val.K = Kind::Str;
     Val.Str = std::move(V);
     return Val;
+  }
+
+  /// In-place scalar mutation for register reuse: releases any array/string
+  /// payload left behind by a previous occupant but keeps the DepSet (the
+  /// caller assigns dependences explicitly when tracking is on).
+  void setInt(int64_t V) {
+    if (K == Kind::Array)
+      Array = ArrayVal();
+    else if (K == Kind::Str)
+      Str.clear();
+    K = Kind::Int;
+    Int = V;
+  }
+  void setBool(bool V) {
+    if (K == Kind::Array)
+      Array = ArrayVal();
+    else if (K == Kind::Str)
+      Str.clear();
+    K = Kind::Bool;
+    Bool = V;
+  }
+
+  /// Returns the value to the unset state, releasing every heap-owning
+  /// payload (array/string storage, shared dependence vectors). Equivalent
+  /// to `*this = Value()` but without constructing and destroying a
+  /// temporary — this runs once per cell returned to the interpreter's
+  /// pool, where scalars with inline deps (the common case) pay nothing.
+  void poolReset() {
+    if (K == Kind::Array)
+      Array = ArrayVal();
+    else if (K == Kind::Str)
+      Str = std::string();
+    K = Kind::Unset;
+    Deps.clear();
   }
 
   Kind kind() const { return K; }

@@ -2,6 +2,7 @@
 
 #include "runtime/RuntimeContext.h"
 
+#include "bytecode/Bytecode.h"
 #include "obs/Trace.h"
 #include "pascal/Frontend.h"
 #include "pascal/PrettyPrinter.h"
@@ -19,6 +20,7 @@ std::string RuntimeStats::str() const {
   return Cache("programs", ProgramMisses, ProgramHits) + " " +
          Cache("transforms", TransformMisses, TransformHits) + " " +
          Cache("sdgs", SdgMisses, SdgHits) + " " +
+         Cache("code", CodeMisses, CodeHits) + " " +
          Cache("slices", SliceMisses, SliceHits) + " subjects " +
          std::to_string(Subjects) + " (miss/total)";
 }
@@ -39,6 +41,8 @@ RuntimeContext::RuntimeContext(obs::Registry *Metrics)
                  Reg.counter("runtime.cache.transform.misses")},
       SdgC{Reg.counter("runtime.cache.sdg.hits"),
            Reg.counter("runtime.cache.sdg.misses")},
+      CodeC{Reg.counter("runtime.cache.code.hits"),
+            Reg.counter("runtime.cache.code.misses")},
       SliceC{Reg.counter("runtime.cache.slice.hits"),
              Reg.counter("runtime.cache.slice.misses")},
       ProgramG{Reg.gauge("runtime.cache.program.entries"),
@@ -47,6 +51,8 @@ RuntimeContext::RuntimeContext(obs::Registry *Metrics)
                  Reg.gauge("runtime.cache.transform.bytes")},
       SdgG{Reg.gauge("runtime.cache.sdg.entries"),
            Reg.gauge("runtime.cache.sdg.bytes")},
+      CodeG{Reg.gauge("runtime.cache.code.entries"),
+            Reg.gauge("runtime.cache.code.bytes")},
       SliceG{Reg.gauge("runtime.cache.slice.entries"),
              Reg.gauge("runtime.cache.slice.bytes")} {}
 
@@ -222,6 +228,38 @@ RuntimeContext::prepare(const std::string &Source,
       return S;
     };
   }
+
+  {
+    // Compile-once bytecode for the prepared program (src/bytecode).
+    // Unsupported programs cache a null Code, so the tree-tier fallback
+    // decision is also made exactly once per subject.
+    std::pair<uint64_t, bool> CodeKey{Fingerprint, Opts.Transform};
+    std::shared_ptr<const pascal::Program> Prepared = Artifacts->Prepared;
+    std::shared_ptr<const pascal::Program> Pin = Artifacts->Subject;
+    obs::Span Span("cache.code", "cache");
+    bool WasMiss = false;
+    std::shared_ptr<const CodeEntry> E = Codes.getOrBuild(
+        CodeKey,
+        [&]() -> std::shared_ptr<const CodeEntry> {
+          auto Entry = std::make_shared<CodeEntry>();
+          Entry->Prepared = Prepared;
+          Entry->OriginalPin = Pin;
+          Entry->Code = bytecode::compile(*Prepared, /*Checked=*/false);
+          return Entry;
+        },
+        &WasMiss);
+    noteLookup(CodeC, Span, WasMiss);
+    noteOccupancy(CodeG, CodeBytes, Codes.size(),
+                  WasMiss ? sizeof(CodeEntry) +
+                                (E->Code ? E->Code->memoryBytes() : 0)
+                          : 0);
+    // Textual variants of one fingerprint intern as distinct ASTs when
+    // transformation is off; compiled code binds to the AST it was built
+    // over, so only hand out code whose program is the one this session
+    // executes (otherwise the interpreter compiles privately).
+    if (E->Code && E->Code->Prog == Artifacts->Prepared.get())
+      Artifacts->Code = E->Code;
+  }
   return Artifacts;
 }
 
@@ -233,6 +271,8 @@ RuntimeStats RuntimeContext::stats() const {
   S.TransformMisses = Transforms.misses();
   S.SdgHits = Sdgs.hits();
   S.SdgMisses = Sdgs.misses();
+  S.CodeHits = Codes.hits();
+  S.CodeMisses = Codes.misses();
   S.SliceHits = Slices.hits();
   S.SliceMisses = Slices.misses();
   S.Subjects = Transforms.size();

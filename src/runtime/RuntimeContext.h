@@ -6,7 +6,7 @@
 ///
 /// \file
 /// The shared, thread-safe memoization layer of the batch-debugging
-/// runtime. A RuntimeContext owns four caches, consulted in order when a
+/// runtime. A RuntimeContext owns five caches, consulted in order when a
 /// session is prepared:
 ///
 ///  - a *program cache*: one parse+check per distinct source text (keyed by
@@ -16,6 +16,10 @@
 ///    variants of the same program share one entry);
 ///  - an *SDG cache*: one system dependence graph per (fingerprint,
 ///    transformed?) prepared program;
+///  - a *code cache*: one bytecode compilation (src/bytecode) per
+///    (fingerprint, transformed?) prepared program — sessions execute the
+///    cached code instead of recompiling; unsupported programs cache a
+///    null entry so the fallback decision is also made once;
 ///  - a *static-slice memo*: one two-phase slice per (fingerprint,
 ///    transformed?, routine, output-variable) criterion, filled lazily as
 ///    debugging sessions request slices.
@@ -48,6 +52,7 @@ struct RuntimeStats {
   uint64_t ProgramHits = 0, ProgramMisses = 0;
   uint64_t TransformHits = 0, TransformMisses = 0;
   uint64_t SdgHits = 0, SdgMisses = 0;
+  uint64_t CodeHits = 0, CodeMisses = 0;
   uint64_t SliceHits = 0, SliceMisses = 0;
   /// Distinct program fingerprints seen by the transform cache.
   uint64_t Subjects = 0;
@@ -70,6 +75,15 @@ struct SdgEntry {
   std::shared_ptr<const pascal::Program> Prepared;
   std::shared_ptr<const pascal::Program> OriginalPin;
   std::unique_ptr<const analysis::SDG> Graph;
+};
+
+/// One bytecode compilation, pinning the prepared program it was compiled
+/// from. \c Code is null when the bytecode tier rejected the program
+/// (cached too, so the tree-tier fallback is decided once per subject).
+struct CodeEntry {
+  std::shared_ptr<const pascal::Program> Prepared;
+  std::shared_ptr<const pascal::Program> OriginalPin;
+  std::shared_ptr<const bytecode::CompiledProgram> Code;
 };
 
 /// The shared cache layer. Thread-safe; see file comment.
@@ -116,6 +130,7 @@ private:
   OnceCache<uint64_t, ProgramEntry> Programs;        // by source-text hash
   OnceCache<uint64_t, TransformEntry> Transforms;    // by program fingerprint
   OnceCache<std::pair<uint64_t, bool>, SdgEntry> Sdgs;
+  OnceCache<std::pair<uint64_t, bool>, CodeEntry> Codes;
   OnceCache<SliceKey, slicing::StaticSlice> Slices;
 
   obs::Registry &Reg;
@@ -125,7 +140,7 @@ private:
   struct CacheCounters {
     obs::Counter &Hits, &Misses;
   };
-  CacheCounters ProgramC, TransformC, SdgC, SliceC;
+  CacheCounters ProgramC, TransformC, SdgC, CodeC, SliceC;
 
   /// `runtime.cache.<cache>.{entries,bytes}` occupancy gauges, refreshed on
   /// every lookup. Bytes are an estimate of what an entry retains (source
@@ -134,9 +149,9 @@ private:
   struct CacheGauges {
     obs::Gauge &Entries, &Bytes;
   };
-  CacheGauges ProgramG, TransformG, SdgG, SliceG;
+  CacheGauges ProgramG, TransformG, SdgG, CodeG, SliceG;
   std::atomic<uint64_t> ProgramBytes{0}, TransformBytes{0}, SdgBytes{0},
-      SliceBytes{0};
+      CodeBytes{0}, SliceBytes{0};
 };
 
 } // namespace runtime

@@ -1,0 +1,399 @@
+//===- BytecodeTest.cpp - Bytecode tier differential and unit tests -------===//
+//
+// The bytecode tier's contract is *observational equivalence*: for every
+// program it accepts, a bytecode execution must be byte-identical to the
+// tree walker's — same ExecResult, same serialized execution tree, same
+// dynamic slices — under every tracing flag combination. These tests sweep
+// that contract over the synthetic workload corpus and the paper programs,
+// and pin the tier-selection mechanics (fallback on unsupported programs,
+// tier counters, injected pre-compiled code).
+//
+// The cell-arena free-list obligations ride along at the bottom: handle
+// reuse across scope exits and watermark reset across sessions are what
+// make both tiers' storage layer O(live cells), and both tiers share it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "interp/Interpreter.h"
+#include "obs/Metrics.h"
+#include "pascal/Frontend.h"
+#include "slicing/DynamicSlicer.h"
+#include "trace/ExecTreeBuilder.h"
+#include "workload/PaperPrograms.h"
+#include "workload/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gadt;
+using namespace gadt::interp;
+using namespace gadt::workload;
+
+namespace {
+
+std::unique_ptr<pascal::Program> compile(const std::string &Src) {
+  DiagnosticsEngine Diags;
+  auto Prog = pascal::parseAndCheck(Src, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.str();
+  return Prog;
+}
+
+/// Deterministic program input, long enough for every corpus program;
+/// reads past the end fail identically in both tiers.
+std::vector<int64_t> corpusInput() {
+  return {3, 7, 2, 9, 4, 1, 8, 5, 6, 10, 11, 13, 12, 15, 14, 17};
+}
+
+std::string escapeLine(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '\n')
+      Out += "\\n";
+    else if (C == '\\')
+      Out += "\\\\";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+/// Renders one (program, options) execution — result, tree, and every
+/// dynamic slice — exactly as GoldenDifferentialTest does, so a transcript
+/// mismatch localizes to the same observable the goldens pin.
+std::string renderRun(const pascal::Program &Prog, const InterpOptions &Opts) {
+  Interpreter I(Prog, Opts);
+  I.setInput(corpusInput());
+  trace::ExecTreeBuilder Builder;
+  I.setListener(&Builder);
+  ExecResult R = I.run();
+  auto Tree = Builder.takeTree();
+
+  std::ostringstream Out;
+  Out << "ok: " << (R.Ok ? 1 : 0) << "\n";
+  if (!R.Ok)
+    Out << "error: " << R.Error.Loc.Line << ":" << R.Error.Loc.Column << " "
+        << escapeLine(R.Error.Message) << "\n";
+  Out << "output: " << escapeLine(R.Output) << "\n";
+  Out << "steps: " << R.Steps << "\n";
+  Out << "units: " << R.UnitsExecuted << "\n";
+  for (const Binding &B : R.FinalGlobals)
+    Out << "global " << B.Name << " = " << B.V.str() << "\n";
+  Out << "tree:\n" << (Tree && Tree->getRoot() ? Tree->str() : "<none>\n");
+
+  if (Opts.TrackDeps && Tree && Tree->getRoot()) {
+    Out << "slices:\n";
+    for (uint32_t Id = 1; Id <= R.UnitsExecuted; ++Id) {
+      const trace::ExecNode *N = Tree->node(Id);
+      if (!N)
+        continue;
+      for (const Binding &B : N->getOutputs()) {
+        auto Kept = slicing::dynamicSlice(N, B.Name);
+        Out << "slice " << Id << "." << B.Name << ":";
+        for (uint32_t K : Kept.ids())
+          Out << " " << K;
+        Out << "\n";
+      }
+    }
+  }
+  return Out.str();
+}
+
+/// Sweeps all 16 flag combinations, comparing tree- and bytecode-tier
+/// transcripts line by line (line diffs localize better than one giant
+/// string mismatch).
+void expectTiersAgree(const pascal::Program &Prog, const std::string &Label) {
+  for (int Mask = 0; Mask < 16; ++Mask) {
+    InterpOptions Opts;
+    Opts.TraceLoops = (Mask & 1) != 0;
+    Opts.TraceIterations = (Mask & 2) != 0;
+    Opts.TrackDeps = (Mask & 4) != 0;
+    Opts.DetectUninitialized = (Mask & 8) != 0;
+
+    Opts.Tier = ExecTier::Tree;
+    std::string TreeSide = renderRun(Prog, Opts);
+    Opts.Tier = ExecTier::Bytecode;
+    std::string VMSide = renderRun(Prog, Opts);
+
+    if (TreeSide == VMSide)
+      continue;
+    std::istringstream A(TreeSide), B(VMSide);
+    std::string LA, LB;
+    unsigned Line = 0;
+    while (std::getline(A, LA) && std::getline(B, LB)) {
+      ++Line;
+      ASSERT_EQ(LA, LB) << Label << " combo " << Mask << " line " << Line;
+    }
+    FAIL() << Label << " combo " << Mask
+           << ": transcripts differ in length only";
+  }
+}
+
+void expectTiersAgreeOnSource(const std::string &Src,
+                              const std::string &Label) {
+  auto Prog = compile(Src);
+  ASSERT_TRUE(Prog != nullptr);
+  expectTiersAgree(*Prog, Label);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential sweep: tree walker vs bytecode VM
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeDifferential, PaperFigure4) {
+  expectTiersAgreeOnSource(Figure4Buggy, "figure4-buggy");
+  expectTiersAgreeOnSource(Figure4Fixed, "figure4-fixed");
+}
+
+TEST(BytecodeDifferential, ChainPrograms) {
+  ProgramPair P = chainProgram(6, 2);
+  expectTiersAgreeOnSource(P.Fixed, "chain6-fixed");
+  expectTiersAgreeOnSource(P.Buggy, "chain6-buggy");
+}
+
+TEST(BytecodeDifferential, TreeAndWidePrograms) {
+  expectTiersAgreeOnSource(treeProgram(3).Buggy, "tree3-buggy");
+  expectTiersAgreeOnSource(wideIrrelevantProgram(8).Buggy, "wide8-buggy");
+}
+
+TEST(BytecodeDifferential, SummaryMesh) {
+  expectTiersAgreeOnSource(summaryMeshProgram(2, 3).Buggy, "mesh2x3-buggy");
+}
+
+/// Seeded random programs; odd seeds are goto-free (bytecode executes
+/// them), even seeds plant non-local gotos (the bytecode tier falls back
+/// to the tree walker, which must be just as transcript-identical).
+class BytecodeSeededDifferential : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BytecodeSeededDifferential, RandomProgram) {
+  uint32_t Seed = GetParam();
+  SyntheticOptions Opts;
+  Opts.Seed = Seed * 17 + 5;
+  Opts.NumRoutines = 4 + Seed % 4;
+  Opts.NumGlobals = 2 + Seed % 3;
+  Opts.StmtsPerRoutine = 4 + Seed % 3;
+  Opts.UseGotos = (Seed % 2) == 0;
+  ProgramPair P = randomProgram(Opts);
+  expectTiersAgreeOnSource(P.Buggy, "seed" + std::to_string(Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeSeededDifferential,
+                         ::testing::Range(1u, 9u));
+
+//===----------------------------------------------------------------------===//
+// Tier selection mechanics
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeTier, CountsBytecodeRuns) {
+  auto Prog = compile(chainProgram(3, 1).Fixed);
+  obs::Counter &C = obs::Registry::global().counter("interp.tier.bytecode");
+  uint64_t Before = C.value();
+  InterpOptions Opts;
+  Opts.Tier = ExecTier::Bytecode;
+  Interpreter I(*Prog, Opts);
+  ExecResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error.Message;
+  EXPECT_EQ(C.value(), Before + 1);
+}
+
+TEST(BytecodeTier, FallsBackOnNonLocalGoto) {
+  // Non-local goto: label in the main program, goto inside a procedure.
+  // The compiler rejects it, so a Bytecode-tier request runs the tree
+  // walker — correctly, and with the fallback counter bumped.
+  const char *Src = "program p;\n"
+                    "label 9;\n"
+                    "var x: integer;\n"
+                    "procedure q;\n"
+                    "begin\n"
+                    "  goto 9\n"
+                    "end;\n"
+                    "begin\n"
+                    "  x := 1;\n"
+                    "  q;\n"
+                    "  x := 2;\n"
+                    "9:\n"
+                    "  writeln(x)\n"
+                    "end.";
+  auto Prog = compile(Src);
+  std::string WhyNot;
+  EXPECT_EQ(bytecode::compile(*Prog, false, &WhyNot), nullptr);
+  EXPECT_FALSE(WhyNot.empty());
+
+  obs::Counter &Fallback =
+      obs::Registry::global().counter("interp.tier.fallback");
+  uint64_t Before = Fallback.value();
+  InterpOptions Opts;
+  Opts.Tier = ExecTier::Bytecode;
+  Interpreter I(*Prog, Opts);
+  ExecResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error.Message;
+  EXPECT_EQ(R.Output, "1\n");
+  EXPECT_EQ(Fallback.value(), Before + 1);
+}
+
+TEST(BytecodeTier, TreeTierRequestNeverCompiles) {
+  auto Prog = compile(chainProgram(3, 1).Fixed);
+  obs::Counter &C = obs::Registry::global().counter("interp.tier.tree");
+  uint64_t Before = C.value();
+  InterpOptions Opts;
+  Opts.Tier = ExecTier::Tree;
+  Interpreter I(*Prog, Opts);
+  ASSERT_TRUE(I.run().Ok);
+  EXPECT_EQ(C.value(), Before + 1);
+}
+
+TEST(BytecodeTier, InjectedCodeIsUsed) {
+  auto Prog = compile(chainProgram(4, 2).Fixed);
+  auto Code = bytecode::compile(*Prog, /*Checked=*/false);
+  ASSERT_TRUE(Code != nullptr);
+
+  InterpOptions Opts;
+  Opts.Tier = ExecTier::Bytecode;
+  Opts.Code = Code;
+  Interpreter I(*Prog, Opts);
+  ExecResult R = I.run();
+  ASSERT_TRUE(R.Ok) << R.Error.Message;
+
+  // Same program through the tree walker: identical observable result.
+  InterpOptions TreeOpts;
+  TreeOpts.Tier = ExecTier::Tree;
+  Interpreter T(*Prog, TreeOpts);
+  ExecResult RT = T.run();
+  ASSERT_TRUE(RT.Ok);
+  EXPECT_EQ(R.Output, RT.Output);
+  EXPECT_EQ(R.Steps, RT.Steps);
+  EXPECT_EQ(R.UnitsExecuted, RT.UnitsExecuted);
+}
+
+TEST(BytecodeTier, MismatchedInjectedCodeIsIgnored) {
+  // Injected code compiled for the *unchecked* mode must not be used by a
+  // DetectUninitialized run; the interpreter compiles privately instead,
+  // and the strict check still fires.
+  const char *Src = "program p;\n"
+                    "var x, y: integer;\n"
+                    "begin\n"
+                    "  y := x;\n"
+                    "  writeln(y)\n"
+                    "end.";
+  auto Prog = compile(Src);
+  auto Unchecked = bytecode::compile(*Prog, /*Checked=*/false);
+  ASSERT_TRUE(Unchecked != nullptr);
+
+  InterpOptions Opts;
+  Opts.Tier = ExecTier::Bytecode;
+  Opts.DetectUninitialized = true;
+  Opts.Code = Unchecked; // wrong mode on purpose
+  Interpreter I(*Prog, Opts);
+  ExecResult R = I.run();
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.Message.find("x"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled-program shape
+//===----------------------------------------------------------------------===//
+
+TEST(BytecodeCompile, CheckedAndUncheckedDiffer) {
+  auto Prog = compile(chainProgram(3, 1).Fixed);
+  auto Plain = bytecode::compile(*Prog, false);
+  auto Checked = bytecode::compile(*Prog, true);
+  ASSERT_TRUE(Plain != nullptr);
+  ASSERT_TRUE(Checked != nullptr);
+  EXPECT_FALSE(Plain->Checked);
+  EXPECT_TRUE(Checked->Checked);
+  EXPECT_EQ(Plain->Prog, Prog.get());
+  EXPECT_GT(Plain->memoryBytes(), 0u);
+}
+
+TEST(BytecodeCompile, ArgPoolCoversEverySite) {
+  auto Prog = compile(summaryMeshProgram(2, 3).Fixed);
+  auto Code = bytecode::compile(*Prog, false);
+  ASSERT_TRUE(Code != nullptr);
+  ASSERT_FALSE(Code->Sites.empty());
+  for (const bytecode::CallSiteInfo &Site : Code->Sites) {
+    EXPECT_LE(static_cast<size_t>(Site.ArgStart) + Site.ArgCount,
+              Code->ArgPool.size());
+    // Mesh procedures take two value and two var parameters.
+    EXPECT_EQ(Site.ArgCount, 4u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cell-arena free list (shared storage substrate, both tiers)
+//===----------------------------------------------------------------------===//
+
+/// A program whose calls enter and exit repeatedly: every exit returns the
+/// callee's cells to the pool, every subsequent call must reuse them.
+const char *PoolSrc = "program p;\n"
+                      "var i, acc: integer;\n"
+                      "function f(n: integer): integer;\n"
+                      "var a, b, c: integer;\n"
+                      "begin\n"
+                      "  a := n + 1; b := a * 2; c := b - n; f := c\n"
+                      "end;\n"
+                      "begin\n"
+                      "  acc := 0;\n"
+                      "  for i := 1 to 50 do acc := acc + f(i);\n"
+                      "  writeln(acc)\n"
+                      "end.";
+
+TEST(CellArena, FreeListRecyclesHandlesAcrossCalls) {
+  auto Prog = compile(PoolSrc);
+  obs::Counter &Pooled =
+      obs::Registry::global().counter("interp.cells.pooled");
+  for (ExecTier Tier : {ExecTier::Tree, ExecTier::Bytecode}) {
+    uint64_t Before = Pooled.value();
+    InterpOptions Opts;
+    Opts.Tier = Tier;
+    Interpreter I(*Prog, Opts);
+    ASSERT_TRUE(I.run().Ok);
+    // 50 calls x 5 cells (param + 3 locals + result): all but the first
+    // call's allocations must come from the free list.
+    EXPECT_GE(Pooled.value() - Before, 49u * 5u)
+        << "tier " << static_cast<int>(Tier);
+  }
+}
+
+TEST(CellArena, WatermarkResetsAcrossSessions) {
+  auto Prog = compile(PoolSrc);
+  obs::Counter &Pooled =
+      obs::Registry::global().counter("interp.cells.pooled");
+  InterpOptions Opts;
+  Opts.TrackDeps = true;
+  Interpreter I(*Prog, Opts);
+  I.setInput(corpusInput());
+  ExecResult First = I.run();
+  ASSERT_TRUE(First.Ok);
+
+  // Second session on the same Interpreter: reset() must restart the
+  // arena watermark, so the run is observably identical (same output,
+  // same steps) and pools at least as many handles as the first.
+  uint64_t Before = Pooled.value();
+  ExecResult Second = I.run();
+  ASSERT_TRUE(Second.Ok);
+  EXPECT_EQ(First.Output, Second.Output);
+  EXPECT_EQ(First.Steps, Second.Steps);
+  EXPECT_EQ(First.UnitsExecuted, Second.UnitsExecuted);
+  EXPECT_GE(Pooled.value() - Before, 49u * 5u);
+}
+
+TEST(CellArena, RepeatedSessionsStayByteIdentical) {
+  // Ten sessions interleaving tiers on one program: serial numbers, unit
+  // ids and dependence sets must restart exactly, or transcripts drift.
+  auto Prog = compile(chainProgram(4, 2).Buggy);
+  InterpOptions Opts;
+  Opts.TrackDeps = true;
+  Opts.TraceLoops = true;
+  Opts.Tier = ExecTier::Tree;
+  std::string Golden = renderRun(*Prog, Opts);
+  for (int Round = 0; Round < 10; ++Round) {
+    Opts.Tier = (Round % 2 == 0) ? ExecTier::Bytecode : ExecTier::Tree;
+    EXPECT_EQ(renderRun(*Prog, Opts), Golden) << "round " << Round;
+  }
+}
+
+} // namespace

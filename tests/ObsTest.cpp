@@ -512,6 +512,8 @@ TEST(ObservabilityTest, RegistryTotalsMatchSummedStructs) {
             S.TransformMisses);
   EXPECT_EQ(Reg.counterValue("runtime.cache.sdg.hits"), S.SdgHits);
   EXPECT_EQ(Reg.counterValue("runtime.cache.sdg.misses"), S.SdgMisses);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.code.hits"), S.CodeHits);
+  EXPECT_EQ(Reg.counterValue("runtime.cache.code.misses"), S.CodeMisses);
   EXPECT_EQ(Reg.counterValue("runtime.cache.slice.hits"), S.SliceHits);
   EXPECT_EQ(Reg.counterValue("runtime.cache.slice.misses"), S.SliceMisses);
   EXPECT_EQ(static_cast<uint64_t>(Reg.gaugeValue("runtime.subjects")),
@@ -534,6 +536,7 @@ TEST(ObservabilityTest, RegistryTotalsMatchSummedStructs) {
   EXPECT_GT(S.ProgramHits, 0u);
   EXPECT_GT(S.TransformHits, 0u);
   EXPECT_GT(S.SdgHits, 0u);
+  EXPECT_GT(S.CodeHits, 0u);
   EXPECT_GT(S.SliceHits, 0u);
 }
 
@@ -691,6 +694,7 @@ TEST(ObservabilityTest, CacheGaugesTrackOccupancy) {
   } Caches[] = {{"program", S.ProgramMisses},
                 {"transform", S.TransformMisses},
                 {"sdg", S.SdgMisses},
+                {"code", S.CodeMisses},
                 {"slice", S.SliceMisses}};
   for (const auto &C : Caches) {
     std::string Base = std::string("runtime.cache.") + C.Name;
