@@ -22,6 +22,7 @@
 #include "obs/Log.h"
 #include "obs/Trace.h"
 #include "pascal/Frontend.h"
+#include "runtime/EditSession.h"
 #include "runtime/RuntimeContext.h"
 #include "slicing/DynamicSlicer.h"
 #include "slicing/StaticSlicer.h"
@@ -351,6 +352,97 @@ void BM_RunArrsumTestSuite(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_RunArrsumTestSuite);
+
+//===--------------------------------------------------------------------===//
+// Incremental-recompute benchmarks (X13): one edit-commit against a warm
+// EditSession versus a forced cold rebuild of the same program. The
+// sessions live outside the timing loop and each iteration alternates
+// between two variants of the same routine, so every commit is a real
+// edit (the fingerprint diff never short-circuits on identical text).
+// Timing covers commit() only — parsing and checking the staged source is
+// byte-for-byte identical work on both paths (and has its own benchmark,
+// BM_ParseAndCheckFigure4), so the numbers isolate the recompute pipeline
+// the transaction layer actually controls: fingerprint diff, dirty rules,
+// PDG build/replay, summary solve, slice eviction and code splice.
+// GADT_INCREMENTAL=0 forces full rebuilds inside the BM_Incremental*
+// loops — that run is the baseline the CI perf gate compares against.
+//===--------------------------------------------------------------------===//
+
+constexpr unsigned kIncLeaves = 24;
+/// Dense-block repetitions per leaf (see workload::incrementalEditProgram):
+/// high enough that per-routine dependence analysis dominates the commit,
+/// which is the regime the incremental machinery exists for.
+constexpr unsigned kIncRounds = 8;
+
+bool incrementalDisabled() {
+  const char *E = getenv("GADT_INCREMENTAL");
+  return E && std::string(E) == "0";
+}
+
+void BM_ColdRebuild(benchmark::State &State) {
+  runtime::EditSessionOptions Opts;
+  Opts.ForceFullRebuild = true;
+  runtime::EditSession S(Opts);
+  const std::string A = workload::incrementalEditProgram(kIncLeaves, 1, 1, kIncRounds);
+  const std::string B = workload::incrementalEditProgram(kIncLeaves, 1, 2, kIncRounds);
+  S.begin(A).commit();
+  bool Flip = false;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto T = S.begin(Flip ? A : B);
+    State.ResumeTiming();
+    auto St = T.commit();
+    benchmark::DoNotOptimize(St.PdgRebuilt);
+    Flip = !Flip;
+  }
+}
+BENCHMARK(BM_ColdRebuild);
+
+/// Re-commit after editing one leaf body out of kIncLeaves + 2 routines —
+/// the surgical best case: one PDG rebuild, one routine recompiled,
+/// everything else replayed.
+void BM_IncrementalEditLeaf(benchmark::State &State) {
+  runtime::EditSessionOptions Opts;
+  Opts.ForceFullRebuild = incrementalDisabled();
+  runtime::EditSession S(Opts);
+  const std::string A = workload::incrementalEditProgram(kIncLeaves, 1, 1, kIncRounds);
+  const std::string B = workload::incrementalEditProgram(kIncLeaves, 1, 2, kIncRounds);
+  S.begin(A).commit();
+  bool Flip = false;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto T = S.begin(Flip ? A : B);
+    State.ResumeTiming();
+    auto St = T.commit();
+    benchmark::DoNotOptimize(St.PdgReplayed);
+    Flip = !Flip;
+  }
+}
+BENCHMARK(BM_IncrementalEditLeaf);
+
+/// Re-commit after editing the hub's body: one PDG rebuild too, but the
+/// dirty routine calls every leaf, so the slice-perturbation frontier and
+/// the summary re-solve (hub + main) are as wide as a single edit gets.
+void BM_IncrementalEditHub(benchmark::State &State) {
+  runtime::EditSessionOptions Opts;
+  Opts.ForceFullRebuild = incrementalDisabled();
+  runtime::EditSession S(Opts);
+  const std::string A = workload::incrementalEditProgram(kIncLeaves, 0, 0, kIncRounds);
+  std::string B = A;
+  const std::string From = "  b := s;";
+  B.replace(B.find(From), From.size(), "  b := s + 1;");
+  S.begin(A).commit();
+  bool Flip = false;
+  for (auto _ : State) {
+    State.PauseTiming();
+    auto T = S.begin(Flip ? A : B);
+    State.ResumeTiming();
+    auto St = T.commit();
+    benchmark::DoNotOptimize(St.SummaryRecomputed);
+    Flip = !Flip;
+  }
+}
+BENCHMARK(BM_IncrementalEditHub);
 
 //===--------------------------------------------------------------------===//
 // Debugger-strategy benchmarks (X10): search cost over large synthetic

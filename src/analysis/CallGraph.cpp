@@ -2,6 +2,7 @@
 
 #include "analysis/CallGraph.h"
 
+#include "pascal/ASTMatch.h"
 #include "support/Casting.h"
 
 #include <algorithm>
@@ -101,6 +102,60 @@ CallGraph::CallGraph(const Program &P) {
     forEachStmt(R->getBody(), [&](Stmt *S) {
       std::vector<CallSite> InStmt = collectCallsInStmt(R, S);
       Sites.insert(Sites.end(), InStmt.begin(), InStmt.end());
+    });
+  });
+  for (const RoutineDecl *R : Routines) {
+    const auto &RS = SitesByCaller[R];
+    Sites.insert(Sites.end(), RS.begin(), RS.end());
+  }
+}
+
+CallGraph::CallGraph(const Program &P, const CallGraph &Old,
+                     const pascal::AstMap &Map,
+                     const std::vector<char> &CleanBody) {
+  size_t Pos = 0;
+  forEachRoutine(P.getMain(), [&](RoutineDecl *R) {
+    const size_t I = Pos++;
+    Routines.push_back(R);
+    std::vector<CallSite> &RS = SitesByCaller[R];
+    if (!R->getBody())
+      return;
+    if (I < CleanBody.size() && CleanBody[I] && I < Old.Routines.size()) {
+      // The body is byte-identical to the old routine's and every node is
+      // mapped, so the old site list translates index-for-index. The kind
+      // checks below are defensive: a mistranslated node demotes the
+      // routine to the walk instead of producing a wrong graph.
+      const std::vector<CallSite> &OldSites =
+          Old.callSitesIn(Old.Routines[I]);
+      RS.reserve(OldSites.size());
+      bool Ok = true;
+      for (const CallSite &CS : OldSites) {
+        CallSite NS;
+        NS.Caller = R;
+        NS.Callee = Map.routine(CS.Callee);
+        NS.AtStmt = Map.stmt(CS.AtStmt);
+        if (CS.CallStmt) {
+          const Stmt *MS = Map.stmt(CS.CallStmt);
+          NS.CallStmt = MS ? dyn_cast<ProcCallStmt>(MS) : nullptr;
+        }
+        if (CS.CallExpr) {
+          const Expr *ME = Map.expr(CS.CallExpr);
+          NS.CallExpr = ME ? dyn_cast<pascal::CallExpr>(ME) : nullptr;
+        }
+        if ((CS.Callee && !NS.Callee) || !NS.AtStmt ||
+            (CS.CallStmt && !NS.CallStmt) || (CS.CallExpr && !NS.CallExpr)) {
+          Ok = false;
+          break;
+        }
+        RS.push_back(NS);
+      }
+      if (Ok)
+        return;
+      RS.clear();
+    }
+    forEachStmt(R->getBody(), [&](Stmt *S) {
+      std::vector<CallSite> InStmt = collectCallsInStmt(R, S);
+      RS.insert(RS.end(), InStmt.begin(), InStmt.end());
     });
   });
   for (const RoutineDecl *R : Routines) {

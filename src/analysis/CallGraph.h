@@ -20,6 +20,11 @@
 #include <vector>
 
 namespace gadt {
+
+namespace pascal {
+class AstMap;
+} // namespace pascal
+
 namespace analysis {
 
 /// One syntactic call: the calling routine, the enclosing statement, and
@@ -41,6 +46,17 @@ struct CallSite {
 class CallGraph {
 public:
   explicit CallGraph(const pascal::Program &P);
+
+  /// Incremental variant (runtime/EditSession.cpp): routines flagged in
+  /// \p CleanBody — indexed by preorder position, which the caller
+  /// guarantees pairs \p Old and \p P routine-for-routine — have
+  /// structurally unchanged, fully mapped bodies, so their call sites are
+  /// translated pointer-for-pointer from \p Old through \p Map instead of
+  /// re-walking the body. Any routine that is dirty, unflagged, or fails
+  /// translation falls back to the walk; the result is always identical to
+  /// the from-scratch constructor.
+  CallGraph(const pascal::Program &P, const CallGraph &Old,
+            const pascal::AstMap &Map, const std::vector<char> &CleanBody);
 
   const std::vector<CallSite> &callSitesIn(const pascal::RoutineDecl *R) const;
   const std::vector<CallSite> &allCallSites() const { return Sites; }

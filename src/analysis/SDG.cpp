@@ -8,9 +8,12 @@
 #include "analysis/DefUse.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "pascal/ASTMatch.h"
 #include "support/Casting.h"
 #include "support/Parallel.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <deque>
 #include <map>
@@ -61,25 +64,6 @@ namespace gadt {
 namespace analysis {
 namespace detail {
 
-/// One directed edge during construction, before the CSR finalize.
-struct PendingEdge {
-  SDGNodeId From, To;
-  SDGEdgeKind K;
-};
-
-/// The routine-local PDG one worker produces: nodes and edges under local
-/// ids (0-based within the routine), merged into the global arena with a
-/// per-routine base offset. Everything in here is routine-local state, so
-/// workers never touch shared data.
-struct RoutinePdg {
-  const RoutineDecl *R = nullptr;
-  std::vector<SDGNode> Nodes;       ///< local ids = index
-  std::vector<PendingEdge> Edges;   ///< local ids, chronological, deduped
-  std::vector<SDGCallRecord> Calls; ///< all vertex ids local
-  std::vector<std::pair<const Stmt *, uint32_t>> StmtNodes;
-  uint32_t EntryLocal = SDGNoNode;
-};
-
 struct SDGBuilder {
   SDG &G;
   explicit SDGBuilder(SDG &G) : G(G) {}
@@ -109,12 +93,117 @@ struct SDGBuilder {
   /// Builds the program dependence graph of one routine into \p P.
   void buildRoutine(const RoutineDecl *R, RoutinePdg &P);
 
-  /// Serial phases over the merged arena.
-  void merge(std::vector<RoutinePdg> &Locals);
+  /// Serial phases over the merged arena. merge reads the per-routine
+  /// arenas without mutating them (relocation happens on the copies pushed
+  /// into the graph), so the caller can move \p Locals into the replay
+  /// snapshot afterwards instead of deep-copying it up front.
+  void merge(const std::vector<RoutinePdg> &Locals);
   void buildCallLinkage(std::vector<PendingEdge> &Edges);
-  void computeSummaryEdges(std::vector<PendingEdge> &Edges);
-  void finalizeCSR(const std::vector<PendingEdge> &Edges);
+  /// Summary fixpoint. Cold mode (\p Affected null): seed every formal-out.
+  /// Partial mode: seed only routines flagged in \p Affected and pre-install
+  /// the cached pair sets (\p OldPairs) of unaffected callees — the BFS
+  /// provably never enters an unaffected routine because the affected set
+  /// is closed under "callers of". Either way the resulting per-routine
+  /// pair sets are sorted and call-site summary edges are materialized in
+  /// call-record order, so a partial rebuild is byte-identical to a cold
+  /// one. The pair sets are left in G.SummaryPairsV (the ctor clears them
+  /// when replay data isn't wanted).
+  void computeSummaryEdges(std::vector<PendingEdge> &Edges,
+                           const std::vector<char> *Affected,
+                           const std::vector<SummaryPairList> *OldPairs);
+  /// \p InsOnly builds only the incoming-edge side — enough for the
+  /// summary fixpoint, which walks predecessors exclusively; the final
+  /// call after summary edges materializes both sides. \p InMask (valid
+  /// with InsOnly) keeps only edges into flagged nodes: the partial
+  /// fixpoint provably never reads predecessors of unaffected routines'
+  /// nodes, so their adjacency need not be materialized at all.
+  void finalizeCSR(const std::vector<PendingEdge> &Edges,
+                   bool InsOnly = false,
+                   const std::vector<char> *InMask = nullptr);
+
+  /// Copies the old build's pre-merge PDG of one routine and rewrites
+  /// every AST pointer through \p Map onto the new program. Returns false
+  /// (leaving \p P in an unspecified state) if anything fails to
+  /// correspond — the caller then rebuilds the routine from scratch.
+  static bool replayRoutinePdg(const RoutinePdg &Old,
+                               const RoutineDecl *NewR,
+                               const pascal::AstMap &Map,
+                               const CallGraph &NewCG, RoutinePdg &P);
 };
+
+bool SDGBuilder::replayRoutinePdg(const RoutinePdg &Old,
+                                  const RoutineDecl *NewR,
+                                  const pascal::AstMap &Map,
+                                  const CallGraph &NewCG, RoutinePdg &P) {
+  P.R = NewR;
+  P.Nodes = Old.Nodes;
+  P.Edges = Old.Edges;
+  P.EntryLocal = Old.EntryLocal;
+  for (SDGNode &N : P.Nodes) {
+    N.Routine = NewR;
+    if (N.S) {
+      const Stmt *NS = Map.stmt(N.S);
+      if (!NS)
+        return false;
+      N.S = NS;
+    }
+    if (N.Var) {
+      const VarDecl *NV = Map.var(N.Var);
+      if (!NV)
+        return false;
+      N.Var = NV;
+    }
+    // Re-pointed at the new call records by merge().
+    N.Call = nullptr;
+  }
+  P.StmtNodes.clear();
+  P.StmtNodes.reserve(Old.StmtNodes.size());
+  for (const auto &[S, Local] : Old.StmtNodes) {
+    const Stmt *NS = Map.stmt(S);
+    if (!NS)
+      return false;
+    P.StmtNodes.push_back({NS, Local});
+  }
+  // Re-anchor the call records on the new call graph's sites. A clean body
+  // yields the same site sequence, so records pair up positionally; verify
+  // the correspondence anyway.
+  std::vector<const CallSite *> NewSites;
+  for (const CallSite &CS : NewCG.callSitesIn(NewR))
+    if (CS.Callee)
+      NewSites.push_back(&CS);
+  if (NewSites.size() != Old.Calls.size())
+    return false;
+  P.Calls = Old.Calls;
+  for (size_t I = 0; I != P.Calls.size(); ++I) {
+    SDGCallRecord &Rec = P.Calls[I];
+    const CallSite &NS = *NewSites[I];
+    if (Map.routine(Rec.Site.Callee) != NS.Callee ||
+        Map.stmt(Rec.Site.AtStmt) != NS.AtStmt)
+      return false;
+    Rec.Site = NS;
+    std::unordered_map<const VarDecl *, SDGNodeId> In, Out;
+    In.reserve(Rec.InByGlobal.size());
+    Out.reserve(Rec.OutByGlobal.size());
+    for (const auto &[V, Id] : Rec.InByGlobal) {
+      const VarDecl *NV = Map.var(V);
+      if (!NV)
+        return false;
+      In.emplace(NV, Id);
+    }
+    for (const auto &[V, Id] : Rec.OutByGlobal) {
+      const VarDecl *NV = Map.var(V);
+      if (!NV)
+        return false;
+      Out.emplace(NV, Id);
+    }
+    Rec.InByGlobal = std::move(In);
+    Rec.OutByGlobal = std::move(Out);
+    // Refilled by call linkage against the new callee formals.
+    Rec.AIByFormalIn.clear();
+    Rec.AOByFormalOut.clear();
+  }
+  return true;
+}
 
 static int paramIndexIn(const RoutineDecl *R, const VarDecl *V) {
   const auto &Params = R->getParams();
@@ -350,7 +439,7 @@ void SDGBuilder::buildRoutine(const RoutineDecl *R, RoutinePdg &P) {
   }
 }
 
-void SDGBuilder::merge(std::vector<RoutinePdg> &Locals) {
+void SDGBuilder::merge(const std::vector<RoutinePdg> &Locals) {
   // Prefix-sum the per-routine node counts into deterministic id bases —
   // the order is CG->routines() (call-graph preorder), exactly the order
   // the old serial build allocated ids in.
@@ -370,18 +459,20 @@ void SDGBuilder::merge(std::vector<RoutinePdg> &Locals) {
   G.RoutineIdx.reserve(Locals.size());
 
   for (size_t I = 0; I != Locals.size(); ++I) {
-    RoutinePdg &P = Locals[I];
+    const RoutinePdg &P = Locals[I];
     SDGNodeId Base = G.Ranges[I].Begin;
     G.RoutineIdx.emplace(P.R, static_cast<uint32_t>(I));
-    for (SDGNode &N : P.Nodes) {
-      N.Id += Base;
+    for (const SDGNode &N : P.Nodes) {
       G.NodesV.push_back(N);
+      G.NodesV.back().Id += Base;
     }
     assert(P.EntryLocal != SDGNoNode && "routine without entry vertex");
     G.Entries.emplace(P.R, Base + P.EntryLocal);
     for (const auto &[S, Local] : P.StmtNodes)
       G.StmtMap.emplace(S, Base + Local);
-    for (SDGCallRecord &Rec : P.Calls) {
+    for (const SDGCallRecord &Src : P.Calls) {
+      G.CallsV.push_back(Src);
+      SDGCallRecord &Rec = G.CallsV.back();
       Rec.CallVertex += Base;
       for (SDGNodeId &Id : Rec.ActualIns)
         Id += Base;
@@ -399,7 +490,6 @@ void SDGBuilder::merge(std::vector<RoutinePdg> &Locals) {
         Id += Base;
       if (Rec.ResultOut != SDGNoNode)
         Rec.ResultOut += Base;
-      G.CallsV.push_back(std::move(Rec));
     }
   }
   // Call-record addresses are stable now; point the actual vertices at
@@ -492,7 +582,9 @@ void SDGBuilder::buildCallLinkage(std::vector<PendingEdge> &Edges) {
   FoCountSaved = std::move(FoCount);
 }
 
-void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges) {
+void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges,
+                                     const std::vector<char> *Affected,
+                                     const std::vector<SummaryPairList> *OldPairs) {
   // Worklist of "path edges" (n, fo): vertex n reaches formal-out fo along
   // a realizable same-level path within fo's routine. Per vertex the
   // reached formal-outs are one bitset row over the *owning routine's*
@@ -527,6 +619,10 @@ void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges) {
   std::deque<std::pair<SDGNodeId, uint32_t>> Work;
   uint64_t PathPairs = 0;
 
+  // The portable result: per-routine (fi, fo) pair sets, in discovery
+  // order here, sorted before materialization.
+  std::vector<SummaryPairList> RoutinePairs(G.Ranges.size());
+
   auto addPair = [&](SDGNodeId Node, uint32_t Fo) {
     uint64_t Bit = BitBase[Node] + Fo;
     uint64_t Mask = uint64_t(1) << (Bit % 64);
@@ -538,8 +634,31 @@ void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges) {
     FosReached[Node].push_back(Fo);
   };
 
+  // Partial mode: replay the cached pair sets of unaffected routines and
+  // pre-install the summary in-edges they imply at their call sites, so
+  // paths through calls to unaffected callees propagate in the BFS without
+  // ever entering the callee.
+  if (Affected) {
+    for (size_t R = 0; R != G.Ranges.size(); ++R)
+      if (!(*Affected)[R])
+        RoutinePairs[R] = (*OldPairs)[R];
+    for (const SDGCallRecord &Rec : G.CallsV) {
+      uint32_t CalleeIdx = G.RoutineIdx.at(Rec.Site.Callee);
+      if ((*Affected)[CalleeIdx])
+        continue;
+      for (const auto &[Fi, Fo] : RoutinePairs[CalleeIdx]) {
+        SDGNodeId AI = Rec.AIByFormalIn[Fi];
+        SDGNodeId AO = Rec.AOByFormalOut[Fo];
+        if (AI == SDGNoNode || AO == SDGNoNode ||
+            !SummarySeen.insert((uint64_t(AI) << 32) | AO).second)
+          continue;
+        SummaryIns[AO].push_back(AI);
+      }
+    }
+  }
+
   for (SDGNodeId Id = 0; Id != N; ++Id)
-    if (FoOrd[Id] >= 0)
+    if (FoOrd[Id] >= 0 && (!Affected || (*Affected)[NodeRoutine[Id]]))
       addPair(Id, static_cast<uint32_t>(FoOrd[Id]));
 
   while (!Work.empty()) {
@@ -547,19 +666,20 @@ void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges) {
     Work.pop_front();
 
     if (G.NodesV[Node].getKind() == SDGNode::Kind::FormalIn) {
-      // A same-level path fi ->* fo induces summary edges ai -> ao at every
-      // call to this routine.
+      // A same-level path fi ->* fo is a summary pair of this routine and
+      // induces summary edges ai -> ao at every call to it.
       uint32_t Fi = static_cast<uint32_t>(FiOrd[Node]);
-      for (uint32_t CallIdx : CallsTo[NodeRoutine[Node]]) {
+      uint32_t R = NodeRoutine[Node];
+      assert(!Affected || (*Affected)[R]);
+      RoutinePairs[R].push_back({Fi, Fo});
+      for (uint32_t CallIdx : CallsTo[R]) {
         const SDGCallRecord &Rec = G.CallsV[CallIdx];
         SDGNodeId AI = Rec.AIByFormalIn[Fi];
         SDGNodeId AO = Rec.AOByFormalOut[Fo];
         if (AI == SDGNoNode || AO == SDGNoNode ||
             !SummarySeen.insert((uint64_t(AI) << 32) | AO).second)
           continue;
-        Edges.push_back({AI, AO, SDGEdgeKind::Summary});
         SummaryIns[AO].push_back(AI);
-        ++G.NumSummary;
         // The new edge extends any path already known to leave AO.
         for (uint32_t Fo2 : FosReached[AO])
           addPair(AI, Fo2);
@@ -578,16 +698,53 @@ void SDGBuilder::computeSummaryEdges(std::vector<PendingEdge> &Edges) {
       addPair(AI, Fo);
   }
 
+  // Canonical materialization: per call record (in record order), per
+  // sorted (fi, fo) pair of its callee. This makes the summary edge order
+  // a function of the final pair sets alone — identical for cold and
+  // partial builds.
+  for (SummaryPairList &PL : RoutinePairs)
+    std::sort(PL.begin(), PL.end());
+  G.NumSummary = 0;
+  for (const SDGCallRecord &Rec : G.CallsV) {
+    uint32_t CalleeIdx = G.RoutineIdx.at(Rec.Site.Callee);
+    for (const auto &[Fi, Fo] : RoutinePairs[CalleeIdx]) {
+      SDGNodeId AI = Rec.AIByFormalIn[Fi];
+      SDGNodeId AO = Rec.AOByFormalOut[Fo];
+      if (AI == SDGNoNode || AO == SDGNoNode)
+        continue;
+      Edges.push_back({AI, AO, SDGEdgeKind::Summary});
+      ++G.NumSummary;
+    }
+  }
+  G.SummaryPairsV = std::move(RoutinePairs);
+
   static obs::Counter &PairC =
       obs::Registry::global().counter("analysis.sdg.summary.pairs");
   PairC.add(PathPairs);
 }
 
-void SDGBuilder::finalizeCSR(const std::vector<PendingEdge> &Edges) {
+void SDGBuilder::finalizeCSR(const std::vector<PendingEdge> &Edges,
+                             bool InsOnly,
+                             const std::vector<char> *InMask) {
   // Stable counting sort by endpoint: per-vertex adjacency comes out in
   // exactly the order the edges were recorded, matching the append order
   // of the old pointer-graph representation.
   const size_t N = G.NodesV.size();
+  if (InsOnly) {
+    G.InOff.assign(N + 1, 0);
+    for (const PendingEdge &E : Edges)
+      if (!InMask || (*InMask)[E.To])
+        ++G.InOff[E.To + 1];
+    for (size_t I = 0; I != N; ++I)
+      G.InOff[I + 1] += G.InOff[I];
+    G.InE.resize(G.InOff[N]);
+    std::vector<uint32_t> InCur(G.InOff.begin(), G.InOff.end() - 1);
+    for (const PendingEdge &E : Edges)
+      if (!InMask || (*InMask)[E.To])
+        G.InE[InCur[E.To]++] = {E.From, E.K};
+    G.NumEdges = static_cast<unsigned>(Edges.size());
+    return;
+  }
   G.OutOff.assign(N + 1, 0);
   G.InOff.assign(N + 1, 0);
   for (const PendingEdge &E : Edges) {
@@ -620,48 +777,119 @@ void SDGBuilder::finalizeCSR(const std::vector<PendingEdge> &Edges) {
 SDG::~SDG() = default;
 
 SDG::SDG(const Program &P, SDGBuildOptions Opts)
-    : CG(std::make_unique<CallGraph>(P)),
-      SEA(std::make_unique<SideEffectAnalysis>(P, *CG)) {
+    : CG(Opts.SharedCG ? Opts.SharedCG : std::make_shared<CallGraph>(P)),
+      SEA(Opts.SharedSEA ? Opts.SharedSEA
+                         : std::make_shared<SideEffectAnalysis>(P, *CG)) {
   obs::Span Span("sdg", "analysis");
   detail::SDGBuilder B(*this);
 
   const std::vector<const RoutineDecl *> &Routines = CG->routines();
   std::vector<detail::RoutinePdg> Locals(Routines.size());
   unsigned Threads = support::resolveThreads(Opts.Threads);
+
+  // Validate the reuse plan's shape; a malformed plan degrades to a cold
+  // build rather than failing.
+  const SDGReusePlan *Reuse = Opts.Reuse;
+  bool CanReuse = Reuse && Reuse->Old && Reuse->Map &&
+                  Reuse->Old->Pdgs.size() == Routines.size() &&
+                  Reuse->Old->SummaryPairsV.size() == Routines.size() &&
+                  Reuse->Replay.size() == Routines.size() &&
+                  Reuse->SummaryAffected.size() == Routines.size();
+  std::atomic<unsigned> Replayed{0};
+  std::atomic<bool> ReplayFellBack{false};
   {
     obs::Span Pdg("sdg.pdg", "analysis");
     Pdg.arg("threads", Threads);
     // Routine-local phase: CFG, control deps, reaching defs and all
-    // intra-routine vertices/edges, under local ids. Safe to fan out —
-    // workers share only the immutable AST, call graph and effect sets.
-    // Each worker needs its own dedup map, so give every index a builder.
+    // intra-routine vertices/edges, under local ids — or, with a reuse
+    // plan, a pointer-remapped copy of the old build's PDG for routines
+    // the edit left clean. Safe to fan out — workers share only the
+    // immutable ASTs, call graph and effect sets. Each worker needs its
+    // own dedup map, so give every index a builder.
     support::parallelFor(Threads, Routines.size(), [&](size_t I) {
+      if (CanReuse && Reuse->Replay[I]) {
+        if (detail::SDGBuilder::replayRoutinePdg(Reuse->Old->Pdgs[I], Routines[I],
+                                     *Reuse->Map, *CG, Locals[I])) {
+          Replayed.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        // A failed replay invalidates the plan's summary partition too
+        // (this routine was assumed clean); note it and rebuild.
+        ReplayFellBack.store(true, std::memory_order_relaxed);
+        Locals[I] = detail::RoutinePdg();
+      }
       detail::SDGBuilder Local(*this);
       Local.buildRoutine(Routines[I], Locals[I]);
     });
   }
 
   // Serial phases: deterministic id assignment + merge, interprocedural
-  // linkage, summary fixpoint, CSR finalize.
-  B.merge(Locals);
+  // linkage, summary fixpoint, CSR finalize. merge leaves the per-routine
+  // arenas untouched (they still hold local ids and their own node copies),
+  // so the replay snapshot below is a move, not a deep copy.
   std::vector<detail::PendingEdge> Edges;
-  size_t IntraEdges = 0;
-  for (const detail::RoutinePdg &L : Locals)
-    IntraEdges += L.Edges.size();
-  Edges.reserve(IntraEdges);
-  for (size_t I = 0; I != Locals.size(); ++I) {
-    SDGNodeId Base = Ranges[I].Begin;
-    for (const detail::PendingEdge &E : Locals[I].Edges)
-      Edges.push_back({E.From + Base, E.To + Base, E.K});
+  {
+    obs::Span Merge("sdg.merge", "analysis");
+    B.merge(Locals);
+    size_t IntraEdges = 0;
+    for (const detail::RoutinePdg &L : Locals)
+      IntraEdges += L.Edges.size();
+    Edges.reserve(IntraEdges);
+    for (size_t I = 0; I != Locals.size(); ++I) {
+      SDGNodeId Base = Ranges[I].Begin;
+      for (const detail::PendingEdge &E : Locals[I].Edges)
+        Edges.push_back({E.From + Base, E.To + Base, E.K});
+    }
+    if (Opts.KeepReplayData)
+      Pdgs = std::move(Locals);
   }
-  B.buildCallLinkage(Edges);
-  B.finalizeCSR(Edges);
+  {
+    obs::Span Linkage("sdg.linkage", "analysis");
+    B.buildCallLinkage(Edges);
+  }
+  bool PartialSummary =
+      CanReuse && !ReplayFellBack.load(std::memory_order_relaxed);
+  {
+    obs::Span Csr("sdg.csr", "analysis");
+    if (PartialSummary) {
+      std::vector<char> Mask(NodesV.size(), 0);
+      for (size_t I = 0; I != Ranges.size(); ++I)
+        if (Reuse->SummaryAffected[I])
+          std::fill(Mask.begin() + Ranges[I].Begin,
+                    Mask.begin() + Ranges[I].End, 1);
+      B.finalizeCSR(Edges, /*InsOnly=*/true, &Mask);
+    } else {
+      B.finalizeCSR(Edges, /*InsOnly=*/true);
+    }
+  }
   {
     obs::Span Summary("sdg.summary", "analysis");
-    B.computeSummaryEdges(Edges);
+    B.computeSummaryEdges(Edges,
+                          PartialSummary ? &Reuse->SummaryAffected : nullptr,
+                          PartialSummary ? &Reuse->Old->SummaryPairsV
+                                         : nullptr);
     Summary.arg("summary", NumSummary);
   }
-  B.finalizeCSR(Edges);
+  {
+    obs::Span Csr("sdg.csr", "analysis");
+    B.finalizeCSR(Edges);
+  }
+  if (!Opts.KeepReplayData)
+    SummaryPairsV.clear();
+  if (Opts.Stats) {
+    Opts.Stats->PdgReplayed = Replayed.load(std::memory_order_relaxed);
+    Opts.Stats->PdgBuilt =
+        static_cast<unsigned>(Routines.size()) - Opts.Stats->PdgReplayed;
+    Opts.Stats->ReplayFellBack = !PartialSummary && CanReuse;
+    unsigned AffectedCount = 0;
+    if (PartialSummary) {
+      for (char C : Reuse->SummaryAffected)
+        AffectedCount += C ? 1 : 0;
+    } else {
+      AffectedCount = static_cast<unsigned>(Routines.size());
+    }
+    Opts.Stats->SummaryRecomputed = AffectedCount;
+  }
 
   Span.arg("routines", Routines.size());
   Span.arg("nodes", NodesV.size());

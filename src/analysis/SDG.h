@@ -43,6 +43,11 @@
 #include <vector>
 
 namespace gadt {
+
+namespace pascal {
+class AstMap;
+} // namespace pascal
+
 namespace analysis {
 
 class SDG;
@@ -175,6 +180,69 @@ struct SDGCallRecord {
   SDGNodeId actualOutForResult() const { return ResultOut; }
 };
 
+namespace detail {
+
+/// One directed edge during construction, before the CSR finalize.
+struct PendingEdge {
+  SDGNodeId From, To;
+  SDGEdgeKind K;
+};
+
+/// The routine-local PDG one worker produces: nodes and edges under local
+/// ids (0-based within the routine), merged into the global arena with a
+/// per-routine base offset. Everything in here is routine-local state, so
+/// workers never touch shared data. An SDG built with KeepReplayData keeps
+/// a pre-merge snapshot of these per routine — the unit the incremental
+/// rebuild replays (pointer-remapped onto the new AST) for clean routines.
+struct RoutinePdg {
+  const pascal::RoutineDecl *R = nullptr;
+  std::vector<SDGNode> Nodes;       ///< local ids = index
+  std::vector<PendingEdge> Edges;   ///< local ids, chronological, deduped
+  std::vector<SDGCallRecord> Calls; ///< all vertex ids local
+  std::vector<std::pair<const pascal::Stmt *, uint32_t>> StmtNodes;
+  uint32_t EntryLocal = SDGNoNode;
+};
+
+} // namespace detail
+
+/// A summary pair (formal-in ordinal, formal-out ordinal) of one routine:
+/// "this formal-in reaches that formal-out along a realizable same-level
+/// path". The per-routine pair sets are the portable form of the summary
+/// fixpoint — call-site summary edges are materialized from them in call
+/// record order, and an incremental rebuild replays them for routines whose
+/// fixpoint support didn't change.
+using SummaryPairList = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Instructions for rebuilding an SDG after an edit, reusing per-routine
+/// artifacts of the previous build (which must have been constructed with
+/// KeepReplayData). Index I everywhere refers to the I-th routine of the
+/// *new* program's call-graph preorder; the planner guarantees the old
+/// program has the same routine list, so indices align.
+struct SDGReusePlan {
+  /// The previous build to replay from.
+  const SDG *Old = nullptr;
+  /// Old-AST -> new-AST node correspondence for all clean routines.
+  const pascal::AstMap *Map = nullptr;
+  /// Replay[I] != 0: copy routine I's PDG from the old build (pointers
+  /// remapped through Map) instead of rebuilding it.
+  std::vector<char> Replay;
+  /// SummaryAffected[I] != 0: routine I's summary pairs must be recomputed
+  /// (the routine is dirty or transitively calls a dirty routine... more
+  /// precisely: dirty or a transitive *caller* of a dirty routine, the
+  /// upward closure). Unaffected routines replay their cached pairs. Must
+  /// be closed under "callers of": the partial fixpoint only seeds
+  /// affected routines' formal-outs.
+  std::vector<char> SummaryAffected;
+};
+
+/// Counters an incremental build reports back to the transaction.
+struct SDGRebuildStats {
+  unsigned PdgBuilt = 0;        ///< routines whose PDG was rebuilt
+  unsigned PdgReplayed = 0;     ///< routines replayed from the old build
+  unsigned SummaryRecomputed = 0; ///< routines in the partial fixpoint
+  bool ReplayFellBack = false;  ///< a planned replay failed verification
+};
+
 /// Construction options.
 struct SDGBuildOptions {
   /// Worker threads for the per-routine PDG phase: 1 builds serially on
@@ -182,6 +250,19 @@ struct SDGBuildOptions {
   /// thread. Node ids, edges and all renderings are identical for every
   /// value — linkage and summary edges always run serially.
   unsigned Threads = 1;
+  /// Keep the pre-merge per-routine PDG snapshots and the per-routine
+  /// summary pair sets, so a later build can reuse them via SDGReusePlan.
+  bool KeepReplayData = false;
+  /// Reuse plan from a previous build (null: build everything cold).
+  const SDGReusePlan *Reuse = nullptr;
+  /// When non-null, filled with what the build actually did.
+  SDGRebuildStats *Stats = nullptr;
+  /// Pre-built whole-program analyses over the same program, adopted
+  /// instead of recomputing them (the transaction layer already needs
+  /// both for its dirty rules, so rebuilding here would double the cost
+  /// of every commit). Null: the constructor builds its own.
+  std::shared_ptr<const CallGraph> SharedCG;
+  std::shared_ptr<const SideEffectAnalysis> SharedSEA;
 };
 
 /// The whole-program dependence graph.
@@ -225,6 +306,20 @@ public:
   unsigned numEdges() const { return NumEdges; }
   unsigned numSummaryEdges() const { return NumSummary; }
 
+  /// Number of routines == number of per-routine id ranges (call-graph
+  /// preorder, main first).
+  size_t numRoutines() const { return Ranges.size(); }
+  /// The contiguous [begin, end) id range of the I-th routine's vertices.
+  std::pair<SDGNodeId, SDGNodeId> routineRange(size_t I) const {
+    return {Ranges[I].Begin, Ranges[I].End};
+  }
+  /// Whether this build retained replay data (KeepReplayData was set).
+  bool hasReplayData() const { return !Pdgs.empty(); }
+  /// Per-routine summary pair sets, sorted; empty unless KeepReplayData.
+  const std::vector<SummaryPairList> &summaryPairs() const {
+    return SummaryPairsV;
+  }
+
   /// Renders all vertices and edges, for debugging.
   std::string str() const;
 
@@ -241,8 +336,8 @@ private:
     SDGNodeId Begin = 0, End = 0;
   };
 
-  std::unique_ptr<CallGraph> CG;
-  std::unique_ptr<SideEffectAnalysis> SEA;
+  std::shared_ptr<const CallGraph> CG;
+  std::shared_ptr<const SideEffectAnalysis> SEA;
   std::vector<SDGNode> NodesV;
   std::vector<SDGCallRecord> CallsV;
   /// Ranges parallel to CG->routines(), plus the routine -> index map.
@@ -256,6 +351,10 @@ private:
   std::vector<SDGEdge> OutE, InE;
   unsigned NumEdges = 0;
   unsigned NumSummary = 0;
+  /// Replay data (KeepReplayData builds only): pre-merge per-routine PDG
+  /// snapshots and the per-routine summary pair sets.
+  std::vector<detail::RoutinePdg> Pdgs;
+  std::vector<SummaryPairList> SummaryPairsV;
 };
 
 } // namespace analysis

@@ -3,9 +3,11 @@
 #include "analysis/SideEffects.h"
 
 #include "analysis/DefUse.h"
+#include "pascal/ASTMatch.h"
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_set>
 
 using namespace gadt;
 using namespace gadt::analysis;
@@ -24,8 +26,8 @@ namespace {
 /// Full access sets (any variable, local or not) per routine during the
 /// fixpoint.
 struct WorkSets {
-  std::set<const VarDecl *> Refs;
-  std::set<const VarDecl *> Mods;
+  std::unordered_set<const VarDecl *> Refs;
+  std::unordered_set<const VarDecl *> Mods;
 };
 
 unsigned paramIndexOf(const RoutineDecl *R, const VarDecl *V) {
@@ -48,22 +50,142 @@ bool varLess(const VarDecl *A, const VarDecl *B) {
   return A < B;
 }
 
+/// Gathers the direct (call-independent) accesses of \p R in one pass over
+/// its body. This intentionally mirrors computeStmtAccess's per-statement
+/// rules, but hoists the call-argument exclusion set to the routine level
+/// (every Expr node occurs exactly once in the AST, so an excluded var
+/// argument is excluded wherever the walk meets it) and skips the
+/// per-statement access/call-site materialization — on large routines that
+/// per-statement bookkeeping dominated the whole analysis.
+void collectDirect(const RoutineDecl *R, const std::vector<CallSite> &Calls,
+                   WorkSets &W) {
+  // Var arguments carry the callee's parameter effects; the fixpoint
+  // propagates those, so they never count as direct accesses.
+  std::unordered_set<const Expr *> Excluded;
+  for (const CallSite &CS : Calls) {
+    if (!CS.Callee)
+      continue;
+    const auto &Params = CS.Callee->getParams();
+    const auto &Args = CS.args();
+    for (size_t I = 0, N = std::min(Params.size(), Args.size()); I != N; ++I)
+      if (Params[I]->isReference())
+        Excluded.insert(Args[I].get());
+  }
+  auto UseExpr = [&](const Expr *E) {
+    if (!E)
+      return;
+    forEachExprIn(const_cast<Expr *>(E), [&](Expr *Sub) {
+      if (auto *VR = dyn_cast<VarRefExpr>(Sub))
+        if (VR->getDecl() && !Excluded.count(VR))
+          W.Refs.insert(VR->getDecl());
+    });
+  };
+  auto DefLValue = [&](const Expr *Target) {
+    if (const auto *VR = dyn_cast<VarRefExpr>(Target)) {
+      if (VR->getDecl())
+        W.Mods.insert(VR->getDecl());
+      return;
+    }
+    const auto *IE = cast<IndexExpr>(Target);
+    const auto *Base = cast<VarRefExpr>(IE->getBase());
+    if (Base->getDecl()) {
+      W.Mods.insert(Base->getDecl());
+      W.Refs.insert(Base->getDecl()); // partial update reads the array
+    }
+    UseExpr(IE->getIndex());
+  };
+  forEachStmt(const_cast<CompoundStmt *>(R->getBody()), [&](Stmt *S) {
+    switch (S->getKind()) {
+    case Stmt::Kind::Assign: {
+      const auto *AS = cast<AssignStmt>(S);
+      DefLValue(AS->getTarget());
+      UseExpr(AS->getValue());
+      break;
+    }
+    case Stmt::Kind::If:
+      UseExpr(cast<IfStmt>(S)->getCond());
+      break;
+    case Stmt::Kind::While:
+      UseExpr(cast<WhileStmt>(S)->getCond());
+      break;
+    case Stmt::Kind::Repeat:
+      UseExpr(cast<RepeatStmt>(S)->getCond());
+      break;
+    case Stmt::Kind::For: {
+      const auto *FS = cast<ForStmt>(S);
+      DefLValue(FS->getLoopVar());
+      UseExpr(FS->getFrom());
+      UseExpr(FS->getTo());
+      break;
+    }
+    case Stmt::Kind::ProcCall:
+      for (const ExprPtr &Arg : cast<ProcCallStmt>(S)->getArgs())
+        UseExpr(Arg.get());
+      break;
+    case Stmt::Kind::Read:
+      for (const ExprPtr &T : cast<ReadStmt>(S)->getTargets())
+        DefLValue(T.get());
+      break;
+    case Stmt::Kind::Write:
+      for (const ExprPtr &A : cast<WriteStmt>(S)->getArgs())
+        UseExpr(A.get());
+      break;
+    case Stmt::Kind::Compound:
+    case Stmt::Kind::Goto:
+    case Stmt::Kind::Labeled:
+    case Stmt::Kind::Empty:
+      break;
+    }
+  });
+}
+
 } // namespace
 
-SideEffectAnalysis::SideEffectAnalysis(const Program &P, const CallGraph &CG) {
-  // Gather the direct (call-independent) accesses of every routine once.
+SideEffectAnalysis::SideEffectAnalysis(const Program &P, const CallGraph &CG)
+    : SideEffectAnalysis(P, CG, nullptr, nullptr, nullptr) {}
+
+SideEffectAnalysis::SideEffectAnalysis(const Program &,
+                                       const CallGraph &CG,
+                                       const SideEffectAnalysis *Old,
+                                       const pascal::AstMap *Map,
+                                       const std::vector<char> *CleanDirect) {
+  // Direct access sets, one routine at a time: translated from the old
+  // analysis when the caller vouches the routine's body and binding are
+  // unchanged, walked from the body otherwise.
+  const std::vector<const RoutineDecl *> &Rs = CG.routines();
   std::map<const RoutineDecl *, WorkSets> Direct;
   std::map<const RoutineDecl *, std::vector<CallSite>> Calls;
-  for (const RoutineDecl *R : CG.routines()) {
+  DirectV.resize(Rs.size());
+  for (size_t I = 0; I != Rs.size(); ++I) {
+    const RoutineDecl *R = Rs[I];
     WorkSets &W = Direct[R];
     Calls[R] = CG.callSitesIn(R);
     if (!R->getBody())
       continue;
-    forEachStmt(const_cast<CompoundStmt *>(R->getBody()), [&](Stmt *S) {
-      StmtAccess A = computeStmtAccess(R, S);
-      W.Refs.insert(A.Uses.begin(), A.Uses.end());
-      W.Mods.insert(A.Defs.begin(), A.Defs.end());
-    });
+    bool Seeded = false;
+    if (Old && Map && CleanDirect && I < CleanDirect->size() &&
+        (*CleanDirect)[I] && I < Old->DirectV.size()) {
+      auto Translate = [&Map](const std::vector<const VarDecl *> &Vs,
+                              std::unordered_set<const VarDecl *> &Out) {
+        for (const VarDecl *V : Vs) {
+          const VarDecl *NV = Map->var(V);
+          if (!NV)
+            return false;
+          Out.insert(NV);
+        }
+        return true;
+      };
+      const DirectAccess &OldD = Old->DirectV[I];
+      Seeded = Translate(OldD.Refs, W.Refs) && Translate(OldD.Mods, W.Mods);
+      if (!Seeded) {
+        W.Refs.clear();
+        W.Mods.clear();
+      }
+    }
+    if (!Seeded)
+      collectDirect(R, Calls[R], W);
+    DirectV[I].Refs.assign(W.Refs.begin(), W.Refs.end());
+    DirectV[I].Mods.assign(W.Mods.begin(), W.Mods.end());
   }
 
   // Fixpoint over the call graph. Bottom-up order converges in one pass for

@@ -29,6 +29,11 @@
 #include <vector>
 
 namespace gadt {
+
+namespace pascal {
+class AstMap;
+} // namespace pascal
+
 namespace analysis {
 
 /// Per-routine effect sets. Variable sets are ordered by declaration name
@@ -53,6 +58,21 @@ class SideEffectAnalysis {
 public:
   SideEffectAnalysis(const pascal::Program &P, const CallGraph &CG);
 
+  /// Incremental variant (runtime/EditSession.cpp): routines flagged in
+  /// \p CleanDirect — indexed by preorder position, aligned with
+  /// CG.routines() and \p Old, which the caller guarantees pair
+  /// routine-for-routine — have unchanged bodies *and* unchanged name
+  /// binding (no frame edit anywhere on their lexical ancestor chain), so
+  /// their direct access sets are taken from \p Old translated
+  /// declaration-by-declaration through \p Map instead of re-walking the
+  /// body. Any unmapped declaration falls the routine back to the walk.
+  /// The interprocedural fixpoint always re-runs over the fresh direct
+  /// sets, so callee effect changes propagate exactly as in the
+  /// from-scratch constructor.
+  SideEffectAnalysis(const pascal::Program &P, const CallGraph &CG,
+                     const SideEffectAnalysis *Old, const pascal::AstMap *Map,
+                     const std::vector<char> *CleanDirect);
+
   const RoutineEffects &effects(const pascal::RoutineDecl *R) const;
 
   /// True when no routine in the program has global side effects — the
@@ -61,6 +81,16 @@ public:
 
 private:
   std::map<const pascal::RoutineDecl *, RoutineEffects> Effects;
+
+  /// Direct (call-independent) accesses per routine, aligned with the call
+  /// graph's preorder routine list. Retained so the next edit's analysis
+  /// can seed clean routines by translating these sets instead of
+  /// re-walking their bodies. Element order is incidental (set semantics);
+  /// everything published is re-sorted.
+  struct DirectAccess {
+    std::vector<const pascal::VarDecl *> Refs, Mods;
+  };
+  std::vector<DirectAccess> DirectV;
 };
 
 } // namespace analysis

@@ -50,6 +50,10 @@
 #include <vector>
 
 namespace gadt {
+namespace pascal {
+class AstMap;
+} // namespace pascal
+
 namespace bytecode {
 
 //===----------------------------------------------------------------------===//
@@ -189,6 +193,27 @@ struct CompiledRoutine {
   uint32_t NumRegs = 0;
 };
 
+/// The side-table rows one routine's code owns. Every table is emitted
+/// per routine in routine order (the const pool's dedup maps reset per
+/// routine to keep it that way), so a routine's rows form one contiguous
+/// run — the unit the incremental recompile splices.
+struct RoutineSegment {
+  uint32_t ConstStart = 0, ConstCount = 0;
+  uint32_t SiteStart = 0, SiteCount = 0;
+  uint32_t ArgStart = 0, ArgCount = 0;
+  uint32_t LoopStart = 0, LoopCount = 0;
+  uint32_t DebugStart = 0, DebugCount = 0;
+};
+
+/// AST provenance of one Debug row: the statement or expression whose
+/// location/name it carries. Replaying a routine's code across an edit
+/// refreshes DebugInfo::Loc from the remapped node, so line shifts caused
+/// by edits elsewhere in the file never leave stale locations behind.
+struct DebugSrc {
+  const pascal::Stmt *S = nullptr;
+  const pascal::Expr *E = nullptr;
+};
+
 /// A whole compiled program. Immutable after compilation; safe to share
 /// across threads and cache per program fingerprint. References the AST it
 /// was compiled from — the program must outlive it.
@@ -204,9 +229,33 @@ struct CompiledProgram {
   std::vector<ArgDesc> ArgPool; ///< flat storage indexed by CallSiteInfo
   std::vector<LoopInfo> Loops;
   std::vector<DebugInfo> Debug;
+  /// Per-routine spans of the side tables above, parallel to Routines.
+  std::vector<RoutineSegment> Segments;
+  /// Provenance of each Debug row, parallel to Debug.
+  std::vector<DebugSrc> DebugSources;
 
   /// Rough retained-size estimate for cache occupancy gauges.
   size_t memoryBytes() const;
+};
+
+/// What an incremental recompile may keep. Routines whose Replay flag is
+/// set are spliced from \p Old instead of recompiled: their instructions
+/// are copied with side-table indices shifted to the new layout, and the
+/// AST pointers in their Sites/ArgPool/Loops/Debug rows are remapped
+/// through \p Map onto the new program's nodes (refreshing the recorded
+/// source locations — an edit above a clean routine shifts its lines).
+struct CodeReusePlan {
+  const CompiledProgram *Old = nullptr;
+  const pascal::AstMap *Map = nullptr;
+  /// Parallel to the old program's Routines: nonzero = replay.
+  std::vector<char> Replay;
+};
+
+/// Counters an incremental recompile reports back.
+struct CodeRebuildStats {
+  unsigned Recompiled = 0;
+  unsigned Replayed = 0;
+  bool ReplayFellBack = false;
 };
 
 /// Compiles \p P (which must have storage slots assigned) to bytecode.
@@ -214,6 +263,15 @@ struct CompiledProgram {
 /// not support; \p WhyNot (optional) receives the first reason.
 std::shared_ptr<const CompiledProgram>
 compile(const pascal::Program &P, bool Checked, std::string *WhyNot = nullptr);
+
+/// Incremental variant: recompiles only routines \p Reuse marks dirty and
+/// replays the rest from Reuse.Old. Falls back to a full compile (setting
+/// Stats->ReplayFellBack) when the plan does not line up with the new
+/// program — never fails where the full compiler would succeed.
+std::shared_ptr<const CompiledProgram>
+compileWithReuse(const pascal::Program &P, bool Checked,
+                 const CodeReusePlan &Reuse, CodeRebuildStats *Stats,
+                 std::string *WhyNot = nullptr);
 
 } // namespace bytecode
 } // namespace gadt

@@ -26,6 +26,7 @@
 
 #include "bytecode/Bytecode.h"
 
+#include "pascal/ASTMatch.h"
 #include "support/Casting.h"
 
 #include <map>
@@ -45,6 +46,8 @@ size_t CompiledProgram::memoryBytes() const {
   Bytes += Loops.size() * sizeof(LoopInfo);
   for (const DebugInfo &D : Debug)
     Bytes += sizeof(DebugInfo) + D.Name.size();
+  Bytes += Segments.size() * sizeof(RoutineSegment);
+  Bytes += DebugSources.size() * sizeof(DebugSrc);
   return Bytes;
 }
 
@@ -59,8 +62,14 @@ struct COperand {
 
 class Compiler {
 public:
-  Compiler(const Program &P, bool Checked)
-      : Prog(P), Checked(Checked) {}
+  Compiler(const Program &P, bool Checked,
+           const CodeReusePlan *Reuse = nullptr)
+      : Prog(P), Checked(Checked), Reuse(Reuse) {}
+
+  /// True when a reuse plan was supplied but could not be applied; the
+  /// caller restarts with a plain full compile.
+  bool replayFailed() const { return ReplayFail; }
+  unsigned replayedCount() const { return Replayed; }
 
   std::shared_ptr<const CompiledProgram> run(std::string *WhyNot) {
     auto CP = std::make_shared<CompiledProgram>();
@@ -74,8 +83,26 @@ public:
     RoutineIdx.reserve(64);
     ScalarConsts.reserve(64);
     indexRoutines(Prog.getMain());
-    for (size_t I = 0; I != RoutineList.size() && Ok; ++I)
+    bool UsePlan = Reuse != nullptr;
+    if (UsePlan && !planUsable()) {
+      UsePlan = false;
+      ReplayFail = true; // surfaced as a fallback; full compile proceeds
+    }
+    for (size_t I = 0; I != RoutineList.size() && Ok; ++I) {
+      if (UsePlan && Reuse->Replay[I]) {
+        if (replayRoutine(I)) {
+          ++Replayed;
+          continue;
+        }
+        // A mid-routine replay failure leaves partially appended side
+        // tables behind; abort and let the caller restart from scratch.
+        ReplayFail = true;
+        if (WhyNot && !Why.empty())
+          *WhyNot = Why;
+        return nullptr;
+      }
       compileRoutine(I);
+    }
     if (!Ok) {
       if (WhyNot)
         *WhyNot = Why;
@@ -87,9 +114,12 @@ public:
 private:
   const Program &Prog;
   bool Checked;
+  const CodeReusePlan *Reuse = nullptr;
   CompiledProgram *Out = nullptr;
 
   bool Ok = true;
+  bool ReplayFail = false;
+  unsigned Replayed = 0;
   std::string Why;
 
   std::vector<const RoutineDecl *> RoutineList;
@@ -151,9 +181,13 @@ private:
     return R;
   }
 
-  uint32_t dbg(SourceLoc Loc, std::string Name = "", bool InRead = false) {
+  /// \p S / \p E record which AST node the row's location came from, so an
+  /// incremental replay can refresh it after lines shift.
+  uint32_t dbg(SourceLoc Loc, std::string Name = "", bool InRead = false,
+               const Stmt *S = nullptr, const Expr *E = nullptr) {
     uint32_t Idx = static_cast<uint32_t>(Out->Debug.size());
     Out->Debug.push_back({Loc, std::move(Name), InRead});
+    Out->DebugSources.push_back({S, E});
     return Idx;
   }
 
@@ -266,7 +300,8 @@ private:
         return {Cell, false};
       // Strict mode: the read is an explicit, checked instruction.
       uint16_t R = allocReg();
-      emit(Op::LoadChecked, R, Cell, 0, dbg(VR->getLoc(), VR->getName()));
+      emit(Op::LoadChecked, R, Cell, 0,
+           dbg(VR->getLoc(), VR->getName(), false, nullptr, VR));
       return {makeRegOperand(R), true};
     }
 
@@ -282,7 +317,7 @@ private:
       uint16_t R = Idx.IsReg ? static_cast<uint16_t>(Idx.Enc & ~OpModeMask)
                              : allocReg();
       emit(Op::LoadIdx, R, Base, Idx.Enc,
-           dbg(IE->getLoc(), BaseRef->getName()));
+           dbg(IE->getLoc(), BaseRef->getName(), false, nullptr, IE));
       return {makeRegOperand(R), true};
     }
 
@@ -368,7 +403,7 @@ private:
       uint16_t Dest = allocReg();
       uint32_t Aux = 0;
       if (O == Op::DivOp || O == Op::ModOp)
-        Aux = dbg(BE->getLoc());
+        Aux = dbg(BE->getLoc(), "", false, nullptr, BE);
       emit(O, Dest, L.Enc, R.Enc, Aux);
       return {makeRegOperand(Dest), true};
     }
@@ -430,7 +465,8 @@ private:
       bail("argument count mismatch");
       return {};
     }
-    emit(Op::CallGuard, 0, 0, 0, dbg(Loc, Callee->getName()));
+    emit(Op::CallGuard, 0, 0, 0,
+         dbg(Loc, Callee->getName(), false, CallStmt, CallExpr));
     size_t ScratchBase = ArgScratch.size();
     for (size_t I = 0, N = Params.size(); I != N; ++I) {
       const VarDecl *P = Params[I].get();
@@ -486,7 +522,7 @@ private:
     if (!Ok)
       return;
     RegTop = 0; // expression temporaries never live across statements
-    emit(Op::Step, 0, 0, 0, dbg(S->getLoc()));
+    emit(Op::Step, 0, 0, 0, dbg(S->getLoc(), "", false, S));
 
     switch (S->getKind()) {
     case Stmt::Kind::Compound:
@@ -578,7 +614,7 @@ private:
     if (!Ok)
       return;
     emit(Op::StoreIdx, Base, Idx.Enc, V.Enc,
-         dbg(IE->getLoc(), BaseRef->getName()));
+         dbg(IE->getLoc(), BaseRef->getName(), false, nullptr, IE));
   }
 
   void compileWhile(const WhileStmt *WS) {
@@ -649,7 +685,7 @@ private:
     for (const ExprPtr &T : RS->getTargets()) {
       RegTop = 0;
       uint16_t RV = allocReg();
-      emit(Op::ReadFetch, RV, 0, 0, dbg(RS->getLoc()));
+      emit(Op::ReadFetch, RV, 0, 0, dbg(RS->getLoc(), "", false, RS));
       if (const auto *VR = dyn_cast<VarRefExpr>(T.get())) {
         uint16_t Target = cellOperand(VR->getDecl());
         if (!Ok)
@@ -666,7 +702,8 @@ private:
       if (!Ok)
         return;
       emit(Op::StoreIdx, Base, Idx.Enc, makeRegOperand(RV),
-           dbg(IE->getLoc(), BaseRef->getName(), /*InRead=*/true));
+           dbg(IE->getLoc(), BaseRef->getName(), /*InRead=*/true, nullptr,
+               IE));
     }
   }
 
@@ -702,6 +739,18 @@ private:
     Code.clear();
     RegTop = 0;
     NumRegs = 0;
+    // Side tables are emitted contiguously per routine — the segment the
+    // incremental recompile splices. The const dedup maps reset so a
+    // routine's constants land inside its own run (the cost is duplicate
+    // pool entries across routines, bounded by the per-program pool cap).
+    ScalarConsts.clear();
+    StrConsts.clear();
+    RoutineSegment Seg;
+    Seg.ConstStart = static_cast<uint32_t>(Out->Consts.size());
+    Seg.SiteStart = static_cast<uint32_t>(Out->Sites.size());
+    Seg.ArgStart = static_cast<uint32_t>(Out->ArgPool.size());
+    Seg.LoopStart = static_cast<uint32_t>(Out->Loops.size());
+    Seg.DebugStart = static_cast<uint32_t>(Out->Debug.size());
     if (Cur->getNumSlots() > MaxSlot + 1) {
       bail("routine frame too large for cell encoding");
       return;
@@ -711,11 +760,268 @@ private:
     emit(Op::Ret);
     if (!Ok)
       return;
+    Seg.ConstCount = static_cast<uint32_t>(Out->Consts.size()) - Seg.ConstStart;
+    Seg.SiteCount = static_cast<uint32_t>(Out->Sites.size()) - Seg.SiteStart;
+    Seg.ArgCount = static_cast<uint32_t>(Out->ArgPool.size()) - Seg.ArgStart;
+    Seg.LoopCount = static_cast<uint32_t>(Out->Loops.size()) - Seg.LoopStart;
+    Seg.DebugCount = static_cast<uint32_t>(Out->Debug.size()) - Seg.DebugStart;
     CompiledRoutine CR;
     CR.Routine = Cur;
     CR.Code = std::move(Code);
     CR.NumRegs = NumRegs;
     Out->Routines.push_back(std::move(CR));
+    Out->Segments.push_back(Seg);
+  }
+
+  //===------------------------------------------------------------------===//
+  // Incremental replay
+  //===------------------------------------------------------------------===//
+
+  bool planUsable() const {
+    const CompiledProgram *O = Reuse->Old;
+    return O && Reuse->Map && O->Checked == Checked &&
+           O->Routines.size() == RoutineList.size() &&
+           O->Segments.size() == O->Routines.size() &&
+           O->DebugSources.size() == O->Debug.size() &&
+           Reuse->Replay.size() == O->Routines.size();
+  }
+
+  /// Shifts a fused operand's constant-pool index by \p Delta; register and
+  /// cell operands pass through untouched.
+  static bool shiftConstOperand(uint16_t &F, int64_t Delta) {
+    if ((F & OpModeMask) != OpConst)
+      return true;
+    int64_t Idx = static_cast<int64_t>(F & ~OpModeMask) + Delta;
+    if (Idx < 0 || Idx > MaxRegOrConst)
+      return false;
+    F = static_cast<uint16_t>(OpConst | static_cast<uint16_t>(Idx));
+    return true;
+  }
+
+  /// Rebases one instruction from the old program's side-table layout onto
+  /// the new one. Jump targets (Jmp/IfBr/WhileTest/IterEnd/RepeatTest/
+  /// ForTest/ForEnd Aux) are routine-local pcs and need no shift.
+  static bool relinkInstr(Instr &In, int64_t ConstD, int64_t SiteD,
+                          int64_t LoopD, int64_t DbgD) {
+    auto ShiftAux = [&In](int64_t Delta) {
+      In.Aux = static_cast<uint32_t>(static_cast<int64_t>(In.Aux) + Delta);
+    };
+    switch (In.Code) {
+    case Op::Step:
+    case Op::CallGuard:
+    case Op::ReadFetch:
+      ShiftAux(DbgD);
+      return true;
+    case Op::Load:
+    case Op::NotB:
+    case Op::NegI:
+      return shiftConstOperand(In.B, ConstD);
+    case Op::LoadChecked:
+      ShiftAux(DbgD);
+      return shiftConstOperand(In.B, ConstD);
+    case Op::Store:
+      return shiftConstOperand(In.A, ConstD) &&
+             shiftConstOperand(In.B, ConstD);
+    case Op::LoadIdx:
+      ShiftAux(DbgD);
+      return shiftConstOperand(In.B, ConstD) &&
+             shiftConstOperand(In.C, ConstD);
+    case Op::StoreIdx:
+      ShiftAux(DbgD);
+      return shiftConstOperand(In.A, ConstD) &&
+             shiftConstOperand(In.B, ConstD) &&
+             shiftConstOperand(In.C, ConstD);
+    case Op::DivOp:
+    case Op::ModOp:
+      ShiftAux(DbgD);
+      return shiftConstOperand(In.B, ConstD) &&
+             shiftConstOperand(In.C, ConstD);
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::EqI:
+    case Op::NeI:
+    case Op::EqB:
+    case Op::NeB:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::AndB:
+    case Op::OrB:
+      return shiftConstOperand(In.B, ConstD) &&
+             shiftConstOperand(In.C, ConstD);
+    case Op::IfBr:
+    case Op::WhileTest:
+    case Op::RepeatTest:
+      return shiftConstOperand(In.A, ConstD); // Aux = routine-local pc
+    case Op::WriteVal:
+      return shiftConstOperand(In.A, ConstD);
+    case Op::LoopEnter:
+    case Op::IterBegin:
+    case Op::ForIter:
+    case Op::LoopExit:
+    case Op::ForExit:
+      ShiftAux(LoopD);
+      return true;
+    case Op::ForPrep:
+      ShiftAux(LoopD);
+      return shiftConstOperand(In.A, ConstD) &&
+             shiftConstOperand(In.B, ConstD);
+    case Op::Call:
+      ShiftAux(SiteD);
+      return true;
+    case Op::ArrayLit: // B/C are a raw register base and count
+    case Op::Jmp:
+    case Op::PopCtrl:
+    case Op::IterEnd:
+    case Op::ForTest:
+    case Op::ForEnd:
+    case Op::Ret:
+    case Op::WriteNl:
+      return true;
+    }
+    return false;
+  }
+
+  /// Splices old routine \p I into the new program: instructions copied
+  /// with side-table indices rebased, side-table rows copied with their AST
+  /// pointers remapped through the edit's old->new map and their recorded
+  /// locations refreshed from the new nodes. Returns false when the map
+  /// does not cover a referenced node — the caller falls back to a full
+  /// compile; a false return may leave partially appended rows behind.
+  bool replayRoutine(size_t I) {
+    const CompiledProgram &O = *Reuse->Old;
+    const AstMap &M = *Reuse->Map;
+    const CompiledRoutine &OCR = O.Routines[I];
+    const RoutineSegment &OS = O.Segments[I];
+    if (M.routine(OCR.Routine) != RoutineList[I])
+      return false;
+
+    RoutineSegment Seg;
+    Seg.ConstStart = static_cast<uint32_t>(Out->Consts.size());
+    Seg.SiteStart = static_cast<uint32_t>(Out->Sites.size());
+    Seg.ArgStart = static_cast<uint32_t>(Out->ArgPool.size());
+    Seg.LoopStart = static_cast<uint32_t>(Out->Loops.size());
+    Seg.DebugStart = static_cast<uint32_t>(Out->Debug.size());
+    Seg.ConstCount = OS.ConstCount;
+    Seg.SiteCount = OS.SiteCount;
+    Seg.ArgCount = OS.ArgCount;
+    Seg.LoopCount = OS.LoopCount;
+    Seg.DebugCount = OS.DebugCount;
+    const int64_t ConstD = static_cast<int64_t>(Seg.ConstStart) - OS.ConstStart;
+    const int64_t SiteD = static_cast<int64_t>(Seg.SiteStart) - OS.SiteStart;
+    const int64_t ArgD = static_cast<int64_t>(Seg.ArgStart) - OS.ArgStart;
+    const int64_t LoopD = static_cast<int64_t>(Seg.LoopStart) - OS.LoopStart;
+    const int64_t DbgD = static_cast<int64_t>(Seg.DebugStart) - OS.DebugStart;
+
+    if (static_cast<size_t>(Seg.ConstStart) + OS.ConstCount >
+        static_cast<size_t>(MaxRegOrConst) + 1) {
+      bail("constant pool overflow");
+      return false;
+    }
+    Out->Consts.insert(Out->Consts.end(), O.Consts.begin() + OS.ConstStart,
+                       O.Consts.begin() + OS.ConstStart + OS.ConstCount);
+
+    for (uint32_t S = OS.SiteStart; S != OS.SiteStart + OS.SiteCount; ++S) {
+      CallSiteInfo NS = O.Sites[S];
+      NS.Callee = M.routine(NS.Callee);
+      if (!NS.Callee)
+        return false;
+      auto It = RoutineIdx.find(NS.Callee);
+      if (It == RoutineIdx.end())
+        return false;
+      NS.RoutineIdx = It->second;
+      if (NS.CallStmt) {
+        NS.CallStmt = M.stmt(NS.CallStmt);
+        if (!NS.CallStmt)
+          return false;
+        NS.Loc = NS.CallStmt->getLoc();
+      }
+      if (NS.CallExpr) {
+        NS.CallExpr = M.expr(NS.CallExpr);
+        if (!NS.CallExpr)
+          return false;
+        NS.Loc = NS.CallExpr->getLoc();
+      }
+      NS.ArgStart = static_cast<uint32_t>(NS.ArgStart + ArgD);
+      Out->Sites.push_back(std::move(NS));
+    }
+
+    for (uint32_t A = OS.ArgStart; A != OS.ArgStart + OS.ArgCount; ++A) {
+      ArgDesc AD = O.ArgPool[A];
+      if (AD.Param) {
+        AD.Param = M.var(AD.Param);
+        if (!AD.Param)
+          return false;
+      }
+      Out->ArgPool.push_back(std::move(AD));
+    }
+
+    for (uint32_t L = OS.LoopStart; L != OS.LoopStart + OS.LoopCount; ++L) {
+      LoopInfo LI = O.Loops[L];
+      const Stmt *NS = M.stmt(LI.Stmt);
+      if (!NS)
+        return false;
+      LI.Stmt = NS;
+      LI.Loc = NS->getLoc();
+      // Sema numbers loop unit names program-globally; an edit elsewhere
+      // renumbers this routine's units, so re-intern from the new node.
+      switch (LI.K) {
+      case LoopInfo::Kind::While: {
+        const auto *W = dyn_cast<WhileStmt>(NS);
+        if (!W)
+          return false;
+        LI.UnitName = support::Symbol(W->getUnitName());
+        break;
+      }
+      case LoopInfo::Kind::Repeat: {
+        const auto *R = dyn_cast<RepeatStmt>(NS);
+        if (!R)
+          return false;
+        LI.UnitName = support::Symbol(R->getUnitName());
+        break;
+      }
+      case LoopInfo::Kind::For: {
+        const auto *F = dyn_cast<ForStmt>(NS);
+        if (!F)
+          return false;
+        LI.UnitName = support::Symbol(F->getUnitName());
+        break;
+      }
+      }
+      Out->Loops.push_back(std::move(LI));
+    }
+
+    for (uint32_t D = OS.DebugStart; D != OS.DebugStart + OS.DebugCount; ++D) {
+      DebugInfo DI = O.Debug[D];
+      DebugSrc Src = O.DebugSources[D];
+      if (Src.S) {
+        Src.S = M.stmt(Src.S);
+        if (!Src.S)
+          return false;
+        DI.Loc = Src.S->getLoc();
+      }
+      if (Src.E) {
+        Src.E = M.expr(Src.E);
+        if (!Src.E)
+          return false;
+        DI.Loc = Src.E->getLoc();
+      }
+      Out->Debug.push_back(std::move(DI));
+      Out->DebugSources.push_back(Src);
+    }
+
+    CompiledRoutine CR;
+    CR.Routine = RoutineList[I];
+    CR.NumRegs = OCR.NumRegs;
+    CR.Code = OCR.Code;
+    for (Instr &In : CR.Code)
+      if (!relinkInstr(In, ConstD, SiteD, LoopD, DbgD))
+        return false;
+    Out->Routines.push_back(std::move(CR));
+    Out->Segments.push_back(Seg);
+    return true;
   }
 };
 
@@ -724,4 +1030,32 @@ private:
 std::shared_ptr<const CompiledProgram>
 bytecode::compile(const Program &P, bool Checked, std::string *WhyNot) {
   return Compiler(P, Checked).run(WhyNot);
+}
+
+std::shared_ptr<const CompiledProgram>
+bytecode::compileWithReuse(const Program &P, bool Checked,
+                           const CodeReusePlan &Reuse, CodeRebuildStats *Stats,
+                           std::string *WhyNot) {
+  Compiler C(P, Checked, &Reuse);
+  auto CP = C.run(WhyNot);
+  if (!CP && C.replayFailed()) {
+    // The plan did not line up mid-routine; restart without it. The full
+    // compiler sees exactly what a cold compile would.
+    Compiler Full(P, Checked);
+    CP = Full.run(WhyNot);
+    if (Stats) {
+      Stats->ReplayFellBack = true;
+      Stats->Replayed = 0;
+      Stats->Recompiled = CP ? static_cast<unsigned>(CP->Routines.size()) : 0;
+    }
+    return CP;
+  }
+  if (Stats) {
+    Stats->ReplayFellBack = C.replayFailed();
+    Stats->Replayed = C.replayedCount();
+    Stats->Recompiled =
+        CP ? static_cast<unsigned>(CP->Routines.size()) - C.replayedCount()
+           : 0;
+  }
+  return CP;
 }

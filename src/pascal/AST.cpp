@@ -609,11 +609,25 @@ uint32_t gadt::pascal::assignStorageSlots(Program &P) {
 
 unsigned gadt::pascal::assignNodeIds(Program &P) {
   unsigned Next = 1;
-  forEachRoutine(P.getMain(), [&Next](RoutineDecl *R) {
-    if (!R->getBody())
+  std::vector<const void *> Table;
+  Table.push_back(nullptr); // id 0 = unassigned
+  forEachRoutine(P.getMain(), [&Next, &Table](RoutineDecl *R) {
+    if (!R->getBody()) {
+      R->setNodeIdRange(0, 0, 0);
       return;
-    forEachStmt(R->getBody(), [&Next](Stmt *S) { S->setId(Next++); });
-    forEachExpr(R->getBody(), [&Next](Expr *E) { E->setId(Next++); });
+    }
+    unsigned First = Next;
+    forEachStmt(R->getBody(), [&Next, &Table](Stmt *S) {
+      S->setId(Next++);
+      Table.push_back(S);
+    });
+    unsigned Stmts = Next - First;
+    forEachExpr(R->getBody(), [&Next, &Table](Expr *E) {
+      E->setId(Next++);
+      Table.push_back(E);
+    });
+    R->setNodeIdRange(First, Stmts, Next - First);
   });
+  P.setNodeTable(std::move(Table));
   return Next - 1;
 }

@@ -705,6 +705,21 @@ public:
   /// declarations, so the result is a self-contained program tree.
   std::unique_ptr<RoutineDecl> cloneTree() const;
 
+  /// Node-id block assigned by assignNodeIds: this routine's statements and
+  /// expressions occupy the contiguous id range [First, First + Count), the
+  /// statements first. Two routines with equal canonical bodies have equal
+  /// (Stmts, Count), and the k-th id of one corresponds to the k-th id of
+  /// the other — the incremental matcher maps clean routines by this block
+  /// arithmetic instead of re-walking their bodies.
+  unsigned getNodeIdFirst() const { return NodeIdFirst; }
+  unsigned getNodeIdStmts() const { return NodeIdStmts; }
+  unsigned getNodeIdCount() const { return NodeIdCount; }
+  void setNodeIdRange(unsigned First, unsigned Stmts, unsigned Count) {
+    NodeIdFirst = First;
+    NodeIdStmts = Stmts;
+    NodeIdCount = Count;
+  }
+
   /// Storage layout assigned by assignStorageSlots: static nesting depth
   /// (program = 0) and the declarations backing each frame slot, in slot
   /// order (params, then locals, then the function result).
@@ -734,6 +749,7 @@ private:
   std::unique_ptr<VarDecl> ResultVar;
   uint32_t StorageDepth = 0;
   std::vector<const VarDecl *> SlotDecls;
+  unsigned NodeIdFirst = 0, NodeIdStmts = 0, NodeIdCount = 0;
 };
 
 //===----------------------------------------------------------------------===//
@@ -772,12 +788,20 @@ public:
   bool areSlotsAssigned() const { return SlotsAssigned; }
   void setSlotsAssigned(bool B) { SlotsAssigned = B; }
 
+  /// Id -> node table filled by assignNodeIds ([0] is null; statements and
+  /// expressions share the numbering). Lets id-keyed consumers (the
+  /// incremental matcher) reach any node without re-walking the tree; the
+  /// typed pointer is recovered from the querying side's static type.
+  const std::vector<const void *> &getNodeTable() const { return NodeTable; }
+  void setNodeTable(std::vector<const void *> T) { NodeTable = std::move(T); }
+
 private:
   std::unique_ptr<TypeContext> Types;
   TypeContext *SharedTypes = nullptr; // set on clones
   std::vector<TypeDef> TypeDefs;
   std::unique_ptr<RoutineDecl> Main;
   bool SlotsAssigned = false;
+  std::vector<const void *> NodeTable;
 
 public:
   /// The context actually used for type creation (shared for clones).

@@ -1,0 +1,70 @@
+//===- ASTMatch.cpp - Old→new AST correspondence across edits -------------===//
+
+#include "pascal/ASTMatch.h"
+
+#include "pascal/AST.h"
+
+#include <algorithm>
+
+using namespace gadt;
+using namespace gadt::pascal;
+
+bool AstMap::mapHeaderVars(const RoutineDecl *OldR, const RoutineDecl *NewR) {
+  const auto &OldP = OldR->getParams();
+  const auto &NewP = NewR->getParams();
+  if (OldP.size() != NewP.size())
+    return false;
+  for (size_t I = 0; I != OldP.size(); ++I) {
+    if (OldP[I]->getName() != NewP[I]->getName() ||
+        OldP[I]->getMode() != NewP[I]->getMode())
+      return false;
+    Vars[OldP[I].get()] = NewP[I].get();
+  }
+  const VarDecl *OldRes = OldR->getResultVar();
+  const VarDecl *NewRes = NewR->getResultVar();
+  if ((OldRes == nullptr) != (NewRes == nullptr))
+    return false;
+  if (OldRes)
+    Vars[OldRes] = NewRes;
+  return true;
+}
+
+bool AstMap::mapLocalVars(const RoutineDecl *OldR, const RoutineDecl *NewR) {
+  const auto &OldL = OldR->getLocals();
+  const auto &NewL = NewR->getLocals();
+  if (OldL.size() != NewL.size())
+    return false;
+  for (size_t I = 0; I != OldL.size(); ++I) {
+    if (OldL[I]->getName() != NewL[I]->getName())
+      return false;
+    Vars[OldL[I].get()] = NewL[I].get();
+  }
+  return true;
+}
+
+bool AstMap::mapBody(const RoutineDecl *OldR, const RoutineDecl *NewR) {
+  Stmt *OldBody = OldR->getBody();
+  Stmt *NewBody = NewR->getBody();
+  if ((OldBody == nullptr) != (NewBody == nullptr))
+    return false;
+  if (!OldBody)
+    return true;
+  if (!NewProg)
+    return false;
+  // Equal body fingerprints imply equal preorder shape, hence equal block
+  // layout; the counts re-check that before any pointer is written. Zero
+  // counts mean sema never numbered this body — nothing to map against.
+  const unsigned Count = OldR->getNodeIdCount();
+  if (Count == 0 || Count != NewR->getNodeIdCount() ||
+      OldR->getNodeIdStmts() != NewR->getNodeIdStmts())
+    return false;
+  const unsigned OldFirst = OldR->getNodeIdFirst();
+  const unsigned NewFirst = NewR->getNodeIdFirst();
+  const std::vector<const void *> &Table = NewProg->getNodeTable();
+  if (OldFirst == 0 || NewFirst == 0 || NewFirst + Count > Table.size())
+    return false;
+  if (Nodes.size() < OldFirst + Count)
+    Nodes.resize(OldFirst + Count, nullptr);
+  std::copy_n(Table.begin() + NewFirst, Count, Nodes.begin() + OldFirst);
+  return true;
+}

@@ -33,7 +33,7 @@ struct RuntimeContext::ProgramEntry {
   std::string Errors;
 };
 
-RuntimeContext::RuntimeContext(obs::Registry *Metrics)
+RuntimeContext::RuntimeContext(obs::Registry *Metrics, RuntimeOptions Opts)
     : Reg(Metrics ? *Metrics : obs::Registry::global()),
       ProgramC{Reg.counter("runtime.cache.program.hits"),
                Reg.counter("runtime.cache.program.misses")},
@@ -54,7 +54,8 @@ RuntimeContext::RuntimeContext(obs::Registry *Metrics)
       CodeG{Reg.gauge("runtime.cache.code.entries"),
             Reg.gauge("runtime.cache.code.bytes")},
       SliceG{Reg.gauge("runtime.cache.slice.entries"),
-             Reg.gauge("runtime.cache.slice.bytes")} {}
+             Reg.gauge("runtime.cache.slice.bytes")},
+      Options(Opts), EvictionC(Reg.counter("runtime.cache.evictions")) {}
 
 RuntimeContext::~RuntimeContext() = default;
 
@@ -66,19 +67,58 @@ void noteLookup(Counters &C, obs::Span &Span, bool WasMiss) {
   Span.arg("hit", !WasMiss);
 }
 
-/// Publishes a cache's occupancy after a lookup: \p NewBytes (nonzero only
-/// on a miss) accumulates into \p Total, and both gauges are refreshed.
-template <typename Gauges>
-void noteOccupancy(Gauges &G, std::atomic<uint64_t> &Total, size_t Entries,
-                   uint64_t NewBytes) {
-  uint64_t Bytes =
-      NewBytes ? Total.fetch_add(NewBytes, std::memory_order_relaxed) +
-                     NewBytes
-               : Total.load(std::memory_order_relaxed);
-  G.Entries.set(static_cast<int64_t>(Entries));
-  G.Bytes.set(static_cast<int64_t>(Bytes));
-}
 } // namespace
+
+void RuntimeContext::publishOccupancy() {
+  auto Publish = [](CacheGauges &G, size_t Entries, size_t Bytes) {
+    G.Entries.set(static_cast<int64_t>(Entries));
+    G.Bytes.set(static_cast<int64_t>(Bytes));
+  };
+  Publish(ProgramG, Programs.size(), Programs.totalBytes());
+  Publish(TransformG, Transforms.size(), Transforms.totalBytes());
+  Publish(SdgG, Sdgs.size(), Sdgs.totalBytes());
+  Publish(CodeG, Codes.size(), Codes.totalBytes());
+  Publish(SliceG, Slices.size(), Slices.totalBytes());
+}
+
+void RuntimeContext::enforceBudget() {
+  if (!Options.CacheBudgetBytes)
+    return;
+  for (;;) {
+    size_t Total = Programs.totalBytes() + Transforms.totalBytes() +
+                   Sdgs.totalBytes() + Codes.totalBytes() +
+                   Slices.totalBytes();
+    if (Total <= Options.CacheBudgetBytes)
+      return;
+    // Evict the globally oldest ready entry (OnceCache ticks are drawn
+    // from one process-wide clock, so ticks compare across caches).
+    uint64_t Best = UINT64_MAX;
+    int Which = -1;
+    auto Consider = [&](uint64_t Tick, int I) {
+      if (Tick < Best) {
+        Best = Tick;
+        Which = I;
+      }
+    };
+    Consider(Programs.oldestReadyTick(), 0);
+    Consider(Transforms.oldestReadyTick(), 1);
+    Consider(Sdgs.oldestReadyTick(), 2);
+    Consider(Codes.oldestReadyTick(), 3);
+    Consider(Slices.oldestReadyTick(), 4);
+    size_t Freed = 0;
+    switch (Which) {
+    case 0: Freed = Programs.evictOldest(); break;
+    case 1: Freed = Transforms.evictOldest(); break;
+    case 2: Freed = Sdgs.evictOldest(); break;
+    case 3: Freed = Codes.evictOldest(); break;
+    case 4: Freed = Slices.evictOldest(); break;
+    default:
+      return; // nothing evictable (entries still building)
+    }
+    (void)Freed;
+    EvictionC.add();
+  }
+}
 
 std::shared_ptr<const pascal::Program>
 RuntimeContext::internProgram(const std::string &Source,
@@ -100,10 +140,12 @@ RuntimeContext::internProgram(const std::string &Source,
       },
       &WasMiss);
   noteLookup(ProgramC, Span, WasMiss);
-  noteOccupancy(ProgramG, ProgramBytes, Programs.size(),
-                WasMiss ? Source.size() + E->Errors.size() +
-                              sizeof(ProgramEntry)
-                        : 0);
+  if (WasMiss) {
+    Programs.noteBytes(SourceHash, Source.size() + E->Errors.size() +
+                                       sizeof(ProgramEntry));
+    enforceBudget();
+  }
+  publishOccupancy();
   if (!E->Program)
     Diags.error(SourceLoc(), "batch runtime: cached parse failure: " +
                                  E->Errors);
@@ -145,13 +187,14 @@ RuntimeContext::prepare(const std::string &Source,
         },
         &WasMiss);
     noteLookup(TransformC, Span, WasMiss);
-    uint64_t NewBytes = 0;
     if (WasMiss) {
-      NewBytes = sizeof(TransformEntry) + X->Errors.size();
+      uint64_t NewBytes = sizeof(TransformEntry) + X->Errors.size();
       if (X->Transformed)
         NewBytes += pascal::printProgram(*X->Transformed).size();
+      Transforms.noteBytes(Fingerprint, NewBytes);
+      enforceBudget();
     }
-    noteOccupancy(TransformG, TransformBytes, Transforms.size(), NewBytes);
+    publishOccupancy();
     Reg.gauge("runtime.subjects").set(static_cast<int64_t>(Transforms.size()));
     if (!X->Transformed) {
       Diags.error(SourceLoc(), "batch runtime: cached transform failure: " +
@@ -186,12 +229,14 @@ RuntimeContext::prepare(const std::string &Source,
         },
         &WasMiss);
     noteLookup(SdgC, Span, WasMiss);
-    noteOccupancy(SdgG, SdgBytes, Sdgs.size(),
-                  WasMiss ? sizeof(SdgEntry) +
-                                G->Graph->nodes().size() *
-                                    sizeof(analysis::SDGNode) +
-                                uint64_t(G->Graph->numEdges()) * 8
-                          : 0);
+    if (WasMiss) {
+      Sdgs.noteBytes(SdgKey, sizeof(SdgEntry) +
+                                 G->Graph->nodes().size() *
+                                     sizeof(analysis::SDGNode) +
+                                 uint64_t(G->Graph->numEdges()) * 8);
+      enforceBudget();
+    }
+    publishOccupancy();
     // Alias the SDG's lifetime to its cache entry, and debug the exact
     // program object the graph was built over — textual variants of one
     // fingerprint intern as distinct ASTs, but slices resolve by pointer.
@@ -222,9 +267,11 @@ RuntimeContext::prepare(const std::string &Source,
           },
           &WasMiss);
       noteLookup(SliceC, Span, WasMiss);
-      noteOccupancy(SliceG, SliceBytes, Slices.size(),
-                    WasMiss ? sizeof(slicing::StaticSlice) + S->size() * 4
-                            : 0);
+      if (WasMiss) {
+        Slices.noteBytes(Key, sizeof(slicing::StaticSlice) + S->size() * 4);
+        enforceBudget();
+      }
+      publishOccupancy();
       return S;
     };
   }
@@ -249,10 +296,12 @@ RuntimeContext::prepare(const std::string &Source,
         },
         &WasMiss);
     noteLookup(CodeC, Span, WasMiss);
-    noteOccupancy(CodeG, CodeBytes, Codes.size(),
-                  WasMiss ? sizeof(CodeEntry) +
-                                (E->Code ? E->Code->memoryBytes() : 0)
-                          : 0);
+    if (WasMiss) {
+      Codes.noteBytes(CodeKey, sizeof(CodeEntry) +
+                                   (E->Code ? E->Code->memoryBytes() : 0));
+      enforceBudget();
+    }
+    publishOccupancy();
     // Textual variants of one fingerprint intern as distinct ASTs when
     // transformation is off; compiled code binds to the AST it was built
     // over, so only hand out code whose program is the one this session

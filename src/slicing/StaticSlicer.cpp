@@ -78,6 +78,16 @@ gadt::slicing::backwardSlice(const SDG &G,
   return Result;
 }
 
+StaticSlice gadt::slicing::sliceFromNodes(const SDG &G,
+                                          support::NodeSet Ids) {
+  StaticSlice Result;
+  Result.G = &G;
+  Result.Count = Ids.size();
+  Result.Ids = std::move(Ids);
+  Result.Cache = std::make_shared<StaticSlice::Lazy>();
+  return Result;
+}
+
 namespace {
 
 /// Shared epilogue of the criterion helpers: per-slice span arg + the

@@ -12,6 +12,28 @@ using namespace gadt;
 using namespace gadt::transform;
 using namespace gadt::pascal;
 
+bool gadt::transform::transformProgramInPlace(Program &P,
+                                              DiagnosticsEngine &Diags,
+                                              TransformStats &Stats,
+                                              TransformOptions Opts) {
+  // Goto passes can enable each other (a broken goto lands inside a loop, a
+  // loop escape produces a new non-local goto), so alternate to fixpoint.
+  for (unsigned Round = 0; Round < 100; ++Round) {
+    unsigned Before = Stats.LoopsRewritten + Stats.GotosBroken;
+    if (Opts.RewriteLoopEscapes && !rewriteLoopEscapes(P, Diags, Stats))
+      return false;
+    if (Opts.BreakGlobalGotos && !breakGlobalGotos(P, Diags, Stats))
+      return false;
+    unsigned After = Stats.LoopsRewritten + Stats.GotosBroken;
+    if (After == Before)
+      break;
+  }
+
+  if (Opts.GlobalsToParams && !convertGlobalsToParams(P, Diags, Stats))
+    return false;
+  return true;
+}
+
 TransformResult gadt::transform::transformProgram(const Program &P,
                                                   DiagnosticsEngine &Diags,
                                                   TransformOptions Opts) {
@@ -19,24 +41,7 @@ TransformResult gadt::transform::transformProgram(const Program &P,
   TransformResult Result;
   std::unique_ptr<Program> Work = P.clone();
 
-  // Goto passes can enable each other (a broken goto lands inside a loop, a
-  // loop escape produces a new non-local goto), so alternate to fixpoint.
-  for (unsigned Round = 0; Round < 100; ++Round) {
-    unsigned Before =
-        Result.Stats.LoopsRewritten + Result.Stats.GotosBroken;
-    if (Opts.RewriteLoopEscapes &&
-        !rewriteLoopEscapes(*Work, Diags, Result.Stats))
-      return Result;
-    if (Opts.BreakGlobalGotos &&
-        !breakGlobalGotos(*Work, Diags, Result.Stats))
-      return Result;
-    unsigned After = Result.Stats.LoopsRewritten + Result.Stats.GotosBroken;
-    if (After == Before)
-      break;
-  }
-
-  if (Opts.GlobalsToParams &&
-      !convertGlobalsToParams(*Work, Diags, Result.Stats))
+  if (!transformProgramInPlace(*Work, Diags, Result.Stats, Opts))
     return Result;
 
   Result.Transformed = std::move(Work);

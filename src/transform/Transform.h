@@ -76,6 +76,15 @@ TransformResult transformProgram(const pascal::Program &P,
                                  DiagnosticsEngine &Diags,
                                  TransformOptions Opts = TransformOptions());
 
+/// Runs the configured passes directly on \p P — for callers that own a
+/// freshly parsed program and want to skip transformProgram's defensive
+/// clone (the incremental edit pipeline re-parses per transaction, so
+/// there is no original to protect). Returns success; on failure \p P is
+/// left partially transformed and should be discarded.
+bool transformProgramInPlace(pascal::Program &P, DiagnosticsEngine &Diags,
+                             TransformStats &Stats,
+                             TransformOptions Opts = TransformOptions());
+
 /// Pass 1 (see file comment). Mutates \p P; re-analyzes; returns success.
 bool rewriteLoopEscapes(pascal::Program &P, DiagnosticsEngine &Diags,
                         TransformStats &Stats);

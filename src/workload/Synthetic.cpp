@@ -139,6 +139,89 @@ ProgramPair gadt::workload::summaryMeshProgram(unsigned Layers,
 }
 
 //===----------------------------------------------------------------------===//
+// Incremental-edit workload
+//===----------------------------------------------------------------------===//
+
+std::string gadt::workload::incrementalEditProgram(unsigned Leaves,
+                                                   unsigned EditedLeaf,
+                                                   unsigned Variant,
+                                                   unsigned Rounds) {
+  assert(Leaves >= 1);
+  if (Rounds == 0)
+    Rounds = 1;
+  std::string S = "program incr;\nvar r: integer;\n";
+  for (unsigned I = 1; I <= Leaves; ++I) {
+    bool Edited = Variant != 0 && I == EditedLeaf;
+    std::string K = std::to_string(I);
+    // Statement-dense bodies on purpose: reaching-defs and postdominator
+    // rows are bitsets over the routine's definitions/CFG nodes, so the
+    // per-routine analysis cost grows quadratically with body size while
+    // parsing stays linear — exactly the regime where replaying a clean
+    // routine's PDG beats rebuilding it. Every value is bounded with `mod`
+    // and every loop has a small trip count, so the differential tests can
+    // execute these under full tracing without blowing up.
+    S += "procedure leaf" + K + "(x: integer; var y: integer);\n";
+    S += "var t, u, v, w, m, k, p, q, i, j: integer;\nbegin\n";
+    S += "  t := 0;\n  u := 1;\n  v := 2;\n  w := 3;\n";
+    S += "  p := x mod 5;\n  q := x mod 3;\n";
+    for (unsigned R = 0; R != Rounds; ++R) {
+      // Round-varied small constants keep the rounds from being literal
+      // copies of each other (each round reads the previous round's
+      // final values, so the def-use web spans the whole body).
+      std::string C1 = std::to_string(R % 3 + 1), C2 = std::to_string(R % 5 + 2);
+      S += "  for j := 1 to 4 do\n  begin\n";
+      S += "    k := (x + j * " + K + " + " + C1 + ") mod 13 + 3;\n";
+      S += "    if k > 7 then\n    begin\n"
+           "      t := (t + k * " + C2 + " - u) mod 23;\n"
+           "      u := (u + t + p) mod 17;\n"
+           "      q := (q + u - v) mod 29;\n    end\n"
+           "    else\n    begin\n"
+           "      t := (t - k + v) mod 23;\n"
+           "      v := (v + t - w) mod 19;\n"
+           "      p := (p + v + j) mod 7;\n    end;\n";
+      S += "    while k > 0 do\n    begin\n      k := k - 2;\n"
+           "      w := (w + k + u - v) mod 11;\n"
+           "      p := (p + w * " + C1 + " - q) mod 7;\n"
+           "      for i := 1 to 2 do\n      begin\n"
+           "        q := (q + p + i - t) mod 29;\n"
+           "        if q > 11 then\n        begin\n"
+           "          m := (q - i) mod 4;\n"
+           "          while m > 0 do\n          begin\n"
+           "            m := m - 1;\n"
+           "            u := (u + m + q) mod 17;\n"
+           "            repeat\n              u := (u + 1) mod 17;\n"
+           "            until u mod 3 = 0;\n          end;\n"
+           "        end\n        else\n"
+           "          u := (u + q - w) mod 17;\n      end;\n"
+           "    end;\n";
+      S += "    for i := 1 to 3 do\n    begin\n"
+           "      v := (v + i * u - q) mod 19;\n"
+           "      w := (w + v + p) mod 11;\n"
+           "      t := (t + u - v + w) mod 23;\n    end;\n";
+      S += "    m := (t + u) mod 6 + 4;\n    repeat\n      m := m - 3;\n"
+           "      q := (q + m + j) mod 29;\n"
+           "      p := (p + q - u) mod 7;\n"
+           "      t := (t + p + v) mod 23;\n    until m < 1;\n";
+      S += "  end;\n";
+    }
+    S += "  for j := 1 to 3 do\n    if t > j then\n    begin\n"
+         "      t := (t - j + q) mod 23;\n"
+         "      u := (u + t - p) mod 17;\n    end;\n";
+    if (Edited)
+      S += "  t := t + " + std::to_string(Variant) + ";\n";
+    S += "  y := t + u + v + w + p + q + " + K + ";\nend;\n";
+  }
+  S += "procedure hub(a: integer; var b: integer);\nvar s, t: integer;\n"
+       "begin\n  s := 0;\n";
+  for (unsigned I = 1; I <= Leaves; ++I)
+    S += "  leaf" + std::to_string(I) + "(a + " + std::to_string(I) +
+         ", t);\n  s := s + t;\n";
+  S += "  b := s;\nend;\n";
+  S += "begin\n  hub(2, r);\n  writeln(r);\nend.\n";
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
 // Random structured programs
 //===----------------------------------------------------------------------===//
 

@@ -60,6 +60,24 @@ struct SyntheticOptions {
 /// never fault.
 ProgramPair randomProgram(const SyntheticOptions &Opts);
 
+/// A hub-and-leaves program for the incremental-recompute benchmarks and
+/// differential tests: \p Leaves loop-heavy leaf procedures, one hub
+/// calling all of them, and a main calling the hub. \p Variant perturbs
+/// only the body of leaf \p EditedLeaf (1-based; 0 = no edit), so two
+/// variants differ in exactly one routine body — the single-routine edit an
+/// incremental commit should isolate. Leaf bodies are statement-dense
+/// (nested loops and branches over ten interdependent locals) so
+/// dependence-graph construction and bytecode compilation dominate the
+/// parse. \p Rounds repeats the dense loop block inside every leaf with
+/// round-varied constants: reaching-definition rows and postdominator
+/// bitsets grow with the statement count, so per-routine analysis cost
+/// rises superlinearly with Rounds while parsing stays linear — the knob
+/// the benchmarks use to make recompute (not the frontend) the dominant
+/// cost. Every value is bounded by `mod` and every loop's trip count is
+/// small, so even high-Rounds programs execute quickly under full tracing.
+std::string incrementalEditProgram(unsigned Leaves, unsigned EditedLeaf = 0,
+                                   unsigned Variant = 0, unsigned Rounds = 1);
+
 /// A layered call mesh that stresses interprocedural summary-edge
 /// computation: \p Layers layers of \p Width procedures each, every
 /// procedure of layer l calling *all* Width procedures of layer l+1

@@ -5,11 +5,17 @@
 #include "pascal/PrettyPrinter.h"
 #include "support/Casting.h"
 #include "support/Diagnostics.h"
+#include "support/OnceCache.h"
 #include "support/SourceLoc.h"
 #include "support/StringUtils.h"
 #include "workload/PaperPrograms.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 using namespace gadt;
 
@@ -296,6 +302,65 @@ TEST(PrettyPrinterTest, StatementRendering) {
   EXPECT_EQ(pascal::printStmt(*Body[0]),
             "repeat\n  x := x + 1;\nuntil x > 3;\n");
   EXPECT_EQ(pascal::printStmt(*Body[1]), "goto 9;\n");
+}
+
+//===----------------------------------------------------------------------===//
+// OnceCache exception safety
+//===----------------------------------------------------------------------===//
+
+TEST(OnceCacheTest, ThrowingBuilderDoesNotPoisonTheSlot) {
+  OnceCache<int, int> Cache;
+  EXPECT_THROW(
+      Cache.getOrBuild(
+          1, []() -> std::shared_ptr<const int> {
+            throw std::runtime_error("builder failed");
+          }),
+      std::runtime_error);
+  // The failed slot was removed, not published: the next request rebuilds
+  // and succeeds.
+  EXPECT_EQ(Cache.size(), 0u);
+  auto V = Cache.getOrBuild(1, [] { return std::make_shared<const int>(42); });
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 42);
+  EXPECT_EQ(Cache.size(), 1u);
+}
+
+TEST(OnceCacheTest, ConcurrentWaitersSurviveAThrowingBuilder) {
+  OnceCache<int, int> Cache;
+  // The first builder to run throws; every waiter must wake, retry, and
+  // share the value built by whichever thread wins the retry.
+  std::atomic<int> Builds{0};
+  std::atomic<int> Throws{0};
+  auto Build = [&]() -> std::shared_ptr<const int> {
+    if (Builds.fetch_add(1) == 0)
+      throw std::runtime_error("first build fails");
+    return std::make_shared<const int>(7);
+  };
+  constexpr int kThreads = 8;
+  std::vector<std::thread> Ts;
+  std::vector<int> Got(kThreads, 0);
+  for (int I = 0; I != kThreads; ++I)
+    Ts.emplace_back([&, I] {
+      for (;;) {
+        try {
+          auto V = Cache.getOrBuild(5, Build);
+          ASSERT_TRUE(V);
+          Got[I] = *V;
+          return;
+        } catch (const std::runtime_error &) {
+          ++Throws; // this thread ran the failing build; retry
+        }
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  for (int I = 0; I != kThreads; ++I)
+    EXPECT_EQ(Got[I], 7);
+  EXPECT_EQ(Throws.load(), 1);
+  EXPECT_EQ(Cache.size(), 1u);
+  auto V = Cache.peek(5);
+  ASSERT_TRUE(V);
+  EXPECT_EQ(*V, 7);
 }
 
 } // namespace
